@@ -1,0 +1,101 @@
+"""ABL2 — ablation: the three answer sources on the paper's own program.
+
+Runs the Figure 4 debugging session with every combination of answer
+sources (assertions / test database / slicing) and reports user-question
+counts — quantifying how much each component of GADT contributes.
+
+Expected shape (Figure 4 program, top-down):
+
+* pure AD: 8 questions;
+* + tests: arrsum auto-answered (7);
+* + slicing: sum1/increment pruned after the partialsums answer (7);
+* + assertions on partialsums: one more question saved;
+* full GADT: the paper's 6 (tests + slicing) or fewer with assertions.
+Measures: the full-GADT session.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.helpers import build_arrsum_lookup, build_figure4_system, debug_with
+from repro.core import AssertionStore
+from repro.workloads import FIGURE4_FIXED_SOURCE
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_figure4_system()
+
+
+@pytest.fixture(scope="module")
+def lookup(system):
+    return build_arrsum_lookup(system.analysis)
+
+
+def make_assertions() -> AssertionStore:
+    store = AssertionStore()
+    # The user's partial specification of partialsums (paper §3's
+    # assertion mechanism, [Drabent et al. 88]).
+    store.assert_unit(
+        "partialsums",
+        "(s1 = y * (y + 1) div 2) and (s2 = (y - 1) * y div 2)",
+    )
+    return store
+
+
+def run_matrix(system, lookup):
+    results = {}
+    for use_assertions, use_tests, use_slicing in itertools.product(
+        (False, True), repeat=3
+    ):
+        result = debug_with(
+            system.trace,
+            FIGURE4_FIXED_SOURCE,
+            assertions=make_assertions() if use_assertions else None,
+            test_lookup=lookup if use_tests else None,
+            enable_slicing=use_slicing,
+        )
+        assert result.bug_unit == "decrement"
+        key = (use_assertions, use_tests, use_slicing)
+        results[key] = result.user_questions
+    return results
+
+
+def test_abl_sources(benchmark, system, lookup):
+    results = run_matrix(system, lookup)
+
+    pure = results[(False, False, False)]
+    gadt = results[(False, True, True)]
+    full = results[(True, True, True)]
+    assert pure == 8
+    assert gadt == 6  # the paper's session
+    assert full <= gadt
+    for key, questions in results.items():
+        assert questions <= pure
+
+    print("\n[ABL2] user questions by answer-source combination "
+          "(Figure 4 program):")
+    print("  assertions  tests  slicing  questions")
+    for (a, t, s), questions in sorted(results.items()):
+        print(
+            f"  {str(a):>10}  {str(t):>5}  {str(s):>7}  {questions:>9}"
+        )
+    print(f"[ABL2] pure AD {pure} -> GADT (tests+slicing) {gadt} "
+          f"-> with assertions {full}")
+
+    def run_full():
+        return debug_with(
+            system.trace,
+            FIGURE4_FIXED_SOURCE,
+            assertions=make_assertions(),
+            test_lookup=lookup,
+            enable_slicing=True,
+        )
+
+    result = benchmark(run_full)
+    assert result.bug_unit == "decrement"
+    benchmark.extra_info["matrix"] = {
+        f"assert={a},tests={t},slice={s}": q
+        for (a, t, s), q in results.items()
+    }

@@ -1,0 +1,86 @@
+"""ABL1 — ablation: execution-tree search strategies.
+
+The paper uses top-down and remarks that "generally it doesn't matter
+which traversal method is used" for correctness. This ablation measures
+what *does* differ: the number of questions each strategy asks on deep
+chains and balanced trees.
+
+Expected shape: divide-and-query ~ log2(n) on chains, top-down ~ n;
+every strategy localizes the same bug.
+Measures: a divide-and-query session on the deepest chain.
+"""
+
+from benchmarks.helpers import debug_with
+from repro.tracing import trace_source
+from repro.workloads import (
+    CallChainSpec,
+    CallTreeSpec,
+    generate_call_chain_program,
+    generate_call_tree_program,
+)
+
+STRATEGIES = ("top-down", "bottom-up", "divide-and-query")
+CHAIN_DEPTHS = [4, 8, 16, 32]
+
+
+def chain_curves():
+    curves = {strategy: [] for strategy in STRATEGIES}
+    for depth in CHAIN_DEPTHS:
+        generated = generate_call_chain_program(CallChainSpec(depth=depth))
+        trace = trace_source(generated.source)
+        for strategy in STRATEGIES:
+            result = debug_with(
+                trace, generated.fixed_source, strategy=strategy
+            )
+            assert result.bug_unit == generated.buggy_unit, (strategy, depth)
+            curves[strategy].append(result.user_questions)
+    return curves
+
+
+def tree_row(depth=4, buggy_leaf=11):
+    generated = generate_call_tree_program(
+        CallTreeSpec(depth=depth, buggy_leaf=buggy_leaf)
+    )
+    trace = trace_source(generated.source)
+    row = {}
+    for strategy in STRATEGIES:
+        result = debug_with(trace, generated.fixed_source, strategy=strategy)
+        assert result.bug_unit == generated.buggy_unit
+        row[strategy] = result.user_questions
+    return row
+
+
+def test_abl_strategies(benchmark):
+    curves = chain_curves()
+    tree = tree_row()
+
+    # Shape: D&Q sublinear on chains, top-down linear.
+    assert curves["divide-and-query"][-1] < curves["top-down"][-1]
+    assert curves["top-down"][-1] >= CHAIN_DEPTHS[-1] - 1
+    assert curves["divide-and-query"][-1] <= 2 * (CHAIN_DEPTHS[-1].bit_length())
+
+    print("\n[ABL1] questions to localize a leaf bug on a call chain:")
+    print("  depth:            " + "".join(f"{d:>6}" for d in CHAIN_DEPTHS))
+    for strategy in STRATEGIES:
+        row = "".join(f"{q:>6}" for q in curves[strategy])
+        print(f"  {strategy:>17}: {row}")
+    print("[ABL1] balanced tree (depth 4, 16 leaves, bug in leaf 11):")
+    for strategy, questions in tree.items():
+        print(f"  {strategy:>17}: {questions}")
+    print("[ABL1] shape: divide-and-query ~ log n on chains; "
+          "all strategies localize the same unit")
+
+    generated = generate_call_chain_program(
+        CallChainSpec(depth=CHAIN_DEPTHS[-1])
+    )
+    trace = trace_source(generated.source)
+
+    def run_dq():
+        return debug_with(
+            trace, generated.fixed_source, strategy="divide-and-query"
+        )
+
+    result = benchmark(run_dq)
+    assert result.bug_unit == generated.buggy_unit
+    benchmark.extra_info["chain_curves"] = curves
+    benchmark.extra_info["tree_row"] = tree

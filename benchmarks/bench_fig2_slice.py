@@ -1,0 +1,48 @@
+"""FIG2 — Figure 2: static slice of program p on variable mul.
+
+Regenerates: the paper's published slice (read(x,y); mul := 0; the
+else-branch assignment), with z/sum declarations dropped.
+Measures: static-slice computation plus program extraction.
+"""
+
+from repro.pascal import analyze_source, print_program
+from repro.slicing import StaticCriterion, static_slice
+from repro.workloads import FIGURE2_SOURCE
+
+
+def compute_slice():
+    analysis = analyze_source(FIGURE2_SOURCE)
+    computed = static_slice(
+        analysis, StaticCriterion.at_routine_exit("p", "mul")
+    )
+    return computed, print_program(computed.extract_program())
+
+
+def test_fig2_slice(benchmark):
+    computed, text = benchmark(compute_slice)
+
+    assert "read(x, y)" in text
+    assert "mul := 0" in text
+    assert "mul := x * y" in text
+    assert "sum" not in text
+    assert "read(z)" not in text
+
+    print("\n[FIG2] slice of p on mul (paper Figure 2(b)):")
+    for line in text.splitlines():
+        print(f"  {line}")
+
+    from repro.pascal import ast_nodes as ast
+
+    total = sum(
+        1
+        for node in computed.analysis.program.walk()
+        if isinstance(node, ast.Stmt)
+        and not isinstance(node, (ast.Compound, ast.EmptyStmt))
+    )
+    kept = computed.statement_count()
+    declared = len(computed.analysis.program.block.variables)
+    remaining = len(computed.extract_program().block.variables)
+    print(f"[FIG2] statements kept: {kept}/{total} ({kept / total:.0%}); "
+          f"variable declarations: {remaining}/{declared}")
+    benchmark.extra_info["statements_kept"] = kept
+    benchmark.extra_info["statements_total"] = total

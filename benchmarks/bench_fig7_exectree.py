@@ -1,0 +1,46 @@
+"""FIG4_7 — Figure 4 program traced into the Figure 7 execution tree.
+
+Regenerates: the execution tree with the paper's exact node annotations
+(e.g. ``computs(In y: 3, Out r1: 12, Out r2: 9)``).
+Measures: the tracing phase (transformation excluded; see SEC9 bench).
+"""
+
+from repro.tracing import trace_source
+from repro.workloads import FIGURE4_SOURCE
+
+EXPECTED_HEADS = [
+    "Main",
+    "sqrtest(In ary: [1,2], In n: 2, Out isok: false)",
+    "arrsum(In a: [1,2], In n: 2, Out b: 3)",
+    "computs(In y: 3, Out r1: 12, Out r2: 9)",
+    "comput1(In y: 3, Out r1: 12)",
+    "partialsums(In y: 3, Out s1: 6, Out s2: 6)",
+    "sum1(In y: 3, Out s1: 6)",
+    "increment(In y: 3)=4",
+    "sum2(In y: 3, Out s2: 6)",
+    "decrement(In y: 3)=4",
+    "add(In s1: 6, In s2: 6, Out r1: 12)",
+    "comput2(In y: 3, Out r2: 9)",
+    "square(In y: 3, Out r2: 9)",
+    "test(In r1: 12, In r2: 9, Out isok: false)",
+]
+
+
+def build_tree():
+    return trace_source(FIGURE4_SOURCE)
+
+
+def test_fig7_execution_tree(benchmark):
+    trace = benchmark(build_tree)
+
+    heads = [node.render_head() for node in trace.tree.walk()]
+    assert heads == EXPECTED_HEADS
+    assert trace.tree.size() == 14
+
+    print("\n[FIG7] execution tree:")
+    for line in trace.tree.render().splitlines():
+        print(f"  {line}")
+    print(f"[FIG7] {trace.tree.size()} nodes, "
+          f"{len(trace.dependence_graph)} dynamic occurrences recorded")
+    benchmark.extra_info["tree_nodes"] = trace.tree.size()
+    benchmark.extra_info["occurrences"] = len(trace.dependence_graph)

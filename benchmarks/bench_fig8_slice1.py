@@ -1,0 +1,47 @@
+"""FIG8 — first slicing step: computs' first output variable (r1).
+
+Regenerates: the pruned execution tree of Figure 8 (only the left
+subtree of computs remains).
+Measures: dynamic slice + tree pruning on an existing trace.
+"""
+
+import pytest
+
+from repro.slicing import DynamicCriterion, prune_tree
+from repro.tracing import trace_source
+from repro.workloads import FIGURE4_SOURCE
+
+
+@pytest.fixture(scope="module")
+def figure4_trace():
+    return trace_source(FIGURE4_SOURCE)
+
+
+def test_fig8_slice(benchmark, figure4_trace):
+    computs = figure4_trace.tree.find("computs")
+
+    view = benchmark(
+        prune_tree, figure4_trace, DynamicCriterion.output_position(computs, 1)
+    )
+
+    names = sorted(node.unit_name for node in view.walk())
+    assert names == [
+        "add",
+        "comput1",
+        "computs",
+        "decrement",
+        "increment",
+        "partialsums",
+        "sum1",
+        "sum2",
+    ]
+    assert view.size() == 8
+    subtree = sum(1 for _ in computs.walk())
+
+    print("\n[FIG8] sliced execution tree (criterion: r1 at computs):")
+    for line in view.render().splitlines():
+        print(f"  {line}")
+    print(f"[FIG8] kept {view.size()} of {subtree} activations; "
+          "comput2/square pruned (paper: only the left subtree remains)")
+    benchmark.extra_info["kept"] = view.size()
+    benchmark.extra_info["subtree"] = subtree

@@ -1,0 +1,37 @@
+"""FIG9 — second slicing step: partialsums' second output variable (s2).
+
+Regenerates: the pruned execution tree of Figure 9 (partialsums ->
+sum2 -> decrement only).
+Measures: the second dynamic slice on the same trace.
+"""
+
+import pytest
+
+from repro.slicing import DynamicCriterion, prune_tree
+from repro.tracing import trace_source
+from repro.workloads import FIGURE4_SOURCE
+
+
+@pytest.fixture(scope="module")
+def figure4_trace():
+    return trace_source(FIGURE4_SOURCE)
+
+
+def test_fig9_slice(benchmark, figure4_trace):
+    partialsums = figure4_trace.tree.find("partialsums")
+
+    view = benchmark(
+        prune_tree,
+        figure4_trace,
+        DynamicCriterion.output_position(partialsums, 2),
+    )
+
+    names = sorted(node.unit_name for node in view.walk())
+    assert names == ["decrement", "partialsums", "sum2"]
+
+    print("\n[FIG9] sliced execution tree (criterion: s2 at partialsums):")
+    for line in view.render().splitlines():
+        print(f"  {line}")
+    print("[FIG9] kept 3 of 5 activations; sum1/increment pruned "
+          "(paper: only the right subtree remains)")
+    benchmark.extra_info["kept"] = view.size()

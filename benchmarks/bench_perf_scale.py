@@ -1,0 +1,79 @@
+"""PERF1 — wall-time scalability of the pipeline stages.
+
+Not a paper figure (the paper reports no timings): this series records
+how tracing, dynamic slicing, and a full debugging session scale with
+program size on this implementation, so regressions are visible.
+
+Measures: trace+debug on the largest call tree.
+"""
+
+import time
+
+from benchmarks.helpers import debug_with
+from repro.pascal import analyze_source
+from repro.tracing import trace_source
+from repro.workloads import (
+    CallTreeSpec,
+    generate_call_tree_program,
+)
+
+DEPTHS = [2, 4, 6]  # 4, 16, 64 leaves
+
+
+def measure_series():
+    rows = []
+    for depth in DEPTHS:
+        generated = generate_call_tree_program(CallTreeSpec(depth=depth))
+        started = time.perf_counter()
+        trace = trace_source(generated.source)
+        trace_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        result = debug_with(
+            trace, generated.fixed_source, strategy="divide-and-query"
+        )
+        debug_seconds = time.perf_counter() - started
+        assert result.bug_unit == generated.buggy_unit
+
+        rows.append(
+            {
+                "leaves": 2**depth,
+                "tree_nodes": trace.tree.size(),
+                "occurrences": len(trace.dependence_graph),
+                "trace_s": trace_seconds,
+                "debug_s": debug_seconds,
+                "questions": result.user_questions,
+            }
+        )
+    return rows
+
+
+def test_perf_scale(benchmark):
+    rows = measure_series()
+
+    print("\n[PERF1] wall-time scaling (divide-and-query debugging):")
+    print(f"  {'leaves':>7} {'nodes':>6} {'occs':>6} "
+          f"{'trace(s)':>9} {'debug(s)':>9} {'questions':>10}")
+    for row in rows:
+        print(
+            f"  {row['leaves']:>7} {row['tree_nodes']:>6} "
+            f"{row['occurrences']:>6} {row['trace_s']:>9.4f} "
+            f"{row['debug_s']:>9.4f} {row['questions']:>10}"
+        )
+    print("[PERF1] tracing grows linearly with executed statements; "
+          "divide-and-query questions grow ~logarithmically.")
+
+    # questions sublinear in leaves
+    assert rows[-1]["questions"] < rows[-1]["leaves"]
+
+    generated = generate_call_tree_program(CallTreeSpec(depth=DEPTHS[-1]))
+
+    def run():
+        trace = trace_source(generated.source)
+        return debug_with(
+            trace, generated.fixed_source, strategy="divide-and-query"
+        )
+
+    result = benchmark(run)
+    assert result.bug_unit == generated.buggy_unit
+    benchmark.extra_info["series"] = rows

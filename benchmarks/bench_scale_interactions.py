@@ -1,0 +1,122 @@
+"""SCALE1 — the paper's central claim, quantified.
+
+User interactions needed to localize a planted bug, as the number of
+*irrelevant* procedures grows (the paper's Figure 5 scenario), for:
+
+* pure algorithmic debugging (top-down),
+* AD + dynamic slicing,
+* AD + test-case lookup (workers verified by tests),
+* full GADT (slicing + tests).
+
+Expected shape: pure AD grows linearly with the worker count; slicing
+makes the count flat (irrelevant workers pruned); tests also flatten it
+(workers auto-answered); GADT is at least as good as either.
+Measures: a full GADT session at the largest size.
+"""
+
+import pytest
+
+from benchmarks.helpers import debug_with
+from repro.core import GadtSystem
+from repro.pascal import analyze_source
+from repro.pascal.values import UNDEFINED
+from repro.tgen import (
+    CaseRunner,
+    TestCase,
+    TestCaseLookup,
+    frame_for_choices,
+    parse_spec,
+)
+from repro.tgen.frames import generate_frames
+from repro.workloads import generate_irrelevant_siblings_program
+
+WORKER_COUNTS = [2, 6, 12, 20]
+
+WORKER_SPEC = """
+test {name};
+category magnitude;
+  small : ;
+  large : if BIG property BIG;
+"""
+
+
+def build_worker_lookup(system, workers: int) -> TestCaseLookup:
+    """Category-partition specs + passing reports for every worker."""
+    runner = CaseRunner(system.analysis)
+    from repro.tgen.reports import TestReportDatabase
+
+    database = TestReportDatabase()
+    lookup = TestCaseLookup(database=database)
+    for index in range(1, workers + 1):
+        name = f"work{index}"
+        spec = parse_spec(f"test {name}; category magnitude; small : ; ")
+        frame = frame_for_choices(spec, {"magnitude": "small"})
+        case = TestCase(
+            frame=frame,
+            args=[2, UNDEFINED],
+            expected={"v": 2 * index},
+        )
+        database.add(runner.run(case))
+        lookup.register(
+            spec, lambda inputs, f=frame: f  # every input maps to the frame
+        )
+    return lookup
+
+
+def localization_curves():
+    curves = {"pure": [], "slicing": [], "tests": [], "gadt": []}
+    for workers in WORKER_COUNTS:
+        generated = generate_irrelevant_siblings_program(workers=workers)
+        system = GadtSystem.from_source(generated.source)
+        lookup = build_worker_lookup(system, workers)
+
+        configs = {
+            "pure": dict(),
+            "slicing": dict(enable_slicing=True),
+            "tests": dict(test_lookup=lookup),
+            "gadt": dict(test_lookup=lookup, enable_slicing=True),
+        }
+        for key, kwargs in configs.items():
+            result = debug_with(system.trace, generated.fixed_source, **kwargs)
+            assert result.bug_unit == generated.buggy_unit, (key, workers)
+            curves[key].append(result.user_questions)
+    return curves
+
+
+def test_scale_interactions(benchmark):
+    curves = localization_curves()
+
+    # Shape assertions: pure AD grows with workers; slicing and GADT flat.
+    assert curves["pure"][-1] > curves["pure"][0]
+    assert curves["slicing"][-1] == curves["slicing"][0]
+    assert curves["gadt"][-1] == curves["gadt"][0]
+    for index in range(len(WORKER_COUNTS)):
+        assert curves["gadt"][index] <= curves["pure"][index]
+        assert curves["slicing"][index] <= curves["pure"][index]
+        assert curves["tests"][index] <= curves["pure"][index]
+
+    print("\n[SCALE1] user questions vs irrelevant workers:")
+    header = "  workers: " + "".join(f"{w:>6}" for w in WORKER_COUNTS)
+    print(header)
+    for key in ("pure", "tests", "slicing", "gadt"):
+        row = "".join(f"{q:>6}" for q in curves[key])
+        print(f"  {key:>8}: {row}")
+    print("[SCALE1] shape: pure AD linear in noise; slicing/GADT flat "
+          "(paper: slicing removes irrelevant procedures from the search)")
+
+    # Time the flagship configuration at the largest size.
+    generated = generate_irrelevant_siblings_program(workers=WORKER_COUNTS[-1])
+    system = GadtSystem.from_source(generated.source)
+    lookup = build_worker_lookup(system, WORKER_COUNTS[-1])
+
+    def run_gadt():
+        return debug_with(
+            system.trace,
+            generated.fixed_source,
+            test_lookup=lookup,
+            enable_slicing=True,
+        )
+
+    result = benchmark(run_gadt)
+    assert result.bug_unit == generated.buggy_unit
+    benchmark.extra_info["curves"] = curves

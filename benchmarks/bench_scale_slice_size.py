@@ -1,0 +1,82 @@
+"""SCALE2 — slicing payoff: slice size vs program size.
+
+The paper (§1): "in practice, a slice is often much smaller than the
+original program, especially for block-structured languages."
+
+Regenerates: static-slice sizes (statements kept / total) on generated
+sibling programs as the irrelevant fraction grows, plus dynamic-slice
+activation ratios on the same programs.
+Measures: static slicing at the largest program size.
+"""
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal import analyze_source
+from repro.slicing import DynamicCriterion, StaticCriterion, dynamic_slice, static_slice
+from repro.tracing import trace_source
+from repro.workloads import generate_irrelevant_siblings_program
+
+WORKER_COUNTS = [2, 6, 12, 20]
+
+
+def statement_total(analysis) -> int:
+    count = 0
+    for info in analysis.all_routines():
+        for stmt in ast.iter_statements(info.block.body):
+            if not isinstance(stmt, ast.Compound):
+                count += 1
+    return count
+
+
+def measure():
+    rows = []
+    for workers in WORKER_COUNTS:
+        generated = generate_irrelevant_siblings_program(workers=workers)
+        analysis = analyze_source(generated.source)
+        computed = static_slice(
+            analysis, StaticCriterion.at_routine_exit("siblings", "y")
+        )
+        total = statement_total(analysis)
+        kept = computed.statement_count()
+
+        trace = trace_source(generated.source)
+        p_node = trace.tree.find("p")
+        dyn = dynamic_slice(trace, DynamicCriterion(node=p_node, variable="y"))
+        activations = sum(1 for _ in p_node.walk())
+        relevant = len(dyn.relevant_node_ids)
+        rows.append((workers, kept, total, relevant, activations))
+    return rows
+
+
+def test_scale_slice_size(benchmark):
+    rows = measure()
+
+    # Shape: the kept fraction falls as irrelevant code grows.
+    first_ratio = rows[0][1] / rows[0][2]
+    last_ratio = rows[-1][1] / rows[-1][2]
+    assert last_ratio < first_ratio
+    assert last_ratio < 0.5  # much smaller than the program
+
+    print("\n[SCALE2] slice size vs program size (criterion: y at exit):")
+    print("  workers   static kept/total    dynamic kept/activations")
+    for workers, kept, total, relevant, activations in rows:
+        print(
+            f"  {workers:7d}   {kept:4d}/{total:<4d} ({kept / total:5.0%})"
+            f"      {relevant:4d}/{activations:<4d} ({relevant / activations:5.0%})"
+        )
+    print("[SCALE2] shape: slice fraction shrinks as irrelevant code grows "
+          "(paper: 'a slice is often much smaller than the original program')")
+
+    generated = generate_irrelevant_siblings_program(workers=WORKER_COUNTS[-1])
+    analysis = analyze_source(generated.source)
+
+    def run_slice():
+        return static_slice(
+            analysis, StaticCriterion.at_routine_exit("siblings", "y")
+        )
+
+    computed = benchmark(run_slice)
+    assert computed.statement_count() > 0
+    benchmark.extra_info["rows"] = [
+        {"workers": w, "static": f"{k}/{t}", "dynamic": f"{r}/{a}"}
+        for w, k, t, r, a in rows
+    ]

@@ -1,0 +1,31 @@
+"""SEC3 — the §3 P/Q/R dialogue: pure algorithmic debugging.
+
+Regenerates: the three-question session localizing the bug in R.
+Measures: trace + debug time for the minimal example.
+"""
+
+from repro.core import AlgorithmicDebugger, ReferenceOracle
+from repro.pascal import analyze_source
+from repro.tracing import trace_source
+from repro.workloads import SECTION3_SOURCE
+from repro.workloads.paper_programs import SECTION3_FIXED_SOURCE
+
+
+def run_session():
+    trace = trace_source(SECTION3_SOURCE)
+    oracle = ReferenceOracle(analyze_source(SECTION3_FIXED_SOURCE))
+    return AlgorithmicDebugger(trace, oracle).debug()
+
+
+def test_sec3_pure_ad(benchmark):
+    result = benchmark(run_session)
+
+    assert result.bug_unit == "r"
+    assert result.user_questions == 3  # P? no; Q? yes; R? no
+
+    print("\n[SEC3] interaction session:")
+    for line in result.session.render().splitlines():
+        print(f"  {line}")
+    print(f"[SEC3] user questions: {result.user_questions} (paper: 3)")
+    benchmark.extra_info["user_questions"] = result.user_questions
+    benchmark.extra_info["bug_unit"] = result.bug_unit

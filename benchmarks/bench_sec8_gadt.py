@@ -1,0 +1,55 @@
+"""SEC8 — the paper's full GADT walkthrough.
+
+Regenerates: the §8 session — 6 user questions (arrsum answered by the
+test database, never shown), 2 slicing steps, bug localized in
+``decrement`` — and the pure-AD baseline (8 questions) it improves on.
+Measures: one complete debugging phase (answer chain + slicing) on a
+pre-built trace and test database.
+"""
+
+import pytest
+
+from benchmarks.helpers import build_arrsum_lookup, build_figure4_system, debug_with
+from repro.workloads import FIGURE4_FIXED_SOURCE
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_figure4_system()
+
+
+@pytest.fixture(scope="module")
+def lookup(system):
+    return build_arrsum_lookup(system.analysis)
+
+
+def test_sec8_gadt_session(benchmark, system, lookup):
+    def run():
+        return debug_with(
+            system.trace,
+            FIGURE4_FIXED_SOURCE,
+            test_lookup=lookup,
+            enable_slicing=True,
+        )
+
+    result = benchmark(run)
+
+    assert result.bug_unit == "decrement"
+    assert result.user_questions == 6
+    assert result.auto_answers == 1
+    assert result.slices == 2
+
+    baseline = debug_with(system.trace, FIGURE4_FIXED_SOURCE)
+    assert baseline.user_questions == 8
+
+    print("\n[SEC8] GADT session transcript:")
+    for line in result.session.render().splitlines():
+        print(f"  {line}")
+    print(
+        f"[SEC8] user questions: GADT={result.user_questions} "
+        f"vs pure AD={baseline.user_questions} "
+        "(paper: greatly reduced number of interactions)"
+    )
+    benchmark.extra_info["gadt_questions"] = result.user_questions
+    benchmark.extra_info["pure_ad_questions"] = baseline.user_questions
+    benchmark.extra_info["slices"] = result.slices

@@ -1,0 +1,79 @@
+"""Shared fixtures and builders for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures/examples (the
+qualitative result, checked by assertions and echoed to stdout) and
+measures the runtime of the corresponding pipeline stage with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AlgorithmicDebugger,
+    AssertionStore,
+    GadtSystem,
+    ReferenceOracle,
+)
+from repro.pascal import analyze_source
+from repro.tgen import (
+    CaseRunner,
+    TestCaseLookup,
+    generate_frames,
+    instantiate_cases,
+)
+from repro.tracing import TraceResult, trace_source
+from repro.workloads import FIGURE4_FIXED_SOURCE, FIGURE4_SOURCE
+from repro.workloads.arrsum_spec import (
+    arrsum_frame_selector,
+    arrsum_spec,
+    make_arrsum_instantiator,
+)
+
+
+def build_figure4_system() -> GadtSystem:
+    return GadtSystem.from_source(FIGURE4_SOURCE)
+
+
+def build_arrsum_lookup(analysis) -> TestCaseLookup:
+    """The §5.3.2 setup: spec + executed cases + report DB + selector."""
+    spec = arrsum_spec()
+    frames = generate_frames(spec)
+    cases = instantiate_cases(spec, frames, make_arrsum_instantiator(2))
+    database = CaseRunner(analysis).run_all(cases)
+    lookup = TestCaseLookup(database=database)
+    lookup.register(spec, arrsum_frame_selector)
+    return lookup
+
+
+def figure4_reference_oracle() -> ReferenceOracle:
+    return ReferenceOracle(analyze_source(FIGURE4_FIXED_SOURCE))
+
+
+def debug_with(
+    trace: TraceResult,
+    fixed_source: str,
+    *,
+    test_lookup=None,
+    enable_slicing=False,
+    strategy="top-down",
+    assertions: AssertionStore | None = None,
+):
+    """One full debugging session with a fresh reference oracle."""
+    oracle = ReferenceOracle(analyze_source(fixed_source))
+    debugger = AlgorithmicDebugger(
+        trace,
+        oracle,
+        strategy=strategy,
+        assertions=assertions,
+        test_lookup=test_lookup,
+        enable_slicing=enable_slicing,
+    )
+    return debugger.debug()
+
+
+def question_counts(result) -> dict[str, int]:
+    return {
+        "user": result.user_questions,
+        "auto": result.auto_answers,
+        "slices": result.slices,
+    }

@@ -1,0 +1,62 @@
+"""Debugging a program that crashes (extension).
+
+The paper's debugger runs after "an externally visible symptom of a
+bug"; a crash is the most visible symptom there is. Tolerant tracing
+turns a failing run into a *partial* execution tree — activations open
+at the moment of the crash are closed with their values as of that
+moment — and the ordinary GADT search then localizes the crashing unit.
+
+Run:  python examples/crash_debugging.py
+"""
+
+from repro import GadtSystem, ReferenceOracle
+
+CRASHING = """
+program inventory;
+var report: integer;
+
+function lookup(i: integer): integer;
+var stock: array[1..3] of integer;
+begin
+  stock[1] := 12; stock[2] := 7; stock[3] := 30;
+  lookup := stock[i + 1]   (* bug: off-by-one, crashes for i = 3 *)
+end;
+
+procedure tally(var total: integer);
+var i: integer;
+begin
+  total := 0;
+  for i := 1 to 3 do
+    total := total + lookup(i)
+end;
+
+begin
+  tally(report);
+  writeln(report)
+end.
+"""
+
+FIXED = CRASHING.replace(
+    "lookup := stock[i + 1]   (* bug: off-by-one, crashes for i = 3 *)",
+    "lookup := stock[i]",
+)
+
+
+def main() -> None:
+    system = GadtSystem.from_source(CRASHING, tolerate_errors=True)
+
+    print("The program crashed:")
+    print(f"  {system.trace.error}")
+    print(f"  while executing unit: {system.trace.crash_unit}")
+    print()
+    print("Partial execution tree (note the incomplete last activation):")
+    print(system.trace.tree.render())
+
+    oracle = ReferenceOracle.from_source(FIXED)
+    result = system.debugger(oracle).debug()
+    print(result.session.render())
+    print(system.show_bug(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Interactive algorithmic debugging at the terminal.
+
+Debug a small buggy program yourself: answer each question with
+``yes``, ``no``, ``no <k>`` (error on the k-th output), ``no <name>``,
+``assert <expr>`` (e.g. ``assert s = n * (n + 1) div 2``), or ``?``.
+
+With ``--demo`` (or when stdin is not a terminal) a scripted user
+replays a plausible session instead.
+
+Run:  python examples/interactive_debugging.py [--demo]
+"""
+
+import sys
+
+from repro import GadtSystem, InteractiveOracle, ScriptedOracle
+from repro.core import Answer
+
+BUGGY_STATS = """
+program stats;
+var total, count, mean: integer;
+
+procedure accumulate(value: integer; var total: integer; var count: integer);
+begin
+  total := total + value;
+  count := count + 1
+end;
+
+function average(total, count: integer): integer;
+begin
+  average := total div count + 1 (* bug: stray + 1 *)
+end;
+
+procedure summarize(a, b, c: integer; var mean: integer);
+var total, count: integer;
+begin
+  total := 0;
+  count := 0;
+  accumulate(a, total, count);
+  accumulate(b, total, count);
+  accumulate(c, total, count);
+  mean := average(total, count)
+end;
+
+begin
+  summarize(10, 20, 30, mean);
+  writeln(mean)
+end.
+"""
+
+DEMO_SCRIPT = [
+    ("summarize", Answer.no()),
+    ("accumulate", Answer.yes()),
+    ("accumulate", Answer.yes()),
+    ("accumulate", Answer.yes()),
+    ("average", Answer.no()),
+]
+
+
+def main() -> None:
+    system = GadtSystem.from_source(BUGGY_STATS)
+
+    print("The program prints the mean of 10, 20, 30 — it should be 20:")
+    print(f"  observed output: {system.trace.execution.output.strip()}")
+    print("\nExecution tree:")
+    print(system.trace.tree.render())
+
+    demo = "--demo" in sys.argv or not sys.stdin.isatty()
+    if demo:
+        print("(demo mode: a scripted user answers)\n")
+        oracle = ScriptedOracle(script=list(DEMO_SCRIPT))
+    else:
+        print("Answer each question (yes / no / no <k> / assert <expr> / ?):\n")
+        oracle = InteractiveOracle(output=sys.stdout)
+
+    result = system.debugger(oracle).debug()
+
+    print()
+    print(result.session.render())
+    print(f"=> The bug is inside '{result.bug_unit}' "
+          f"(it adds 1 to every average).")
+
+
+if __name__ == "__main__":
+    main()

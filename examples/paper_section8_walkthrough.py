@@ -1,0 +1,86 @@
+"""The paper's §8 walkthrough, step by step.
+
+Reproduces the complete GADT example: the Figure 7 execution tree, the
+test-database answer for arrsum, both slicing steps (Figures 8 and 9),
+and the exact six-question user dialogue ending at `decrement`.
+
+Run:  python examples/paper_section8_walkthrough.py
+"""
+
+from repro import GadtSystem, ScriptedOracle
+from repro.core import Answer
+from repro.slicing import DynamicCriterion, prune_tree
+from repro.tgen import (
+    CaseRunner,
+    TestCaseLookup,
+    frames_by_script,
+    generate_frames,
+    instantiate_cases,
+)
+from repro.workloads import FIGURE4_SOURCE
+from repro.workloads.arrsum_spec import (
+    arrsum_frame_selector,
+    arrsum_spec,
+    make_arrsum_instantiator,
+)
+
+
+def main() -> None:
+    print("Step 0 — Phases I and II: transform and trace the program.")
+    system = GadtSystem.from_source(FIGURE4_SOURCE)
+    print(system.trace.tree.render())
+
+    print("Step 0b — T-GEN: spec, frames, scripts, and a test-report DB")
+    print("(paper §2 / Figure 1; §5.3.2).")
+    spec = arrsum_spec()
+    frames = generate_frames(spec)
+    for script, members in frames_by_script(spec, frames).items():
+        rendered = ", ".join(frame.render() for frame in members)
+        print(f"  {script}: {rendered}")
+    cases = instantiate_cases(spec, frames, make_arrsum_instantiator(2))
+    database = CaseRunner(system.analysis).run_all(cases)
+    print(f"  executed {len(cases)} cases -> {len(database)} reports, all pass\n")
+    lookup = TestCaseLookup(database=database)
+    lookup.register(spec, arrsum_frame_selector)
+
+    print("Steps 1-5 — the debugging phase. The user gives exactly the")
+    print("paper's answers; arrsum is answered by the test database and")
+    print("never shown; two error indications trigger slicing.\n")
+
+    # Show the two sliced trees the session will pass through.
+    computs = system.trace.tree.find("computs")
+    print("-- Figure 8: the tree after slicing on computs' first output --")
+    print(prune_tree(system.trace, DynamicCriterion.output_position(computs, 1)).render())
+    partialsums = system.trace.tree.find("partialsums")
+    print("-- Figure 9: the tree after slicing on partialsums' second output --")
+    print(
+        prune_tree(
+            system.trace, DynamicCriterion.output_position(partialsums, 2)
+        ).render()
+    )
+
+    oracle = ScriptedOracle(
+        script=[
+            ("sqrtest", Answer.no()),
+            ("computs", Answer.no_error_on(position=1)),
+            ("comput1", Answer.no()),
+            ("partialsums", Answer.no_error_on(position=2)),
+            ("sum2", Answer.no()),
+            ("decrement", Answer.no()),
+        ]
+    )
+    result = system.debugger(oracle, test_lookup=lookup).debug()
+
+    print("-- the session transcript --")
+    print(result.session.render())
+    print(
+        f"Localized: {result.bug_unit} | user questions: "
+        f"{result.user_questions} | auto answers: {result.auto_answers} | "
+        f"slices: {result.slices}"
+    )
+    assert result.bug_unit == "decrement"
+    assert result.user_questions == 6
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""GADT: Generalized Algorithmic Debugging and Testing.
+
+A from-scratch reproduction of Fritzson, Gyimothy, Kamkar & Shahmehri,
+"Generalized Algorithmic Debugging and Testing" (PLDI 1991): algorithmic
+debugging for imperative programs with side effects, integrated with
+interprocedural dynamic program slicing and category-partition testing
+(T-GEN).
+
+Quickstart::
+
+    from repro import GadtSystem, ReferenceOracle
+    from repro.workloads import FIGURE4_SOURCE, FIGURE4_FIXED_SOURCE
+    from repro.pascal import analyze_source
+
+    system = GadtSystem.from_source(FIGURE4_SOURCE)
+    oracle = ReferenceOracle(analyze_source(FIGURE4_FIXED_SOURCE))
+    result = system.debugger(oracle).debug()
+    assert result.bug_unit == "decrement"
+
+Packages:
+
+* :mod:`repro.pascal` — the Mini-Pascal substrate (lexer → parser →
+  semantic analysis → interpreter with hooks, pretty printer);
+* :mod:`repro.analysis` — CFGs, dataflow, Banning-style side-effect
+  analysis, dependence graphs;
+* :mod:`repro.transform` — the transformation phase (globals→params,
+  goto restructuring, loop units, trace instrumentation, source maps);
+* :mod:`repro.tracing` — the tracing phase (execution trees, dynamic
+  dependences);
+* :mod:`repro.slicing` — static and dynamic interprocedural slicing,
+  execution-tree pruning;
+* :mod:`repro.tgen` — category-partition testing (specs, frames,
+  scripts, cases, reports, lookup);
+* :mod:`repro.core` — the debugger itself (queries, oracles, assertions,
+  strategies, the pure algorithmic debugger, and the integrated GADT
+  debugger);
+* :mod:`repro.workloads` — the paper's example programs and synthetic
+  program generators for the scaling experiments.
+"""
+
+from repro.core import (
+    AlgorithmicDebugger,
+    Answer,
+    AnswerKind,
+    AnswerSource,
+    Assertion,
+    AssertionStore,
+    DebugResult,
+    FunctionOracle,
+    GadtDebugger,
+    GadtSystem,
+    InteractiveOracle,
+    Query,
+    ReferenceOracle,
+    ScriptedOracle,
+    Session,
+)
+from repro.slicing import (
+    DynamicCriterion,
+    StaticCriterion,
+    TreeView,
+    dynamic_slice,
+    prune_tree,
+    static_slice,
+)
+from repro.tracing import ExecutionTree, TraceResult, trace_program, trace_source
+from repro.transform import TransformedProgram, transform_program, transform_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmicDebugger",
+    "Answer",
+    "AnswerKind",
+    "AnswerSource",
+    "Assertion",
+    "AssertionStore",
+    "DebugResult",
+    "DynamicCriterion",
+    "ExecutionTree",
+    "FunctionOracle",
+    "GadtDebugger",
+    "GadtSystem",
+    "InteractiveOracle",
+    "Query",
+    "ReferenceOracle",
+    "ScriptedOracle",
+    "Session",
+    "StaticCriterion",
+    "TraceResult",
+    "TransformedProgram",
+    "TreeView",
+    "dynamic_slice",
+    "prune_tree",
+    "static_slice",
+    "trace_program",
+    "trace_source",
+    "transform_program",
+    "transform_source",
+    "__version__",
+]

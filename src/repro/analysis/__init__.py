@@ -1,0 +1,41 @@
+"""Static analyses over Mini-Pascal: CFGs, dataflow, side effects, dependences.
+
+These are the foundations the paper's transformation phase and slicing
+component stand on (paper §5.1: "Global data-flow and alias analysis is
+performed in order to detect possible side-effects"; §4: slicing "by
+analyzing their data flow and control flow").
+"""
+
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.cfg import CFG, CFGNode, NodeKind, build_cfg, build_all_cfgs
+from repro.analysis.dataflow import (
+    live_variables,
+    reaching_definitions,
+)
+from repro.analysis.defuse import DefUse, def_use_for_node, expression_uses
+from repro.analysis.dependence import (
+    ProgramDependenceGraph,
+    build_pdg,
+    control_dependences,
+)
+from repro.analysis.sideeffects import SideEffects, analyze_side_effects
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "CallGraph",
+    "DefUse",
+    "NodeKind",
+    "ProgramDependenceGraph",
+    "SideEffects",
+    "analyze_side_effects",
+    "build_all_cfgs",
+    "build_call_graph",
+    "build_cfg",
+    "build_pdg",
+    "control_dependences",
+    "def_use_for_node",
+    "expression_uses",
+    "live_variables",
+    "reaching_definitions",
+]

@@ -1,0 +1,97 @@
+"""Call graph construction.
+
+Nodes are routines (including the main pseudo-routine); edges carry the
+syntactic call sites, which the side-effect analysis needs to bind
+formals to actuals per site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.semantics import AnalyzedProgram, RoutineInfo
+from repro.pascal.symbols import Symbol
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One syntactic call: the AST node (ProcCall or FuncCall), its
+    enclosing routine, and the resolved callee."""
+
+    node: ast.Node
+    caller: Symbol
+    callee: Symbol
+
+    @property
+    def args(self) -> list[ast.Expr]:
+        assert isinstance(self.node, (ast.ProcCall, ast.FuncCall))
+        return self.node.args
+
+
+@dataclass
+class CallGraph:
+    analysis: AnalyzedProgram
+    sites: list[CallSite] = field(default_factory=list)
+    callees: dict[Symbol, set[Symbol]] = field(default_factory=dict)
+    callers: dict[Symbol, set[Symbol]] = field(default_factory=dict)
+    sites_by_caller: dict[Symbol, list[CallSite]] = field(default_factory=dict)
+    sites_by_callee: dict[Symbol, list[CallSite]] = field(default_factory=dict)
+
+    def reachable_from(self, root: Symbol) -> set[Symbol]:
+        """Routines transitively callable from ``root`` (including it)."""
+        seen = {root}
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            for callee in self.callees.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+        return seen
+
+    def bottom_up_order(self) -> list[Symbol]:
+        """Routines ordered callees-first (SCCs broken arbitrarily).
+
+        Recursion makes a true topological order impossible; the
+        side-effect fixpoint only uses this as a good iteration order.
+        """
+        order: list[Symbol] = []
+        visited: set[Symbol] = set()
+
+        def visit(symbol: Symbol) -> None:
+            if symbol in visited:
+                return
+            visited.add(symbol)
+            for callee in sorted(self.callees.get(symbol, ()), key=lambda s: s.uid):
+                visit(callee)
+            order.append(symbol)
+
+        for info in self.analysis.all_routines():
+            visit(info.symbol)
+        return order
+
+    def is_recursive(self, symbol: Symbol) -> bool:
+        """True if the routine can (transitively) call itself."""
+        return symbol in self.reachable_from(symbol) and any(
+            symbol in self.callees.get(other, ())
+            for other in self.reachable_from(symbol)
+        )
+
+
+def build_call_graph(analysis: AnalyzedProgram) -> CallGraph:
+    graph = CallGraph(analysis=analysis)
+    for info in analysis.all_routines():
+        graph.callees.setdefault(info.symbol, set())
+        graph.callers.setdefault(info.symbol, set())
+        graph.sites_by_caller.setdefault(info.symbol, [])
+        graph.sites_by_callee.setdefault(info.symbol, [])
+    for info in analysis.all_routines():
+        for node, callee in info.call_sites:
+            site = CallSite(node=node, caller=info.symbol, callee=callee)
+            graph.sites.append(site)
+            graph.callees[info.symbol].add(callee)
+            graph.callers.setdefault(callee, set()).add(info.symbol)
+            graph.sites_by_caller[info.symbol].append(site)
+            graph.sites_by_callee.setdefault(callee, []).append(site)
+    return graph

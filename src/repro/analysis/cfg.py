@@ -1,0 +1,237 @@
+"""Intraprocedural control-flow graphs.
+
+One CFG per routine (the main body included). Nodes:
+
+* ``ENTRY`` / ``EXIT`` — unique boundary nodes,
+* ``STMT`` — an atomic statement (assignment, call, goto, empty),
+* ``PRED`` — the predicate evaluation of an if/while/repeat,
+* ``FOR_INIT`` / ``FOR_PRED`` / ``FOR_STEP`` — the three implicit
+  program points of a for-statement (initialization, bound test,
+  increment).
+
+Local gotos produce direct edges to the labelled statement's node;
+*global* gotos (exit side effects) edge to ``EXIT`` and are marked so
+dataflow stays conservative. The builder restricts goto targets the same
+way the interpreter does: a label must sit on a statement directly
+contained in a statement list.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.semantics import AnalyzedProgram, RoutineInfo
+from repro.pascal.symbols import Symbol
+
+_NODE_COUNTER = itertools.count(1)
+
+
+class NodeKind(enum.Enum):
+    ENTRY = "entry"
+    EXIT = "exit"
+    STMT = "stmt"
+    PRED = "pred"
+    FOR_INIT = "for_init"
+    FOR_PRED = "for_pred"
+    FOR_STEP = "for_step"
+
+
+@dataclass(eq=False)
+class CFGNode:
+    kind: NodeKind
+    stmt: ast.Stmt | None = None
+    uid: int = field(default_factory=lambda: next(_NODE_COUNTER))
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __repr__(self) -> str:
+        if self.stmt is None:
+            return f"<{self.kind.value}#{self.uid}>"
+        return f"<{self.kind.value}#{self.uid} @{self.stmt.location}>"
+
+
+class CFG:
+    def __init__(self, routine: RoutineInfo, analysis: AnalyzedProgram):
+        self.routine = routine
+        self.analysis = analysis
+        self.entry = CFGNode(NodeKind.ENTRY)
+        self.exit = CFGNode(NodeKind.EXIT)
+        self.nodes: list[CFGNode] = [self.entry, self.exit]
+        self.successors: dict[CFGNode, list[CFGNode]] = {self.entry: [], self.exit: []}
+        self.predecessors: dict[CFGNode, list[CFGNode]] = {
+            self.entry: [],
+            self.exit: [],
+        }
+        #: statement node_id -> primary CFG node (PRED for structured stmts)
+        self.node_of_stmt: dict[int, CFGNode] = {}
+        #: all CFG nodes belonging to a statement node_id (for-loops have 3)
+        self.nodes_of_stmt: dict[int, list[CFGNode]] = {}
+        #: goto statements that leave the routine (exit side effects)
+        self.global_goto_nodes: list[CFGNode] = []
+
+    def add_node(self, kind: NodeKind, stmt: ast.Stmt | None = None) -> CFGNode:
+        node = CFGNode(kind, stmt)
+        self.nodes.append(node)
+        self.successors[node] = []
+        self.predecessors[node] = []
+        if stmt is not None:
+            self.node_of_stmt.setdefault(stmt.node_id, node)
+            self.nodes_of_stmt.setdefault(stmt.node_id, []).append(node)
+        return node
+
+    def add_edge(self, source: CFGNode, target: CFGNode) -> None:
+        if target not in self.successors[source]:
+            self.successors[source].append(target)
+            self.predecessors[target].append(source)
+
+    def reverse_postorder(self) -> list[CFGNode]:
+        """Nodes in reverse postorder from entry (good for forward dataflow)."""
+        order: list[CFGNode] = []
+        visited: set[CFGNode] = set()
+
+        def visit(node: CFGNode) -> None:
+            visited.add(node)
+            for succ in self.successors[node]:
+                if succ not in visited:
+                    visit(succ)
+            order.append(node)
+
+        visit(self.entry)
+        for node in self.nodes:  # unreachable nodes last
+            if node not in visited:
+                visit(node)
+        order.reverse()
+        return order
+
+
+class _CFGBuilder:
+    def __init__(self, routine: RoutineInfo, analysis: AnalyzedProgram):
+        self.cfg = CFG(routine, analysis)
+        self.analysis = analysis
+        #: label name -> node of the labelled statement
+        self._label_nodes: dict[str, CFGNode] = {}
+        #: local gotos waiting for their target label's node
+        self._pending_gotos: list[tuple[CFGNode, str]] = []
+
+    def build(self) -> CFG:
+        body = self.cfg.routine.block.body
+        exits = self._build_stmt(body, [self.cfg.entry])
+        for node in exits:
+            self.cfg.add_edge(node, self.cfg.exit)
+        for goto_node, label in self._pending_gotos:
+            target = self._label_nodes.get(label)
+            if target is None:
+                # Label exists in the routine but not at statement-list level
+                # (unsupported jump target) — treat as an exit edge.
+                self.cfg.add_edge(goto_node, self.cfg.exit)
+            else:
+                self.cfg.add_edge(goto_node, target)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+
+    def _register_label(self, stmt: ast.Stmt, node: CFGNode) -> None:
+        if stmt.label is not None:
+            self._label_nodes[stmt.label] = node
+
+    def _build_stmt(self, stmt: ast.Stmt, preds: list[CFGNode]) -> list[CFGNode]:
+        """Wire ``stmt`` after ``preds``; return the frontier of exit nodes."""
+        cfg = self.cfg
+        if isinstance(stmt, (ast.EmptyStmt, ast.Assign, ast.ProcCall)):
+            node = cfg.add_node(NodeKind.STMT, stmt)
+            self._register_label(stmt, node)
+            for pred in preds:
+                cfg.add_edge(pred, node)
+            return [node]
+
+        if isinstance(stmt, ast.Goto):
+            node = cfg.add_node(NodeKind.STMT, stmt)
+            self._register_label(stmt, node)
+            for pred in preds:
+                cfg.add_edge(pred, node)
+            if self.analysis.goto_is_global.get(stmt.node_id, False):
+                cfg.add_edge(node, cfg.exit)
+                cfg.global_goto_nodes.append(node)
+            else:
+                self._pending_gotos.append((node, stmt.target))
+            return []  # control never falls through a goto
+
+        if isinstance(stmt, ast.Compound):
+            start_index = len(cfg.nodes)
+            current = preds
+            for child in stmt.statements:
+                current = self._build_stmt(child, current)
+            if stmt.label is not None and len(cfg.nodes) > start_index:
+                # The compound's own label lands on its first inner node.
+                self._label_nodes[stmt.label] = cfg.nodes[start_index]
+            return current
+
+        if isinstance(stmt, ast.If):
+            pred_node = cfg.add_node(NodeKind.PRED, stmt)
+            self._register_label(stmt, pred_node)
+            for pred in preds:
+                cfg.add_edge(pred, pred_node)
+            then_exits = self._build_stmt(stmt.then_branch, [pred_node])
+            if stmt.else_branch is not None:
+                else_exits = self._build_stmt(stmt.else_branch, [pred_node])
+            else:
+                else_exits = [pred_node]
+            return then_exits + else_exits
+
+        if isinstance(stmt, ast.While):
+            pred_node = cfg.add_node(NodeKind.PRED, stmt)
+            self._register_label(stmt, pred_node)
+            for pred in preds:
+                cfg.add_edge(pred, pred_node)
+            body_exits = self._build_stmt(stmt.body, [pred_node])
+            for node in body_exits:
+                cfg.add_edge(node, pred_node)
+            return [pred_node]
+
+        if isinstance(stmt, ast.Repeat):
+            start_index = len(cfg.nodes)
+            current = preds
+            for child in stmt.body:
+                current = self._build_stmt(child, current)
+            pred_node = cfg.add_node(NodeKind.PRED, stmt)
+            self._register_label(stmt, pred_node)
+            for node in current:
+                cfg.add_edge(node, pred_node)
+            # Back edge: repeat re-enters at the first node of its body
+            # (or spins on the predicate if the body generated no nodes).
+            body_nodes = cfg.nodes[start_index:-1]
+            loop_head = body_nodes[0] if body_nodes else pred_node
+            cfg.add_edge(pred_node, loop_head)
+            return [pred_node]
+
+        if isinstance(stmt, ast.For):
+            init_node = cfg.add_node(NodeKind.FOR_INIT, stmt)
+            self._register_label(stmt, init_node)
+            pred_node = cfg.add_node(NodeKind.FOR_PRED, stmt)
+            step_node = cfg.add_node(NodeKind.FOR_STEP, stmt)
+            for pred in preds:
+                cfg.add_edge(pred, init_node)
+            cfg.add_edge(init_node, pred_node)
+            body_exits = self._build_stmt(stmt.body, [pred_node])
+            for node in body_exits:
+                cfg.add_edge(node, step_node)
+            cfg.add_edge(step_node, pred_node)
+            return [pred_node]
+
+        raise TypeError(f"cannot build CFG for {type(stmt).__name__}")
+
+
+def build_cfg(routine: RoutineInfo, analysis: AnalyzedProgram) -> CFG:
+    """Build the control-flow graph of one routine."""
+    return _CFGBuilder(routine, analysis).build()
+
+
+def build_all_cfgs(analysis: AnalyzedProgram) -> dict[Symbol, CFG]:
+    """Build CFGs for every routine, keyed by routine symbol."""
+    return {
+        info.symbol: build_cfg(info, analysis) for info in analysis.all_routines()
+    }

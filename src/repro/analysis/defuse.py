@@ -1,0 +1,301 @@
+"""Def/use sets at symbol granularity.
+
+Variables are tracked as whole symbols: an assignment to ``a[i]`` is a
+*preserving* definition of ``a`` (the array is both defined and used),
+the standard conservative treatment for slicing. Uses include every
+variable read by an expression, including array index expressions and
+the arguments of embedded function calls.
+
+Two levels are provided:
+
+* *direct* def/use — the effects of the statement's own code, treating
+  calls as black boxes (used to bootstrap the side-effect analysis), and
+* *full* def/use — direct effects plus the callee effects at every call,
+  folded in from a :class:`~repro.analysis.sideeffects.SideEffects`
+  result (used by dataflow and slicing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.semantics import (
+    AnalyzedProgram,
+    BUILTIN_FUNCTIONS,
+    IO_PROCEDURES,
+    TRACE_PROCEDURES,
+)
+from repro.pascal.symbols import Symbol, SymbolKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.cfg import CFG, CFGNode
+    from repro.analysis.sideeffects import SideEffects
+
+
+@dataclass
+class DefUse:
+    """Symbols defined and used by one program point."""
+
+    defs: set[Symbol] = field(default_factory=set)
+    uses: set[Symbol] = field(default_factory=set)
+    calls: list[ast.Node] = field(default_factory=list)
+
+    def update(self, other: "DefUse") -> None:
+        self.defs |= other.defs
+        self.uses |= other.uses
+        self.calls.extend(other.calls)
+
+
+def _is_variable(symbol: Symbol) -> bool:
+    return symbol.kind in (
+        SymbolKind.VARIABLE,
+        SymbolKind.PARAMETER,
+        SymbolKind.RESULT,
+    )
+
+
+def expression_uses(expr: ast.Expr, analysis: AnalyzedProgram) -> set[Symbol]:
+    """Variables read when evaluating ``expr`` (callee effects excluded)."""
+    uses: set[Symbol] = set()
+    for node in expr.walk():
+        if isinstance(node, ast.VarRef):
+            symbol = analysis.ref_symbol.get(node.node_id)
+            if symbol is not None and _is_variable(symbol):
+                uses.add(symbol)
+    return uses
+
+
+def expression_calls(expr: ast.Expr, analysis: AnalyzedProgram) -> list[ast.FuncCall]:
+    """User-routine function calls embedded in ``expr``."""
+    return [
+        node
+        for node in expr.walk()
+        if isinstance(node, ast.FuncCall) and node.name not in BUILTIN_FUNCTIONS
+    ]
+
+
+def target_root(target: ast.Expr, analysis: AnalyzedProgram) -> Symbol:
+    """The variable symbol ultimately assigned by an lvalue."""
+    node = target
+    while isinstance(node, ast.IndexedRef):
+        node = node.base
+    if not isinstance(node, ast.VarRef):
+        raise TypeError(f"not an lvalue: {target!r}")
+    return analysis.ref_symbol[node.node_id]
+
+
+def _target_def_use(target: ast.Expr, analysis: AnalyzedProgram) -> DefUse:
+    """Def/use of storing into an lvalue (element stores preserve the array)."""
+    result = DefUse()
+    root = target_root(target, analysis)
+    result.defs.add(root)
+    node = target
+    while isinstance(node, ast.IndexedRef):
+        result.uses |= expression_uses(node.index, analysis)
+        result.calls.extend(expression_calls(node.index, analysis))
+        node = node.base
+    if isinstance(target, ast.IndexedRef):
+        result.uses.add(root)  # partial update reads the old array
+    return result
+
+
+def direct_def_use(
+    stmt: ast.Stmt,
+    analysis: AnalyzedProgram,
+    side_effects: "SideEffects | None" = None,
+) -> DefUse:
+    """Effects of one *atomic* statement or a call statement.
+
+    Without ``side_effects``, calls are treated conservatively: every
+    reference argument is both defined and used, callee globals unknown.
+    With ``side_effects``, reference arguments and callee globals are
+    resolved precisely (including function calls embedded in expressions).
+    Structured statements (if/while/...) contribute through their CFG
+    predicate nodes, not here.
+    """
+    result = DefUse()
+    if isinstance(stmt, ast.Assign):
+        result.update(_target_def_use(stmt.target, analysis))
+        result.uses |= expression_uses(stmt.value, analysis)
+        result.calls.extend(expression_calls(stmt.value, analysis))
+    elif isinstance(stmt, ast.ProcCall):
+        result = _proc_call_def_use(stmt, analysis, side_effects)
+    elif isinstance(stmt, (ast.EmptyStmt, ast.Goto)):
+        return result
+    else:
+        raise TypeError(f"not an atomic statement: {type(stmt).__name__}")
+    if side_effects is not None:
+        _fold_function_call_effects(result, analysis, side_effects)
+    return result
+
+
+def _proc_call_def_use(
+    stmt: ast.ProcCall,
+    analysis: AnalyzedProgram,
+    side_effects: "SideEffects | None",
+) -> DefUse:
+    result = DefUse()
+    if stmt.name in ("read", "readln"):
+        for arg in stmt.args:
+            result.update(_target_def_use(arg, analysis))
+        return result
+    if stmt.name in ("write", "writeln") or stmt.name in TRACE_PROCEDURES:
+        for arg in stmt.args:
+            result.uses |= expression_uses(arg, analysis)
+            result.calls.extend(expression_calls(arg, analysis))
+        return result
+    target = analysis.call_target.get(stmt.node_id)
+    result.calls.append(stmt)
+    if target is None:
+        for arg in stmt.args:
+            result.uses |= expression_uses(arg, analysis)
+        return result
+    effects = side_effects.of(target) if side_effects is not None else None
+    for param, arg in zip(target.params, stmt.args):
+        if param.param_mode in (ast.ParamMode.VAR, ast.ParamMode.OUT):
+            root = target_root(arg, analysis)
+            node = arg
+            while isinstance(node, ast.IndexedRef):
+                result.uses |= expression_uses(node.index, analysis)
+                node = node.base
+            if effects is None:
+                result.defs.add(root)
+                result.uses.add(root)
+            else:
+                if param in effects.mod_params:
+                    result.defs.add(root)
+                    if isinstance(arg, ast.IndexedRef):
+                        result.uses.add(root)  # partial update
+                if param in effects.ref_params:
+                    result.uses.add(root)
+        else:
+            result.uses |= expression_uses(arg, analysis)
+            result.calls.extend(expression_calls(arg, analysis))
+    if effects is not None:
+        result.uses |= {s for s in effects.gref if _is_variable(s)}
+        result.defs |= {s for s in effects.gmod if _is_variable(s)}
+    return result
+
+
+def condition_def_use(
+    expr: ast.Expr,
+    analysis: AnalyzedProgram,
+    side_effects: "SideEffects | None" = None,
+) -> DefUse:
+    """Def/use of evaluating a predicate expression."""
+    result = DefUse()
+    result.uses |= expression_uses(expr, analysis)
+    result.calls.extend(expression_calls(expr, analysis))
+    if side_effects is not None:
+        _fold_function_call_effects(result, analysis, side_effects)
+    return result
+
+
+def def_use_for_node(
+    node: "CFGNode",
+    analysis: AnalyzedProgram,
+    side_effects: "SideEffects | None" = None,
+) -> DefUse:
+    """Def/use sets of one CFG node.
+
+    ENTRY defines the routine's parameters (and, when side-effect facts
+    are available, the non-locals it may read — the incoming state);
+    EXIT uses everything observable on return (writable parameters, the
+    function result, written non-locals).
+    """
+    from repro.analysis.cfg import NodeKind
+
+    result = DefUse()
+    if node.kind is NodeKind.ENTRY or node.kind is NodeKind.EXIT:
+        raise ValueError(
+            "entry/exit def/use depends on the owning CFG; "
+            "use entry_def_use/exit_def_use"
+        )
+    stmt = node.stmt
+    assert stmt is not None
+    if node.kind is NodeKind.STMT:
+        return direct_def_use(stmt, analysis, side_effects)
+    if node.kind is NodeKind.PRED:
+        condition = getattr(stmt, "condition")
+        return condition_def_use(condition, analysis, side_effects)
+    if node.kind is NodeKind.FOR_INIT:
+        assert isinstance(stmt, ast.For)
+        result.defs.add(analysis.for_symbol[stmt.node_id])
+        result.uses |= expression_uses(stmt.start, analysis)
+        result.uses |= expression_uses(stmt.stop, analysis)
+        result.calls.extend(expression_calls(stmt.start, analysis))
+        result.calls.extend(expression_calls(stmt.stop, analysis))
+        if side_effects is not None:
+            _fold_function_call_effects(result, analysis, side_effects)
+        return result
+    if node.kind is NodeKind.FOR_PRED:
+        assert isinstance(stmt, ast.For)
+        result.uses.add(analysis.for_symbol[stmt.node_id])
+        return result
+    if node.kind is NodeKind.FOR_STEP:
+        assert isinstance(stmt, ast.For)
+        symbol = analysis.for_symbol[stmt.node_id]
+        result.defs.add(symbol)
+        result.uses.add(symbol)
+        return result
+    raise ValueError(f"unknown node kind {node.kind}")
+
+
+def entry_def_use(
+    cfg: "CFG", side_effects: "SideEffects | None" = None
+) -> DefUse:
+    """ENTRY defines the incoming state: parameters and read non-locals."""
+    result = DefUse()
+    result.defs |= set(cfg.routine.params)
+    if side_effects is not None and not cfg.routine.is_main:
+        result.defs |= {
+            s
+            for s in side_effects.of(cfg.routine.symbol).gref
+            if _is_variable(s)
+        }
+    return result
+
+
+def exit_def_use(
+    cfg: "CFG", side_effects: "SideEffects | None" = None
+) -> DefUse:
+    """EXIT uses the observable outputs of the routine."""
+    result = DefUse()
+    routine = cfg.routine
+    if routine.result_symbol is not None:
+        result.uses.add(routine.result_symbol)
+    if side_effects is not None and not routine.is_main:
+        effects = side_effects.of(routine.symbol)
+        result.uses |= set(effects.mod_params)
+        result.uses |= {s for s in effects.gmod if _is_variable(s)}
+    else:
+        result.uses |= {
+            p
+            for p in routine.params
+            if p.param_mode in (ast.ParamMode.VAR, ast.ParamMode.OUT)
+        }
+    return result
+
+
+def _fold_function_call_effects(
+    result: DefUse, analysis: AnalyzedProgram, side_effects: "SideEffects"
+) -> None:
+    """Fold global effects of function calls embedded in expressions."""
+    for call in result.calls:
+        if not isinstance(call, ast.FuncCall):
+            continue
+        callee = analysis.call_target.get(call.node_id)
+        if callee is None or callee.kind is not SymbolKind.ROUTINE:
+            continue
+        effects = side_effects.of(callee)
+        result.uses |= {s for s in effects.gref if _is_variable(s)}
+        result.defs |= {s for s in effects.gmod if _is_variable(s)}
+        for param, arg in zip(callee.params, call.args):
+            if param.param_mode in (ast.ParamMode.VAR, ast.ParamMode.OUT):
+                root = target_root(arg, analysis)
+                if param in effects.mod_params:
+                    result.defs.add(root)
+                if param in effects.ref_params:
+                    result.uses.add(root)

@@ -1,0 +1,106 @@
+"""Control dependence and program dependence graphs.
+
+Control dependences follow Ferrante/Ottenstein/Warren via postdominator
+sets; data dependences are the def-use chains of the reaching-definitions
+analysis. The resulting per-routine PDG is the workhorse of the static
+slicer (paper §4) and supplies the static control-dependence relation the
+dynamic slicer consults at run time (paper §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import CFG, CFGNode
+from repro.analysis.dataflow import ReachingDefinitions, reaching_definitions
+from repro.analysis.sideeffects import SideEffects
+from repro.pascal.symbols import Symbol
+
+
+def postdominators(cfg: CFG) -> dict[CFGNode, set[CFGNode]]:
+    """Postdominator sets via iterative intersection (exit postdominates all)."""
+    all_nodes = set(cfg.nodes)
+    postdom: dict[CFGNode, set[CFGNode]] = {
+        node: ({node} if node is cfg.exit else set(all_nodes)) for node in cfg.nodes
+    }
+    changed = True
+    order = list(reversed(cfg.reverse_postorder()))
+    while changed:
+        changed = False
+        for node in order:
+            if node is cfg.exit:
+                continue
+            succs = cfg.successors[node]
+            if succs:
+                new_set = set.intersection(*(postdom[s] for s in succs)) | {node}
+            else:
+                # No successors and not exit (e.g. a stuck goto): only itself.
+                new_set = {node}
+            if new_set != postdom[node]:
+                postdom[node] = new_set
+                changed = True
+    return postdom
+
+
+def control_dependences(cfg: CFG) -> dict[CFGNode, set[CFGNode]]:
+    """Map each node to the set of predicate nodes it is control dependent on.
+
+    A node ``n`` is control dependent on ``p`` iff ``p`` has a successor
+    from which ``n`` is always reached (n postdominates it) and another
+    successor from which it may be avoided (n does not postdominate p).
+    """
+    postdom = postdominators(cfg)
+    deps: dict[CFGNode, set[CFGNode]] = {node: set() for node in cfg.nodes}
+    for source in cfg.nodes:
+        succs = cfg.successors[source]
+        if len(succs) < 2:
+            continue
+        for succ in succs:
+            for node in postdom[succ]:
+                # n postdominates this successor but does not strictly
+                # postdominate the branch point (loop predicates may be
+                # control dependent on themselves).
+                if node is source or node not in postdom[source]:
+                    deps[node].add(source)
+    return deps
+
+
+@dataclass
+class ProgramDependenceGraph:
+    """Per-routine PDG: data and control dependence edges between CFG nodes."""
+
+    cfg: CFG
+    reaching: ReachingDefinitions
+    #: node -> set of (symbol, defining node) data dependences
+    data_deps: dict[CFGNode, set[tuple[Symbol, CFGNode]]] = field(default_factory=dict)
+    #: node -> set of controlling predicate nodes
+    control_deps: dict[CFGNode, set[CFGNode]] = field(default_factory=dict)
+
+    def dependences_of(self, node: CFGNode) -> set[CFGNode]:
+        """All nodes this node directly depends on (data + control)."""
+        result = {def_node for _, def_node in self.data_deps.get(node, ())}
+        result |= self.control_deps.get(node, set())
+        return result
+
+    def backward_closure(self, seeds: set[CFGNode]) -> set[CFGNode]:
+        """Transitive closure of dependences starting from ``seeds``."""
+        visited = set(seeds)
+        stack = list(seeds)
+        while stack:
+            node = stack.pop()
+            for dep in self.dependences_of(node):
+                if dep not in visited:
+                    visited.add(dep)
+                    stack.append(dep)
+        return visited
+
+
+def build_pdg(
+    cfg: CFG, side_effects: SideEffects | None = None
+) -> ProgramDependenceGraph:
+    """Build the program dependence graph of one routine."""
+    reaching = reaching_definitions(cfg, side_effects)
+    pdg = ProgramDependenceGraph(cfg=cfg, reaching=reaching)
+    pdg.data_deps = reaching.def_use_chains()
+    pdg.control_deps = control_dependences(cfg)
+    return pdg

@@ -1,0 +1,322 @@
+"""Interprocedural side-effect analysis in the style of Banning (POPL'79).
+
+The paper follows Banning's definition of side effects: *variable side
+effects* (a routine reads or writes a variable not locally declared) and
+*exit side effects* (a routine performs a global goto). This module
+computes, by a fixpoint over the call graph:
+
+* ``mod_params`` / ``ref_params`` — which formal parameters a routine may
+  (transitively) write / read,
+* ``gmod`` / ``gref`` — which non-local variables a routine may
+  (transitively) write / read, expressed relative to that routine's own
+  scope,
+* ``exit_labels`` — labels targeted by (transitive) global gotos, and
+* alias warnings for the situations Banning's alias analysis flags
+  (reference arguments aliasing each other or a global the callee
+  touches).
+
+The transformation phase consumes ``gmod``/``gref`` to decide which
+globals become ``in``/``out`` parameters, and ``exit_labels`` to break
+global gotos; dataflow and slicing consume all of it for call-site
+def/use sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import CallGraph, CallSite, build_call_graph
+from repro.analysis.defuse import expression_uses, target_root
+from repro.pascal import ast_nodes as ast
+from repro.pascal.semantics import AnalyzedProgram, RoutineInfo
+from repro.pascal.symbols import Symbol, SymbolKind
+
+
+@dataclass
+class RoutineEffects:
+    """Side-effect summary for one routine."""
+
+    routine: Symbol
+    mod_params: set[Symbol] = field(default_factory=set)
+    ref_params: set[Symbol] = field(default_factory=set)
+    gmod: set[Symbol] = field(default_factory=set)
+    gref: set[Symbol] = field(default_factory=set)
+    exit_labels: set[Symbol] = field(default_factory=set)
+
+    @property
+    def has_variable_side_effects(self) -> bool:
+        return bool(self.gmod or self.gref)
+
+    @property
+    def has_exit_side_effects(self) -> bool:
+        return bool(self.exit_labels)
+
+    @property
+    def is_side_effect_free(self) -> bool:
+        return not (self.has_variable_side_effects or self.has_exit_side_effects)
+
+
+@dataclass(frozen=True)
+class AliasWarning:
+    """A potential alias that would make globals-to-parameters unsound in a
+    copy-based implementation (our shared-cell semantics stays correct, but
+    the paper's method expects these to be detected and reported)."""
+
+    site: ast.Node
+    callee: Symbol
+    description: str
+
+
+@dataclass
+class SideEffects:
+    """Analysis result: per-routine effect summaries plus alias warnings."""
+
+    analysis: AnalyzedProgram
+    call_graph: CallGraph
+    effects: dict[Symbol, RoutineEffects] = field(default_factory=dict)
+    alias_warnings: list[AliasWarning] = field(default_factory=list)
+
+    def of(self, routine: Symbol) -> RoutineEffects:
+        return self.effects[routine]
+
+    def of_info(self, info: RoutineInfo) -> RoutineEffects:
+        return self.effects[info.symbol]
+
+    def routines_with_side_effects(self) -> list[Symbol]:
+        return [
+            symbol
+            for symbol, effect in self.effects.items()
+            if not effect.is_side_effect_free
+        ]
+
+
+def _is_local_to(symbol: Symbol, routine: Symbol, main: Symbol) -> bool:
+    """Is ``symbol`` declared by ``routine`` (params, locals, its result)?"""
+    if routine is main:
+        # Relative to the main program body every global is "local";
+        # gmod/gref of main is defined to be empty.
+        return symbol.owner is None or symbol.owner is main
+    return symbol.owner is routine
+
+
+def analyze_side_effects(
+    analysis: AnalyzedProgram, call_graph: CallGraph | None = None
+) -> SideEffects:
+    graph = call_graph if call_graph is not None else build_call_graph(analysis)
+    result = SideEffects(analysis=analysis, call_graph=graph)
+    main = analysis.main.symbol
+
+    # Seed with direct effects gathered by the semantic analyzer.
+    for info in analysis.all_routines():
+        effect = RoutineEffects(routine=info.symbol)
+        if not info.is_main:
+            effect.gmod |= info.nonlocal_writes
+            effect.gref |= info.nonlocal_reads
+            effect.mod_params |= _direct_param_writes(info, analysis)
+            effect.ref_params |= _direct_param_reads(info, analysis)
+            for goto in info.global_gotos:
+                effect.exit_labels.add(analysis.goto_target[goto.node_id])
+        result.effects[info.symbol] = effect
+
+    # Fixpoint: propagate effects through call sites.
+    changed = True
+    order = graph.bottom_up_order()
+    while changed:
+        changed = False
+        for caller in order:
+            caller_effect = result.effects[caller]
+            for site in graph.sites_by_caller.get(caller, ()):
+                if _propagate_site(site, caller_effect, result, main):
+                    changed = True
+
+    _detect_aliases(result)
+    return result
+
+
+def _direct_param_writes(info: RoutineInfo, analysis: AnalyzedProgram) -> set[Symbol]:
+    """Formals of ``info`` that its own body assigns (or reads into)."""
+    written: set[Symbol] = set()
+    params = set(info.params)
+    for stmt in ast.iter_statements(info.block.body):
+        if isinstance(stmt, ast.Assign):
+            root = target_root(stmt.target, analysis)
+            if root in params:
+                written.add(root)
+        elif isinstance(stmt, ast.ProcCall) and stmt.name in ("read", "readln"):
+            for arg in stmt.args:
+                root = target_root(arg, analysis)
+                if root in params:
+                    written.add(root)
+        elif isinstance(stmt, ast.For):
+            symbol = analysis.for_symbol.get(stmt.node_id)
+            if symbol in params:
+                written.add(symbol)  # type: ignore[arg-type]
+    return written
+
+
+def _direct_param_reads(info: RoutineInfo, analysis: AnalyzedProgram) -> set[Symbol]:
+    """Formals of ``info`` whose value its own body may read."""
+    read: set[Symbol] = set()
+    params = set(info.params)
+
+    def note_expr(expr: ast.Expr) -> None:
+        read.update(expression_uses(expr, analysis) & params)
+
+    for stmt in ast.iter_statements(info.block.body):
+        if isinstance(stmt, ast.Assign):
+            note_expr(stmt.value)
+            node = stmt.target
+            while isinstance(node, ast.IndexedRef):
+                note_expr(node.index)
+                node = node.base
+            if isinstance(stmt.target, ast.IndexedRef):
+                root = target_root(stmt.target, analysis)
+                if root in params:
+                    read.add(root)
+        elif isinstance(stmt, ast.ProcCall):
+            if stmt.name in ("read", "readln"):
+                pass
+            else:
+                # Reference arguments are not direct reads; whether the
+                # callee reads them propagates through the fixpoint.
+                target = analysis.call_target.get(stmt.node_id)
+                formals = target.params if target is not None else []
+                for position, arg in enumerate(stmt.args):
+                    mode = (
+                        formals[position].param_mode
+                        if position < len(formals)
+                        else ast.ParamMode.VALUE
+                    )
+                    if mode in (ast.ParamMode.VAR, ast.ParamMode.OUT):
+                        node = arg
+                        while isinstance(node, ast.IndexedRef):
+                            note_expr(node.index)
+                            node = node.base
+                    else:
+                        note_expr(arg)
+        elif isinstance(stmt, ast.If):
+            note_expr(stmt.condition)
+        elif isinstance(stmt, ast.While):
+            note_expr(stmt.condition)
+        elif isinstance(stmt, ast.Repeat):
+            note_expr(stmt.condition)
+        elif isinstance(stmt, ast.For):
+            note_expr(stmt.start)
+            note_expr(stmt.stop)
+    return read
+
+
+def _propagate_site(
+    site: CallSite,
+    caller_effect: RoutineEffects,
+    result: SideEffects,
+    main: Symbol,
+) -> bool:
+    """Flow callee effects through one call site; returns True on change."""
+    analysis = result.analysis
+    callee_effect = result.effects.get(site.callee)
+    if callee_effect is None:  # builtin
+        return False
+    caller = site.caller
+    changed = False
+
+    def add(collection: set[Symbol], symbol: Symbol) -> None:
+        nonlocal changed
+        if symbol not in collection:
+            collection.add(symbol)
+            changed = True
+
+    # 1. Reference-parameter bindings: callee writes/reads its formal ->
+    #    the caller's actual is written/read here.
+    callee = site.callee
+    for param, arg in zip(callee.params, site.args):
+        if param.param_mode not in (
+            ast.ParamMode.VAR,
+            ast.ParamMode.OUT,
+            ast.ParamMode.IN_,
+        ):
+            continue
+        root = target_root(arg, analysis)
+        if param in callee_effect.mod_params:
+            _classify_effect(root, caller, main, caller_effect, add, write=True)
+        if param in callee_effect.ref_params:
+            _classify_effect(root, caller, main, caller_effect, add, write=False)
+
+    # 2. Callee's non-local effects that are also non-local to the caller.
+    for symbol in callee_effect.gmod:
+        _classify_effect(symbol, caller, main, caller_effect, add, write=True)
+    for symbol in callee_effect.gref:
+        _classify_effect(symbol, caller, main, caller_effect, add, write=False)
+
+    # 3. Exit side effects: callee gotos escaping past the caller.
+    caller_info = analysis.routines[caller]
+    for label in callee_effect.exit_labels:
+        label_owner = label.owner
+        caller_owner = None if caller_info.is_main else caller
+        if label_owner is not caller_owner:
+            add(caller_effect.exit_labels, label)
+    return changed
+
+
+def _classify_effect(
+    symbol: Symbol,
+    caller: Symbol,
+    main: Symbol,
+    caller_effect: RoutineEffects,
+    add,
+    write: bool,
+) -> None:
+    """Record an inherited effect on ``symbol`` relative to the caller.
+
+    If the symbol is the caller's own formal, it lands in
+    mod/ref_params; if it's local to the caller, the effect is contained;
+    otherwise it is a non-local effect of the caller too.
+    """
+    if symbol.kind is SymbolKind.PARAMETER and symbol.owner is caller:
+        add(caller_effect.mod_params if write else caller_effect.ref_params, symbol)
+        return
+    if _is_local_to(symbol, caller, main):
+        return  # contained within the caller's frame
+    add(caller_effect.gmod if write else caller_effect.gref, symbol)
+
+
+def _detect_aliases(result: SideEffects) -> None:
+    """Flag reference-argument aliasing the paper's method must report."""
+    analysis = result.analysis
+    for site in result.call_graph.sites:
+        callee_effect = result.effects.get(site.callee)
+        if callee_effect is None:
+            continue
+        ref_roots: dict[Symbol, str] = {}
+        for param, arg in zip(site.callee.params, site.args):
+            if param.param_mode not in (
+                ast.ParamMode.VAR,
+                ast.ParamMode.OUT,
+                ast.ParamMode.IN_,
+            ):
+                continue
+            root = target_root(arg, analysis)
+            if root in ref_roots:
+                result.alias_warnings.append(
+                    AliasWarning(
+                        site=site.node,
+                        callee=site.callee,
+                        description=(
+                            f"'{root.name}' bound to both parameters "
+                            f"'{ref_roots[root]}' and '{param.name}' of {site.callee.name}"
+                        ),
+                    )
+                )
+            else:
+                ref_roots[root] = param.name
+            if root in callee_effect.gmod or root in callee_effect.gref:
+                result.alias_warnings.append(
+                    AliasWarning(
+                        site=site.node,
+                        callee=site.callee,
+                        description=(
+                            f"'{root.name}' passed by reference to {site.callee.name}, "
+                            "which also accesses it non-locally"
+                        ),
+                    )
+                )

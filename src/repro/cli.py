@@ -1,0 +1,281 @@
+"""Command-line interface to the GADT system.
+
+    python -m repro run PROGRAM [--input V ...]
+    python -m repro trace PROGRAM [--input V ...]
+    python -m repro transform PROGRAM [--instrumented]
+    python -m repro slice PROGRAM --variable V [--routine R | --unit U [--occurrence N]]
+    python -m repro debug PROGRAM [--reference FIXED] [--strategy S]
+                                  [--no-slicing] [--input V ...]
+    python -m repro frames SPECFILE
+
+`debug` without ``--reference`` runs an interactive session: you answer
+the questions (yes / no / no <k> / no <name> / assert <expr> / ?); with
+``--reference`` a simulated user backed by the fixed program answers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import (
+    AlgorithmicDebugger,
+    GadtSystem,
+    InteractiveOracle,
+    ReferenceOracle,
+)
+from repro.pascal import analyze_source, print_program, run_source
+from repro.pascal.errors import PascalError
+from repro.slicing import DynamicCriterion, StaticCriterion, prune_tree, static_slice
+from repro.tgen import frames_by_script, generate_frames
+from repro.tgen.spec_parser import SpecError, parse_spec
+from repro.tracing import trace_source
+from repro.transform import transform_source
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text()
+
+
+def _parse_inputs(values: list[str] | None) -> list[object]:
+    inputs: list[object] = []
+    for raw in values or []:
+        lowered = raw.lower()
+        if lowered in ("true", "false"):
+            inputs.append(lowered == "true")
+        else:
+            inputs.append(int(raw))
+    return inputs
+
+
+# ----------------------------------------------------------------------
+# subcommands
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_source(_read(args.program), inputs=_parse_inputs(args.input))
+    sys.stdout.write(result.output)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace = trace_source(_read(args.program), inputs=_parse_inputs(args.input))
+    if args.json:
+        from repro.tracing.serialize import dump_tree
+
+        sys.stdout.write(dump_tree(trace.tree) + "\n")
+    else:
+        sys.stdout.write(trace.tree.render())
+    return 0
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    transformed = transform_source(_read(args.program))
+    program = (
+        transformed.instrumented_program
+        if args.instrumented and transformed.instrumented_program is not None
+        else transformed.program
+    )
+    sys.stdout.write(print_program(program))
+    for warning in transformed.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def cmd_slice(args: argparse.Namespace) -> int:
+    source = _read(args.program)
+    if args.unit:
+        # Dynamic slice: criterion is an output of a unit activation.
+        system = GadtSystem.from_source(
+            source, program_inputs=_parse_inputs(args.input)
+        )
+        node = system.trace.tree.find(args.unit, occurrence=args.occurrence)
+        view = prune_tree(
+            system.trace, DynamicCriterion(node=node, variable=args.variable)
+        )
+        sys.stdout.write(view.render())
+        return 0
+    analysis = analyze_source(source)
+    routine = args.routine or analysis.program.name
+    computed = static_slice(
+        analysis, StaticCriterion.at_routine_exit(routine, args.variable)
+    )
+    sys.stdout.write(print_program(computed.extract_program()))
+    return 0
+
+
+def cmd_debug(args: argparse.Namespace) -> int:
+    source = _read(args.program)
+    system = GadtSystem.from_source(
+        source, program_inputs=_parse_inputs(args.input)
+    )
+    if not args.quiet:
+        print("Execution tree:")
+        print(system.trace.tree.render())
+
+    if args.reference:
+        oracle = ReferenceOracle.from_source(
+            _read(args.reference), program_inputs=_parse_inputs(args.input)
+        )
+    else:
+        oracle = InteractiveOracle(output=sys.stdout)
+
+    debugger = system.debugger(
+        oracle, strategy=args.strategy, enable_slicing=not args.no_slicing
+    )
+    result = debugger.debug()
+
+    print(result.session.render())
+    if result.bug_node is not None:
+        print(system.explain_bug(result))
+    print(
+        f"questions: {result.user_questions} user, "
+        f"{result.auto_answers} automatic; slices: {result.slices}"
+    )
+    return 0 if result.localized else 1
+
+
+def cmd_mutate(args: argparse.Namespace) -> int:
+    from repro.workloads.mutants import accuracy, evaluate_mutants, generate_mutants
+
+    source = _read(args.program)
+    mutants = generate_mutants(
+        source, include_constants=not args.operators_only
+    )
+    if not args.evaluate:
+        print(f"{len(mutants)} mutants")
+        for index, mutant in enumerate(mutants, start=1):
+            print(f"  {index:3d}. [{mutant.kind}] {mutant.description}")
+        return 0
+    outcomes = evaluate_mutants(source, mutants)
+    for outcome in outcomes:
+        detail = (
+            f"-> {outcome.localized_unit} ({outcome.user_questions} questions)"
+            if outcome.status in ("localized", "mislocalized")
+            else ""
+        )
+        print(f"  {outcome.status:>12}  {outcome.mutant.description} {detail}")
+    correct, debuggable = accuracy(outcomes)
+    print(f"localization accuracy: {correct}/{debuggable}")
+    return 0 if correct == debuggable else 1
+
+
+def cmd_frames(args: argparse.Namespace) -> int:
+    spec = parse_spec(_read(args.spec))
+    frames = generate_frames(spec)
+    print(f"test {spec.unit}: {len(frames)} frames")
+    for frame in frames:
+        print(f"  {frame.render()}")
+    if spec.scripts:
+        print("scripts:")
+        for script, members in frames_by_script(spec, frames).items():
+            print(f"  {script}: {len(members)} frame(s)")
+            for frame in members:
+                print(f"    {frame.render()}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GADT: generalized algorithmic debugging and testing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="execute a Mini-Pascal program")
+    run_parser.add_argument("program")
+    run_parser.add_argument("--input", action="append", metavar="V")
+    run_parser.set_defaults(func=cmd_run)
+
+    trace_parser = sub.add_parser("trace", help="print the execution tree")
+    trace_parser.add_argument("program")
+    trace_parser.add_argument("--input", action="append", metavar="V")
+    trace_parser.add_argument(
+        "--json", action="store_true", help="emit the tree as JSON"
+    )
+    trace_parser.set_defaults(func=cmd_trace)
+
+    transform_parser = sub.add_parser(
+        "transform", help="print the side-effect-free transformed program"
+    )
+    transform_parser.add_argument("program")
+    transform_parser.add_argument(
+        "--instrumented",
+        action="store_true",
+        help="include the inserted trace actions",
+    )
+    transform_parser.set_defaults(func=cmd_transform)
+
+    slice_parser = sub.add_parser(
+        "slice", help="static slice (program) or dynamic slice (tree)"
+    )
+    slice_parser.add_argument("program")
+    slice_parser.add_argument("--variable", required=True)
+    slice_parser.add_argument(
+        "--routine", help="static: routine owning the criterion (default: main)"
+    )
+    slice_parser.add_argument(
+        "--unit", help="dynamic: unit activation to slice at"
+    )
+    slice_parser.add_argument("--occurrence", type=int, default=1)
+    slice_parser.add_argument("--input", action="append", metavar="V")
+    slice_parser.set_defaults(func=cmd_slice)
+
+    debug_parser = sub.add_parser("debug", help="run a debugging session")
+    debug_parser.add_argument("program")
+    debug_parser.add_argument(
+        "--reference", help="bug-free program; simulates the user's answers"
+    )
+    debug_parser.add_argument(
+        "--strategy",
+        default="top-down",
+        choices=["top-down", "bottom-up", "divide-and-query"],
+    )
+    debug_parser.add_argument("--no-slicing", action="store_true")
+    debug_parser.add_argument("--quiet", action="store_true")
+    debug_parser.add_argument("--input", action="append", metavar="V")
+    debug_parser.set_defaults(func=cmd_debug)
+
+    frames_parser = sub.add_parser(
+        "frames", help="generate test frames from a T-GEN specification"
+    )
+    frames_parser.add_argument("spec")
+    frames_parser.set_defaults(func=cmd_frames)
+
+    mutate_parser = sub.add_parser(
+        "mutate", help="fault-injection sweep: list or evaluate mutants"
+    )
+    mutate_parser.add_argument("program")
+    mutate_parser.add_argument(
+        "--evaluate",
+        action="store_true",
+        help="debug every behaviour-changing mutant and report accuracy",
+    )
+    mutate_parser.add_argument("--operators-only", action="store_true")
+    mutate_parser.set_defaults(func=cmd_mutate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (PascalError, SpecError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

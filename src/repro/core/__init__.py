@@ -1,0 +1,61 @@
+"""The GADT debugger (paper §3, §5.3, §7, §8) — the primary contribution.
+
+* :mod:`repro.core.queries` — queries and answers in the paper's dialogue
+  format (``computs(In y: 3, Out r1: 12, Out r2: 9)? no, error on first
+  output variable``);
+* :mod:`repro.core.oracle` — oracle implementations standing in for the
+  user: interactive, scripted (replays the paper's dialogues), and a
+  reference-program oracle that simulates a perfectly knowledgeable user
+  so interaction counts can be *measured*;
+* :mod:`repro.core.assertions` — partial-specification assertions
+  ([Drabent et al.]) that answer queries without user interaction;
+* :mod:`repro.core.strategies` — execution-tree search strategies
+  (top-down as in the paper, plus bottom-up and Shapiro's
+  divide-and-query as ablations);
+* :mod:`repro.core.algorithmic` — the pure algorithmic debugger;
+* :mod:`repro.core.gadt` — the integrated debugger: assertions → test
+  lookup → user, with dynamic slicing on error indications;
+* :mod:`repro.core.session` — interaction transcripts.
+"""
+
+from repro.core.queries import Answer, AnswerKind, AnswerSource, Query
+from repro.core.oracle import (
+    FunctionOracle,
+    InteractiveOracle,
+    Oracle,
+    ReferenceOracle,
+    ScriptedOracle,
+)
+from repro.core.assertions import Assertion, AssertionStore
+from repro.core.strategies import Strategy, make_strategy
+from repro.core.algorithmic import AlgorithmicDebugger, DebugResult
+from repro.core.gadt import GadtDebugger, GadtSystem
+from repro.core.postmortem import ContributingStatement, contributing_statements
+from repro.core.session import Interaction, Session
+from repro.core.transparency import TransparencyMap, UnitSource
+
+__all__ = [
+    "AlgorithmicDebugger",
+    "Answer",
+    "AnswerKind",
+    "AnswerSource",
+    "Assertion",
+    "AssertionStore",
+    "ContributingStatement",
+    "DebugResult",
+    "contributing_statements",
+    "FunctionOracle",
+    "GadtDebugger",
+    "GadtSystem",
+    "Interaction",
+    "InteractiveOracle",
+    "Oracle",
+    "Query",
+    "ReferenceOracle",
+    "ScriptedOracle",
+    "Session",
+    "Strategy",
+    "TransparencyMap",
+    "UnitSource",
+    "make_strategy",
+]

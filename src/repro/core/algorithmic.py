@@ -1,0 +1,240 @@
+"""The algorithmic debugger core (paper §3, §5.3.1).
+
+The debugger traverses the execution tree asking whether each unit
+activation matches the intended behaviour. The search maintains:
+
+* the *currently suspected* unit — known (or assumed, for the root
+  symptom) to behave incorrectly, and
+* a judgement map over activations.
+
+"The search finally ends, and a bug is localized in a procedure p when
+one of the following holds: procedure p contains no procedure calls;
+all procedure calls performed from the body of procedure p fulfill the
+user's expectations."
+
+Before consulting the oracle (the user), each query runs through the
+answer chain: the answer cache, stored assertions, and the test-case
+lookup (paper Figure 3) — only unanswered queries cost an interaction.
+A ``no, error on <output>`` answer activates the slicing component,
+which restricts the remaining search to the pruned execution tree
+(paper §5.3.3, §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.assertions import AssertionStore
+from repro.core.oracle import Oracle
+from repro.core.queries import Answer, AnswerKind, AnswerSource, Query
+from repro.core.session import Session
+from repro.core.strategies import Strategy, make_strategy
+from repro.slicing.criteria import DynamicCriterion
+from repro.slicing.tree_pruning import TreeView, prune_tree
+from repro.tgen.lookup import TestCaseLookup
+from repro.tracing.execution_tree import ExecNode
+from repro.tracing.tracer import TraceResult
+
+
+@dataclass
+class DebugResult:
+    """Outcome of one debugging session."""
+
+    bug_node: ExecNode | None
+    session: Session
+    user_questions: int = 0
+    auto_answers: int = 0
+    slices: int = 0
+    uncertain_nodes: list[ExecNode] = field(default_factory=list)
+    #: activations judged correct during the search (dicing material)
+    correct_nodes: list[ExecNode] = field(default_factory=list)
+    used_test_answers: bool = False
+
+    @property
+    def bug_unit(self) -> str | None:
+        return self.bug_node.unit_name if self.bug_node is not None else None
+
+    @property
+    def localized(self) -> bool:
+        return self.bug_node is not None
+
+    @property
+    def total_questions(self) -> int:
+        return self.user_questions + self.auto_answers
+
+
+class AlgorithmicDebugger:
+    """Algorithmic debugging over a traced execution.
+
+    With the default arguments this is *pure* algorithmic debugging:
+    every query goes to the oracle and slicing is off. Supplying an
+    assertion store, a test lookup, and ``enable_slicing=True`` yields
+    the full GADT behaviour (see :class:`~repro.core.gadt.GadtDebugger`).
+    """
+
+    def __init__(
+        self,
+        trace: TraceResult,
+        oracle: Oracle,
+        strategy: Strategy | str = "top-down",
+        assertions: AssertionStore | None = None,
+        test_lookup: TestCaseLookup | None = None,
+        enable_slicing: bool = False,
+    ):
+        self.trace = trace
+        self.oracle = oracle
+        self.strategy = (
+            make_strategy(strategy) if isinstance(strategy, str) else strategy
+        )
+        self.assertions = assertions if assertions is not None else AssertionStore()
+        self.test_lookup = test_lookup
+        self.enable_slicing = enable_slicing
+        self._answer_cache: dict[int, Answer] = {}
+
+    # ------------------------------------------------------------------
+
+    def debug(
+        self, start: ExecNode | None = None, assume_symptom: bool = True
+    ) -> DebugResult:
+        """Localize a bug, starting from ``start`` (default: the root).
+
+        Per the paper, the debugger "can be invoked by the user after
+        noticing an externally visible symptom of a bug", so the start
+        node is assumed erroneous. With ``assume_symptom=False`` the
+        start node is queried first, and a "yes" ends the session with
+        no bug localized (``result.bug_node is None``).
+        """
+        session = Session()
+        result = DebugResult(bug_node=None, session=session)
+
+        current = start if start is not None else self.trace.tree.root
+        view = TreeView.full(current)
+        judgements: dict[int, bool] = {}
+
+        if not assume_symptom:
+            answer = self._answer_query(Query(current), session, result)
+            if answer.is_correct or answer.kind is AnswerKind.DONT_KNOW:
+                session.note(
+                    f"{current.unit_name} behaves as intended; nothing to localize"
+                )
+                return result
+            error_variable = answer.resolve_error_variable(current)
+            if self.enable_slicing and error_variable is not None:
+                view = self._slice(current, error_variable, view, session, result)
+        else:
+            session.note(
+                f"debugging started at {current.unit_name} (symptom assumed)"
+            )
+
+        while True:
+            candidate = self.strategy.next_query(view, current, judgements)
+            if candidate is None:
+                result.bug_node = current
+                session.localized(current.unit_name)
+                return result
+
+            answer = self._answer_query(Query(candidate), session, result)
+
+            if answer.kind is AnswerKind.DONT_KNOW:
+                judgements[candidate.node_id] = True  # cannot refute: move on
+                result.uncertain_nodes.append(candidate)
+                continue
+            if answer.is_correct:
+                judgements[candidate.node_id] = True
+                result.correct_nodes.append(candidate)
+                continue
+
+            # Incorrect: the search descends into this activation.
+            judgements[candidate.node_id] = False
+            current = candidate
+            error_variable = answer.resolve_error_variable(candidate)
+            if (
+                self.enable_slicing
+                and error_variable is not None
+                and answer.kind is AnswerKind.NO_WITH_ERROR
+            ):
+                view = self._slice(candidate, error_variable, view, session, result)
+
+    # ------------------------------------------------------------------
+
+    def _slice(
+        self,
+        node: ExecNode,
+        variable: str,
+        view: TreeView,
+        session: Session,
+        result: DebugResult,
+    ) -> TreeView:
+        criterion = DynamicCriterion(node=node, variable=variable)
+        try:
+            sliced = prune_tree(self.trace, criterion)
+        except KeyError:
+            session.note(
+                f"slicing on {criterion.describe()} unavailable; continuing unsliced"
+            )
+            return view
+        result.slices += 1
+        before = sum(1 for _ in node.walk())
+        combined = TreeView(
+            root=node, kept_ids=(sliced.kept_ids & view.kept_ids) | {node.node_id}
+        )
+        session.note_slice(
+            f"slice on {criterion.describe()}: "
+            f"{combined.size()} of {before} activations remain"
+        )
+        return combined
+
+    # ------------------------------------------------------------------
+    # the answer chain (paper Figure 3)
+
+    def _answer_query(
+        self, query: Query, session: Session, result: DebugResult
+    ) -> Answer:
+        cached = self._answer_cache.get(query.node.node_id)
+        if cached is not None:
+            return Answer(
+                kind=cached.kind,
+                source=AnswerSource.CACHE,
+                error_variable=cached.error_variable,
+                error_position=cached.error_position,
+                note="previously answered",
+            )
+
+        answer = self.assertions.try_answer(query)
+        if answer is not None:
+            result.auto_answers += 1
+            session.ask(query, answer)
+            self._answer_cache[query.node.node_id] = answer
+            return answer
+
+        if self.test_lookup is not None:
+            outcome = self.test_lookup.consult(query.unit_name, query.inputs())
+            if outcome.answers_yes:
+                answer = Answer.yes(
+                    source=AnswerSource.TEST_DATABASE, note=outcome.detail
+                )
+                result.auto_answers += 1
+                result.used_test_answers = True
+                session.ask(query, answer)
+                self._answer_cache[query.node.node_id] = answer
+                return answer
+
+        answer = self.oracle.answer(query)
+        result.user_questions += 1
+        if answer.kind is AnswerKind.ASSERTION and answer.assertion is not None:
+            # Store the assertion, then let it answer this very query.
+            self.assertions.add(answer.assertion)
+            derived = self.assertions.try_answer(query)
+            if derived is not None:
+                answer = Answer(
+                    kind=derived.kind,
+                    source=AnswerSource.USER,
+                    error_variable=derived.error_variable,
+                    error_position=derived.error_position,
+                    note=f"via new assertion {answer.assertion.text!r}",
+                )
+            else:
+                answer = Answer.dont_know(source=AnswerSource.USER)
+        session.ask(query, answer)
+        self._answer_cache[query.node.node_id] = answer
+        return answer

@@ -1,0 +1,218 @@
+"""Assertions: partial specifications that answer queries (paper §3, §5.3.1).
+
+Following [Drabent, Nadjm-Tehrani, Maluszynski 88], the user may answer a
+query with an *assertion* instead of yes/no: a Boolean expression over
+the unit's parameters and globals describing its intended behaviour.
+The assertion answers the current query and is stored so later queries
+about the same unit never reach the user.
+
+Assertions are written in Mini-Pascal expression syntax. Names resolve
+against the query's bindings: a plain name takes the *output* value when
+one exists, the input value otherwise; the prefixes ``in_`` and ``out_``
+select explicitly; ``result`` names a function's result. Example, for
+the paper's ``partialsums(In y, Out s1, Out s2)``::
+
+    (s1 = y * (y + 1) div 2) and (s2 = (y - 1) * y div 2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.queries import Answer, AnswerKind, AnswerSource, Query
+from repro.pascal import ast_nodes as ast
+from repro.pascal.parser import parse_expression
+from repro.pascal.values import ArrayValue, UNDEFINED
+from repro.tracing.execution_tree import BindingMode, ExecNode
+
+
+class AssertionError_(Exception):
+    """Raised when an assertion cannot be evaluated for a query."""
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """A stored partial specification for one unit."""
+
+    unit: str
+    text: str
+    #: authoritative assertions answer yes when true; partial assertions
+    #: can only refute (false -> no, true -> no answer)
+    partial: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.unit}: {self.text}"
+
+    def evaluate(self, node: ExecNode) -> bool:
+        expr = parse_expression(self.text)
+        env = _binding_environment(node)
+        value = _eval(expr, env)
+        if not isinstance(value, bool):
+            raise AssertionError_(
+                f"assertion {self.text!r} is not boolean-valued"
+            )
+        return value
+
+
+def _binding_environment(node: ExecNode) -> dict[str, object]:
+    env: dict[str, object] = {}
+    for binding in node.inputs:
+        env[f"in_{binding.name}"] = binding.value
+        env.setdefault(binding.name, binding.value)
+    for binding in node.outputs:
+        if binding.mode is BindingMode.RESULT:
+            env["result"] = binding.value
+        env[f"out_{binding.name}"] = binding.value
+        env[binding.name] = binding.value  # outputs win for plain names
+    return env
+
+
+# ----------------------------------------------------------------------
+# a small evaluator for assertion expressions
+
+
+def _eval(expr: ast.Expr, env: dict[str, object]) -> object:
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.BoolLiteral):
+        return expr.value
+    if isinstance(expr, ast.StringLiteral):
+        return expr.value
+    if isinstance(expr, ast.VarRef):
+        if expr.name not in env:
+            raise AssertionError_(f"assertion names unknown value {expr.name!r}")
+        value = env[expr.name]
+        if value is UNDEFINED:
+            raise AssertionError_(f"{expr.name!r} is undefined in this query")
+        return value
+    if isinstance(expr, ast.IndexedRef):
+        base = _eval(expr.base, env)
+        index = _eval(expr.index, env)
+        if not isinstance(base, ArrayValue) or not isinstance(index, int):
+            raise AssertionError_("bad array indexing in assertion")
+        if not base.in_bounds(index):
+            raise AssertionError_(f"assertion index {index} out of bounds")
+        return base.get(index)
+    if isinstance(expr, ast.FuncCall):
+        return _eval_builtin(expr, env)
+    if isinstance(expr, ast.UnaryOp):
+        operand = _eval(expr.operand, env)
+        if expr.op == "-":
+            return -_as_int(operand)
+        if expr.op == "not":
+            return not _as_bool(operand)
+        raise AssertionError_(f"unknown operator {expr.op}")
+    if isinstance(expr, ast.BinaryOp):
+        return _eval_binary(expr, env)
+    raise AssertionError_(f"unsupported assertion syntax {type(expr).__name__}")
+
+
+def _eval_builtin(expr: ast.FuncCall, env: dict[str, object]) -> object:
+    values = [_as_int(_eval(arg, env)) for arg in expr.args]
+    if expr.name == "abs" and len(values) == 1:
+        return abs(values[0])
+    if expr.name == "sqr" and len(values) == 1:
+        return values[0] * values[0]
+    if expr.name == "odd" and len(values) == 1:
+        return values[0] % 2 != 0
+    if expr.name == "min" and len(values) == 2:
+        return min(values)
+    if expr.name == "max" and len(values) == 2:
+        return max(values)
+    raise AssertionError_(f"assertions cannot call {expr.name!r}")
+
+
+def _eval_binary(expr: ast.BinaryOp, env: dict[str, object]) -> object:
+    op = expr.op
+    left = _eval(expr.left, env)
+    right = _eval(expr.right, env)
+    if op in ("+", "-", "*", "div", "mod", "/"):
+        a, b = _as_int(left), _as_int(right)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if b == 0:
+            raise AssertionError_("division by zero in assertion")
+        quotient = abs(a) // abs(b)
+        if (a >= 0) != (b >= 0):
+            quotient = -quotient
+        return quotient if op in ("div", "/") else a - quotient * b
+    if op == "and":
+        return _as_bool(left) and _as_bool(right)
+    if op == "or":
+        return _as_bool(left) or _as_bool(right)
+    if op in ("=", "<>"):
+        equal = left == right and isinstance(left, bool) == isinstance(right, bool)
+        return equal if op == "=" else not equal
+    if op in ("<", "<=", ">", ">="):
+        a, b = _as_int(left), _as_int(right)
+        return {"<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b}[op]
+    raise AssertionError_(f"unknown operator {op}")
+
+
+def _as_int(value: object) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise AssertionError_(f"expected an integer, got {value!r}")
+    return value
+
+
+def _as_bool(value: object) -> bool:
+    if not isinstance(value, bool):
+        raise AssertionError_(f"expected a boolean, got {value!r}")
+    return value
+
+
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AssertionStore:
+    """Assertions supplied so far, consulted before any other source."""
+
+    _by_unit: dict[str, list[Assertion]] = field(default_factory=dict)
+    evaluations: int = 0
+
+    def add(self, assertion: Assertion) -> None:
+        self._by_unit.setdefault(assertion.unit, []).append(assertion)
+
+    def assert_unit(self, unit: str, text: str, partial: bool = False) -> Assertion:
+        assertion = Assertion(unit=unit, text=text, partial=partial)
+        self.add(assertion)
+        return assertion
+
+    def for_unit(self, unit: str) -> list[Assertion]:
+        return list(self._by_unit.get(unit, ()))
+
+    def try_answer(self, query: Query) -> Answer | None:
+        """Answer the query from stored assertions, if any apply.
+
+        Any violated assertion refutes the query; "yes" requires that
+        every applicable assertion holds and at least one of them is
+        authoritative (non-partial).
+        """
+        confirming: Assertion | None = None
+        for assertion in self._by_unit.get(query.unit_name, ()):
+            try:
+                holds = assertion.evaluate(query.node)
+            except AssertionError_:
+                continue  # assertion does not cover this query's values
+            self.evaluations += 1
+            if not holds:
+                return Answer.no(
+                    source=AnswerSource.ASSERTION,
+                    note=f"violates assertion {assertion.text!r}",
+                )
+            if not assertion.partial and confirming is None:
+                confirming = assertion
+        if confirming is not None:
+            return Answer.yes(
+                source=AnswerSource.ASSERTION,
+                note=f"satisfies assertion {confirming.text!r}",
+            )
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_unit.values())

@@ -1,0 +1,146 @@
+"""Statement-level postmortem inside the localized unit (extension).
+
+The paper's method stops at the unit level: "an error has been localized
+inside the body of procedure p". This module goes one step further with
+machinery the system already has: the dynamic occurrences *owned by the
+blamed activation* that contributed to its erroneous outputs are mapped
+back (through the transformation source map) to the statements of the
+original routine — a ranked "look here first" list inside the unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.pretty import print_statement
+from repro.tracing.execution_tree import ExecNode
+from repro.tracing.tracer import TraceResult
+from repro.transform.pipeline import TransformedProgram
+
+
+@dataclass(frozen=True)
+class ContributingStatement:
+    """One statement of the blamed unit that fed the wrong outputs."""
+
+    line: int
+    text: str
+    executions: int  # how many contributing occurrences it had
+
+    def render(self) -> str:
+        times = f" (x{self.executions})" if self.executions > 1 else ""
+        where = f"line {self.line}: " if self.line else ""
+        return f"{where}{self.text}{times}"
+
+
+def contributing_statements(
+    trace: TraceResult,
+    bug_node: ExecNode,
+    transformed: TransformedProgram | None = None,
+) -> list[ContributingStatement]:
+    """Statements of the blamed unit that contribute to its outputs.
+
+    Seeds the backward dynamic slice with the writers of every output of
+    ``bug_node``, restricts it to occurrences owned by the blamed
+    activation (and its iterations), and maps the surviving statements
+    back to the original program when a transformation source map is
+    available.
+    """
+    ddg = trace.dependence_graph
+    seeds: set[int] = set()
+    for binding in bug_node.outputs:
+        seeds |= trace.tree.output_writers.get(
+            (bug_node.node_id, binding.name), set()
+        )
+    if not seeds:
+        # No recorded writers (e.g. a crashed unit): fall back to every
+        # occurrence the activation owns.
+        seeds = set(bug_node.occurrence_ids)
+
+    closure = ddg.backward_slice(seeds)
+    owned_nodes = {node.node_id for node in bug_node.walk()}
+    owned_occs = [
+        occ
+        for occ_id in closure
+        if (occ := ddg.occurrences.get(occ_id)) is not None
+        and occ.exec_node_id in owned_nodes
+    ]
+
+    # Occurrence statement ids refer to the traced (possibly transformed)
+    # program; map them back to original statements where possible.
+    stmt_index = _statement_index(trace, transformed)
+    counts: dict[int, int] = {}
+    for occ in owned_occs:
+        stmt = stmt_index.get(occ.stmt_id)
+        if stmt is None:
+            continue
+        counts[stmt.node_id] = counts.get(stmt.node_id, 0) + 1
+
+    by_id = {}
+    for stmt_id, executions in counts.items():
+        stmt = _node_by_id(stmt_index, stmt_id)
+        if stmt is None:
+            continue
+        text = print_statement(stmt).strip().splitlines()[0]
+        by_id[stmt_id] = ContributingStatement(
+            line=stmt.location.line, text=text, executions=executions
+        )
+    return sorted(by_id.values(), key=lambda item: (item.line, item.text))
+
+
+def dice_statements(
+    trace: TraceResult,
+    bad_node: ExecNode,
+    good_nodes: list[ExecNode],
+    transformed: TransformedProgram | None = None,
+) -> list[ContributingStatement]:
+    """Program dicing ([Lyle, Weiser 87], cited by the paper): the
+    statements contributing to the *erroneous* activation minus those
+    that also contributed to activations judged correct.
+
+    When the same unit ran correctly on other inputs, the shared
+    statements (exercised by both) are unlikely culprits; the dice is
+    what only the failing run touched.
+    """
+    bad = contributing_statements(trace, bad_node, transformed)
+    good_texts: set[tuple[int, str]] = set()
+    for node in good_nodes:
+        for item in contributing_statements(trace, node, transformed):
+            good_texts.add((item.line, item.text))
+    return [
+        item for item in bad if (item.line, item.text) not in good_texts
+    ]
+
+
+def _statement_index(
+    trace: TraceResult, transformed: TransformedProgram | None
+) -> dict[int, ast.Stmt]:
+    """traced-statement id -> *displayable* statement (original if mapped)."""
+    index: dict[int, ast.Stmt] = {}
+    atomic = (ast.Assign, ast.ProcCall, ast.Goto)
+    traced_nodes = {
+        node.node_id: node
+        for node in trace.analysis.program.walk()
+        if isinstance(node, atomic)
+    }
+    if transformed is None:
+        return traced_nodes
+    original_nodes = {
+        node.node_id: node
+        for node in transformed.original_analysis.program.walk()
+        if isinstance(node, ast.Stmt)
+    }
+    for traced_id, traced_stmt in traced_nodes.items():
+        original_id = transformed.original_node_id(traced_id)
+        original = original_nodes.get(original_id) if original_id else None
+        if original is not None:
+            index[traced_id] = original
+        # synthesized statements (trace actions, exit machinery) omitted
+    return index
+
+
+def _node_by_id(index: dict[int, ast.Stmt], stmt_id: int) -> ast.Stmt | None:
+    for stmt in index.values():
+        if stmt.node_id == stmt_id:
+            return stmt
+    return None

@@ -1,0 +1,166 @@
+"""Queries and answers in the paper's dialogue format.
+
+A query shows one unit activation with its input and output values and
+asks whether the behaviour matches the user's intentions:
+
+    computs(In y: 3, Out r1: 12, Out r2: 9)?
+
+Possible answers (paper §3, §5.3.1, §8):
+
+* ``yes`` — the unit behaved as intended for these values;
+* ``no`` — it did not;
+* ``no, error on <k>th output variable`` / ``no, error on <name>`` —
+  it did not, and the user points at the wrong output, which activates
+  the slicing component;
+* an *assertion* — a partial specification that answers this query and
+  is remembered for future queries;
+* ``don't know`` — the user cannot judge (the search stays conservative).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.tracing.execution_tree import ExecNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.assertions import Assertion
+
+
+class AnswerKind(enum.Enum):
+    YES = "yes"
+    NO = "no"
+    NO_WITH_ERROR = "no-with-error"
+    DONT_KNOW = "dont-know"
+    ASSERTION = "assertion"
+
+
+class AnswerSource(enum.Enum):
+    USER = "user"
+    ASSERTION = "assertion"
+    TEST_DATABASE = "test-database"
+    CACHE = "cache"
+
+
+@dataclass(frozen=True)
+class Query:
+    """One question about one unit activation."""
+
+    node: ExecNode
+
+    @property
+    def unit_name(self) -> str:
+        return self.node.unit_name
+
+    def inputs(self) -> dict[str, object]:
+        """Concrete input values by name (what the test lookup needs)."""
+        return {binding.name: binding.value for binding in self.node.inputs}
+
+    def outputs(self) -> dict[str, object]:
+        return {binding.name: binding.value for binding in self.node.outputs}
+
+    def render(self) -> str:
+        head = self.node.render_head()
+        # Asking about the whole program shows what it printed — the
+        # externally visible symptom the user judges.
+        from repro.tracing.execution_tree import NodeKind
+
+        if self.node.kind is NodeKind.MAIN:
+            for binding in self.node.outputs:
+                if binding.name == "output" and isinstance(binding.value, str):
+                    shown = binding.value
+                    if len(shown) > 60:
+                        shown = shown[:57] + "..."
+                    head += f" [prints {shown!r}]"
+        return f"{head}?"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class Answer:
+    kind: AnswerKind
+    source: AnswerSource = AnswerSource.USER
+    #: NO_WITH_ERROR: the name of the erroneous output variable
+    error_variable: str | None = None
+    #: NO_WITH_ERROR: its 1-based position among the outputs, if known
+    error_position: int | None = None
+    #: ASSERTION: the assertion supplied alongside the judgement
+    assertion: "Assertion | None" = None
+    #: free-form provenance note ("frame (two, positive, small) passed...")
+    note: str = ""
+
+    # ------------------------------------------------------------------
+    # constructors
+
+    @classmethod
+    def yes(cls, source: AnswerSource = AnswerSource.USER, note: str = "") -> "Answer":
+        return cls(kind=AnswerKind.YES, source=source, note=note)
+
+    @classmethod
+    def no(cls, source: AnswerSource = AnswerSource.USER, note: str = "") -> "Answer":
+        return cls(kind=AnswerKind.NO, source=source, note=note)
+
+    @classmethod
+    def no_error_on(
+        cls,
+        variable: str | None = None,
+        position: int | None = None,
+        source: AnswerSource = AnswerSource.USER,
+        note: str = "",
+    ) -> "Answer":
+        if variable is None and position is None:
+            raise ValueError("error answer needs a variable name or position")
+        return cls(
+            kind=AnswerKind.NO_WITH_ERROR,
+            source=source,
+            error_variable=variable,
+            error_position=position,
+            note=note,
+        )
+
+    @classmethod
+    def dont_know(cls, source: AnswerSource = AnswerSource.USER) -> "Answer":
+        return cls(kind=AnswerKind.DONT_KNOW, source=source)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_correct(self) -> bool:
+        return self.kind is AnswerKind.YES
+
+    @property
+    def is_incorrect(self) -> bool:
+        return self.kind in (AnswerKind.NO, AnswerKind.NO_WITH_ERROR)
+
+    def resolve_error_variable(self, node: ExecNode) -> str | None:
+        """The erroneous output's name, resolving a positional answer."""
+        if self.kind is not AnswerKind.NO_WITH_ERROR:
+            return None
+        if self.error_variable is not None:
+            return self.error_variable
+        assert self.error_position is not None
+        return node.output_position(self.error_position).name
+
+    def render(self) -> str:
+        if self.kind is AnswerKind.YES:
+            return "yes"
+        if self.kind is AnswerKind.NO:
+            return "no"
+        if self.kind is AnswerKind.NO_WITH_ERROR:
+            if self.error_position is not None:
+                ordinal = _ordinal(self.error_position)
+                return f"no, error on {ordinal} output variable"
+            return f"no, error on {self.error_variable}"
+        if self.kind is AnswerKind.DONT_KNOW:
+            return "don't know"
+        assert self.kind is AnswerKind.ASSERTION
+        return f"assertion: {self.assertion}"
+
+
+def _ordinal(position: int) -> str:
+    names = {1: "first", 2: "second", 3: "third", 4: "fourth", 5: "fifth"}
+    return names.get(position, f"{position}th")

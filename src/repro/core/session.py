@@ -1,0 +1,89 @@
+"""Interaction-session transcripts (the paper's dialogue listings).
+
+"In the interaction sessions presented in this paper, the boldface text
+stands for the debugging system's output, and normal text represents
+user input." — rendered here as ``> question`` / answer lines, with
+non-user answer sources annotated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.queries import Answer, AnswerSource, Query
+
+
+class EventKind(enum.Enum):
+    QUESTION = "question"
+    SLICE = "slice"
+    NOTE = "note"
+    LOCALIZED = "localized"
+
+
+@dataclass(frozen=True)
+class Interaction:
+    kind: EventKind
+    text: str
+    answer_text: str = ""
+    source: AnswerSource | None = None
+
+    def render(self) -> str:
+        if self.kind is EventKind.QUESTION:
+            if self.source is AnswerSource.USER:
+                return f"{self.text}\n>{self.answer_text}"
+            origin = self.source.value if self.source is not None else "auto"
+            return f"{self.text}\n  [{self.answer_text} — answered by {origin}]"
+        if self.kind is EventKind.SLICE:
+            return f"-- slicing: {self.text} --"
+        if self.kind is EventKind.LOCALIZED:
+            return f"An error has been localized inside the body of {self.text}."
+        return f"-- {self.text} --"
+
+
+@dataclass
+class Session:
+    """The full record of one debugging session."""
+
+    events: list[Interaction] = field(default_factory=list)
+
+    def ask(self, query: Query, answer: Answer) -> None:
+        self.events.append(
+            Interaction(
+                kind=EventKind.QUESTION,
+                text=query.render(),
+                answer_text=answer.render(),
+                source=answer.source,
+            )
+        )
+
+    def note_slice(self, description: str) -> None:
+        self.events.append(Interaction(kind=EventKind.SLICE, text=description))
+
+    def note(self, text: str) -> None:
+        self.events.append(Interaction(kind=EventKind.NOTE, text=text))
+
+    def localized(self, unit_name: str) -> None:
+        self.events.append(Interaction(kind=EventKind.LOCALIZED, text=unit_name))
+
+    # ------------------------------------------------------------------
+
+    def user_questions(self) -> list[Interaction]:
+        return [
+            event
+            for event in self.events
+            if event.kind is EventKind.QUESTION and event.source is AnswerSource.USER
+        ]
+
+    def auto_answers(self) -> list[Interaction]:
+        return [
+            event
+            for event in self.events
+            if event.kind is EventKind.QUESTION and event.source is not AnswerSource.USER
+        ]
+
+    def render(self) -> str:
+        return "\n".join(event.render() for event in self.events) + "\n"
+
+    def __len__(self) -> int:
+        return len(self.events)

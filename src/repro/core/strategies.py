@@ -1,0 +1,163 @@
+"""Execution-tree search strategies.
+
+The paper uses top-down search ("we use top-down search in this
+example", §8) and notes that "generally it doesn't matter which
+traversal method is used". This module provides top-down plus two
+classic alternatives as ablations:
+
+* **top-down** — ask the children of the currently suspected unit in
+  execution order; descend into the first incorrect one;
+* **bottom-up** — Shapiro's single-stepping: post-order over the suspect
+  subtree, so the first "no" immediately localizes the bug;
+* **divide-and-query** — Shapiro's weighted bisection: query the node
+  whose subtree is closest to half of the remaining suspect weight,
+  halving the search space per answer.
+
+A strategy never sees answers directly — only the judgement map
+(node id → correct?) maintained by the debugger.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.slicing.tree_pruning import TreeView
+from repro.tracing.execution_tree import ExecNode
+
+
+class Strategy(Protocol):
+    name: str
+
+    def next_query(
+        self,
+        view: TreeView,
+        current_bug: ExecNode,
+        judgements: dict[int, bool],
+    ) -> ExecNode | None:
+        """The next node to ask about, or None when the bug is localized
+        at ``current_bug`` (all relevant sub-computations judged correct)."""
+
+
+def _undecided_children(
+    view: TreeView, node: ExecNode, judgements: dict[int, bool]
+) -> list[ExecNode]:
+    return [
+        child
+        for child in view.children(node)
+        if judgements.get(child.node_id) is None
+    ]
+
+
+def _suspects(
+    view: TreeView, current_bug: ExecNode, judgements: dict[int, bool]
+) -> list[ExecNode]:
+    """Descendants of ``current_bug`` still possibly containing the bug:
+    unjudged nodes not under a judged-correct subtree (pre-order)."""
+    result: list[ExecNode] = []
+
+    def visit(node: ExecNode) -> None:
+        for child in view.children(node):
+            verdict = judgements.get(child.node_id)
+            if verdict is True:
+                continue  # correct: the whole subtree is exonerated
+            if verdict is None:
+                result.append(child)
+            visit(child)
+
+    visit(current_bug)
+    return result
+
+
+class TopDownStrategy:
+    """The paper's strategy: children in execution order, descend on 'no'."""
+
+    name = "top-down"
+
+    def next_query(
+        self,
+        view: TreeView,
+        current_bug: ExecNode,
+        judgements: dict[int, bool],
+    ) -> ExecNode | None:
+        children = _undecided_children(view, current_bug, judgements)
+        return children[0] if children else None
+
+
+class BottomUpStrategy:
+    """Post-order single-stepping from the leaves."""
+
+    name = "bottom-up"
+
+    def next_query(
+        self,
+        view: TreeView,
+        current_bug: ExecNode,
+        judgements: dict[int, bool],
+    ) -> ExecNode | None:
+        def visit(node: ExecNode) -> ExecNode | None:
+            for child in view.children(node):
+                verdict = judgements.get(child.node_id)
+                if verdict is True:
+                    continue
+                found = visit(child)
+                if found is not None:
+                    return found
+                if verdict is None:
+                    return child
+            return None
+
+        return visit(current_bug)
+
+
+class DivideAndQueryStrategy:
+    """Shapiro's divide-and-query: bisect the suspect weight."""
+
+    name = "divide-and-query"
+
+    def next_query(
+        self,
+        view: TreeView,
+        current_bug: ExecNode,
+        judgements: dict[int, bool],
+    ) -> ExecNode | None:
+        suspects = _suspects(view, current_bug, judgements)
+        if not suspects:
+            return None
+        suspect_ids = {node.node_id for node in suspects}
+
+        def weight(node: ExecNode) -> int:
+            total = 1 if node.node_id in suspect_ids else 0
+            for child in view.children(node):
+                if judgements.get(child.node_id) is True:
+                    continue
+                total += weight(child)
+            return total
+
+        total_weight = len(suspects)
+        target = total_weight / 2
+        best = min(
+            suspects,
+            key=lambda node: (abs(weight(node) - target), node.node_id),
+        )
+        return best
+
+
+_STRATEGIES = {
+    "top-down": TopDownStrategy,
+    "bottom-up": BottomUpStrategy,
+    "divide-and-query": DivideAndQueryStrategy,
+}
+
+
+def make_strategy(name: str) -> Strategy:
+    """Build a strategy by name: top-down, bottom-up, or divide-and-query."""
+    try:
+        return _STRATEGIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; choose from {sorted(_STRATEGIES)}"
+        ) from None
+
+
+def available_strategies() -> list[str]:
+    return sorted(_STRATEGIES)

@@ -1,0 +1,123 @@
+"""Transparent debugging relative to the original program (paper §6.1).
+
+"Despite the fact that the program is transformed into an internal form,
+the debugger still presents the original program when interacting with
+the user."
+
+Given a debugging result obtained on the *transformed* program, this
+module maps the localized unit back through the pipeline's source map
+and renders the source the user actually wrote — the final "an error has
+been localized inside the body of ..." report shows the original
+procedure, not the parameter-threaded internal form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.pretty import print_routine, print_statement
+from repro.tracing.execution_tree import ExecNode, NodeKind
+from repro.transform.pipeline import TransformedProgram
+
+
+@dataclass(frozen=True)
+class UnitSource:
+    """The original-source rendering of one localized unit."""
+
+    unit_name: str
+    kind: str  # "routine", "loop", or "program"
+    source: str
+    location_line: int = 0
+
+    def render(self) -> str:
+        header = f"-- original source of {self.unit_name}"
+        if self.location_line:
+            header += f" (line {self.location_line})"
+        return f"{header} --\n{self.source}"
+
+
+class TransparencyMap:
+    """Maps transformed-program constructs back to original source."""
+
+    def __init__(self, transformed: TransformedProgram):
+        self.transformed = transformed
+        self._original_index: dict[int, ast.Node] = {
+            node.node_id: node
+            for node in transformed.original_analysis.program.walk()
+        }
+
+    # ------------------------------------------------------------------
+
+    def original_node(self, transformed_id: int) -> ast.Node | None:
+        """The original AST node a transformed construct descends from."""
+        original_id = self.transformed.original_node_id(transformed_id)
+        if original_id is None:
+            return None
+        return self._original_index.get(original_id)
+
+    def original_routine_decl(self, unit_name: str) -> ast.RoutineDecl | None:
+        """The original declaration of a routine, by (transformed) name."""
+        try:
+            info = self.transformed.analysis.routine_named(unit_name)
+        except KeyError:
+            return None
+        if not isinstance(info.decl, ast.RoutineDecl):
+            return None
+        original = self.original_node(info.decl.node_id)
+        if isinstance(original, ast.RoutineDecl):
+            return original
+        return None
+
+    def original_loop_stmt(self, loop_stmt_id: int) -> ast.Stmt | None:
+        """The original loop statement behind a loop unit."""
+        original = self.original_node(loop_stmt_id)
+        if isinstance(original, ast.Stmt):
+            return original
+        return None
+
+    # ------------------------------------------------------------------
+
+    def unit_source(self, node: ExecNode) -> UnitSource:
+        """Original source for an execution-tree node's unit."""
+        if node.kind is NodeKind.MAIN:
+            program = self.transformed.original_analysis.program
+            from repro.pascal.pretty import print_program
+
+            return UnitSource(
+                unit_name=node.unit_name,
+                kind="program",
+                source=print_program(program),
+                location_line=program.location.line,
+            )
+        if node.kind in (NodeKind.LOOP, NodeKind.ITERATION):
+            assert node.loop_stmt_id is not None
+            stmt = self.original_loop_stmt(node.loop_stmt_id)
+            if stmt is None:
+                # Fall back to the transformed loop (still informative).
+                stmt = self._transformed_stmt(node.loop_stmt_id)
+            assert stmt is not None
+            return UnitSource(
+                unit_name=node.unit_name,
+                kind="loop",
+                source=print_statement(stmt),
+                location_line=stmt.location.line,
+            )
+        decl = self.original_routine_decl(node.unit_name)
+        if decl is None:
+            # Untransformed program: the transformed decl *is* original.
+            info = self.transformed.analysis.routine_named(node.unit_name)
+            assert isinstance(info.decl, ast.RoutineDecl)
+            decl = info.decl
+        return UnitSource(
+            unit_name=node.unit_name,
+            kind="routine",
+            source=print_routine(decl),
+            location_line=decl.location.line,
+        )
+
+    def _transformed_stmt(self, stmt_id: int) -> ast.Stmt | None:
+        for node in self.transformed.analysis.program.walk():
+            if node.node_id == stmt_id and isinstance(node, ast.Stmt):
+                return node
+        return None

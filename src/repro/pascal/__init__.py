@@ -1,0 +1,67 @@
+"""Mini-Pascal language substrate: lexer, parser, semantics, interpreter.
+
+This package is the imperative-language foundation the paper's method is
+defined over. The public surface:
+
+>>> from repro.pascal import parse_program, analyze, run_source
+>>> result = run_source("program p; var x: integer; begin x := 2 + 2; writeln(x) end.")
+>>> result.output
+'4\\n'
+"""
+
+from repro.pascal.ast_nodes import Program
+from repro.pascal.errors import (
+    LexError,
+    ParseError,
+    PascalError,
+    PascalRuntimeError,
+    SemanticError,
+    SourceLocation,
+    StepLimitExceeded,
+    UndefinedValueError,
+)
+from repro.pascal.interpreter import (
+    ExecutionHooks,
+    ExecutionResult,
+    Interpreter,
+    PascalIO,
+    UnitCallResult,
+    run_source,
+)
+from repro.pascal.lexer import tokenize
+from repro.pascal.parser import parse_expression, parse_program
+from repro.pascal.pretty import format_expr, print_program, print_routine, print_statement
+from repro.pascal.semantics import AnalyzedProgram, RoutineInfo, analyze, analyze_source
+from repro.pascal.values import ArrayValue, UNDEFINED, format_value
+
+__all__ = [
+    "AnalyzedProgram",
+    "ArrayValue",
+    "ExecutionHooks",
+    "ExecutionResult",
+    "Interpreter",
+    "LexError",
+    "ParseError",
+    "PascalError",
+    "PascalIO",
+    "PascalRuntimeError",
+    "Program",
+    "RoutineInfo",
+    "SemanticError",
+    "SourceLocation",
+    "StepLimitExceeded",
+    "UndefinedValueError",
+    "UnitCallResult",
+    "UNDEFINED",
+    "analyze",
+    "analyze_source",
+    "format_expr",
+    "format_value",
+    "parse_expression",
+    "parse_program",
+    "print_program",
+    "print_routine",
+    "print_statement",
+    "run_source",
+    "tokenize",
+]

@@ -1,0 +1,365 @@
+"""Abstract syntax tree for Mini-Pascal.
+
+Every node carries a :class:`~repro.pascal.errors.SourceLocation` and a
+process-unique ``node_id``. The ids let later phases (transformation,
+slicing, execution-tree construction) refer to specific constructs and
+maintain original-to-transformed mappings without identity hacks.
+
+Nodes are plain mutable dataclasses: the transformation phase rewrites
+trees by building new nodes, and :func:`clone` produces deep copies with
+fresh ids when a construct must appear in both the original and the
+transformed program.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields
+from typing import Iterator
+
+from repro.pascal.errors import SourceLocation
+
+_NODE_IDS = itertools.count(1)
+
+
+def _next_id() -> int:
+    return next(_NODE_IDS)
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    location: SourceLocation = field(default_factory=SourceLocation.unknown, kw_only=True)
+    node_id: int = field(default_factory=_next_id, kw_only=True, compare=False)
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes in syntactic order."""
+        for f in fields(self):
+            if f.name in ("location", "node_id"):
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ----------------------------------------------------------------------
+# Type expressions
+
+
+@dataclass
+class TypeExpr(Node):
+    """Base class for type denotations."""
+
+
+@dataclass
+class NamedType(TypeExpr):
+    """A reference to a named type: ``integer``, ``boolean``, ``intarray``."""
+
+    name: str = ""
+
+
+@dataclass
+class ArrayType(TypeExpr):
+    """``array[lo..hi] of elem``. Bounds are constant expressions."""
+
+    low: "Expr" = None  # type: ignore[assignment]
+    high: "Expr" = None  # type: ignore[assignment]
+    element: TypeExpr = None  # type: ignore[assignment]
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+
+@dataclass
+class VarRef(Expr):
+    """A bare identifier used as a value or assignment target."""
+
+    name: str = ""
+
+
+@dataclass
+class IndexedRef(Expr):
+    """Array element access ``base[index]``; ``base`` may itself be indexed."""
+
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class FuncCall(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class UnaryOp(Expr):
+    """``op`` is one of ``-``, ``+``, ``not``."""
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class BinaryOp(Expr):
+    """``op`` is an arithmetic, relational, or boolean operator token text."""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ArrayLiteral(Expr):
+    """``[e1, e2, ...]`` — an array constructor (extension used by the
+    paper's own example, which calls ``sqrtest([1,2], 2, isok)``)."""
+
+    elements: list[Expr] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Declarations
+
+
+@dataclass
+class Decl(Node):
+    """Base class for declarations."""
+
+
+@dataclass
+class ConstDecl(Decl):
+    name: str = ""
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class TypeDecl(Decl):
+    name: str = ""
+    type_expr: TypeExpr = None  # type: ignore[assignment]
+
+
+@dataclass
+class VarDecl(Decl):
+    """One ``name : type`` binding (``var a, b: integer`` parses into two)."""
+
+    name: str = ""
+    type_expr: TypeExpr = None  # type: ignore[assignment]
+
+
+@dataclass
+class LabelDecl(Decl):
+    """``label 9;`` — labels are numeric, following classic Pascal."""
+
+    label: str = ""
+
+
+class ParamMode:
+    """Parameter passing modes.
+
+    ``VALUE`` and ``VAR`` are standard Pascal. ``IN_`` and ``OUT`` are
+    produced by the transformation phase when globals become parameters
+    (the paper's ``in x: ...; out z: ...`` notation); they behave as
+    value and result parameters respectively.
+    """
+
+    VALUE = "value"
+    VAR = "var"
+    IN_ = "in"
+    OUT = "out"
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type_expr: TypeExpr = None  # type: ignore[assignment]
+    mode: str = ParamMode.VALUE
+
+
+@dataclass
+class Block(Node):
+    """Declaration part + body of a program, procedure, or function."""
+
+    labels: list[LabelDecl] = field(default_factory=list)
+    consts: list[ConstDecl] = field(default_factory=list)
+    types: list[TypeDecl] = field(default_factory=list)
+    variables: list[VarDecl] = field(default_factory=list)
+    routines: list["RoutineDecl"] = field(default_factory=list)
+    body: "Compound" = None  # type: ignore[assignment]
+
+
+@dataclass
+class RoutineDecl(Decl):
+    """A procedure or function declaration (``result_type is None`` for
+    procedures). Routines may nest."""
+
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    result_type: TypeExpr | None = None
+    block: Block = None  # type: ignore[assignment]
+
+    @property
+    def is_function(self) -> bool:
+        return self.result_type is not None
+
+
+@dataclass
+class Program(Node):
+    name: str = ""
+    block: Block = None  # type: ignore[assignment]
+
+
+# ----------------------------------------------------------------------
+# Statements
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements. ``label`` is the numeric label prefixed
+    to the statement (``9: s``), or None."""
+
+    label: str | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ProcCall(Stmt):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Compound(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    then_branch: Stmt = None  # type: ignore[assignment]
+    else_branch: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Repeat(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+    condition: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    """``for var := start to|downto stop do body``."""
+
+    variable: str = ""
+    start: Expr = None  # type: ignore[assignment]
+    stop: Expr = None  # type: ignore[assignment]
+    downto: bool = False
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Goto(Stmt):
+    target: str = ""
+
+
+# ----------------------------------------------------------------------
+# Utilities
+
+
+def clone(node: Node) -> Node:
+    """Deep-copy an AST, assigning fresh node ids throughout.
+
+    Returns a structurally identical tree that shares no nodes with the
+    original — used by the transformation phase, which must leave the
+    original program intact for transparent debugging.
+    """
+    if not isinstance(node, Node):
+        return node
+    kwargs = {}
+    for f in fields(node):
+        if f.name == "node_id":
+            continue
+        value = getattr(node, f.name)
+        if isinstance(value, Node):
+            kwargs[f.name] = clone(value)
+        elif isinstance(value, list):
+            kwargs[f.name] = [clone(item) if isinstance(item, Node) else item for item in value]
+        else:
+            kwargs[f.name] = value
+    return type(node)(**kwargs)
+
+
+def iter_statements(stmt: Stmt) -> Iterator[Stmt]:
+    """Yield ``stmt`` and every statement nested within it, pre-order."""
+    yield stmt
+    if isinstance(stmt, Compound):
+        for child in stmt.statements:
+            yield from iter_statements(child)
+    elif isinstance(stmt, If):
+        yield from iter_statements(stmt.then_branch)
+        if stmt.else_branch is not None:
+            yield from iter_statements(stmt.else_branch)
+    elif isinstance(stmt, While):
+        yield from iter_statements(stmt.body)
+    elif isinstance(stmt, Repeat):
+        for child in stmt.body:
+            yield from iter_statements(child)
+    elif isinstance(stmt, For):
+        yield from iter_statements(stmt.body)
+
+
+def iter_routines(program: Program) -> Iterator[RoutineDecl]:
+    """Yield every routine declared anywhere in the program, outer first."""
+
+    def visit(block: Block) -> Iterator[RoutineDecl]:
+        for routine in block.routines:
+            yield routine
+            yield from visit(routine.block)
+
+    yield from visit(program.block)

@@ -1,0 +1,181 @@
+"""Hand-written scanner for Mini-Pascal.
+
+Supports both Pascal comment styles (``{ ... }`` and ``(* ... *)``),
+case-insensitive keywords, integer literals, and single-quoted string
+literals with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+from repro.pascal.errors import LexError, SourceLocation
+from repro.pascal.tokens import KEYWORDS, Token, TokenType
+
+_SINGLE_CHAR_TOKENS = {
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "=": TokenType.EQ,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+}
+
+
+class Lexer:
+    """Converts source text into a list of tokens."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Scan the whole input, returning tokens ending with EOF."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+    # scanning machinery
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self) -> str:
+        char = self._source[self._pos]
+        self._pos += 1
+        if char == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+        return char
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and both comment styles."""
+        while self._pos < len(self._source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "{":
+                self._skip_brace_comment()
+            elif char == "(" and self._peek(1) == "*":
+                self._skip_paren_comment()
+            else:
+                return
+
+    def _skip_brace_comment(self) -> None:
+        start = self._location()
+        self._advance()  # consume '{'
+        while self._pos < len(self._source):
+            if self._advance() == "}":
+                return
+        raise LexError("unterminated '{' comment", start)
+
+    def _skip_paren_comment(self) -> None:
+        start = self._location()
+        self._advance()  # consume '('
+        self._advance()  # consume '*'
+        while self._pos < len(self._source):
+            if self._peek() == "*" and self._peek(1) == ")":
+                self._advance()
+                self._advance()
+                return
+            self._advance()
+        raise LexError("unterminated '(*' comment", start)
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        location = self._location()
+        if self._pos >= len(self._source):
+            return Token(TokenType.EOF, "", location)
+
+        char = self._peek()
+        if char.isalpha() or char == "_":
+            return self._scan_word(location)
+        if char.isdigit():
+            return self._scan_number(location)
+        if char == "'":
+            return self._scan_string(location)
+        return self._scan_operator(location)
+
+    def _scan_word(self, location: SourceLocation) -> Token:
+        chars: list[str] = []
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._advance())
+        text = "".join(chars)
+        keyword = KEYWORDS.get(text.lower())
+        if keyword is not None:
+            return Token(keyword, text, location)
+        return Token(TokenType.IDENT, text, location)
+
+    def _scan_number(self, location: SourceLocation) -> Token:
+        chars: list[str] = []
+        while self._peek().isdigit():
+            chars.append(self._advance())
+        return Token(TokenType.INT_LITERAL, "".join(chars), location)
+
+    def _scan_string(self, location: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self._pos >= len(self._source) or self._peek() == "\n":
+                raise LexError("unterminated string literal", location)
+            char = self._advance()
+            if char == "'":
+                if self._peek() == "'":  # '' escapes a quote
+                    chars.append(self._advance())
+                else:
+                    return Token(TokenType.STRING_LITERAL, "".join(chars), location)
+            else:
+                chars.append(char)
+
+    def _scan_operator(self, location: SourceLocation) -> Token:
+        char = self._advance()
+        if char == ":":
+            if self._peek() == "=":
+                self._advance()
+                return Token(TokenType.ASSIGN, ":=", location)
+            return Token(TokenType.COLON, ":", location)
+        if char == "<":
+            if self._peek() == "=":
+                self._advance()
+                return Token(TokenType.LE, "<=", location)
+            if self._peek() == ">":
+                self._advance()
+                return Token(TokenType.NEQ, "<>", location)
+            return Token(TokenType.LT, "<", location)
+        if char == ">":
+            if self._peek() == "=":
+                self._advance()
+                return Token(TokenType.GE, ">=", location)
+            return Token(TokenType.GT, ">", location)
+        if char == ".":
+            if self._peek() == ".":
+                self._advance()
+                return Token(TokenType.DOTDOT, "..", location)
+            return Token(TokenType.DOT, ".", location)
+        if char == "(":
+            return Token(TokenType.LPAREN, "(", location)
+        token_type = _SINGLE_CHAR_TOKENS.get(char)
+        if token_type is not None:
+            return Token(token_type, char, location)
+        raise LexError(f"unexpected character {char!r}", location)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: scan ``source`` into a token list."""
+    return Lexer(source).tokenize()

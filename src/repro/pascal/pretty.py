@@ -1,0 +1,289 @@
+"""Pretty-printer: Mini-Pascal AST back to source text.
+
+Used for three things:
+
+* showing the user original-program constructs during debugging
+  (transparency, paper §6.1),
+* emitting computed slices as runnable programs (paper §4: "the reduced
+  program, which is an independent program, is called a slice"),
+* round-trip property tests (print → reparse → identical tree).
+"""
+
+from __future__ import annotations
+
+from repro.pascal import ast_nodes as ast
+
+# Matches the parser's grammar: one (non-associative) relational layer at
+# the bottom, then additive/or, then multiplicative/and — classic Pascal.
+_BINARY_PRECEDENCE = {
+    "=": 1,
+    "<>": 1,
+    "<": 1,
+    "<=": 1,
+    ">": 1,
+    ">=": 1,
+    "+": 2,
+    "-": 2,
+    "or": 2,
+    "*": 3,
+    "/": 3,
+    "div": 3,
+    "mod": 3,
+    "and": 3,
+}
+
+_RELATIONAL_OPS = {"=", "<>", "<", "<=", ">", ">="}
+
+_UNARY_PRECEDENCE = 4
+
+
+class PrettyPrinter:
+    def __init__(self, indent: str = "  "):
+        self._indent_unit = indent
+        self._lines: list[str] = []
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # entry points
+
+    def print_program(self, program: ast.Program) -> str:
+        self._lines = []
+        self._depth = 0
+        self._emit(f"program {program.name};")
+        self._print_block(program.block)
+        # Replace the trailing 'end' of the main body with 'end.'
+        self._lines[-1] = self._lines[-1] + "."
+        return "\n".join(self._lines) + "\n"
+
+    def print_statement(self, stmt: ast.Stmt) -> str:
+        self._lines = []
+        self._depth = 0
+        self._print_stmt(stmt)
+        return "\n".join(self._lines) + "\n"
+
+    def print_routine(self, routine: ast.RoutineDecl) -> str:
+        self._lines = []
+        self._depth = 0
+        self._print_routine(routine)
+        return "\n".join(self._lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # output helpers
+
+    def _emit(self, text: str) -> None:
+        self._lines.append(self._indent_unit * self._depth + text if text else "")
+
+    # ------------------------------------------------------------------
+    # declarations
+
+    def _print_block(self, block: ast.Block) -> None:
+        if block.labels:
+            labels = ", ".join(decl.label for decl in block.labels)
+            self._emit(f"label {labels};")
+        if block.consts:
+            self._emit("const")
+            self._depth += 1
+            for const in block.consts:
+                self._emit(f"{const.name} = {self.format_expr(const.value)};")
+            self._depth -= 1
+        if block.types:
+            self._emit("type")
+            self._depth += 1
+            for type_decl in block.types:
+                self._emit(f"{type_decl.name} = {self.format_type(type_decl.type_expr)};")
+            self._depth -= 1
+        if block.variables:
+            self._emit("var")
+            self._depth += 1
+            for var in block.variables:
+                self._emit(f"{var.name}: {self.format_type(var.type_expr)};")
+            self._depth -= 1
+        for routine in block.routines:
+            self._print_routine(routine)
+        self._print_compound(block.body)
+
+    def _print_routine(self, routine: ast.RoutineDecl) -> None:
+        keyword = "function" if routine.is_function else "procedure"
+        params = self._format_params(routine.params)
+        suffix = f": {self.format_type(routine.result_type)}" if routine.is_function else ""
+        self._emit(f"{keyword} {routine.name}{params}{suffix};")
+        self._depth += 1
+        self._print_block(routine.block)
+        self._lines[-1] = self._lines[-1] + ";"
+        self._depth -= 1
+
+    def _format_params(self, params: list[ast.Param]) -> str:
+        if not params:
+            return ""
+        groups: list[str] = []
+        index = 0
+        while index < len(params):
+            group = [params[index]]
+            while (
+                index + len(group) < len(params)
+                and params[index + len(group)].mode == group[0].mode
+                and self.format_type(params[index + len(group)].type_expr)
+                == self.format_type(group[0].type_expr)
+            ):
+                group.append(params[index + len(group)])
+            names = ", ".join(param.name for param in group)
+            prefix = {"value": "", "var": "var ", "in": "in ", "out": "out "}[group[0].mode]
+            groups.append(f"{prefix}{names}: {self.format_type(group[0].type_expr)}")
+            index += len(group)
+        return "(" + "; ".join(groups) + ")"
+
+    def format_type(self, type_expr: ast.TypeExpr | None) -> str:
+        if type_expr is None:
+            return ""
+        if isinstance(type_expr, ast.NamedType):
+            return type_expr.name
+        if isinstance(type_expr, ast.ArrayType):
+            low = self.format_expr(type_expr.low)
+            high = self.format_expr(type_expr.high)
+            return f"array[{low}..{high}] of {self.format_type(type_expr.element)}"
+        raise TypeError(f"unknown type expression {type_expr!r}")
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _print_stmt(self, stmt: ast.Stmt) -> None:
+        prefix = f"{stmt.label}: " if stmt.label is not None else ""
+        if isinstance(stmt, ast.EmptyStmt):
+            # An empty statement has no text of its own; only a label
+            # (a goto target) forces it onto a line.
+            if prefix:
+                self._emit(prefix.rstrip(" "))
+            return
+        if isinstance(stmt, ast.Compound):
+            if prefix:
+                self._emit(prefix.rstrip())
+            self._print_compound(stmt)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._emit(f"{prefix}{self.format_expr(stmt.target)} := {self.format_expr(stmt.value)}")
+            return
+        if isinstance(stmt, ast.ProcCall):
+            args = ", ".join(self.format_expr(arg) for arg in stmt.args)
+            call = f"{stmt.name}({args})" if stmt.args else stmt.name
+            self._emit(f"{prefix}{call}")
+            return
+        if isinstance(stmt, ast.If):
+            self._emit(f"{prefix}if {self.format_expr(stmt.condition)} then")
+            self._print_indented(stmt.then_branch)
+            if stmt.else_branch is not None:
+                self._emit("else")
+                self._print_indented(stmt.else_branch)
+            return
+        if isinstance(stmt, ast.While):
+            self._emit(f"{prefix}while {self.format_expr(stmt.condition)} do")
+            self._print_indented(stmt.body)
+            return
+        if isinstance(stmt, ast.Repeat):
+            self._emit(f"{prefix}repeat")
+            self._depth += 1
+            self._print_stmt_list(stmt.body)
+            self._depth -= 1
+            self._emit(f"until {self.format_expr(stmt.condition)}")
+            return
+        if isinstance(stmt, ast.For):
+            direction = "downto" if stmt.downto else "to"
+            self._emit(
+                f"{prefix}for {stmt.variable} := {self.format_expr(stmt.start)} "
+                f"{direction} {self.format_expr(stmt.stop)} do"
+            )
+            self._print_indented(stmt.body)
+            return
+        if isinstance(stmt, ast.Goto):
+            self._emit(f"{prefix}goto {stmt.target}")
+            return
+        raise TypeError(f"unknown statement {stmt!r}")
+
+    def _print_indented(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Compound) and stmt.label is None:
+            self._print_compound(stmt)
+        else:
+            self._depth += 1
+            self._print_stmt(stmt)
+            self._depth -= 1
+
+    def _print_compound(self, compound: ast.Compound) -> None:
+        self._emit("begin")
+        self._depth += 1
+        self._print_stmt_list(compound.statements)
+        self._depth -= 1
+        self._emit("end")
+
+    def _print_stmt_list(self, statements: list[ast.Stmt]) -> None:
+        for index, child in enumerate(statements):
+            before = len(self._lines)
+            self._print_stmt(child)
+            if index < len(statements) - 1 and len(self._lines) > before:
+                self._lines[-1] = self._lines[-1] + ";"
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def format_expr(self, expr: ast.Expr, parent_precedence: int = 0) -> str:
+        text, precedence = self._format_expr_prec(expr)
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+
+    def _format_expr_prec(self, expr: ast.Expr) -> tuple[str, int]:
+        highest = 10
+        if isinstance(expr, ast.IntLiteral):
+            return str(expr.value), highest
+        if isinstance(expr, ast.BoolLiteral):
+            return ("true" if expr.value else "false"), highest
+        if isinstance(expr, ast.StringLiteral):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'", highest
+        if isinstance(expr, ast.VarRef):
+            return expr.name, highest
+        if isinstance(expr, ast.IndexedRef):
+            base = self.format_expr(expr.base, _UNARY_PRECEDENCE)
+            return f"{base}[{self.format_expr(expr.index)}]", highest
+        if isinstance(expr, ast.FuncCall):
+            args = ", ".join(self.format_expr(arg) for arg in expr.args)
+            return f"{expr.name}({args})", highest
+        if isinstance(expr, ast.ArrayLiteral):
+            elements = ", ".join(self.format_expr(element) for element in expr.elements)
+            return f"[{elements}]", highest
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op == "-":
+                # A sign binds a whole *term* in the grammar, so printed
+                # unary minus sits at additive precedence: `(-a) * b`
+                # needs its parentheses, `-a + b` does not.
+                operand = self.format_expr(expr.operand, 3)
+                return f"-{operand}", 2
+            operand = self.format_expr(expr.operand, _UNARY_PRECEDENCE + 1)
+            return f"not {operand}", _UNARY_PRECEDENCE
+        if isinstance(expr, ast.BinaryOp):
+            precedence = _BINARY_PRECEDENCE[expr.op]
+            # Relationals are non-associative: parenthesize both operands
+            # if they are relational themselves.
+            left_floor = precedence + 1 if expr.op in _RELATIONAL_OPS else precedence
+            left = self.format_expr(expr.left, left_floor)
+            right = self.format_expr(expr.right, precedence + 1)
+            return f"{left} {expr.op} {right}", precedence
+        raise TypeError(f"unknown expression {expr!r}")
+
+
+def print_program(program: ast.Program) -> str:
+    """Render a program AST as Mini-Pascal source text."""
+    return PrettyPrinter().print_program(program)
+
+
+def print_statement(stmt: ast.Stmt) -> str:
+    """Render a single statement (with nested structure) as source text."""
+    return PrettyPrinter().print_statement(stmt)
+
+
+def print_routine(routine: ast.RoutineDecl) -> str:
+    """Render a routine declaration as source text."""
+    return PrettyPrinter().print_routine(routine)
+
+
+def format_expr(expr: ast.Expr) -> str:
+    """Render an expression as source text."""
+    return PrettyPrinter().format_expr(expr)

@@ -1,0 +1,139 @@
+"""Runtime values for the Mini-Pascal interpreter.
+
+Integers and booleans are plain Python objects; arrays get a small value
+class that knows its bounds. :data:`UNDEFINED` marks never-assigned
+storage so the interpreter can report reads of uninitialized variables —
+a real bug class the debugger must be able to chase.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.pascal.symbols import ArrayTypeInfo, BOOLEAN, INTEGER, STRING, Type
+
+
+class _Undefined:
+    """Singleton marking storage that was never assigned."""
+
+    _instance: "_Undefined | None" = None
+
+    def __new__(cls) -> "_Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<undefined>"
+
+    def __deepcopy__(self, memo: dict) -> "_Undefined":
+        return self
+
+
+UNDEFINED = _Undefined()
+
+
+class ArrayValue:
+    """A Pascal array value with inclusive integer bounds."""
+
+    __slots__ = ("low", "high", "elements")
+
+    def __init__(self, low: int, high: int, elements: list[object] | None = None):
+        self.low = low
+        self.high = high
+        if elements is None:
+            elements = [UNDEFINED] * (high - low + 1)
+        if len(elements) != high - low + 1:
+            raise ValueError(
+                f"array[{low}..{high}] needs {high - low + 1} elements, got {len(elements)}"
+            )
+        self.elements = elements
+
+    @classmethod
+    def from_values(cls, values: Iterable[object], low: int = 1) -> "ArrayValue":
+        elements = list(values)
+        return cls(low, low + len(elements) - 1, elements)
+
+    def in_bounds(self, index: int) -> bool:
+        return self.low <= index <= self.high
+
+    def get(self, index: int) -> object:
+        return self.elements[index - self.low]
+
+    def set(self, index: int, value: object) -> None:
+        self.elements[index - self.low] = value
+
+    def copy(self) -> "ArrayValue":
+        return ArrayValue(self.low, self.high, list(self.elements))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayValue)
+            and self.low == other.low
+            and self.high == other.high
+            and self.elements == other.elements
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.low, self.high, tuple(self.elements)))
+
+    def __repr__(self) -> str:
+        return f"ArrayValue({self.low}, {self.high}, {self.elements!r})"
+
+    def __str__(self) -> str:
+        return format_value(self)
+
+
+def default_value(value_type: Type) -> object:
+    """Fresh (undefined) storage for a declared type."""
+    if isinstance(value_type, ArrayTypeInfo):
+        return ArrayValue(value_type.low, value_type.high)
+    return UNDEFINED
+
+
+def copy_value(value: object) -> object:
+    """Value-semantics copy: arrays are duplicated, scalars returned as-is."""
+    if isinstance(value, ArrayValue):
+        return value.copy()
+    return value
+
+
+def format_value(value: object) -> str:
+    """Render a value the way the paper's dialogues do: ``3``, ``false``, ``[1,2]``."""
+    if value is UNDEFINED:
+        return "?"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return f"'{value}'"
+    if isinstance(value, ArrayValue):
+        inner = ",".join(format_value(element) for element in value.elements)
+        return f"[{inner}]"
+    raise TypeError(f"not a Pascal value: {value!r}")
+
+
+def type_of_value(value: object) -> Type:
+    """Best-effort dynamic type of a runtime value (used by assertions)."""
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, str):
+        return STRING
+    if isinstance(value, ArrayValue):
+        element = INTEGER
+        for item in value.elements:
+            if item is not UNDEFINED:
+                element = type_of_value(item)
+                break
+        return ArrayTypeInfo(value.low, value.high, element)
+    raise TypeError(f"not a Pascal value: {value!r}")
+
+
+def values_equal(left: object, right: object) -> bool:
+    """Structural equality, treating bool/int distinctly (Pascal types differ)."""
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    return left == right

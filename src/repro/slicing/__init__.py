@@ -1,0 +1,35 @@
+"""Program slicing (paper §4, §7): static and dynamic, plus tree pruning.
+
+* :mod:`repro.slicing.static_slicer` — Weiser-style interprocedural
+  static slicing on PDGs; slices are extractable as runnable programs
+  (the paper's Figure 2).
+* :mod:`repro.slicing.dynamic_slicer` — interprocedural dynamic slicing
+  over the traced dependence graph (Kamkar's method, paper §7).
+* :mod:`repro.slicing.tree_pruning` — projecting a dynamic slice onto the
+  execution tree, yielding the pruned trees of Figures 8–9 on which the
+  algorithmic debugger continues its search.
+"""
+
+from repro.slicing.criteria import DynamicCriterion, StaticCriterion
+from repro.slicing.dynamic_slicer import DynamicSlice, dynamic_slice
+from repro.slicing.forward_slicer import (
+    ForwardCriterion,
+    ForwardSlice,
+    forward_static_slice,
+)
+from repro.slicing.static_slicer import StaticSlice, static_slice
+from repro.slicing.tree_pruning import TreeView, prune_tree
+
+__all__ = [
+    "DynamicCriterion",
+    "DynamicSlice",
+    "ForwardCriterion",
+    "ForwardSlice",
+    "StaticCriterion",
+    "StaticSlice",
+    "TreeView",
+    "dynamic_slice",
+    "forward_static_slice",
+    "prune_tree",
+    "static_slice",
+]

@@ -1,0 +1,70 @@
+"""Slicing criteria.
+
+A *static* criterion is the classic (program point, variable set) pair of
+Weiser's definition: "a program slice at a program point p on a variable
+v is all statements and predicates of the program that might affect the
+value of v at point p".
+
+A *dynamic* criterion arises during debugging: the user points at a
+specific *output of a specific unit activation* — "no, error on first
+output variable" (paper §8) — identifying concrete occurrences in one
+traced execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tracing.execution_tree import ExecNode
+
+
+@dataclass(frozen=True)
+class StaticCriterion:
+    """Slice ``variables`` at a program point.
+
+    ``routine`` names the routine containing the point (empty string or
+    the program name selects the main body). ``stmt_id`` is the AST node
+    id of the statement at the point; ``at_exit=True`` places the point
+    at the routine's exit instead (the "last line" case of Figure 2).
+    """
+
+    routine: str
+    variables: frozenset[str]
+    stmt_id: int | None = None
+    at_exit: bool = True
+
+    @classmethod
+    def at_routine_exit(cls, routine: str, *variables: str) -> "StaticCriterion":
+        return cls(routine=routine, variables=frozenset(variables), at_exit=True)
+
+    @classmethod
+    def at_statement(
+        cls, routine: str, stmt_id: int, *variables: str
+    ) -> "StaticCriterion":
+        return cls(
+            routine=routine,
+            variables=frozenset(variables),
+            stmt_id=stmt_id,
+            at_exit=False,
+        )
+
+
+@dataclass(frozen=True)
+class DynamicCriterion:
+    """An erroneous output value of one unit activation.
+
+    Exactly what the user supplies in the paper's dialogues: the unit
+    activation (an execution-tree node) and which of its outputs is
+    wrong — by name or by 1-based position.
+    """
+
+    node: ExecNode
+    variable: str
+
+    @classmethod
+    def output_position(cls, node: ExecNode, position: int) -> "DynamicCriterion":
+        binding = node.output_position(position)
+        return cls(node=node, variable=binding.name)
+
+    def describe(self) -> str:
+        return f"variable '{self.variable}' at exit of {self.node.unit_name}"

@@ -1,0 +1,102 @@
+"""Projecting a dynamic slice onto the execution tree (paper §5.3.3, §7).
+
+"The slicing subsystem computes a slice of the program with respect to
+the variable at that point. This slice has a corresponding execution
+tree which is returned to the pure algorithmic debugging component."
+
+A :class:`TreeView` is that corresponding tree: a filtered view over the
+original execution tree — original nodes are shared, so answers the user
+already gave remain attached across slicing steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.slicing.criteria import DynamicCriterion
+from repro.slicing.dynamic_slicer import DynamicSlice, dynamic_slice
+from repro.tracing.execution_tree import ExecNode, ExecutionTree
+from repro.tracing.tracer import TraceResult
+
+
+@dataclass
+class TreeView:
+    """A subtree of the execution tree restricted to a set of kept nodes.
+
+    ``root`` is always kept. A node is visible iff its id is in
+    ``kept_ids`` (ancestors of kept nodes are added at construction so
+    the view is connected).
+    """
+
+    root: ExecNode
+    kept_ids: set[int] = field(default_factory=set)
+
+    @classmethod
+    def full(cls, root: ExecNode) -> "TreeView":
+        return cls(root=root, kept_ids={node.node_id for node in root.walk()})
+
+    @classmethod
+    def from_slice(cls, root: ExecNode, relevant_ids: set[int]) -> "TreeView":
+        """Keep relevant nodes plus the ancestors connecting them to root."""
+        kept = {root.node_id}
+        index = {node.node_id: node for node in root.walk()}
+        for node_id in relevant_ids:
+            node = index.get(node_id)
+            if node is None:
+                continue
+            kept.add(node_id)
+            for ancestor in node.ancestors():
+                if ancestor.node_id in index or ancestor is root:
+                    kept.add(ancestor.node_id)
+                if ancestor is root:
+                    break
+        return cls(root=root, kept_ids=kept)
+
+    def contains(self, node: ExecNode) -> bool:
+        return node.node_id in self.kept_ids
+
+    def children(self, node: ExecNode) -> list[ExecNode]:
+        return [child for child in node.children if self.contains(child)]
+
+    def walk(self) -> Iterator[ExecNode]:
+        def visit(node: ExecNode) -> Iterator[ExecNode]:
+            yield node
+            for child in self.children(node):
+                yield from visit(child)
+
+        return visit(self.root)
+
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def render(self) -> str:
+        """ASCII rendering of the pruned tree (paper Figures 8–9)."""
+        lines: list[str] = []
+
+        def visit(node: ExecNode, depth: int) -> None:
+            lines.append("  " * depth + node.render_head())
+            for child in self.children(node):
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines) + "\n"
+
+    def restricted(self, new_root: ExecNode, other: "TreeView") -> "TreeView":
+        """Intersect this view with another, re-rooted at ``new_root``."""
+        kept = {
+            node_id for node_id in self.kept_ids if node_id in other.kept_ids
+        }
+        kept.add(new_root.node_id)
+        return TreeView(root=new_root, kept_ids=kept)
+
+
+def prune_tree(trace: TraceResult, criterion: DynamicCriterion) -> TreeView:
+    """Slice on ``criterion`` and return the corresponding execution tree.
+
+    The returned view is rooted at the criterion's unit activation and
+    contains only activations that contribute to the erroneous value —
+    the paper's Figures 8 and 9.
+    """
+    computed = dynamic_slice(trace, criterion, restrict_to_subtree=True)
+    return TreeView.from_slice(criterion.node, computed.relevant_node_ids)

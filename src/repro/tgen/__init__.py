@@ -1,0 +1,56 @@
+"""T-GEN: the extended category-partition testing method (paper §2).
+
+Implements Ostrand & Balcer's category-partition test generation plus
+the paper's T-GEN extensions: test scripts, result categories, test
+cases, and test reports.
+
+* :mod:`repro.tgen.spec_parser` — the test-specification language
+  (categories, choices, ``property`` lists, ``if`` selector expressions,
+  ``scripts`` and ``result`` sections — the shape of the paper's Fig. 1);
+* :mod:`repro.tgen.frames` — test-frame generation with selector
+  filtering and SINGLE-property handling;
+* :mod:`repro.tgen.cases` — executable test cases and the case runner;
+* :mod:`repro.tgen.reports` — the test-report database;
+* :mod:`repro.tgen.lookup` — the debugger-facing test-case lookup
+  component (paper §5.3.2).
+"""
+
+from repro.tgen.spec_ast import (
+    Category,
+    Choice,
+    ResultChoice,
+    ScriptDef,
+    Selector,
+    TestSpec,
+)
+from repro.tgen.spec_parser import parse_spec
+from repro.tgen.frames import TestFrame, frame_for_choices, generate_frames
+from repro.tgen.scripts import assign_scripts, frames_by_script
+from repro.tgen.cases import CaseRunner, TestCase, instantiate_cases
+from repro.tgen.reports import TestReport, TestReportDatabase, Verdict
+from repro.tgen.lookup import FrameSelector, TestCaseLookup
+from repro.tgen.menu import TerminalMenu
+
+__all__ = [
+    "CaseRunner",
+    "Category",
+    "Choice",
+    "FrameSelector",
+    "ResultChoice",
+    "ScriptDef",
+    "Selector",
+    "TestCase",
+    "TestCaseLookup",
+    "TestFrame",
+    "TerminalMenu",
+    "TestReport",
+    "TestReportDatabase",
+    "TestSpec",
+    "Verdict",
+    "assign_scripts",
+    "frame_for_choices",
+    "frames_by_script",
+    "generate_frames",
+    "instantiate_cases",
+    "parse_spec",
+]

@@ -1,0 +1,164 @@
+"""Executable test cases and the case runner (paper §2).
+
+"By extending the test specification with declarations and executable
+statements the system can generate executable test cases from test
+frames."
+
+A frame is abstract (one choice per category); an *instantiator* — the
+tester's executable knowledge — turns it into concrete argument values
+and an expected outcome. Running a case calls the unit in isolation
+through the interpreter and records a :class:`TestReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.pascal.errors import PascalError
+from repro.pascal.interpreter import Interpreter, PascalIO, UnitCallResult
+from repro.pascal.semantics import AnalyzedProgram
+from repro.pascal.values import format_value, values_equal
+from repro.tgen.frames import TestFrame
+from repro.tgen.reports import TestReport, TestReportDatabase, Verdict
+from repro.tgen.scripts import assign_scripts
+from repro.tgen.spec_ast import TestSpec
+
+#: Decides whether a unit-call outcome is correct. Either a mapping of
+#: expected values — keys are output-parameter names, ``result`` for a
+#: function result, or ``global:<name>`` — or an arbitrary predicate.
+Expectation = Mapping[str, object] | Callable[[UnitCallResult], bool]
+
+#: Turns one frame into zero or more concrete test cases.
+Instantiator = Callable[[TestFrame], "Iterable[TestCase]"]
+
+
+#: classifies an outcome into a result-category choice name (paper §2:
+#: "The results of a program can also be divided into categories and
+#: choices by selector expressions.")
+ResultClassifier = Callable[[UnitCallResult], str | None]
+
+
+@dataclass
+class TestCase:
+    """One concrete, runnable test for a unit."""
+
+    frame: TestFrame
+    args: list[object] = field(default_factory=list)
+    globals_in: dict[str, object] = field(default_factory=dict)
+    expected: Expectation = field(default_factory=dict)
+    script: str | None = None
+    #: result-category choice the outcome must fall into (checked when
+    #: the runner has a classifier), or None
+    expected_result_choice: str | None = None
+
+    @property
+    def unit(self) -> str:
+        return self.frame.unit
+
+
+def instantiate_cases(
+    spec: TestSpec, frames: Iterable[TestFrame], instantiator: Instantiator
+) -> list[TestCase]:
+    """Generate executable cases for every frame, tagging scripts."""
+    cases: list[TestCase] = []
+    for frame in frames:
+        for case in instantiator(frame):
+            if case.script is None:
+                scripts = assign_scripts(spec, frame)
+                case.script = scripts[0] if scripts else None
+            cases.append(case)
+    return cases
+
+
+class CaseRunner:
+    """Executes test cases against a program's units.
+
+    ``result_classifier`` (optional) maps each outcome to a
+    result-category choice; cases carrying ``expected_result_choice``
+    then also verify the classification.
+    """
+
+    def __init__(
+        self,
+        analysis: AnalyzedProgram,
+        step_limit: int = 500_000,
+        result_classifier: ResultClassifier | None = None,
+    ):
+        self.analysis = analysis
+        self.step_limit = step_limit
+        self.result_classifier = result_classifier
+
+    def run(self, case: TestCase) -> TestReport:
+        try:
+            interpreter = Interpreter(
+                self.analysis, io=PascalIO(), step_limit=self.step_limit
+            )
+            outcome = interpreter.call_routine_by_name(
+                case.unit, list(case.args), globals_in=dict(case.globals_in)
+            )
+        except PascalError as error:
+            return TestReport(
+                unit=case.unit,
+                frame_key=case.frame.key,
+                verdict=Verdict.ERROR,
+                case_args=tuple(case.args),
+                detail=str(error),
+                script=case.script,
+            )
+        passed, detail = self._check(case.expected, outcome)
+        if passed and case.expected_result_choice is not None:
+            if self.result_classifier is None:
+                passed, detail = False, "no result classifier configured"
+            else:
+                actual_choice = self.result_classifier(outcome)
+                if actual_choice != case.expected_result_choice:
+                    passed = False
+                    detail = (
+                        f"result category: expected "
+                        f"{case.expected_result_choice!r}, got {actual_choice!r}"
+                    )
+        return TestReport(
+            unit=case.unit,
+            frame_key=case.frame.key,
+            verdict=Verdict.PASS if passed else Verdict.FAIL,
+            case_args=tuple(case.args),
+            outputs=self._outputs_of(outcome),
+            detail=detail,
+            script=case.script,
+        )
+
+    def run_all(
+        self, cases: Iterable[TestCase], database: TestReportDatabase | None = None
+    ) -> TestReportDatabase:
+        db = database if database is not None else TestReportDatabase()
+        for case in cases:
+            db.add(self.run(case))
+        return db
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _outputs_of(outcome: UnitCallResult) -> tuple[tuple[str, object], ...]:
+        outputs: list[tuple[str, object]] = list(outcome.out_values.items())
+        if outcome.result is not None:
+            outputs.append(("result", outcome.result))
+        return tuple(outputs)
+
+    @staticmethod
+    def _check(expected: Expectation, outcome: UnitCallResult) -> tuple[bool, str]:
+        if callable(expected):
+            return (True, "") if expected(outcome) else (False, "predicate failed")
+        for key, want in expected.items():
+            if key == "result":
+                got = outcome.result
+            elif key.startswith("global:"):
+                got = outcome.globals_after.get(key[len("global:"):])
+            else:
+                got = outcome.out_values.get(key)
+            if got is None or not values_equal(got, want):
+                return False, (
+                    f"{key}: expected {format_value(want)}, "
+                    f"got {format_value(got) if got is not None else '<missing>'}"
+                )
+        return True, ""

@@ -1,0 +1,155 @@
+"""Test-frame generation (paper §2).
+
+"If the categories and choices for a program have been defined, then
+T-GEN is able to generate all the possible test frames. A test frame
+contains exactly one choice from each category. ... A choice can be made
+in a test frame if the selector expression associated with the choice is
+true. ... Only one frame is generated for each choice associated with
+the SINGLE property."
+
+Selector evaluation follows Ostrand & Balcer: categories are processed
+in declaration order, and a choice's selector sees the properties
+contributed by the choices already placed in the partial frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tgen.spec_ast import Category, Choice, TestSpec
+
+
+@dataclass(frozen=True)
+class TestFrame:
+    """One generated frame: a choice name per category, in spec order."""
+
+    unit: str
+    choices: tuple[str, ...]
+    categories: tuple[str, ...]
+    properties: frozenset[str]
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        """The frame's coded form, used to index the report database."""
+        return self.choices
+
+    def choice_of(self, category: str) -> str:
+        try:
+            index = self.categories.index(category)
+        except ValueError:
+            raise KeyError(f"frame has no category {category!r}") from None
+        return self.choices[index]
+
+    def render(self) -> str:
+        return "(" + ", ".join(self.choices) + ")"
+
+    def __str__(self) -> str:
+        return f"{self.unit}{self.render()}"
+
+
+def generate_frames(spec: TestSpec) -> list[TestFrame]:
+    """All frames of ``spec``: the selector-filtered cartesian product over
+    non-SINGLE choices, plus exactly one frame per SINGLE choice."""
+    category_names = tuple(category.name for category in spec.categories)
+    frames: list[TestFrame] = []
+
+    def emit(choices: list[Choice]) -> None:
+        properties: set[str] = set()
+        for choice in choices:
+            properties |= set(choice.visible_properties)
+        frames.append(
+            TestFrame(
+                unit=spec.unit,
+                choices=tuple(choice.name for choice in choices),
+                categories=category_names,
+                properties=frozenset(properties),
+            )
+        )
+
+    def expand(index: int, partial: list[Choice], properties: set[str]) -> None:
+        if index == len(spec.categories):
+            emit(partial)
+            return
+        for choice in spec.categories[index].choices:
+            if choice.is_single:
+                continue
+            if not choice.selector.evaluate(properties):
+                continue
+            expand(
+                index + 1,
+                partial + [choice],
+                properties | set(choice.visible_properties),
+            )
+
+    expand(0, [], set())
+
+    # One frame per SINGLE choice: the single choice plus, for every other
+    # category, the first eligible non-SINGLE choice.
+    for position, category in enumerate(spec.categories):
+        for single_choice in category.choices:
+            if not single_choice.is_single:
+                continue
+            frame = _single_frame(spec, position, single_choice)
+            if frame is not None:
+                frames.append(frame)
+    return frames
+
+
+def _single_frame(
+    spec: TestSpec, single_position: int, single_choice: Choice
+) -> TestFrame | None:
+    choices: list[Choice] = []
+    properties: set[str] = set()
+    for index, category in enumerate(spec.categories):
+        if index == single_position:
+            if not single_choice.selector.evaluate(properties):
+                return None
+            choices.append(single_choice)
+            properties |= set(single_choice.visible_properties)
+            continue
+        picked = _first_eligible(category, properties)
+        if picked is None:
+            return None
+        choices.append(picked)
+        properties |= set(picked.visible_properties)
+    return TestFrame(
+        unit=spec.unit,
+        choices=tuple(choice.name for choice in choices),
+        categories=tuple(category.name for category in spec.categories),
+        properties=frozenset(properties),
+    )
+
+
+def _first_eligible(category: Category, properties: set[str]) -> Choice | None:
+    for choice in category.choices:
+        if choice.is_single:
+            continue
+        if choice.selector.evaluate(properties):
+            return choice
+    return None
+
+
+def frame_for_choices(spec: TestSpec, choice_names: dict[str, str]) -> TestFrame:
+    """Build (and validate) the frame selecting ``choice_names[category]``
+    for each category — used by frame-selector functions and the menu
+    interaction of the test-case lookup."""
+    choices: list[Choice] = []
+    properties: set[str] = set()
+    for category in spec.categories:
+        name = choice_names.get(category.name)
+        if name is None:
+            raise KeyError(f"no choice given for category {category.name!r}")
+        choice = category.choice_named(name)
+        if not choice.selector.evaluate(properties):
+            raise ValueError(
+                f"choice {name!r} of category {category.name!r} is not "
+                "admissible given the earlier choices"
+            )
+        choices.append(choice)
+        properties |= set(choice.visible_properties)
+    return TestFrame(
+        unit=spec.unit,
+        choices=tuple(choice.name for choice in choices),
+        categories=tuple(category.name for category in spec.categories),
+        properties=frozenset(properties),
+    )

@@ -1,0 +1,114 @@
+"""Test-case lookup: the debugger-facing component (paper §5.3.2).
+
+During debugging the concrete input values of a queried unit are known.
+Two ways to find the corresponding test frame:
+
+* "For many procedures a function can be defined which automatically
+  selects the suitable test frame" — a registered :data:`FrameSelector`;
+* otherwise "the test specification can be used in the user interactions
+  to select the correct test frame ... from a menu" — a pluggable menu
+  callback (one *light* interaction instead of a correctness judgment).
+
+A frame with a good (passing) report answers the query *yes* without the
+user; a missing frame or a failing report leaves the query open ("the
+debugging must go on inside the procedure").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.tgen.frames import TestFrame
+from repro.tgen.reports import TestReportDatabase, Verdict
+from repro.tgen.spec_ast import TestSpec
+
+#: Maps concrete input values (by parameter name) to the matching frame,
+#: or None when the inputs fall outside the specified categories.
+FrameSelector = Callable[[Mapping[str, object]], TestFrame | None]
+
+#: Menu interaction: given the spec and inputs, let the user pick a frame.
+MenuCallback = Callable[[TestSpec, Mapping[str, object]], TestFrame | None]
+
+
+class LookupStatus(enum.Enum):
+    VERIFIED = "verified"  # good report: the query is answered 'yes'
+    FAILED_REPORT = "failed-report"  # frame known but a test failed
+    NO_REPORT = "no-report"  # frame identified, never tested
+    NO_FRAME = "no-frame"  # could not map the inputs to a frame
+    NO_SPEC = "no-spec"  # unit has no test specification
+
+
+@dataclass(frozen=True)
+class LookupOutcome:
+    status: LookupStatus
+    frame: TestFrame | None = None
+    detail: str = ""
+
+    @property
+    def answers_yes(self) -> bool:
+        return self.status is LookupStatus.VERIFIED
+
+
+@dataclass
+class TestCaseLookup:
+    """Holds specs, selectors, and the report database for one program."""
+
+    database: TestReportDatabase
+    specs: dict[str, TestSpec] = field(default_factory=dict)
+    selectors: dict[str, FrameSelector] = field(default_factory=dict)
+    menu: MenuCallback | None = None
+    #: statistics the benchmarks report
+    consultations: int = 0
+    hits: int = 0
+    menu_interactions: int = 0
+
+    def register(
+        self,
+        spec: TestSpec,
+        selector: FrameSelector | None = None,
+    ) -> None:
+        self.specs[spec.unit] = spec
+        if selector is not None:
+            self.selectors[spec.unit] = selector
+
+    def consult(self, unit: str, inputs: Mapping[str, object]) -> LookupOutcome:
+        """Try to answer "is this call of ``unit`` correct?" from tests."""
+        self.consultations += 1
+        spec = self.specs.get(unit)
+        if spec is None:
+            return LookupOutcome(LookupStatus.NO_SPEC)
+        frame = self._find_frame(unit, spec, inputs)
+        if frame is None:
+            return LookupOutcome(LookupStatus.NO_FRAME)
+        verdict = self.database.verdict_for(unit, frame.key)
+        if verdict is None:
+            return LookupOutcome(
+                LookupStatus.NO_REPORT,
+                frame=frame,
+                detail=f"frame {frame.render()} has no test report",
+            )
+        if verdict is Verdict.PASS:
+            self.hits += 1
+            return LookupOutcome(
+                LookupStatus.VERIFIED,
+                frame=frame,
+                detail=f"frame {frame.render()} passed its tests",
+            )
+        return LookupOutcome(
+            LookupStatus.FAILED_REPORT,
+            frame=frame,
+            detail=f"frame {frame.render()} has a {verdict.value} report",
+        )
+
+    def _find_frame(
+        self, unit: str, spec: TestSpec, inputs: Mapping[str, object]
+    ) -> TestFrame | None:
+        selector = self.selectors.get(unit)
+        if selector is not None:
+            return selector(inputs)
+        if self.menu is not None:
+            self.menu_interactions += 1
+            return self.menu(spec, inputs)
+        return None

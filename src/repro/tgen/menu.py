@@ -1,0 +1,101 @@
+"""Menu-based frame selection (paper §5.3.2).
+
+"For some procedures we cannot define such [automatic frame-selector]
+functions. In this case, the test specification can be used in the user
+interactions to select the correct test frame. The interactions based on
+the test specification are much more convenient for the user, because
+he/she can select the suitable choices from a menu."
+
+:class:`TerminalMenu` walks the specification category by category,
+offering only the choices whose selectors are satisfied by the picks
+made so far, and returns the completed frame (or None if the user
+abandons the menu).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, TextIO
+
+from repro.pascal.values import format_value
+from repro.tgen.frames import TestFrame
+from repro.tgen.spec_ast import Category, Choice, TestSpec
+
+
+class TerminalMenu:
+    """Interactive choice-per-category frame selection.
+
+    Accepts a choice by number or name; empty input or ``q`` abandons
+    the menu (the lookup then reports ``NO_FRAME`` and the debugger asks
+    the user the original question instead).
+    """
+
+    def __init__(
+        self,
+        input_fn: Callable[[str], str] = input,
+        output: TextIO | None = None,
+    ):
+        self._input = input_fn
+        self._output = output
+
+    def _emit(self, text: str) -> None:
+        if self._output is not None:
+            self._output.write(text + "\n")
+
+    def __call__(
+        self, spec: TestSpec, inputs: Mapping[str, object]
+    ) -> TestFrame | None:
+        self._emit(f"Select the test frame for {spec.unit} with inputs:")
+        for name, value in inputs.items():
+            try:
+                rendered = format_value(value)
+            except TypeError:
+                rendered = repr(value)
+            self._emit(f"  {name} = {rendered}")
+
+        picked: list[Choice] = []
+        properties: set[str] = set()
+        for category in spec.categories:
+            choice = self._pick(category, properties)
+            if choice is None:
+                self._emit("menu abandoned")
+                return None
+            picked.append(choice)
+            properties |= set(choice.visible_properties)
+        frame = TestFrame(
+            unit=spec.unit,
+            choices=tuple(choice.name for choice in picked),
+            categories=tuple(category.name for category in spec.categories),
+            properties=frozenset(properties),
+        )
+        self._emit(f"selected frame {frame.render()}")
+        return frame
+
+    def _pick(self, category: Category, properties: set[str]) -> Choice | None:
+        admissible = [
+            choice
+            for choice in category.choices
+            if choice.selector.evaluate(properties)
+        ]
+        if not admissible:
+            return None
+        if len(admissible) == 1:
+            self._emit(
+                f"category {category.name}: only {admissible[0].name!r} fits"
+            )
+            return admissible[0]
+        self._emit(f"category {category.name}:")
+        for position, choice in enumerate(admissible, start=1):
+            self._emit(f"  {position}. {choice.name}")
+        while True:
+            raw = self._input(f"{category.name}> ").strip().lower()
+            if raw in ("", "q", "quit"):
+                return None
+            if raw.isdigit() and 1 <= int(raw) <= len(admissible):
+                return admissible[int(raw) - 1]
+            for choice in admissible:
+                if choice.name == raw:
+                    return choice
+            self._emit(
+                "pick a number or a choice name "
+                f"(1..{len(admissible)}), or q to abandon"
+            )

@@ -1,0 +1,80 @@
+"""The test-report database (paper §2, §5.3.2).
+
+"During the execution of the test cases, test reports are produced in a
+database. These test reports can easily be accessed by using a coded
+form of the test frames."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.pascal.values import format_value
+
+
+class Verdict(enum.Enum):
+    PASS = "pass"
+    FAIL = "fail"
+    ERROR = "error"  # the case itself crashed (bad index, step limit, ...)
+
+
+@dataclass(frozen=True)
+class TestReport:
+    """One executed test case's outcome."""
+
+    unit: str
+    frame_key: tuple[str, ...]
+    verdict: Verdict
+    case_args: tuple[object, ...] = ()
+    outputs: tuple[tuple[str, object], ...] = ()
+    detail: str = ""
+    script: str | None = None
+
+    def render(self) -> str:
+        args = ", ".join(format_value(value) for value in self.case_args)
+        return (
+            f"{self.unit}({args}) frame=({', '.join(self.frame_key)}) "
+            f"-> {self.verdict.value}"
+            + (f" [{self.detail}]" if self.detail else "")
+        )
+
+
+@dataclass
+class TestReportDatabase:
+    """Reports indexed by (unit, coded frame)."""
+
+    _reports: dict[tuple[str, tuple[str, ...]], list[TestReport]] = field(
+        default_factory=dict
+    )
+
+    def add(self, report: TestReport) -> None:
+        key = (report.unit, report.frame_key)
+        self._reports.setdefault(key, []).append(report)
+
+    def lookup(self, unit: str, frame_key: tuple[str, ...]) -> list[TestReport]:
+        return list(self._reports.get((unit, frame_key), ()))
+
+    def verdict_for(self, unit: str, frame_key: tuple[str, ...]) -> Verdict | None:
+        """The combined verdict for a frame: PASS only if every report
+        passed; FAIL/ERROR if any did; None if the frame was never run."""
+        reports = self._reports.get((unit, frame_key))
+        if not reports:
+            return None
+        if any(report.verdict is Verdict.ERROR for report in reports):
+            return Verdict.ERROR
+        if any(report.verdict is Verdict.FAIL for report in reports):
+            return Verdict.FAIL
+        return Verdict.PASS
+
+    def units(self) -> set[str]:
+        return {unit for unit, _ in self._reports}
+
+    def frames_of(self, unit: str) -> list[tuple[str, ...]]:
+        return [key for u, key in self._reports if u == unit]
+
+    def all_reports(self) -> list[TestReport]:
+        return [report for reports in self._reports.values() for report in reports]
+
+    def __len__(self) -> int:
+        return sum(len(reports) for reports in self._reports.values())

@@ -1,0 +1,43 @@
+"""Test scripts and result categories (T-GEN's extensions, paper §2).
+
+"Running test cases in applications usually necessitates time-consuming
+installation of environment parameters. The test frames using the same
+environment can be divided into test scripts by way of selector
+expressions."
+"""
+
+from __future__ import annotations
+
+from repro.tgen.frames import TestFrame
+from repro.tgen.spec_ast import TestSpec
+
+
+def assign_scripts(spec: TestSpec, frame: TestFrame) -> list[str]:
+    """Names of the scripts whose selectors accept the frame."""
+    return [
+        script.name
+        for script in spec.scripts
+        if script.selector.evaluate(set(frame.properties))
+    ]
+
+
+def frames_by_script(
+    spec: TestSpec, frames: list[TestFrame]
+) -> dict[str, list[TestFrame]]:
+    """Partition generated frames into the spec's scripts."""
+    assignment: dict[str, list[TestFrame]] = {
+        script.name: [] for script in spec.scripts
+    }
+    for frame in frames:
+        for name in assign_scripts(spec, frame):
+            assignment[name].append(frame)
+    return assignment
+
+
+def result_choices_for(spec: TestSpec, frame: TestFrame) -> list[str]:
+    """Expected-result choices applicable to the frame."""
+    return [
+        result.name
+        for result in spec.results
+        if result.selector.evaluate(set(frame.properties))
+    ]

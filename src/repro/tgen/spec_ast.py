@@ -1,0 +1,173 @@
+"""Data model for T-GEN test specifications (paper §2, Figure 1).
+
+A specification for one unit under test consists of
+
+* **categories** — the critical properties of the input parameters, each
+  divided into **choices** ("presuming that the behavior of the elements
+  of one choice is identical from the point of view of the test process");
+* per-choice **property names** — logical variables that become true when
+  a frame contains that choice — and **selector expressions** over those
+  properties which gate when a choice may appear in a frame;
+* **scripts** — selector-defined groups of frames sharing a test
+  environment;
+* **result choices** — selector-defined categories of expected results.
+
+The special property ``SINGLE`` marks choices for which only one test
+frame is generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SINGLE = "single"
+
+
+class Selector:
+    """A boolean expression over property names."""
+
+    def evaluate(self, properties: set[str]) -> bool:
+        raise NotImplementedError
+
+    def mentioned(self) -> set[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PropRef(Selector):
+    name: str
+
+    def evaluate(self, properties: set[str]) -> bool:
+        return self.name in properties
+
+    def mentioned(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name.upper()
+
+
+@dataclass(frozen=True)
+class Not(Selector):
+    operand: Selector
+
+    def evaluate(self, properties: set[str]) -> bool:
+        return not self.operand.evaluate(properties)
+
+    def mentioned(self) -> set[str]:
+        return self.operand.mentioned()
+
+    def __str__(self) -> str:
+        return f"not {self.operand}"
+
+
+@dataclass(frozen=True)
+class And(Selector):
+    left: Selector
+    right: Selector
+
+    def evaluate(self, properties: set[str]) -> bool:
+        return self.left.evaluate(properties) and self.right.evaluate(properties)
+
+    def mentioned(self) -> set[str]:
+        return self.left.mentioned() | self.right.mentioned()
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Selector):
+    left: Selector
+    right: Selector
+
+    def evaluate(self, properties: set[str]) -> bool:
+        return self.left.evaluate(properties) or self.right.evaluate(properties)
+
+    def mentioned(self) -> set[str]:
+        return self.left.mentioned() | self.right.mentioned()
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class Always(Selector):
+    def evaluate(self, properties: set[str]) -> bool:
+        return True
+
+    def mentioned(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass
+class Choice:
+    """One choice of a category, e.g. ``mixed : if MORE property MIXED``."""
+
+    name: str
+    selector: Selector = field(default_factory=Always)
+    properties: frozenset[str] = frozenset()
+
+    @property
+    def is_single(self) -> bool:
+        return SINGLE in self.properties
+
+    @property
+    def visible_properties(self) -> frozenset[str]:
+        return frozenset(p for p in self.properties if p != SINGLE)
+
+
+@dataclass
+class Category:
+    """One input-parameter category, e.g. ``size_of_array``."""
+
+    name: str
+    choices: list[Choice] = field(default_factory=list)
+
+    def choice_named(self, name: str) -> Choice:
+        for choice in self.choices:
+            if choice.name == name:
+                return choice
+        raise KeyError(f"category {self.name!r} has no choice {name!r}")
+
+
+@dataclass
+class ScriptDef:
+    """A test script: groups frames sharing an environment."""
+
+    name: str
+    selector: Selector = field(default_factory=Always)
+
+
+@dataclass
+class ResultChoice:
+    """An expected-result category choice."""
+
+    name: str
+    selector: Selector = field(default_factory=Always)
+
+
+@dataclass
+class TestSpec:
+    """A complete test specification for one unit."""
+
+    unit: str
+    categories: list[Category] = field(default_factory=list)
+    scripts: list[ScriptDef] = field(default_factory=list)
+    results: list[ResultChoice] = field(default_factory=list)
+
+    def category_named(self, name: str) -> Category:
+        for category in self.categories:
+            if category.name == name:
+                return category
+        raise KeyError(f"spec for {self.unit!r} has no category {name!r}")
+
+    def all_properties(self) -> set[str]:
+        names: set[str] = set()
+        for category in self.categories:
+            for choice in category.choices:
+                names |= set(choice.visible_properties)
+        return names

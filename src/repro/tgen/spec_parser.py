@@ -1,0 +1,265 @@
+"""Parser for the T-GEN test-specification language.
+
+Grammar (a cleaned-up rendering of the paper's Figure 1 syntax):
+
+    spec      ::= 'test' IDENT ';' section*
+    section   ::= category | scripts | results
+    category  ::= 'category' IDENT ';' choice*
+    choice    ::= IDENT ':' clause* ';'
+    clause    ::= 'if' selector | 'property' IDENT (',' IDENT)*
+    scripts   ::= 'scripts' entry*
+    results   ::= 'result' entry* | 'results' entry*
+    entry     ::= IDENT ':' ['if' selector] ';'
+    selector  ::= disjunction of conjunctions of [not] IDENT / ( selector )
+
+Property names and identifiers are case-insensitive (the paper writes
+properties in upper case: ``if MIXED property MIXED``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.tgen.spec_ast import (
+    Always,
+    And,
+    Category,
+    Choice,
+    Not,
+    Or,
+    PropRef,
+    ResultChoice,
+    ScriptDef,
+    Selector,
+    TestSpec,
+)
+
+
+class SpecError(Exception):
+    """Raised when a test specification cannot be parsed or is inconsistent."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\{[^}]*\}|\(\*.*?\*\))
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[;:,()])
+  | (?P<space>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_KEYWORDS = {
+    "test",
+    "category",
+    "scripts",
+    "result",
+    "results",
+    "if",
+    "property",
+    "and",
+    "or",
+    "not",
+}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        if kind in ("space", "comment"):
+            continue
+        if kind == "bad":
+            raise SpecError(f"unexpected character {match.group()!r} in test spec")
+        value = match.group()
+        tokens.append(value.lower() if kind == "ident" else value)
+    return tokens
+
+
+class _SpecParser:
+    def __init__(self, tokens: list[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise SpecError("unexpected end of test spec")
+        self._pos += 1
+        return token
+
+    def _expect(self, expected: str) -> None:
+        token = self._next()
+        if token != expected:
+            raise SpecError(f"expected {expected!r}, found {token!r}")
+
+    def _expect_ident(self) -> str:
+        token = self._next()
+        if not token[0].isalpha() and token[0] != "_":
+            raise SpecError(f"expected a name, found {token!r}")
+        return token
+
+    # ------------------------------------------------------------------
+
+    def parse(self) -> TestSpec:
+        self._expect("test")
+        unit = self._expect_ident()
+        self._skip_separator()
+        spec = TestSpec(unit=unit)
+        while self._peek() is not None:
+            section = self._next()
+            if section == "category":
+                spec.categories.append(self._parse_category())
+            elif section == "scripts":
+                spec.scripts.extend(
+                    ScriptDef(name=name, selector=selector)
+                    for name, selector in self._parse_entries()
+                )
+            elif section in ("result", "results"):
+                spec.results.extend(
+                    ResultChoice(name=name, selector=selector)
+                    for name, selector in self._parse_entries()
+                )
+            else:
+                raise SpecError(f"unexpected section {section!r}")
+        self._validate(spec)
+        return spec
+
+    def _skip_separator(self) -> None:
+        if self._peek() in (";", ","):
+            self._next()
+
+    def _parse_category(self) -> Category:
+        name = self._expect_ident()
+        self._skip_separator()
+        category = Category(name=name)
+        while self._peek() is not None and self._peek() not in (
+            "category",
+            "scripts",
+            "result",
+            "results",
+        ):
+            category.choices.append(self._parse_choice())
+        if not category.choices:
+            raise SpecError(f"category {name!r} has no choices")
+        return category
+
+    def _parse_choice(self) -> Choice:
+        name = self._expect_ident()
+        self._expect(":")
+        selector: Selector = Always()
+        properties: set[str] = set()
+        while self._peek() not in (";", ",", None):
+            clause = self._next()
+            if clause == "if":
+                selector = self._parse_selector()
+            elif clause == "property":
+                properties.add(self._expect_ident())
+                while self._peek() == ",":
+                    # A comma either separates properties or ends the choice;
+                    # look ahead for "ident :" to disambiguate.
+                    save = self._pos
+                    self._next()
+                    if (
+                        self._peek() is not None
+                        and self._pos + 1 < len(self._tokens)
+                        and self._tokens[self._pos + 1] == ":"
+                    ):
+                        self._pos = save
+                        break
+                    properties.add(self._expect_ident())
+            else:
+                raise SpecError(f"unexpected token {clause!r} in choice {name!r}")
+        self._skip_separator()
+        return Choice(
+            name=name, selector=selector, properties=frozenset(properties)
+        )
+
+    def _parse_entries(self) -> list[tuple[str, Selector]]:
+        entries: list[tuple[str, Selector]] = []
+        while self._peek() is not None and self._peek() not in (
+            "category",
+            "scripts",
+            "result",
+            "results",
+        ):
+            name = self._expect_ident()
+            self._expect(":")
+            selector: Selector = Always()
+            if self._peek() == "if":
+                self._next()
+                selector = self._parse_selector()
+            self._skip_separator()
+            entries.append((name, selector))
+        return entries
+
+    # ------------------------------------------------------------------
+    # selector expressions
+
+    def _parse_selector(self) -> Selector:
+        left = self._parse_conjunction()
+        while self._peek() == "or":
+            self._next()
+            left = Or(left, self._parse_conjunction())
+        return left
+
+    def _parse_conjunction(self) -> Selector:
+        left = self._parse_atom()
+        while self._peek() == "and":
+            self._next()
+            left = And(left, self._parse_atom())
+        return left
+
+    def _parse_atom(self) -> Selector:
+        token = self._peek()
+        if token == "not":
+            self._next()
+            return Not(self._parse_atom())
+        if token == "(":
+            self._next()
+            inner = self._parse_selector()
+            self._expect(")")
+            return inner
+        return PropRef(self._expect_ident())
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate(spec: TestSpec) -> None:
+        seen_categories: set[str] = set()
+        for category in spec.categories:
+            if category.name in seen_categories:
+                raise SpecError(f"duplicate category {category.name!r}")
+            seen_categories.add(category.name)
+            seen_choices: set[str] = set()
+            for choice in category.choices:
+                if choice.name in seen_choices:
+                    raise SpecError(
+                        f"duplicate choice {choice.name!r} in {category.name!r}"
+                    )
+                seen_choices.add(choice.name)
+        declared = spec.all_properties()
+        for category in spec.categories:
+            for choice in category.choices:
+                for name in choice.selector.mentioned():
+                    if name not in declared:
+                        raise SpecError(
+                            f"selector of choice {choice.name!r} mentions "
+                            f"unknown property {name.upper()!r}"
+                        )
+        for entry in list(spec.scripts) + list(spec.results):
+            for name in entry.selector.mentioned():
+                if name not in declared:
+                    raise SpecError(
+                        f"selector of {entry.name!r} mentions unknown "
+                        f"property {name.upper()!r}"
+                    )
+
+
+def parse_spec(text: str) -> TestSpec:
+    """Parse a T-GEN test specification."""
+    return _SpecParser(_tokenize(text)).parse()

@@ -1,0 +1,81 @@
+"""Dynamic dependence recording for interprocedural dynamic slicing.
+
+Each executed atomic statement is an *occurrence*. The graph records,
+per occurrence:
+
+* **data dependences** — the occurrence that last wrote each storage
+  location (cell, element) this occurrence read; ``var`` parameter
+  aliasing is free because locations are physical interpreter cells;
+* **control dependences** — the most recent occurrence, in the same
+  activation, of the statement's statically controlling predicate;
+* **call/parameter dependences** — binding a parameter attributes the
+  incoming value to the call-site occurrence, and reading a function's
+  result attributes it to the occurrences that assigned the result.
+
+A backward closure over these edges is exactly the dynamic slice of
+Kamkar's interprocedural dynamic slicing, which the paper's slicing
+component applies to prune the execution tree (paper §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pascal import ast_nodes as ast
+
+
+@dataclass(eq=False)
+class Occurrence:
+    """One execution of an atomic statement (or predicate evaluation)."""
+
+    occ_id: int
+    stmt_id: int
+    exec_node_id: int
+    location_line: int = 0
+
+    def __hash__(self) -> int:
+        return self.occ_id
+
+    def __repr__(self) -> str:
+        return f"<occ {self.occ_id} stmt@{self.location_line} in node {self.exec_node_id}>"
+
+
+@dataclass
+class DynamicDependenceGraph:
+    """Occurrences plus data/control/call dependence edges between them."""
+
+    occurrences: dict[int, Occurrence] = field(default_factory=dict)
+    #: occ id -> set of occ ids it depends on
+    deps: dict[int, set[int]] = field(default_factory=dict)
+
+    def new_occurrence(
+        self, stmt: ast.Stmt | None, exec_node_id: int, occ_id: int
+    ) -> Occurrence:
+        occ = Occurrence(
+            occ_id=occ_id,
+            stmt_id=stmt.node_id if stmt is not None else -1,
+            exec_node_id=exec_node_id,
+            location_line=stmt.location.line if stmt is not None else 0,
+        )
+        self.occurrences[occ_id] = occ
+        self.deps[occ_id] = set()
+        return occ
+
+    def add_dep(self, from_occ: int, to_occ: int) -> None:
+        if from_occ != to_occ:
+            self.deps[from_occ].add(to_occ)
+
+    def backward_slice(self, seeds: set[int]) -> set[int]:
+        """All occurrences the seed occurrences transitively depend on."""
+        visited = set(seeds)
+        stack = list(seeds)
+        while stack:
+            occ = stack.pop()
+            for dep in self.deps.get(occ, ()):
+                if dep not in visited:
+                    visited.add(dep)
+                    stack.append(dep)
+        return visited
+
+    def __len__(self) -> int:
+        return len(self.occurrences)

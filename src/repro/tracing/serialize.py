@@ -1,0 +1,130 @@
+"""JSON serialization of execution trees.
+
+Lets a traced run be saved and reloaded — for rendering, archiving, or a
+later pure-algorithmic-debugging session. (Dynamic slicing needs the
+occurrence-level dependence graph, which lives only in the original
+:class:`~repro.tracing.tracer.TraceResult`; a reloaded tree supports
+everything else.)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.pascal.values import ArrayValue, UNDEFINED
+from repro.tracing.execution_tree import (
+    Binding,
+    BindingMode,
+    ExecNode,
+    ExecutionTree,
+    NodeKind,
+)
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# value codec
+
+
+def value_to_json(value: object) -> Any:
+    if value is UNDEFINED:
+        return {"t": "undef"}
+    if isinstance(value, bool):
+        return {"t": "bool", "v": value}
+    if isinstance(value, int):
+        return {"t": "int", "v": value}
+    if isinstance(value, str):
+        return {"t": "str", "v": value}
+    if isinstance(value, ArrayValue):
+        return {
+            "t": "array",
+            "low": value.low,
+            "elements": [value_to_json(element) for element in value.elements],
+        }
+    raise TypeError(f"cannot serialize value {value!r}")
+
+
+def value_from_json(data: Any) -> object:
+    kind = data["t"]
+    if kind == "undef":
+        return UNDEFINED
+    if kind in ("bool", "int", "str"):
+        return data["v"]
+    if kind == "array":
+        elements = [value_from_json(element) for element in data["elements"]]
+        low = data["low"]
+        return ArrayValue(low, low + len(elements) - 1, elements)
+    raise ValueError(f"unknown value tag {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# tree codec
+
+
+def _binding_to_json(binding: Binding) -> dict:
+    return {
+        "name": binding.name,
+        "mode": binding.mode.value,
+        "value": value_to_json(binding.value),
+        "global": binding.is_global,
+    }
+
+
+def _binding_from_json(data: dict) -> Binding:
+    return Binding(
+        name=data["name"],
+        mode=BindingMode(data["mode"]),
+        value=value_from_json(data["value"]),
+        is_global=data.get("global", False),
+    )
+
+
+def _node_to_json(node: ExecNode) -> dict:
+    return {
+        "kind": node.kind.value,
+        "unit": node.unit_name,
+        "iteration": node.iteration,
+        "via_goto": node.via_goto,
+        "inputs": [_binding_to_json(binding) for binding in node.inputs],
+        "outputs": [_binding_to_json(binding) for binding in node.outputs],
+        "children": [_node_to_json(child) for child in node.children],
+    }
+
+
+def _node_from_json(data: dict) -> ExecNode:
+    node = ExecNode(
+        kind=NodeKind(data["kind"]),
+        unit_name=data["unit"],
+        iteration=data.get("iteration"),
+        via_goto=data.get("via_goto"),
+        inputs=[_binding_from_json(binding) for binding in data["inputs"]],
+        outputs=[_binding_from_json(binding) for binding in data["outputs"]],
+    )
+    for child_data in data["children"]:
+        node.add_child(_node_from_json(child_data))
+    return node
+
+
+def tree_to_dict(tree: ExecutionTree) -> dict:
+    """Serialize an execution tree (structure + bindings) to plain data."""
+    return {"version": FORMAT_VERSION, "root": _node_to_json(tree.root)}
+
+
+def tree_from_dict(data: dict) -> ExecutionTree:
+    """Rebuild an execution tree serialized by :func:`tree_to_dict`."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported execution-tree format {version!r}")
+    return ExecutionTree(root=_node_from_json(data["root"]))
+
+
+def dump_tree(tree: ExecutionTree, indent: int | None = 2) -> str:
+    """Execution tree as a JSON string."""
+    return json.dumps(tree_to_dict(tree), indent=indent)
+
+
+def load_tree(text: str) -> ExecutionTree:
+    """Execution tree from a JSON string."""
+    return tree_from_dict(json.loads(text))

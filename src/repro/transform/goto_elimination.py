@@ -1,0 +1,598 @@
+"""Goto restructuring (paper §6).
+
+Two transformations:
+
+* :func:`eliminate_loop_gotos` — a goto jumping from inside a while/repeat
+  /for loop to a label outside the loop becomes a flag-guarded exit: the
+  loop condition tests a ``leave`` flag, the goto sets the flag and jumps
+  to a fresh label at the end of the body, and a dispatch after the loop
+  re-issues the original goto (the paper's ``whilelab`` example).
+
+* :func:`break_global_gotos` — one round of the paper's global-goto
+  breaking: a routine performing a goto to a label declared in an
+  enclosing routine gets a ``var exitcond: integer`` parameter; the goto
+  becomes ``exitcond := k; goto exitlab`` with ``exitlab`` at the end of
+  the body; every call site tests ``exitcond`` and re-issues a local goto.
+  If that re-issued goto is itself global, the next round handles it —
+  the pipeline iterates to a fixpoint.
+
+Function routines with exit side effects cannot be rewritten this way
+(statements cannot be inserted after a call embedded in an expression);
+they are reported in ``warnings`` and left untouched, as is any remaining
+construct the paper's method excludes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.semantics import AnalyzedProgram, RoutineInfo
+from repro.pascal.symbols import Symbol, SymbolKind
+from repro.transform.mapping import SourceMap
+from repro.transform.rewriter import Rewriter
+
+
+@dataclass
+class GotoEliminationResult:
+    program: ast.Program
+    source_map: SourceMap
+    changed: bool
+    warnings: list[str] = field(default_factory=list)
+    #: routine name -> exitcond parameter name (global-goto rounds)
+    exit_params: dict[str, str] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# helpers
+
+
+def _fresh_label(analysis: AnalyzedProgram, reserved: set[str]) -> str:
+    """An unused numeric label, well away from user labels."""
+    used = set(reserved)
+    for info in analysis.all_routines():
+        used.update(info.labels)
+    candidate = 9000
+    while str(candidate) in used:
+        candidate += 1
+    reserved.add(str(candidate))
+    return str(candidate)
+
+
+def _labels_defined_in(stmt: ast.Stmt) -> set[str]:
+    return {
+        child.label
+        for child in ast.iter_statements(stmt)
+        if child.label is not None
+    }
+
+
+def _gotos_in(stmt: ast.Stmt) -> list[ast.Goto]:
+    return [
+        child for child in ast.iter_statements(stmt) if isinstance(child, ast.Goto)
+    ]
+
+
+def _highest_gadt_counter(program: ast.Program) -> int:
+    """Highest N among existing gadt_leave_N / gadt_limit_N declarations,
+    so repeated passes never collide with their own earlier output."""
+    highest = 0
+    for node in program.walk():
+        if isinstance(node, ast.VarDecl) and node.name.startswith(
+            ("gadt_leave_", "gadt_limit_")
+        ):
+            suffix = node.name.rsplit("_", 1)[-1]
+            if suffix.isdigit():
+                highest = max(highest, int(suffix))
+    return highest
+
+
+# ----------------------------------------------------------------------
+# goto-out-of-loop
+
+
+class _LoopGotoRewriter(Rewriter):
+    """Rewrites loops containing gotos that target labels outside the loop."""
+
+    def __init__(self, analysis: AnalyzedProgram):
+        super().__init__(analysis)
+        self.changed = False
+        self.warnings: list[str] = []
+        self._reserved_labels: set[str] = set()
+        self._counter = _highest_gadt_counter(analysis.program)
+        #: declarations to add per original block node id
+        self._new_vars: dict[int, list[ast.VarDecl]] = {}
+        self._new_labels: dict[int, list[ast.LabelDecl]] = {}
+        self._current_blocks: list[ast.Block] = []
+
+    # -- block bookkeeping
+
+    def rewrite_block(self, block: ast.Block, owner: ast.Node) -> ast.Block:
+        self._current_blocks.append(block)
+        try:
+            return super().rewrite_block(block, owner)
+        finally:
+            self._current_blocks.pop()
+
+    def finish_block(
+        self, new_block: ast.Block, original: ast.Block, owner: ast.Node
+    ) -> ast.Block:
+        for var in self._new_vars.pop(original.node_id, []):
+            new_block.variables.append(var)
+        for label in self._new_labels.pop(original.node_id, []):
+            new_block.labels.append(label)
+        return new_block
+
+    def _declare(self, var: ast.VarDecl | None, label: ast.LabelDecl | None) -> None:
+        block = self._current_blocks[-1]
+        if var is not None:
+            self.synthesize(var)
+            self._new_vars.setdefault(block.node_id, []).append(var)
+        if label is not None:
+            self.synthesize(label)
+            self._new_labels.setdefault(block.node_id, []).append(label)
+
+    # -- loop analysis
+
+    def _escaping_gotos(self, loop_body: ast.Stmt) -> list[ast.Goto]:
+        """Gotos inside the loop whose target lies outside it.
+
+        Global gotos are included, exactly as in the paper: "If the label
+        is declared outside the procedure surrounding the while-statement,
+        then the new global goto is handled by a later transformation" —
+        this pass moves the jump after the loop; the global-goto pass then
+        converts the moved jump into an exit parameter.
+        """
+        inside = _labels_defined_in(loop_body)
+        return [
+            goto for goto in _gotos_in(loop_body) if goto.target not in inside
+        ]
+
+    # -- synthesized pieces
+
+    def _int_expr(self, value: int) -> ast.IntLiteral:
+        literal = ast.IntLiteral(value=value)
+        self.source_map.record_synthesized(literal)
+        return literal
+
+    def _var(self, name: str) -> ast.VarRef:
+        ref = ast.VarRef(name=name)
+        self.source_map.record_synthesized(ref)
+        return ref
+
+    def _assign(self, name: str, value: int) -> ast.Assign:
+        stmt = ast.Assign(target=self._var(name), value=self._int_expr(value))
+        self.source_map.record_synthesized(stmt)
+        return stmt
+
+    def _synth(self, node: ast.Node) -> ast.Node:
+        self.source_map.record_synthesized(node)
+        return node
+
+    def _rewrite_loop_with_escapes(
+        self,
+        stmt: ast.While | ast.Repeat | ast.For,
+        escaping: list[ast.Goto],
+    ) -> list[ast.Stmt]:
+        """The paper's flag-guarded rewrite, generalized to several targets."""
+        self.changed = True
+        self._counter += 1
+        leave = f"gadt_leave_{self._counter}"
+        exit_label = _fresh_label(self.analysis, self._reserved_labels)
+        targets: dict[str, int] = {}
+        for goto in escaping:
+            targets.setdefault(goto.target, len(targets) + 1)
+
+        self._declare(
+            ast.VarDecl(name=leave, type_expr=ast.NamedType(name="integer")),
+            ast.LabelDecl(label=exit_label),
+        )
+
+        replacements = {
+            goto.node_id: self._escape_replacement(goto, leave, targets, exit_label)
+            for goto in escaping
+        }
+        new_body = self._rewrite_with_replacements(stmt, replacements)
+
+        guard = ast.BinaryOp(
+            op="=", left=self._var(leave), right=self._int_expr(0)
+        )
+        self._synth(guard)
+        trailer = ast.EmptyStmt(label=exit_label)
+        self._synth(trailer)
+
+        if isinstance(stmt, ast.While):
+            loop: ast.Stmt = ast.While(
+                condition=ast.BinaryOp(
+                    op="and", left=self.rewrite_expr(stmt.condition), right=guard
+                ),
+                body=self._with_trailer(new_body, trailer),
+                location=stmt.location,
+                label=stmt.label,
+            )
+            self._synth(loop.condition)
+            self.source_map.record(loop, stmt)
+        elif isinstance(stmt, ast.Repeat):
+            not_guard = ast.BinaryOp(
+                op="<>", left=self._var(leave), right=self._int_expr(0)
+            )
+            self._synth(not_guard)
+            body_list = (
+                new_body.statements
+                if isinstance(new_body, ast.Compound)
+                else [new_body]
+            )
+            loop = ast.Repeat(
+                body=body_list + [trailer],
+                condition=ast.BinaryOp(
+                    op="or", left=self.rewrite_expr(stmt.condition), right=not_guard
+                ),
+                location=stmt.location,
+                label=stmt.label,
+            )
+            self._synth(loop.condition)
+            self.source_map.record(loop, stmt)
+        else:  # For: lower to a while with an explicit counter and limit
+            loop = self._lower_for(stmt, new_body, guard, trailer, leave)
+
+        prologue = self._assign(leave, 0)
+        dispatch = [
+            self._dispatch_if(leave, code, label)
+            for label, code in sorted(targets.items(), key=lambda item: item[1])
+        ]
+        return [prologue, loop, *dispatch]
+
+    def _with_trailer(self, body: ast.Stmt, trailer: ast.Stmt) -> ast.Compound:
+        if isinstance(body, ast.Compound):
+            body.statements.append(trailer)
+            return body
+        compound = ast.Compound(statements=[body, trailer])
+        self._synth(compound)
+        return compound
+
+    def _lower_for(
+        self,
+        stmt: ast.For,
+        new_body: ast.Stmt,
+        guard: ast.BinaryOp,
+        trailer: ast.Stmt,
+        leave: str,
+    ) -> ast.Stmt:
+        self._counter += 1
+        limit = f"gadt_limit_{self._counter}"
+        self._declare(
+            ast.VarDecl(name=limit, type_expr=ast.NamedType(name="integer")), None
+        )
+        compare = ">=" if stmt.downto else "<="
+        step = -1 if stmt.downto else 1
+        condition = ast.BinaryOp(
+            op="and",
+            left=ast.BinaryOp(
+                op=compare, left=self._var(stmt.variable), right=self._var(limit)
+            ),
+            right=guard,
+        )
+        self._synth(condition)
+        increment = ast.Assign(
+            target=self._var(stmt.variable),
+            value=ast.BinaryOp(
+                op="+", left=self._var(stmt.variable), right=self._int_expr(step)
+            ),
+        )
+        self._synth(increment)
+        body = self._with_trailer(new_body, trailer)
+        body.statements.append(increment)
+        loop = ast.Compound(
+            statements=[
+                ast.Assign(
+                    target=self._var(stmt.variable),
+                    value=self.rewrite_expr(stmt.start),
+                ),
+                ast.Assign(
+                    target=self._var(limit), value=self.rewrite_expr(stmt.stop)
+                ),
+                ast.While(condition=condition, body=body),
+            ],
+            location=stmt.location,
+            label=stmt.label,
+        )
+        for child in loop.statements:
+            self._synth(child)
+        self.source_map.record(loop, stmt)
+        return loop
+
+    def _escape_replacement(
+        self,
+        goto: ast.Goto,
+        leave: str,
+        targets: dict[str, int],
+        exit_label: str,
+    ) -> ast.Stmt:
+        jump = ast.Goto(target=exit_label)
+        self._synth(jump)
+        replacement = ast.Compound(
+            statements=[self._assign(leave, targets[goto.target]), jump],
+            location=goto.location,
+            label=goto.label,
+        )
+        self.source_map.record(replacement, goto)
+        return replacement
+
+    def _dispatch_if(self, leave: str, code: int, label: str) -> ast.If:
+        jump = ast.Goto(target=label)
+        self._synth(jump)
+        condition = ast.BinaryOp(
+            op="=", left=self._var(leave), right=self._int_expr(code)
+        )
+        self._synth(condition)
+        dispatch = ast.If(condition=condition, then_branch=jump)
+        self._synth(dispatch)
+        return dispatch
+
+    def _rewrite_with_replacements(
+        self, loop: ast.While | ast.Repeat | ast.For, replacements: dict[int, ast.Stmt]
+    ) -> ast.Stmt:
+        """Rewrite the loop body, substituting the escaping gotos."""
+        saved = getattr(self, "_replacements", None)
+        self._replacements = replacements
+        try:
+            if isinstance(loop, ast.Repeat):
+                body: ast.Stmt = ast.Compound(
+                    statements=self.rewrite_stmt_list(loop.body)
+                )
+                self._synth(body)
+            else:
+                body = self.as_single(self.rewrite_stmt(loop.body))
+        finally:
+            self._replacements = saved
+        return body
+
+    # -- rewrite hooks
+
+    def rewrite_goto(self, stmt: ast.Goto) -> ast.Stmt:
+        replacements = getattr(self, "_replacements", None)
+        if replacements and stmt.node_id in replacements:
+            return replacements[stmt.node_id]
+        return self.default_rewrite_stmt(stmt)
+
+    def rewrite_while(self, stmt: ast.While) -> ast.Stmt | list[ast.Stmt]:
+        escaping = self._escaping_gotos(stmt.body)
+        if escaping:
+            return self._rewrite_loop_with_escapes(stmt, escaping)
+        return self.default_rewrite_stmt(stmt)
+
+    def rewrite_repeat(self, stmt: ast.Repeat) -> ast.Stmt | list[ast.Stmt]:
+        body = ast.Compound(statements=list(stmt.body))
+        escaping = self._escaping_gotos(body)
+        if escaping:
+            return self._rewrite_loop_with_escapes(stmt, escaping)
+        return self.default_rewrite_stmt(stmt)
+
+    def rewrite_for(self, stmt: ast.For) -> ast.Stmt | list[ast.Stmt]:
+        escaping = self._escaping_gotos(stmt.body)
+        if escaping:
+            return self._rewrite_loop_with_escapes(stmt, escaping)
+        return self.default_rewrite_stmt(stmt)
+
+
+def eliminate_loop_gotos(analysis: AnalyzedProgram) -> GotoEliminationResult:
+    """Rewrite gotos that jump out of loops into flag-guarded exits."""
+    rewriter = _LoopGotoRewriter(analysis)
+    program = rewriter.rewrite_program()
+    return GotoEliminationResult(
+        program=program,
+        source_map=rewriter.source_map,
+        changed=rewriter.changed,
+        warnings=rewriter.warnings,
+    )
+
+
+# ----------------------------------------------------------------------
+# global gotos
+
+
+class _GlobalGotoRewriter(Rewriter):
+    """One round of breaking global gotos into exit parameters."""
+
+    def __init__(self, analysis: AnalyzedProgram):
+        super().__init__(analysis)
+        self.changed = False
+        self.warnings: list[str] = []
+        self.exit_params: dict[str, str] = {}
+        self._reserved_labels: set[str] = set()
+        #: affected routine symbol -> (param name, exit label, {label name -> code})
+        self._plans: dict[Symbol, tuple[str, str, dict[str, int]]] = {}
+        self._routine_stack: list[RoutineInfo] = []
+        self._new_vars: dict[int, list[ast.VarDecl]] = {}
+        self._current_blocks: list[ast.Block] = []
+        self._compute_plans()
+
+    def _compute_plans(self) -> None:
+        for info in self.analysis.user_routines():
+            if not info.global_gotos:
+                continue
+            if info.symbol.is_function:
+                self.warnings.append(
+                    f"function '{info.name}' performs a global goto; calls may "
+                    "occur inside expressions, so it cannot be transformed"
+                )
+                continue
+            param_name = f"exitcond_{info.name}"
+            exit_label = _fresh_label(self.analysis, self._reserved_labels)
+            # The exit code *is* the numeric label: unique per target and
+            # stable across rounds, so dispatches composed over several
+            # rounds can never disagree about what a code means.
+            codes: dict[str, int] = {}
+            for goto in info.global_gotos:
+                codes.setdefault(goto.target, max(int(goto.target), 1))
+            self._plans[info.symbol] = (param_name, exit_label, codes)
+            self.exit_params[info.name] = param_name
+            self.changed = True
+
+    # -- context tracking
+
+    def rewrite_routine(self, decl: ast.RoutineDecl) -> ast.RoutineDecl:
+        info = next(
+            info for info in self.analysis.user_routines() if info.decl is decl
+        )
+        self._routine_stack.append(info)
+        try:
+            return super().rewrite_routine(decl)
+        finally:
+            self._routine_stack.pop()
+
+    def rewrite_block(self, block: ast.Block, owner: ast.Node) -> ast.Block:
+        self._current_blocks.append(block)
+        try:
+            return super().rewrite_block(block, owner)
+        finally:
+            self._current_blocks.pop()
+
+    def _current_info(self) -> RoutineInfo:
+        return self._routine_stack[-1] if self._routine_stack else self.analysis.main
+
+    # -- routine surgery
+
+    def finish_routine(
+        self, new_decl: ast.RoutineDecl, original: ast.RoutineDecl
+    ) -> ast.RoutineDecl:
+        info = next(
+            info for info in self.analysis.user_routines() if info.decl is original
+        )
+        plan = self._plans.get(info.symbol)
+        if plan is None:
+            return new_decl
+        param_name, exit_label, _codes = plan
+        if not any(param.name == param_name for param in new_decl.params):
+            param = ast.Param(
+                name=param_name,
+                type_expr=ast.NamedType(name="integer"),
+                mode=ast.ParamMode.VAR,
+            )
+            self._synth(param)
+            self._synth(param.type_expr)
+            new_decl.params.append(param)
+        if not any(decl.label == exit_label for decl in new_decl.block.labels):
+            label_decl = ast.LabelDecl(label=exit_label)
+            self._synth(label_decl)
+            new_decl.block.labels.append(label_decl)
+        first = new_decl.block.body.statements[0] if new_decl.block.body.statements else None
+        already_initialized = (
+            isinstance(first, ast.Assign)
+            and isinstance(first.target, ast.VarRef)
+            and first.target.name == param_name
+        )
+        if not already_initialized:
+            init = ast.Assign(
+                target=ast.VarRef(name=param_name), value=ast.IntLiteral(value=0)
+            )
+            for node in init.walk():
+                self._synth(node)
+            new_decl.block.body.statements.insert(0, init)
+        trailer = ast.EmptyStmt(label=exit_label)
+        self._synth(trailer)
+        new_decl.block.body.statements.append(trailer)
+        return new_decl
+
+    def finish_block(
+        self, new_block: ast.Block, original: ast.Block, owner: ast.Node
+    ) -> ast.Block:
+        for var in self._new_vars.pop(original.node_id, []):
+            if not any(existing.name == var.name for existing in new_block.variables):
+                new_block.variables.append(var)
+        return new_block
+
+    # -- goto rewriting inside affected routines
+
+    def rewrite_goto(self, stmt: ast.Goto) -> ast.Stmt | list[ast.Stmt]:
+        info = self._current_info()
+        plan = self._plans.get(info.symbol) if not info.is_main else None
+        if (
+            plan is not None
+            and self.analysis.goto_is_global.get(stmt.node_id, False)
+        ):
+            param_name, exit_label, codes = plan
+            assign = ast.Assign(
+                target=ast.VarRef(name=param_name),
+                value=ast.IntLiteral(value=codes[stmt.target]),
+            )
+            jump = ast.Goto(target=exit_label)
+            replacement = ast.Compound(
+                statements=[assign, jump],
+                location=stmt.location,
+                label=stmt.label,
+            )
+            for node in replacement.walk():
+                self._synth(node)
+            self.source_map.record(replacement, stmt)
+            return replacement
+        return self.default_rewrite_stmt(stmt)
+
+    # -- call-site rewriting
+
+    def rewrite_proccall(self, stmt: ast.ProcCall) -> ast.Stmt | list[ast.Stmt]:
+        callee = self.analysis.call_target.get(stmt.node_id)
+        plan = self._plans.get(callee) if callee is not None else None
+        new_call = ast.ProcCall(
+            name=stmt.name,
+            args=[self.copy(arg) for arg in stmt.args],
+            location=stmt.location,
+            label=stmt.label,
+        )
+        self.source_map.record(new_call, stmt)
+        if plan is None:
+            return new_call
+        param_name, _exit_label, codes = plan
+        already_passed = any(
+            isinstance(arg, ast.VarRef) and arg.name == param_name
+            for arg in new_call.args
+        )
+        if not already_passed:
+            arg = ast.VarRef(name=param_name)
+            self._synth(arg)
+            new_call.args.append(arg)
+        # The caller needs a local to receive the exit condition.
+        block = self._current_blocks[-1]
+        var = ast.VarDecl(name=param_name, type_expr=ast.NamedType(name="integer"))
+        self._synth(var)
+        self._synth(var.type_expr)
+        existing = self._new_vars.setdefault(block.node_id, [])
+        caller = self._current_info()
+        caller_has = any(p.name == param_name for p in caller.params) or any(
+            v.name == param_name for v in existing
+        )
+        if not caller_has:
+            existing.append(var)
+        dispatch: list[ast.Stmt] = [new_call]
+        for label, code in sorted(codes.items(), key=lambda item: item[1]):
+            jump = ast.Goto(target=label)
+            condition = ast.BinaryOp(
+                op="=",
+                left=ast.VarRef(name=param_name),
+                right=ast.IntLiteral(value=code),
+            )
+            test = ast.If(condition=condition, then_branch=jump)
+            for node in test.walk():
+                self._synth(node)
+            dispatch.append(test)
+        return dispatch
+
+    def _synth(self, node: ast.Node) -> None:
+        self.source_map.record_synthesized(node)
+
+
+def break_global_gotos(analysis: AnalyzedProgram) -> GotoEliminationResult:
+    """One round of the global-goto transformation (paper §6).
+
+    Run repeatedly (re-analyzing between rounds) until ``changed`` is
+    False; each round peels one level of goto nesting.
+    """
+    rewriter = _GlobalGotoRewriter(analysis)
+    program = rewriter.rewrite_program()
+    return GotoEliminationResult(
+        program=program,
+        source_map=rewriter.source_map,
+        changed=rewriter.changed,
+        warnings=rewriter.warnings,
+        exit_params=rewriter.exit_params,
+    )

@@ -1,0 +1,179 @@
+"""The transformation pipeline (paper §5.1).
+
+Order of passes:
+
+1. flag-guard gotos that jump out of loops (prerequisite for loop units),
+2. break global gotos into exit parameters — repeated until no global
+   goto remains (each round peels one nesting level),
+3. convert global-variable accesses to ``in``/``out``/``var`` parameters,
+4. compute the loop-unit registry on the final program,
+5. insert trace-generating actions (producing the *instrumented* program,
+   a display/debug artifact — the tracer itself attaches to interpreter
+   hooks and traces the transformed program directly).
+
+Every pass re-analyzes its output and composes its source map with the
+accumulated one, so the pipeline result can map any transformed
+construct back to the exact original construct the user wrote
+(transparent debugging, paper §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.sideeffects import SideEffects, analyze_side_effects
+from repro.pascal import ast_nodes as ast
+from repro.pascal.parser import parse_program
+from repro.pascal.pretty import print_program, print_routine
+from repro.pascal.semantics import AnalyzedProgram, analyze
+from repro.tracing.tracer import LoopUnitInfo
+from repro.transform.globals_to_params import convert_globals_to_params
+from repro.transform.goto_elimination import break_global_gotos, eliminate_loop_gotos
+from repro.transform.instrument import instrument_program
+from repro.transform.loop_units import compute_loop_units
+from repro.transform.mapping import SourceMap
+
+
+@dataclass
+class TransformedProgram:
+    """Everything the tracing and debugging phases need."""
+
+    original_analysis: AnalyzedProgram
+    analysis: AnalyzedProgram
+    side_effects: SideEffects
+    source_map: SourceMap
+    loop_units: dict[int, LoopUnitInfo] = field(default_factory=dict)
+    instrumented_program: ast.Program | None = None
+    instrumented_source_map: SourceMap | None = None
+    added_params: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
+    exit_params: dict[str, str] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def program(self) -> ast.Program:
+        return self.analysis.program
+
+    def original_node_id(self, transformed_id: int) -> int | None:
+        """Map a transformed construct back to the user's source construct."""
+        return self.source_map.original_id(transformed_id)
+
+    # ------------------------------------------------------------------
+    # growth metrics (paper §9: "Small procedures usually grow less than
+    # a factor of two after transformations.")
+
+    def growth_factor(self) -> float:
+        """Instrumented-vs-original program size ratio in source lines."""
+        original_lines = _line_count(print_program(self.original_analysis.program))
+        final = (
+            self.instrumented_program
+            if self.instrumented_program is not None
+            else self.program
+        )
+        transformed_lines = _line_count(print_program(final))
+        return transformed_lines / max(original_lines, 1)
+
+    def routine_growth_factors(self) -> dict[str, float]:
+        """Per-routine line-growth ratios."""
+        final_analysis = (
+            analyze(self.instrumented_program)
+            if self.instrumented_program is not None
+            else self.analysis
+        )
+        original = {
+            info.qualified_name: _line_count(print_routine(info.decl))
+            for info in self.original_analysis.user_routines()
+            if isinstance(info.decl, ast.RoutineDecl)
+        }
+        factors: dict[str, float] = {}
+        for info in final_analysis.user_routines():
+            if not isinstance(info.decl, ast.RoutineDecl):
+                continue
+            before = original.get(info.qualified_name)
+            if before:
+                factors[info.qualified_name] = (
+                    _line_count(print_routine(info.decl)) / before
+                )
+        return factors
+
+
+def _line_count(text: str) -> int:
+    return sum(1 for line in text.splitlines() if line.strip())
+
+
+def transform_program(
+    analysis: AnalyzedProgram,
+    instrument: bool = True,
+    with_loop_units: bool = True,
+    max_goto_rounds: int = 10,
+) -> TransformedProgram:
+    """Run the full transformation pipeline on an analyzed program."""
+    original = analysis
+    warnings: list[str] = []
+    accumulated = SourceMap.identity(analysis.program)
+
+    # 1. gotos out of loops
+    loop_goto = eliminate_loop_gotos(analysis)
+    warnings.extend(loop_goto.warnings)
+    accumulated = loop_goto.source_map.compose(accumulated)
+    analysis = analyze(loop_goto.program)
+
+    # 2. global gotos, to a fixpoint. Each round may synthesize dispatch
+    #    gotos inside loop bodies (a call in a loop whose callee exits
+    #    globally), so the loop-goto pass is interleaved.
+    exit_params: dict[str, str] = {}
+    for _round in range(max_goto_rounds):
+        round_result = break_global_gotos(analysis)
+        warnings.extend(round_result.warnings)
+        if not round_result.changed:
+            break
+        exit_params.update(round_result.exit_params)
+        accumulated = round_result.source_map.compose(accumulated)
+        analysis = analyze(round_result.program)
+        loop_round = eliminate_loop_gotos(analysis)
+        if loop_round.changed:
+            warnings.extend(loop_round.warnings)
+            accumulated = loop_round.source_map.compose(accumulated)
+            analysis = analyze(loop_round.program)
+    else:
+        warnings.append(
+            f"global gotos remained after {max_goto_rounds} rounds"
+        )
+
+    # 3. globals to parameters
+    side_effects = analyze_side_effects(analysis)
+    globals_result = convert_globals_to_params(analysis, side_effects)
+    warnings.extend(globals_result.warnings)
+    accumulated = globals_result.source_map.compose(accumulated)
+    analysis = analyze(globals_result.program)
+    side_effects = analyze_side_effects(analysis)
+
+    # 4. loop units on the final program
+    loop_units = (
+        compute_loop_units(analysis, side_effects) if with_loop_units else {}
+    )
+
+    # 5. trace instrumentation (display artifact; see module docstring)
+    instrumented_program: ast.Program | None = None
+    instrumented_map: SourceMap | None = None
+    if instrument:
+        instrumented = instrument_program(analysis, side_effects, loop_units)
+        instrumented_program = instrumented.program
+        instrumented_map = instrumented.source_map.compose(accumulated)
+
+    return TransformedProgram(
+        original_analysis=original,
+        analysis=analysis,
+        side_effects=side_effects,
+        source_map=accumulated,
+        loop_units=loop_units,
+        instrumented_program=instrumented_program,
+        instrumented_source_map=instrumented_map,
+        added_params=globals_result.added_params,
+        exit_params=exit_params,
+        warnings=warnings,
+    )
+
+
+def transform_source(source: str, **kwargs) -> TransformedProgram:
+    """Parse, analyze, and transform Mini-Pascal source text."""
+    return transform_program(analyze(parse_program(source)), **kwargs)

@@ -1,0 +1,33 @@
+"""Workloads: the paper's example programs and synthetic program generators."""
+
+from repro.workloads.paper_programs import (
+    ARRSUM_SOURCE,
+    FIGURE2_SOURCE,
+    FIGURE2_SLICED_SOURCE,
+    FIGURE4_FIXED_SOURCE,
+    FIGURE4_SOURCE,
+    SECTION3_SOURCE,
+)
+from repro.workloads.generator import (
+    CallChainSpec,
+    CallTreeSpec,
+    generate_call_chain_program,
+    generate_call_tree_program,
+    generate_irrelevant_siblings_program,
+)
+from repro.workloads.ledger import ledger_program
+
+__all__ = [
+    "ARRSUM_SOURCE",
+    "CallChainSpec",
+    "CallTreeSpec",
+    "FIGURE2_SLICED_SOURCE",
+    "FIGURE2_SOURCE",
+    "FIGURE4_FIXED_SOURCE",
+    "FIGURE4_SOURCE",
+    "SECTION3_SOURCE",
+    "generate_call_chain_program",
+    "generate_call_tree_program",
+    "generate_irrelevant_siblings_program",
+    "ledger_program",
+]

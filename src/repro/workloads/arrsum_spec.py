@@ -1,0 +1,154 @@
+"""The paper's Figure 1: the ``arrsum`` test specification, plus the
+automatic frame-selector function and a case instantiator.
+
+The spec below is the paper's, with one clarification: the paper states
+that ``script_1`` contains exactly the frames ``(more, mixed, large)``
+and ``(more, mixed, average)``; for that to hold, the ``small`` deviation
+choice must be restricted to non-mixed arrays (``if not MIXED``), which
+Figure 1's OCR-garbled listing leaves implicit. EXPERIMENTS.md records
+this interpretation.
+
+The paper: "it is easy to define a function which gives the correct test
+frame for an input array using the test specification in Figure 1.
+These functions are called during the debugging process." —
+:func:`arrsum_frame_selector` is that function.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.pascal.values import ArrayValue, UNDEFINED
+from repro.tgen.cases import TestCase
+from repro.tgen.frames import TestFrame, frame_for_choices
+from repro.tgen.spec_ast import TestSpec
+from repro.tgen.spec_parser import parse_spec
+
+ARRSUM_SPEC_TEXT = """
+test arrsum;
+category size_of_array;
+  zero : property SINGLE;
+  one  : property SINGLE;
+  two  : ;
+  more : property MORE;
+category type_of_elements;
+  positive : ;
+  negative : ;
+  mixed    : if MORE property MIXED;
+category deviation;
+  small   : if not MIXED;
+  large   : if MIXED;
+  average : if MIXED;
+scripts
+  script_1 : if MIXED;
+  script_2 : if not MIXED;
+result
+  result_1 : if MIXED;
+"""
+
+
+def arrsum_spec() -> TestSpec:
+    """Parse the Figure 1 specification."""
+    return parse_spec(ARRSUM_SPEC_TEXT)
+
+
+def classify_arrsum_inputs(a: ArrayValue, n: int) -> dict[str, str]:
+    """Map concrete (array, count) inputs to a choice per category."""
+    if n <= 0:
+        size = "zero"
+    elif n == 1:
+        size = "one"
+    elif n == 2:
+        size = "two"
+    else:
+        size = "more"
+
+    elements = [
+        value
+        for value in a.elements[: max(n, 0)]
+        if value is not UNDEFINED and isinstance(value, int)
+    ]
+    if elements and all(value > 0 for value in elements):
+        kind = "positive"
+    elif elements and all(value < 0 for value in elements):
+        kind = "negative"
+    else:
+        kind = "mixed" if n > 2 else "positive"
+
+    if kind != "mixed":
+        deviation = "small"
+    else:
+        spread = (max(elements) - min(elements)) if elements else 0
+        if spread > 100:
+            deviation = "large"
+        elif spread > 10:
+            deviation = "average"
+        else:
+            deviation = "large"  # mixed arrays must pick large or average
+    return {
+        "size_of_array": size,
+        "type_of_elements": kind,
+        "deviation": deviation,
+    }
+
+
+def arrsum_frame_selector(inputs: Mapping[str, object]) -> TestFrame | None:
+    """The automatic frame-selector function for arrsum (paper §5.3.2)."""
+    a = inputs.get("a")
+    n = inputs.get("n")
+    if not isinstance(a, ArrayValue) or not isinstance(n, int):
+        return None
+    try:
+        return frame_for_choices(arrsum_spec(), classify_arrsum_inputs(a, n))
+    except (KeyError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# case instantiation
+
+_SAMPLE_ELEMENTS = {
+    ("zero",): [],
+    ("one",): [7],
+    ("two", "positive"): [3, 4],
+    ("two", "negative"): [-3, -4],
+    ("more", "positive"): [1, 2, 3, 4],
+    ("more", "negative"): [-1, -2, -3, -4],
+    ("more", "mixed", "large"): [-200, 5, 150, 1],
+    ("more", "mixed", "average"): [-20, 5, 15, 1],
+}
+
+
+def make_arrsum_instantiator(high: int = 10):
+    """Build an instantiator for an arrsum whose array type is
+    ``array[1..high] of integer`` (the Figure 4 program declares 1..2,
+    the standalone host program 1..10)."""
+
+    def instantiate(frame: TestFrame) -> Iterable[TestCase]:
+        size = frame.choice_of("size_of_array")
+        kind = frame.choice_of("type_of_elements")
+        deviation = frame.choice_of("deviation")
+        for key, elements in _SAMPLE_ELEMENTS.items():
+            if key[0] != size:
+                continue
+            if len(key) > 1 and key[1] != kind:
+                continue
+            if len(key) > 2 and key[2] != deviation:
+                continue
+            if len(elements) > high:
+                continue  # frame not realizable at this array size
+            array = ArrayValue(1, high)
+            for index, value in enumerate(elements):
+                array.set(1 + index, value)
+            yield TestCase(
+                frame=frame,
+                args=[array, len(elements), UNDEFINED],
+                expected={"b": sum(elements)},
+            )
+            return
+
+    return instantiate
+
+
+#: Default instantiator for the 1..10 host program.
+arrsum_instantiator = make_arrsum_instantiator(10)

@@ -1,0 +1,220 @@
+"""Synthetic program generators for scaling experiments.
+
+The paper's central claim is qualitative: slicing and test-case lookup cut
+the number of user interactions during bug localization. These generators
+produce families of programs whose *shape* controls exactly what each
+technique can exploit:
+
+* :func:`generate_call_chain_program` — a linear chain of ``depth``
+  procedures; every call is relevant, so the win comes from search
+  strategy and test lookup, not slicing.
+* :func:`generate_irrelevant_siblings_program` — the paper's Figure 5
+  scenario: ``p`` calls many independent workers and then one relevant
+  computation; slicing should prune every worker.
+* :func:`generate_call_tree_program` — a balanced tree of combining
+  procedures with a bug planted in one leaf; measures how query counts
+  grow with tree size for each strategy.
+
+Every generator returns a :class:`GeneratedProgram` holding the buggy
+source, the corrected reference source (for the simulated-user oracle),
+and the name of the routine that actually contains the bug, so tests and
+benchmarks can assert correct localization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """A synthetic buggy program plus its bug-free reference version."""
+
+    source: str
+    fixed_source: str
+    buggy_unit: str
+    description: str
+
+
+@dataclass(frozen=True)
+class CallChainSpec:
+    """Parameters for :func:`generate_call_chain_program`."""
+
+    depth: int = 8
+    bug_depth: int | None = None  # defaults to the leaf
+    seed_value: int = 3
+
+
+@dataclass(frozen=True)
+class CallTreeSpec:
+    """Parameters for :func:`generate_call_tree_program`."""
+
+    depth: int = 3  # leaf count is 2**depth
+    buggy_leaf: int = 0
+    seed_value: int = 3
+
+
+def generate_call_chain_program(spec: CallChainSpec = CallChainSpec()) -> GeneratedProgram:
+    """A chain main -> c1 -> c2 -> ... -> c<depth>, every link relevant.
+
+    Each ``ck`` adds 1 to its callee's result; the leaf doubles its input.
+    The bug (an off-by-one) sits in ``c<bug_depth>`` (default: the leaf).
+    """
+    depth = spec.depth
+    if depth < 1:
+        raise ValueError("chain depth must be >= 1")
+    bug_depth = spec.bug_depth if spec.bug_depth is not None else depth
+    if not 1 <= bug_depth <= depth:
+        raise ValueError(f"bug_depth must be in 1..{depth}")
+
+    def routine(k: int, buggy: bool) -> str:
+        if k == depth:
+            body = "y := x * 2"
+            if buggy:
+                body = "y := x * 2 + 1"
+            return (
+                f"procedure c{k}(x: integer; var y: integer);\n"
+                f"begin\n  {body}\nend;\n"
+            )
+        extra = " + 1" if buggy else ""
+        return (
+            f"procedure c{k}(x: integer; var y: integer);\n"
+            f"var t: integer;\n"
+            f"begin\n"
+            f"  c{k + 1}(x, t);\n"
+            f"  y := t + 1{extra}\n"
+            f"end;\n"
+        )
+
+    def build(plant_bug: bool) -> str:
+        routines = [
+            routine(k, plant_bug and k == bug_depth) for k in range(depth, 0, -1)
+        ]
+        return (
+            "program chain;\n"
+            "var r: integer;\n"
+            + "\n".join(routines)
+            + "\nbegin\n"
+            f"  c1({spec.seed_value}, r);\n"
+            "  writeln(r)\n"
+            "end.\n"
+        )
+
+    return GeneratedProgram(
+        source=build(True),
+        fixed_source=build(False),
+        buggy_unit=f"c{bug_depth}",
+        description=f"call chain, depth {depth}, bug at c{bug_depth}",
+    )
+
+
+def generate_irrelevant_siblings_program(
+    workers: int = 10, seed_value: int = 3
+) -> GeneratedProgram:
+    """The paper's Figure 5 shape: many irrelevant calls before the relevant one.
+
+    ``p`` calls ``work1..work<workers>`` (each computes an independent
+    global result), then ``relevant(x, y)``, which alone determines the
+    erroneous output. ``relevant`` delegates to ``helper`` where the bug
+    lives, so pure AD must wade through every worker while slicing on ``y``
+    prunes straight to the relevant subtree.
+    """
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+
+    def build(plant_bug: bool) -> str:
+        helper_expr = "u + 1" if plant_bug else "u - 1"
+        worker_decls = "".join(
+            f"procedure work{i}(u: integer; var v: integer);\n"
+            f"begin\n  v := u * {i}\nend;\n\n"
+            for i in range(1, workers + 1)
+        )
+        worker_vars = "".join(f"  w{i}: integer;\n" for i in range(1, workers + 1))
+        worker_calls = "".join(
+            f"  work{i}(a, w{i});\n" for i in range(1, workers + 1)
+        )
+        worker_sum = (
+            " + ".join(f"w{i}" for i in range(1, workers + 1)) if workers else "0"
+        )
+        return (
+            "program siblings;\n"
+            "var y, noise: integer;\n\n"
+            f"{worker_decls}"
+            "function helper(u: integer): integer;\n"
+            f"begin\n  helper := {helper_expr}\nend;\n\n"
+            "procedure relevant(x: integer; var y: integer);\n"
+            "begin\n  y := helper(x) * 2\nend;\n\n"
+            "procedure p(a, x: integer; var y, noise: integer);\n"
+            "var\n"
+            f"{worker_vars}"
+            "  dummy: integer;\n"
+            "begin\n"
+            f"{worker_calls}"
+            f"  noise := {worker_sum};\n"
+            "  relevant(x, y)\n"
+            "end;\n\n"
+            "begin\n"
+            f"  p(2, {seed_value}, y, noise);\n"
+            "  writeln(y);\n"
+            "  writeln(noise)\n"
+            "end.\n"
+        )
+
+    return GeneratedProgram(
+        source=build(True),
+        fixed_source=build(False),
+        buggy_unit="helper",
+        description=f"irrelevant siblings, {workers} workers, bug in helper",
+    )
+
+
+def generate_call_tree_program(spec: CallTreeSpec = CallTreeSpec()) -> GeneratedProgram:
+    """A balanced binary tree of procedures with a bug in one leaf.
+
+    Internal node ``t_<d>_<i>`` calls its two children and sums their
+    results; leaves compute ``x + 1`` (the buggy leaf computes ``x + 2``).
+    """
+    depth = spec.depth
+    if depth < 0:
+        raise ValueError("tree depth must be >= 0")
+    leaves = 2**depth
+    if not 0 <= spec.buggy_leaf < leaves:
+        raise ValueError(f"buggy_leaf must be in 0..{leaves - 1}")
+
+    def build(plant_bug: bool) -> str:
+        decls: list[str] = []
+        # Leaves first (declaration before use).
+        for i in range(leaves):
+            buggy = plant_bug and i == spec.buggy_leaf
+            body = "y := x + 2" if buggy else "y := x + 1"
+            decls.append(
+                f"procedure t_{depth}_{i}(x: integer; var y: integer);\n"
+                f"begin\n  {body}\nend;\n"
+            )
+        for level in range(depth - 1, -1, -1):
+            for i in range(2**level):
+                decls.append(
+                    f"procedure t_{level}_{i}(x: integer; var y: integer);\n"
+                    f"var l, r: integer;\n"
+                    f"begin\n"
+                    f"  t_{level + 1}_{2 * i}(x, l);\n"
+                    f"  t_{level + 1}_{2 * i + 1}(x, r);\n"
+                    f"  y := l + r\n"
+                    f"end;\n"
+                )
+        return (
+            "program tree;\n"
+            "var r: integer;\n"
+            + "\n".join(decls)
+            + "\nbegin\n"
+            f"  t_0_0({spec.seed_value}, r);\n"
+            "  writeln(r)\n"
+            "end.\n"
+        )
+
+    return GeneratedProgram(
+        source=build(True),
+        fixed_source=build(False),
+        buggy_unit=f"t_{depth}_{spec.buggy_leaf}",
+        description=f"balanced call tree, depth {depth}, bug in leaf {spec.buggy_leaf}",
+    )

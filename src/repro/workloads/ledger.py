@@ -1,0 +1,221 @@
+"""A realistic multi-layer workload: a small banking ledger.
+
+The paper's long-range goal is "a semi-automatic debugging and testing
+system which can be used during large-scale program development of
+non-trivial programs". This workload is a non-trivial Mini-Pascal
+program (global state, arrays, loops, four call layers) with a choice of
+planted bugs, plus a category-partition specification for its fee
+computation — the shape of program GADT is meant for.
+
+Structure::
+
+    main
+      setup                    initialize the accounts array
+      apply_transactions       loop over a transaction batch
+        execute(kind, ...)     dispatch one transaction
+          deposit / withdraw   balance updates (withdraw charges a fee)
+            fee(amount)        tiered fee computation     <- bug 'fee'
+          transfer             withdraw + deposit pair    <- bug 'transfer'
+      accrue_interest          per-account percentage     <- bug 'interest'
+      summarize                totals and minimum balance
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.generator import GeneratedProgram
+
+_LEDGER_TEMPLATE = """
+program ledger;
+const accounts = 4;
+type balancelist = array[1..4] of integer;
+var
+  balance: balancelist;
+  total, lowest: integer;
+
+function fee(amount: integer): integer;
+begin
+  if amount <= 100 then
+    fee := 1
+  else if amount <= 1000 then
+    fee := {fee_mid}
+  else
+    fee := amount div 100
+end;
+
+procedure deposit(acct, amount: integer);
+begin
+  balance[acct] := balance[acct] + amount
+end;
+
+procedure withdraw(acct, amount: integer);
+begin
+  balance[acct] := balance[acct] - amount - fee(amount)
+end;
+
+procedure transfer(src, dst, amount: integer);
+begin
+  {transfer_body}
+end;
+
+procedure execute(kind, a, b, amount: integer);
+begin
+  if kind = 1 then
+    deposit(a, amount)
+  else if kind = 2 then
+    withdraw(a, amount)
+  else
+    transfer(a, b, amount)
+end;
+
+procedure setup;
+var i: integer;
+begin
+  for i := 1 to accounts do
+    balance[i] := 1000
+end;
+
+procedure apply_transactions;
+begin
+  execute(1, 1, 0, 500);
+  execute(2, 2, 0, 200);
+  execute(3, 1, 3, 400);
+  execute(2, 4, 0, 50);
+  execute(3, 2, 4, 150)
+end;
+
+procedure accrue_interest(rate: integer);
+var i: integer;
+begin
+  for i := 1 to accounts do
+    balance[i] := balance[i] + {interest_expr}
+end;
+
+procedure summarize(var total, lowest: integer);
+var i: integer;
+begin
+  total := 0;
+  lowest := balance[1];
+  for i := 1 to accounts do begin
+    total := total + balance[i];
+    if balance[i] < lowest then
+      lowest := balance[i]
+  end
+end;
+
+begin
+  setup;
+  apply_transactions;
+  accrue_interest(5);
+  summarize(total, lowest);
+  writeln(total);
+  writeln(lowest)
+end.
+"""
+
+_CORRECT = {
+    "fee_mid": "2 + amount div 200",
+    "transfer_body": "withdraw(src, amount);\n  deposit(dst, amount)",
+    "interest_expr": "balance[i] * rate div 100",
+}
+
+_BUGS = {
+    # fee: the middle tier forgets the base charge
+    "fee": ("fee_mid", "amount div 200"),
+    # transfer: deposits the gross amount plus the fee the source paid
+    "transfer": (
+        "transfer_body",
+        "withdraw(src, amount);\n  deposit(dst, amount + fee(amount))",
+    ),
+    # interest: rounds with the wrong divisor
+    "interest": ("interest_expr", "balance[i] * rate div 10"),
+}
+
+#: the unit each bug lives in
+BUG_UNITS = {"fee": "fee", "transfer": "transfer", "interest": "accrue_interest"}
+
+
+def ledger_program(bug: str | None = None) -> GeneratedProgram:
+    """The ledger program with ``bug`` planted (or none).
+
+    ``bug`` is one of ``'fee'``, ``'transfer'``, ``'interest'``.
+    """
+    substitutions = dict(_CORRECT)
+    if bug is not None:
+        if bug not in _BUGS:
+            raise ValueError(f"unknown bug {bug!r}; choose from {sorted(_BUGS)}")
+        key, text = _BUGS[bug]
+        substitutions[key] = text
+    source = _LEDGER_TEMPLATE.format(**substitutions)
+    fixed = _LEDGER_TEMPLATE.format(**_CORRECT)
+    return GeneratedProgram(
+        source=source,
+        fixed_source=fixed,
+        buggy_unit=BUG_UNITS.get(bug or "", ""),
+        description=f"ledger with bug {bug!r}" if bug else "correct ledger",
+    )
+
+
+# ----------------------------------------------------------------------
+# category-partition specification for fee (paper §2 style)
+
+FEE_SPEC_TEXT = """
+test fee;
+category tier;
+  low  : ;
+  mid  : property MID;
+  high : property HIGH;
+category position;
+  interior : ;
+  boundary : property BOUNDARY;
+result
+  rounded : if HIGH;
+"""
+
+#: concrete amount per (tier, position), plus the correct fee
+FEE_SAMPLES = {
+    ("low", "interior"): (40, 1),
+    ("low", "boundary"): (100, 1),
+    ("mid", "interior"): (400, 4),
+    ("mid", "boundary"): (1000, 7),
+    ("high", "interior"): (2500, 25),
+    ("high", "boundary"): (1001, 10),
+}
+
+
+def fee_spec():
+    from repro.tgen.spec_parser import parse_spec
+
+    return parse_spec(FEE_SPEC_TEXT)
+
+
+def fee_instantiator(frame):
+    """Instantiate one executable case per fee frame."""
+    from repro.tgen.cases import TestCase
+
+    key = (frame.choice_of("tier"), frame.choice_of("position"))
+    amount, expected = FEE_SAMPLES[key]
+    yield TestCase(frame=frame, args=[amount], expected={"result": expected})
+
+
+def fee_frame_selector(inputs):
+    """Map a concrete fee query to its frame (paper §5.3.2)."""
+    from repro.tgen.frames import frame_for_choices
+
+    amount = inputs.get("amount")
+    if not isinstance(amount, int):
+        return None
+    if amount <= 100:
+        tier = "low"
+        boundary = amount == 100
+    elif amount <= 1000:
+        tier = "mid"
+        boundary = amount == 1000
+    else:
+        tier = "high"
+        boundary = amount == 1001
+    return frame_for_choices(
+        fee_spec(),
+        {"tier": tier, "position": "boundary" if boundary else "interior"},
+    )

@@ -1,0 +1,179 @@
+"""Systematic fault injection for localization-accuracy experiments.
+
+The paper's evaluation plants one bug by hand (``y+1`` for ``y-1`` in
+``decrement`` — an arithmetic-operator mutation). This module applies the
+same class of single-token faults *systematically*: every arithmetic and
+relational operator flip and every off-by-one constant change, one at a
+time, each tagged with the routine whose body contains it. The
+localization experiment then checks, for every behaviour-changing
+mutant, that the debugger blames exactly that routine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.pretty import print_program
+from repro.pascal.semantics import AnalyzedProgram, analyze_source
+
+#: operator substitutions, one per mutant
+_BINARY_FLIPS = {
+    "+": "-",
+    "-": "+",
+    "*": "+",
+    "div": "*",
+    "<": "<=",
+    "<=": "<",
+    ">": ">=",
+    ">=": ">",
+    "=": "<>",
+    "<>": "=",
+}
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One single-fault variant of a program."""
+
+    source: str
+    unit: str  # routine whose body contains the mutation
+    description: str
+    kind: str  # "operator" or "constant"
+
+
+def _routine_of_node(
+    analysis: AnalyzedProgram, target: ast.Node
+) -> str | None:
+    """Name of the routine whose *body* contains ``target`` (None for
+    declarations or main-body code)."""
+    for info in analysis.user_routines():
+        for stmt in ast.iter_statements(info.block.body):
+            if any(node is target for node in stmt.walk()):
+                return info.name
+    return None
+
+
+def generate_mutants(
+    source: str,
+    include_constants: bool = True,
+    units: set[str] | None = None,
+) -> list[Mutant]:
+    """All single-fault mutants of ``source`` located inside routine bodies.
+
+    ``units`` restricts mutation to the named routines.
+    """
+    analysis = analyze_source(source)
+    mutants: list[Mutant] = []
+    program = analysis.program
+
+    for node in program.walk():
+        owner = None
+        if isinstance(node, ast.BinaryOp) and node.op in _BINARY_FLIPS:
+            owner = _routine_of_node(analysis, node)
+            if owner is None or (units is not None and owner not in units):
+                continue
+            original_op = node.op
+            node.op = _BINARY_FLIPS[original_op]
+            mutants.append(
+                Mutant(
+                    source=print_program(program),
+                    unit=owner,
+                    description=f"{original_op} -> {node.op} in {owner}",
+                    kind="operator",
+                )
+            )
+            node.op = original_op
+        elif include_constants and isinstance(node, ast.IntLiteral):
+            owner = _routine_of_node(analysis, node)
+            if owner is None or (units is not None and owner not in units):
+                continue
+            original_value = node.value
+            node.value = original_value + 1
+            mutants.append(
+                Mutant(
+                    source=print_program(program),
+                    unit=owner,
+                    description=f"{original_value} -> {node.value} in {owner}",
+                    kind="constant",
+                )
+            )
+            node.value = original_value
+    return mutants
+
+
+@dataclass
+class LocalizationOutcome:
+    """Result of debugging one mutant."""
+
+    mutant: Mutant
+    status: str  # "localized" | "mislocalized" | "equivalent" | "crashed"
+    localized_unit: str | None = None
+    user_questions: int = 0
+
+
+def evaluate_mutants(
+    source: str,
+    mutants: list[Mutant],
+    strategy: str = "top-down",
+    enable_slicing: bool = True,
+    step_limit: int = 500_000,
+) -> list[LocalizationOutcome]:
+    """Debug every behaviour-changing mutant against the original program.
+
+    A mutant whose output equals the original's is *equivalent* (not
+    debuggable); one that crashes is recorded as *crashed*; otherwise the
+    debugger runs with a reference oracle backed by the original, and the
+    outcome records whether the blamed unit is the mutated one. The
+    blamed unit counts as correct if it is the mutated routine or a unit
+    inside it (a loop unit such as ``arrsum$for1``).
+    """
+    from repro.core import AlgorithmicDebugger, GadtSystem, ReferenceOracle
+    from repro.pascal import run_source
+    from repro.pascal.errors import PascalError
+
+    baseline = run_source(source, step_limit=step_limit).output
+    reference = ReferenceOracle.from_source(source, step_limit=step_limit)
+
+    outcomes: list[LocalizationOutcome] = []
+    for mutant in mutants:
+        try:
+            output = run_source(mutant.source, step_limit=step_limit).output
+        except PascalError:
+            outcomes.append(LocalizationOutcome(mutant=mutant, status="crashed"))
+            continue
+        if output == baseline:
+            outcomes.append(
+                LocalizationOutcome(mutant=mutant, status="equivalent")
+            )
+            continue
+        system = GadtSystem.from_source(mutant.source, step_limit=step_limit)
+        debugger = AlgorithmicDebugger(
+            system.trace,
+            reference,
+            strategy=strategy,
+            enable_slicing=enable_slicing,
+        )
+        result = debugger.debug()
+        blamed = result.bug_unit or ""
+        correct = blamed == mutant.unit or blamed.startswith(mutant.unit + "$")
+        outcomes.append(
+            LocalizationOutcome(
+                mutant=mutant,
+                status="localized" if correct else "mislocalized",
+                localized_unit=result.bug_unit,
+                user_questions=result.user_questions,
+            )
+        )
+    return outcomes
+
+
+def accuracy(outcomes: list[LocalizationOutcome]) -> tuple[int, int]:
+    """(correctly localized, debuggable) counts over the outcomes."""
+    debuggable = [
+        outcome
+        for outcome in outcomes
+        if outcome.status in ("localized", "mislocalized")
+    ]
+    correct = sum(1 for outcome in debuggable if outcome.status == "localized")
+    return correct, len(debuggable)

@@ -1,0 +1,201 @@
+"""The example programs from the paper, verbatim in Mini-Pascal.
+
+* :data:`FIGURE4_SOURCE` — the paper's Figure 4: ``sqrtest`` computes the
+  square of the sum of ``[1, 2]`` two ways and compares them; the function
+  ``decrement`` contains the planted bug (``y + 1`` instead of ``y - 1``).
+* :data:`FIGURE4_FIXED_SOURCE` — the same program with the bug corrected,
+  used as the reference program by the simulated-user oracle.
+* :data:`FIGURE2_SOURCE` — the paper's Figure 2(a) slicing example, and
+  :data:`FIGURE2_SLICED_SOURCE`, its published slice on ``mul`` (Figure 2(b)).
+* :data:`SECTION3_SOURCE` — the P/Q/R program sketched in §3, concretized
+  (the paper leaves the bodies abstract; here Q doubles, R negates, and R
+  carries the bug).
+* :data:`ARRSUM_SOURCE` — the ``arrsum`` procedure of Figure 1, host
+  program for the T-GEN test specification example.
+"""
+
+FIGURE4_SOURCE = """
+program main;
+type intarray = array[1..2] of integer;
+var isok: boolean;
+
+procedure test(r1, r2: integer; var isok: boolean);
+begin
+  isok := r1 = r2
+end;
+
+procedure arrsum(a: intarray; n: integer; var b: integer);
+var i: integer;
+begin
+  b := 0;
+  for i := 1 to n do
+    b := b + a[i]
+end;
+
+procedure square(y: integer; var r2: integer);
+begin
+  r2 := y * y
+end;
+
+procedure comput2(y: integer; var r2: integer);
+begin
+  square(y, r2)
+end;
+
+procedure add(s1, s2: integer; var r1: integer);
+begin
+  r1 := s1 + s2
+end;
+
+function decrement(y: integer): integer;
+begin
+  decrement := y + 1 (* a planted bug, should be: y - 1 *)
+end;
+
+function increment(y: integer): integer;
+begin
+  increment := y + 1
+end;
+
+procedure sum2(y: integer; var s2: integer);
+var t: integer;
+begin
+  s2 := decrement(y) * y div 2
+end;
+
+procedure sum1(y: integer; var s1: integer);
+var z: integer;
+begin
+  s1 := y * increment(y) div 2
+end;
+
+procedure partialsums(y: integer; var s1, s2: integer);
+begin
+  sum1(y, s1);
+  sum2(y, s2)
+end;
+
+procedure comput1(y: integer; var r1: integer);
+var s1, s2: integer;
+begin
+  partialsums(y, s1, s2);
+  add(s1, s2, r1)
+end;
+
+procedure computs(y: integer; var r1, r2: integer);
+begin
+  comput1(y, r1);
+  comput2(y, r2)
+end;
+
+procedure sqrtest(ary: intarray; n: integer; var isok: boolean);
+var r1, r2, t: integer;
+begin
+  arrsum(ary, n, t);
+  computs(t, r1, r2);
+  test(r1, r2, isok)
+end;
+
+begin (* Main *)
+  sqrtest([1, 2], 2, isok);
+  writeln(isok)
+end.
+"""
+
+FIGURE4_FIXED_SOURCE = FIGURE4_SOURCE.replace(
+    "decrement := y + 1 (* a planted bug, should be: y - 1 *)",
+    "decrement := y - 1",
+)
+
+FIGURE2_SOURCE = """
+program p;
+var x, y, z, sum, mul: integer;
+begin
+  read(x, y);
+  mul := 0;
+  sum := 0;
+  if x <= 1 then
+    sum := x + y
+  else begin
+    read(z);
+    mul := x * y
+  end
+end.
+"""
+
+#: Figure 2(b): the paper's published slice of program p on variable mul
+#: at the last line. (The paper prints the then-branch as an empty
+#: statement; structurally the slice keeps read(x,y), mul := 0, and the
+#: else-branch assignment mul := x * y.)
+FIGURE2_SLICED_SOURCE = """
+program p;
+var x, y, mul: integer;
+begin
+  read(x, y);
+  mul := 0;
+  if x <= 1 then
+  begin
+  end
+  else begin
+    mul := x * y
+  end
+end.
+"""
+
+SECTION3_SOURCE = """
+program main;
+var b, d: integer;
+
+procedure q(a: integer; var b: integer);
+begin
+  b := a * 2
+end;
+
+procedure r(c: integer; var d: integer);
+begin
+  d := c + 1 (* planted bug: should be  d := -c *)
+end;
+
+procedure p(a, c: integer; var b, d: integer);
+begin
+  q(a, b);
+  r(c, d)
+end;
+
+begin
+  p(3, 5, b, d);
+  writeln(b);
+  writeln(d)
+end.
+"""
+
+SECTION3_FIXED_SOURCE = SECTION3_SOURCE.replace(
+    "d := c + 1 (* planted bug: should be  d := -c *)",
+    "d := -c",
+)
+
+ARRSUM_SOURCE = """
+program arrsumhost;
+const n = 10;
+type intarray = array[1..10] of integer;
+var data: intarray;
+    total: integer;
+    m: integer;
+    i: integer;
+
+procedure arrsum(a: intarray; m: integer; var b: integer);
+var i: integer;
+begin
+  b := 0;
+  for i := 1 to m do
+    b := b + a[i]
+end;
+
+begin
+  read(m);
+  for i := 1 to m do
+    read(data[i]);
+  arrsum(data, m, total);
+  writeln(total)
+end.
+"""

@@ -1,0 +1,35 @@
+"""Shared fixtures: the paper's programs taken through each phase once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GadtSystem
+from repro.pascal import analyze_source
+from repro.tracing import trace_source
+from repro.workloads import FIGURE2_SOURCE, FIGURE4_FIXED_SOURCE, FIGURE4_SOURCE
+
+
+@pytest.fixture(scope="session")
+def figure4_analysis():
+    return analyze_source(FIGURE4_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def figure4_fixed_analysis():
+    return analyze_source(FIGURE4_FIXED_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def figure4_trace():
+    return trace_source(FIGURE4_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def figure2_analysis():
+    return analyze_source(FIGURE2_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def figure4_system():
+    return GadtSystem.from_source(FIGURE4_SOURCE)

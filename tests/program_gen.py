@@ -1,0 +1,190 @@
+"""Hypothesis strategies generating random (but always valid) Mini-Pascal
+programs, used by the property-based tests.
+
+All generated programs terminate (loops are bounded ``for`` loops or
+counter-guarded ``while`` loops), never read uninitialized storage
+(expressions only mention variables initialized on every path), and
+never divide by zero (divisors are nonzero literals).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+_NAMES = ["alpha", "beta", "gamma", "delta", "epsi"]
+
+
+@st.composite
+def expressions(draw, names: list[str], depth: int = 2) -> str:
+    """An integer expression over initialized variables."""
+    if depth == 0 or not names:
+        if names and draw(st.booleans()):
+            return draw(st.sampled_from(names))
+        return str(draw(st.integers(min_value=-20, max_value=20)))
+    kind = draw(st.sampled_from(["binary", "unary", "paren", "leaf", "builtin"]))
+    if kind == "leaf":
+        return draw(expressions(names, 0))
+    if kind == "unary":
+        return f"-({draw(expressions(names, depth - 1))})"
+    if kind == "paren":
+        return f"({draw(expressions(names, depth - 1))})"
+    if kind == "builtin":
+        function = draw(st.sampled_from(["abs", "sqr"]))
+        return f"{function}({draw(expressions(names, depth - 1))})"
+    op = draw(st.sampled_from(["+", "-", "*", "div", "mod"]))
+    left = draw(expressions(names, depth - 1))
+    if op in ("div", "mod"):
+        divisor = draw(st.integers(min_value=1, max_value=9))
+        return f"({left}) {op} {divisor}"
+    right = draw(expressions(names, depth - 1))
+    return f"({left}) {op} ({right})"
+
+
+@st.composite
+def conditions(draw, names: list[str]) -> str:
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "<>"]))
+    left = draw(expressions(names, 1))
+    right = draw(expressions(names, 1))
+    return f"({left}) {op} ({right})"
+
+
+@st.composite
+def straightline_programs(draw) -> str:
+    """Assignments only; every variable assigned before any use."""
+    count = draw(st.integers(min_value=2, max_value=5))
+    names = _NAMES[:count]
+    lines: list[str] = []
+    initialized: list[str] = []
+    total = max(draw(st.integers(min_value=3, max_value=12)), count)
+    for index in range(total):
+        if index < count:
+            target = names[index]  # ensure everything gets initialized
+        else:
+            target = draw(st.sampled_from(names))
+        value = draw(expressions(initialized, depth=2))
+        lines.append(f"{target} := {value}")
+        if target not in initialized:
+            initialized.append(target)
+    for name in names:
+        lines.append(f"writeln({name})")
+    body = ";\n  ".join(lines)
+    declarations = "var " + ", ".join(names) + ": integer;"
+    return f"program gen;\n{declarations}\nbegin\n  {body}\nend.\n"
+
+
+#: dedicated while-loop counters, never assigned by generated bodies
+_COUNTERS = ["cnta", "cntb", "cntc"]
+
+
+@st.composite
+def statement(draw, names: list[str], depth: int = 2, counters=None) -> str:
+    """One complete statement (possibly compound) over initialized vars."""
+    available = list(_COUNTERS) if counters is None else counters
+    kinds = ["assign", "assign", "assign"]
+    if depth > 0:
+        kinds += ["if", "ifelse", "for", "block"]
+        if available:
+            kinds.append("while")
+    kind = draw(st.sampled_from(kinds))
+    if kind == "assign":
+        target = draw(st.sampled_from(names))
+        value = draw(expressions(names, 2))
+        return f"{target} := {value}"
+    if kind == "block":
+        inner = draw(
+            st.lists(statement(names, depth - 1, available), min_size=1, max_size=3)
+        )
+        return "begin " + "; ".join(inner) + " end"
+    if kind in ("if", "ifelse"):
+        condition = draw(conditions(names))
+        then_part = draw(statement(names, depth - 1, available))
+        if kind == "if":
+            return f"if {condition} then begin {then_part} end"
+        else_part = draw(statement(names, depth - 1, available))
+        return (
+            f"if {condition} then begin {then_part} end "
+            f"else begin {else_part} end"
+        )
+    if kind == "for":
+        loop_var = names[0]
+        body_names = names[1:] or names
+        low = draw(st.integers(min_value=0, max_value=3))
+        high = low + draw(st.integers(min_value=0, max_value=4))
+        body = draw(statement(body_names, depth - 1, available))
+        return f"for {loop_var} := {low} to {high} do begin {body} end"
+    # counter-guarded while on a reserved counter: always terminates
+    counter = available[0]
+    bound = draw(st.integers(min_value=1, max_value=5))
+    body = draw(statement(names, depth - 1, available[1:]))
+    return (
+        f"begin {counter} := {bound}; "
+        f"while {counter} > 0 do begin {counter} := {counter} - 1; {body} end end"
+    )
+
+
+@st.composite
+def structured_programs(draw) -> str:
+    """Programs with ifs and bounded loops over pre-initialized variables."""
+    count = draw(st.integers(min_value=2, max_value=4))
+    names = _NAMES[:count]
+    fragments: list[str] = [
+        f"{name} := {draw(st.integers(-5, 5))}" for name in names
+    ]
+    blocks = draw(st.integers(min_value=1, max_value=4))
+    for _ in range(blocks):
+        fragments.append(draw(statement(names, depth=2)))
+    for name in names:
+        fragments.append(f"writeln({name})")
+    body = ";\n  ".join(fragments)
+    declarations = (
+        "var " + ", ".join(names + _COUNTERS) + ": integer;"
+    )
+    return f"program gen;\n{declarations}\nbegin\n  {body}\nend.\n"
+
+
+@st.composite
+def programs_with_procedures(draw) -> str:
+    """Programs whose procedures read/write globals — transformation fodder."""
+    global_names = ["gone", "gtwo", "gthree"]
+    procedure_count = draw(st.integers(min_value=1, max_value=4))
+    procedures: list[str] = []
+    names_so_far: list[str] = []
+    for index in range(procedure_count):
+        name = f"proc{index}"
+        reads_global = draw(st.sampled_from(global_names))
+        writes_global = draw(st.one_of(st.none(), st.sampled_from(global_names)))
+        body_lines = [f"r := a + {reads_global}"]
+        if writes_global is not None:
+            body_lines.append(
+                f"{writes_global} := {writes_global} + {draw(st.integers(1, 3))}"
+            )
+        if names_so_far and draw(st.booleans()):
+            callee = draw(st.sampled_from(names_so_far))
+            body_lines.append(f"{callee}(r, t)")
+            body_lines.append("r := r + t")
+        body = ";\n  ".join(body_lines)
+        procedures.append(
+            f"procedure {name}(a: integer; var r: integer);\n"
+            f"var t: integer;\nbegin\n  t := 0;\n  {body}\nend;\n"
+        )
+        names_so_far.append(name)
+    calls = [
+        f"{draw(st.sampled_from(names_so_far))}({draw(st.integers(-5, 5))}, result)"
+        for _ in range(draw(st.integers(min_value=1, max_value=3)))
+    ]
+    call_text = ";\n  ".join(calls)
+    global_inits = ";\n  ".join(
+        f"{name} := {draw(st.integers(-3, 3))}" for name in global_names
+    )
+    return (
+        "program gen;\n"
+        f"var {', '.join(global_names)}, result: integer;\n"
+        + "\n".join(procedures)
+        + "\nbegin\n"
+        f"  {global_inits};\n"
+        "  result := 0;\n"
+        f"  {call_text};\n"
+        "  writeln(result);\n"
+        "  writeln(gone);\n  writeln(gtwo);\n  writeln(gthree)\n"
+        "end.\n"
+    )

@@ -1,0 +1,191 @@
+"""Unit tests for the algorithmic debugger core."""
+
+import pytest
+
+from repro.core import (
+    AlgorithmicDebugger,
+    Answer,
+    AssertionStore,
+    FunctionOracle,
+    ReferenceOracle,
+    ScriptedOracle,
+)
+from repro.core.queries import AnswerKind
+from repro.pascal.semantics import analyze_source
+from repro.tracing import trace_source
+from repro.workloads import (
+    FIGURE4_FIXED_SOURCE,
+    FIGURE4_SOURCE,
+    SECTION3_SOURCE,
+    generate_call_chain_program,
+    generate_call_tree_program,
+    CallChainSpec,
+    CallTreeSpec,
+)
+from repro.workloads.paper_programs import SECTION3_FIXED_SOURCE
+
+
+def reference_debug(source, fixed_source, **kwargs):
+    trace = trace_source(source)
+    oracle = ReferenceOracle(analyze_source(fixed_source))
+    debugger = AlgorithmicDebugger(trace, oracle, **kwargs)
+    return debugger.debug(), oracle
+
+
+class TestSection3Dialogue:
+    """The paper's §3 example: P calls Q then R; R is buggy."""
+
+    def test_scripted_session_matches_paper(self):
+        trace = trace_source(SECTION3_SOURCE)
+        oracle = ScriptedOracle(
+            script=[
+                ("p", Answer.no()),
+                ("q", Answer.yes()),
+                ("r", Answer.no()),
+            ]
+        )
+        debugger = AlgorithmicDebugger(trace, oracle)
+        result = debugger.debug()
+        assert result.bug_unit == "r"
+        assert oracle.exhausted
+        assert result.user_questions == 3
+
+    def test_reference_oracle_agrees(self):
+        result, _ = reference_debug(SECTION3_SOURCE, SECTION3_FIXED_SOURCE)
+        assert result.bug_unit == "r"
+
+
+class TestLocalization:
+    def test_figure4_pure_ad(self):
+        result, _ = reference_debug(FIGURE4_SOURCE, FIGURE4_FIXED_SOURCE)
+        assert result.bug_unit == "decrement"
+        assert result.localized
+
+    def test_figure4_question_count_pure(self):
+        result, oracle = reference_debug(FIGURE4_SOURCE, FIGURE4_FIXED_SOURCE)
+        # top-down without tests/slicing: sqrtest, arrsum, computs,
+        # comput1, partialsums, sum1, sum2, decrement = 8
+        assert result.user_questions == 8
+
+    def test_bug_in_intermediate_node(self):
+        generated = generate_call_chain_program(CallChainSpec(depth=6, bug_depth=3))
+        result, _ = reference_debug(generated.source, generated.fixed_source)
+        assert result.bug_unit == "c3"
+
+    def test_bug_in_root_child(self):
+        generated = generate_call_chain_program(CallChainSpec(depth=4, bug_depth=1))
+        result, _ = reference_debug(generated.source, generated.fixed_source)
+        assert result.bug_unit == "c1"
+
+    def test_bug_in_tree_leaf(self):
+        generated = generate_call_tree_program(CallTreeSpec(depth=3, buggy_leaf=5))
+        result, _ = reference_debug(generated.source, generated.fixed_source)
+        assert result.bug_unit == generated.buggy_unit
+
+    def test_all_strategies_localize(self):
+        generated = generate_call_tree_program(CallTreeSpec(depth=3, buggy_leaf=2))
+        for strategy in ("top-down", "bottom-up", "divide-and-query"):
+            result, _ = reference_debug(
+                generated.source, generated.fixed_source, strategy=strategy
+            )
+            assert result.bug_unit == generated.buggy_unit, strategy
+
+    def test_divide_and_query_fewer_questions_on_chain(self):
+        generated = generate_call_chain_program(CallChainSpec(depth=16))
+        top_down, _ = reference_debug(generated.source, generated.fixed_source)
+        dq, _ = reference_debug(
+            generated.source, generated.fixed_source, strategy="divide-and-query"
+        )
+        assert dq.user_questions < top_down.user_questions
+
+
+class TestAnswerHandling:
+    def test_dont_know_skips_conservatively(self):
+        trace = trace_source(SECTION3_SOURCE)
+
+        def oracle_fn(query):
+            if query.unit_name == "q":
+                return Answer.dont_know()
+            if query.unit_name == "p":
+                return Answer.no()
+            return Answer.no()
+
+        debugger = AlgorithmicDebugger(trace, FunctionOracle(oracle_fn))
+        result = debugger.debug()
+        assert result.bug_unit == "r"
+        assert [node.unit_name for node in result.uncertain_nodes] == ["q"]
+
+    def test_cached_answers_not_recounted(self):
+        trace = trace_source(FIGURE4_SOURCE)
+        oracle = ReferenceOracle(analyze_source(FIGURE4_FIXED_SOURCE))
+        debugger = AlgorithmicDebugger(trace, oracle)
+        debugger.debug()
+        first_count = oracle.questions
+        debugger.debug()  # same tree, all answers cached
+        assert oracle.questions == first_count
+
+    def test_assertion_answer_stored_and_applied(self):
+        trace = trace_source(SECTION3_SOURCE)
+        from repro.core.assertions import Assertion
+
+        def oracle_fn(query):
+            if query.unit_name == "p":
+                return Answer.no()
+            if query.unit_name == "q":
+                return Answer(
+                    kind=AnswerKind.ASSERTION,
+                    assertion=Assertion(unit="q", text="b = a * 2"),
+                )
+            return Answer.no()
+
+        store = AssertionStore()
+        debugger = AlgorithmicDebugger(
+            trace, FunctionOracle(oracle_fn), assertions=store
+        )
+        result = debugger.debug()
+        assert result.bug_unit == "r"
+        assert len(store) == 1  # the assertion was kept
+
+    def test_assertions_preempt_oracle(self):
+        trace = trace_source(SECTION3_SOURCE)
+        store = AssertionStore()
+        store.assert_unit("q", "b = a * 2")
+        asked = []
+
+        def oracle_fn(query):
+            asked.append(query.unit_name)
+            return Answer.no()
+
+        debugger = AlgorithmicDebugger(
+            trace, FunctionOracle(oracle_fn), assertions=store
+        )
+        result = debugger.debug()
+        assert result.bug_unit == "r"
+        assert "q" not in asked
+        assert result.auto_answers == 1
+
+    def test_start_node_overrides_root(self):
+        trace = trace_source(FIGURE4_SOURCE)
+        oracle = ReferenceOracle(analyze_source(FIGURE4_FIXED_SOURCE))
+        debugger = AlgorithmicDebugger(trace, oracle)
+        start = trace.tree.find("partialsums")
+        result = debugger.debug(start=start)
+        assert result.bug_unit == "decrement"
+        # only sum1/sum2/decrement/increment could possibly be asked
+        assert result.user_questions <= 4
+
+
+class TestSessionRecord:
+    def test_session_renders_dialogue(self):
+        trace = trace_source(SECTION3_SOURCE)
+        oracle = ScriptedOracle(
+            script=[(None, Answer.no()), (None, Answer.yes()), (None, Answer.no())]
+        )
+        result = AlgorithmicDebugger(trace, oracle).debug()
+        text = result.session.render()
+        assert "p(In a: 3, In c: 5, Out b: 6, Out d: 6)?" in text
+        assert "An error has been localized inside the body of r." in text
+
+    def test_user_question_count_matches_session(self):
+        result, _ = reference_debug(FIGURE4_SOURCE, FIGURE4_FIXED_SOURCE)
+        assert len(result.session.user_questions()) == result.user_questions

@@ -1,0 +1,122 @@
+"""Unit tests for the assertion language and store."""
+
+import pytest
+
+from repro.core.assertions import Assertion, AssertionStore
+from repro.core.queries import AnswerKind, AnswerSource, Query
+from repro.tracing.execution_tree import Binding, BindingMode, ExecNode, NodeKind
+
+
+def node(unit="partialsums", inputs=None, outputs=None):
+    return ExecNode(
+        kind=NodeKind.CALL,
+        unit_name=unit,
+        inputs=[Binding(k, BindingMode.IN, v) for k, v in (inputs or {}).items()],
+        outputs=[Binding(k, BindingMode.OUT, v) for k, v in (outputs or {}).items()],
+    )
+
+
+class TestEvaluation:
+    def test_arithmetic_assertion_true(self):
+        assertion = Assertion(
+            unit="partialsums", text="s1 = y * (y + 1) div 2"
+        )
+        good = node(inputs={"y": 3}, outputs={"s1": 6, "s2": 6})
+        assert assertion.evaluate(good)
+
+    def test_arithmetic_assertion_false(self):
+        assertion = Assertion(unit="partialsums", text="s2 = (y - 1) * y div 2")
+        bad = node(inputs={"y": 3}, outputs={"s1": 6, "s2": 6})
+        assert not assertion.evaluate(bad)  # 6 != 3
+
+    def test_in_out_prefixes(self):
+        assertion = Assertion(unit="double", text="out_v = in_v * 2")
+        good = node(unit="double", inputs={"v": 4}, outputs={"v": 8})
+        assert assertion.evaluate(good)
+
+    def test_output_wins_plain_name(self):
+        assertion = Assertion(unit="double", text="v = 8")
+        both = node(unit="double", inputs={"v": 4}, outputs={"v": 8})
+        assert assertion.evaluate(both)
+
+    def test_result_name(self):
+        result_node = ExecNode(
+            kind=NodeKind.CALL,
+            unit_name="inc",
+            inputs=[Binding("x", BindingMode.IN, 1)],
+            outputs=[Binding("inc", BindingMode.RESULT, 2)],
+        )
+        assertion = Assertion(unit="inc", text="result = x + 1")
+        assert assertion.evaluate(result_node)
+
+    def test_boolean_connectives(self):
+        assertion = Assertion(
+            unit="p", text="(a > 0) and ((b = 1) or (b = 2)) and not (a = b)"
+        )
+        assert assertion.evaluate(node(unit="p", inputs={"a": 5, "b": 2}))
+        assert not assertion.evaluate(node(unit="p", inputs={"a": 2, "b": 2}))
+
+    def test_builtins(self):
+        assertion = Assertion(unit="p", text="abs(a) = sqr(2)")
+        assert assertion.evaluate(node(unit="p", inputs={"a": -4}))
+
+    def test_non_boolean_assertion_rejected(self):
+        from repro.core.assertions import AssertionError_
+
+        assertion = Assertion(unit="p", text="a + 1")
+        with pytest.raises(AssertionError_):
+            assertion.evaluate(node(unit="p", inputs={"a": 1}))
+
+    def test_unknown_name_rejected(self):
+        from repro.core.assertions import AssertionError_
+
+        assertion = Assertion(unit="p", text="ghost = 1")
+        with pytest.raises(AssertionError_):
+            assertion.evaluate(node(unit="p", inputs={"a": 1}))
+
+
+class TestStore:
+    def make_store(self):
+        store = AssertionStore()
+        store.assert_unit("partialsums", "s1 = y * (y + 1) div 2")
+        store.assert_unit("partialsums", "s2 = (y - 1) * y div 2")
+        return store
+
+    def test_answers_yes_when_all_hold(self):
+        store = self.make_store()
+        good = node(inputs={"y": 3}, outputs={"s1": 6, "s2": 3})
+        answer = store.try_answer(Query(good))
+        assert answer is not None
+        assert answer.kind is AnswerKind.YES
+        assert answer.source is AnswerSource.ASSERTION
+
+    def test_answers_no_on_violation(self):
+        store = self.make_store()
+        bad = node(inputs={"y": 3}, outputs={"s1": 6, "s2": 6})
+        answer = store.try_answer(Query(bad))
+        assert answer is not None
+        assert answer.kind is AnswerKind.NO
+        assert "s2" in answer.note
+
+    def test_silent_for_unknown_unit(self):
+        store = self.make_store()
+        other = node(unit="other", inputs={"y": 1})
+        assert store.try_answer(Query(other)) is None
+
+    def test_uncovered_query_skipped(self):
+        store = AssertionStore()
+        store.assert_unit("p", "missing_name = 1")
+        assert store.try_answer(Query(node(unit="p", inputs={"a": 1}))) is None
+
+    def test_partial_assertion_only_refutes(self):
+        store = AssertionStore()
+        store.assert_unit("p", "a > 0", partial=True)
+        holds = store.try_answer(Query(node(unit="p", inputs={"a": 5})))
+        assert holds is None  # cannot confirm
+        violated = store.try_answer(Query(node(unit="p", inputs={"a": -5})))
+        assert violated is not None and violated.kind is AnswerKind.NO
+
+    def test_store_counts(self):
+        store = self.make_store()
+        assert len(store) == 2
+        assert len(store.for_unit("partialsums")) == 2

@@ -1,0 +1,89 @@
+"""Unit tests for call-graph construction."""
+
+from repro.analysis.callgraph import build_call_graph
+from repro.pascal.semantics import analyze_source
+
+
+def graph_of(source: str):
+    analysis = analyze_source(source)
+    return build_call_graph(analysis), analysis
+
+
+NESTED = """
+program t;
+var x: integer;
+function leaf(n: integer): integer;
+begin leaf := n + 1 end;
+procedure middle(var r: integer);
+begin r := leaf(1) end;
+procedure top;
+var t: integer;
+begin middle(t); middle(t); x := t end;
+begin top end.
+"""
+
+
+class TestEdges:
+    def test_edges_present(self):
+        graph, analysis = graph_of(NESTED)
+        top = analysis.routine_named("top").symbol
+        middle = analysis.routine_named("middle").symbol
+        leaf = analysis.routine_named("leaf").symbol
+        assert middle in graph.callees[top]
+        assert leaf in graph.callees[middle]
+        assert top in graph.callers[middle]
+
+    def test_main_calls_top(self):
+        graph, analysis = graph_of(NESTED)
+        main = analysis.main.symbol
+        top = analysis.routine_named("top").symbol
+        assert top in graph.callees[main]
+
+    def test_multiple_sites_recorded(self):
+        graph, analysis = graph_of(NESTED)
+        middle = analysis.routine_named("middle").symbol
+        assert len(graph.sites_by_callee[middle]) == 2
+
+    def test_function_call_site_from_expression(self):
+        graph, analysis = graph_of(NESTED)
+        leaf = analysis.routine_named("leaf").symbol
+        assert len(graph.sites_by_callee[leaf]) == 1
+
+
+class TestReachability:
+    def test_reachable_from_main(self):
+        graph, analysis = graph_of(NESTED)
+        reachable = graph.reachable_from(analysis.main.symbol)
+        names = {symbol.name for symbol in reachable}
+        assert names == {"t", "top", "middle", "leaf"}
+
+    def test_unreached_routine_not_reachable(self):
+        graph, analysis = graph_of(
+            "program t; procedure dead; begin end; begin end."
+        )
+        reachable = graph.reachable_from(analysis.main.symbol)
+        assert {s.name for s in reachable} == {"t"}
+
+    def test_bottom_up_order_callees_first(self):
+        graph, analysis = graph_of(NESTED)
+        order = graph.bottom_up_order()
+        names = [symbol.name for symbol in order]
+        assert names.index("leaf") < names.index("middle") < names.index("top")
+
+    def test_recursion_detected(self):
+        graph, analysis = graph_of(
+            """
+            program t;
+            function fact(n: integer): integer;
+            begin
+              if n <= 1 then fact := 1 else fact := n * fact(n - 1)
+            end;
+            begin end.
+            """
+        )
+        fact = analysis.routine_named("fact").symbol
+        assert graph.is_recursive(fact)
+
+    def test_non_recursive(self):
+        graph, analysis = graph_of(NESTED)
+        assert not graph.is_recursive(analysis.routine_named("leaf").symbol)

@@ -1,0 +1,149 @@
+"""Unit tests for control-flow graph construction."""
+
+from repro.analysis.cfg import NodeKind, build_all_cfgs, build_cfg
+from repro.pascal import ast_nodes as ast
+from repro.pascal.semantics import analyze_source
+
+
+def cfg_of(body: str, decls: str = ""):
+    analysis = analyze_source(f"program t; {decls} begin {body} end.")
+    return build_cfg(analysis.main, analysis), analysis
+
+
+def kinds_in(cfg):
+    return [node.kind for node in cfg.nodes]
+
+
+class TestLinear:
+    def test_empty_body(self):
+        cfg, _ = cfg_of("")
+        assert cfg.successors[cfg.entry] == [cfg.exit]
+
+    def test_straight_line(self):
+        cfg, _ = cfg_of("x := 1; x := 2", "var x: integer;")
+        stmt_nodes = [n for n in cfg.nodes if n.kind is NodeKind.STMT]
+        assert len(stmt_nodes) == 2
+        assert cfg.successors[cfg.entry] == [stmt_nodes[0]]
+        assert cfg.successors[stmt_nodes[0]] == [stmt_nodes[1]]
+        assert cfg.successors[stmt_nodes[1]] == [cfg.exit]
+
+    def test_every_node_has_pred_entry_excepted(self):
+        cfg, _ = cfg_of("x := 1; if x > 0 then x := 2; x := 3", "var x: integer;")
+        for node in cfg.nodes:
+            if node is not cfg.entry:
+                assert cfg.predecessors[node], node
+
+
+class TestBranches:
+    def test_if_without_else_merges(self):
+        cfg, _ = cfg_of("if x > 0 then x := 1; x := 2", "var x: integer;")
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        assert len(cfg.successors[pred]) == 2  # then-branch and fallthrough
+
+    def test_if_with_else_two_way(self):
+        cfg, _ = cfg_of(
+            "if x > 0 then x := 1 else x := 2; x := 3", "var x: integer;"
+        )
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        assert len(cfg.successors[pred]) == 2
+        merge = [n for n in cfg.nodes if n.kind is NodeKind.STMT][-1]
+        assert len(cfg.predecessors[merge]) == 2
+
+
+class TestLoops:
+    def test_while_has_back_edge(self):
+        cfg, _ = cfg_of("while x > 0 do x := x - 1", "var x: integer;")
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        body = next(n for n in cfg.nodes if n.kind is NodeKind.STMT)
+        assert pred in cfg.successors[body]
+        assert cfg.exit in cfg.successors[pred]
+
+    def test_repeat_predicate_after_body(self):
+        cfg, _ = cfg_of("repeat x := x - 1 until x = 0", "var x: integer;")
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        body = next(n for n in cfg.nodes if n.kind is NodeKind.STMT)
+        assert pred in cfg.successors[body]
+        assert body in cfg.successors[pred]  # back edge re-enters the body
+
+    def test_for_three_implicit_points(self):
+        cfg, _ = cfg_of("for i := 1 to 3 do x := x + i", "var i, x: integer;")
+        kinds = kinds_in(cfg)
+        assert NodeKind.FOR_INIT in kinds
+        assert NodeKind.FOR_PRED in kinds
+        assert NodeKind.FOR_STEP in kinds
+        init = next(n for n in cfg.nodes if n.kind is NodeKind.FOR_INIT)
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.FOR_PRED)
+        step = next(n for n in cfg.nodes if n.kind is NodeKind.FOR_STEP)
+        assert cfg.successors[init] == [pred]
+        assert pred in cfg.successors[step]
+
+    def test_nested_loops(self):
+        cfg, _ = cfg_of(
+            "while x > 0 do begin x := x - 1; while y > 0 do y := y - 1 end",
+            "var x, y: integer;",
+        )
+        preds = [n for n in cfg.nodes if n.kind is NodeKind.PRED]
+        assert len(preds) == 2
+
+
+class TestGotos:
+    def test_local_goto_edge(self):
+        cfg, analysis = cfg_of(
+            "goto 9; x := 1; 9: x := 2", "label 9; var x: integer;"
+        )
+        goto_node = next(
+            n for n in cfg.nodes if isinstance(n.stmt, ast.Goto)
+        )
+        target = next(
+            n
+            for n in cfg.nodes
+            if n.stmt is not None and n.stmt.label == "9"
+        )
+        assert cfg.successors[goto_node] == [target]
+
+    def test_goto_has_no_fallthrough(self):
+        cfg, _ = cfg_of("goto 9; 9: x := 1", "label 9; var x: integer;")
+        goto_node = next(n for n in cfg.nodes if isinstance(n.stmt, ast.Goto))
+        assert len(cfg.successors[goto_node]) == 1
+
+    def test_global_goto_edges_to_exit(self):
+        source = """
+        program t;
+        label 9;
+        procedure q;
+        begin goto 9 end;
+        begin q; 9: end.
+        """
+        analysis = analyze_source(source)
+        cfg = build_cfg(analysis.routine_named("q"), analysis)
+        assert cfg.global_goto_nodes
+        goto_node = cfg.global_goto_nodes[0]
+        assert cfg.exit in cfg.successors[goto_node]
+
+    def test_backward_goto_creates_loop(self):
+        cfg, _ = cfg_of(
+            "5: x := x + 1; if x < 3 then goto 5",
+            "label 5; var x: integer;",
+        )
+        labelled = next(
+            n for n in cfg.nodes if n.stmt is not None and n.stmt.label == "5"
+        )
+        goto_node = next(n for n in cfg.nodes if isinstance(n.stmt, ast.Goto))
+        assert labelled in cfg.successors[goto_node]
+
+
+class TestHelpers:
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg, _ = cfg_of("x := 1; if x > 0 then x := 2", "var x: integer;")
+        order = cfg.reverse_postorder()
+        assert order[0] is cfg.entry
+        assert set(order) == set(cfg.nodes)
+
+    def test_node_of_stmt_maps_primary(self):
+        cfg, analysis = cfg_of("while x > 0 do x := x - 1", "var x: integer;")
+        loop = analysis.program.block.body.statements[0]
+        assert cfg.node_of_stmt[loop.node_id].kind is NodeKind.PRED
+
+    def test_build_all_cfgs_covers_every_routine(self, figure4_analysis):
+        cfgs = build_all_cfgs(figure4_analysis)
+        assert len(cfgs) == len(figure4_analysis.all_routines())

@@ -1,0 +1,191 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import FIGURE2_SOURCE, FIGURE4_FIXED_SOURCE, FIGURE4_SOURCE
+from repro.workloads.arrsum_spec import ARRSUM_SPEC_TEXT
+
+
+@pytest.fixture()
+def fig4(tmp_path):
+    path = tmp_path / "fig4.pas"
+    path.write_text(FIGURE4_SOURCE)
+    return str(path)
+
+
+@pytest.fixture()
+def fig4_fixed(tmp_path):
+    path = tmp_path / "fig4_fixed.pas"
+    path.write_text(FIGURE4_FIXED_SOURCE)
+    return str(path)
+
+
+@pytest.fixture()
+def fig2(tmp_path):
+    path = tmp_path / "fig2.pas"
+    path.write_text(FIGURE2_SOURCE)
+    return str(path)
+
+
+class TestRun:
+    def test_run_program(self, fig4, capsys):
+        assert main(["run", fig4]) == 0
+        assert capsys.readouterr().out == "false\n"
+
+    def test_run_with_inputs(self, fig2, capsys):
+        assert main(["run", fig2, "--input", "5", "--input", "7", "--input", "9"]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.pas"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pas"
+        bad.write_text("program ; begin end.")
+        assert main(["run", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_prints_tree(self, fig4, capsys):
+        assert main(["trace", fig4]) == 0
+        out = capsys.readouterr().out
+        assert "computs(In y: 3, Out r1: 12, Out r2: 9)" in out
+        assert out.startswith("Main")
+
+    def test_trace_json(self, fig4, capsys):
+        import json
+
+        assert main(["trace", fig4, "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["root"]["unit"] == "main"
+
+
+class TestTransform:
+    def test_transform_prints_program(self, tmp_path, capsys):
+        source = tmp_path / "g.pas"
+        source.write_text(
+            "program g; var total: integer; "
+            "procedure bump; begin total := total + 1 end; "
+            "begin total := 0; bump; writeln(total) end."
+        )
+        assert main(["transform", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "procedure bump(var total: integer);" in out
+
+    def test_instrumented_flag(self, tmp_path, capsys):
+        source = tmp_path / "g.pas"
+        source.write_text(
+            "program g; var x: integer; "
+            "procedure p(var v: integer); begin v := 1 end; "
+            "begin p(x) end."
+        )
+        assert main(["transform", str(source), "--instrumented"]) == 0
+        out = capsys.readouterr().out
+        assert "gadt_enter_unit" in out
+
+
+class TestSlice:
+    def test_static_slice(self, fig2, capsys):
+        assert main(["slice", fig2, "--routine", "p", "--variable", "mul"]) == 0
+        out = capsys.readouterr().out
+        assert "mul := x * y" in out
+        assert "sum" not in out
+
+    def test_dynamic_slice(self, fig4, capsys):
+        assert main(
+            ["slice", fig4, "--unit", "computs", "--variable", "r1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "comput1" in out
+        assert "comput2" not in out
+
+    def test_unknown_variable(self, fig2, capsys):
+        assert main(["slice", fig2, "--routine", "p", "--variable", "zzz"]) == 2
+
+
+class TestDebug:
+    def test_debug_with_reference(self, fig4, fig4_fixed, capsys):
+        assert main(
+            ["debug", fig4, "--reference", fig4_fixed, "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "An error has been localized inside the body of decrement." in out
+        assert "original source of decrement" in out
+        assert "decrement := y + 1" in out
+
+    def test_debug_without_slicing(self, fig4, fig4_fixed, capsys):
+        assert main(
+            [
+                "debug",
+                fig4,
+                "--reference",
+                fig4_fixed,
+                "--quiet",
+                "--no-slicing",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "slices: 0" in out
+
+    def test_debug_strategy_choice(self, fig4, fig4_fixed, capsys):
+        assert main(
+            [
+                "debug",
+                fig4,
+                "--reference",
+                fig4_fixed,
+                "--quiet",
+                "--strategy",
+                "divide-and-query",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "decrement" in out
+
+
+class TestFrames:
+    def test_frames_from_spec(self, tmp_path, capsys):
+        spec = tmp_path / "arrsum.spec"
+        spec.write_text(ARRSUM_SPEC_TEXT)
+        assert main(["frames", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "8 frames" in out
+        assert "(more, mixed, large)" in out
+        assert "script_1: 2 frame(s)" in out
+
+    def test_bad_spec(self, tmp_path, capsys):
+        spec = tmp_path / "bad.spec"
+        spec.write_text("category without test header;")
+        assert main(["frames", str(spec)]) == 2
+
+
+class TestMutate:
+    SMALL = (
+        "program t; var r: integer; "
+        "function f(x: integer): integer; begin f := x * 2 end; "
+        "begin r := f(3); writeln(r) end."
+    )
+
+    def test_list_mutants(self, tmp_path, capsys):
+        path = tmp_path / "s.pas"
+        path.write_text(self.SMALL)
+        assert main(["mutate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mutants" in out
+        assert "* -> +" in out
+
+    def test_evaluate_reports_accuracy(self, tmp_path, capsys):
+        path = tmp_path / "s.pas"
+        path.write_text(self.SMALL)
+        assert main(["mutate", str(path), "--evaluate"]) == 0
+        out = capsys.readouterr().out
+        assert "localization accuracy:" in out
+
+    def test_operators_only(self, tmp_path, capsys):
+        path = tmp_path / "s.pas"
+        path.write_text(self.SMALL)
+        assert main(["mutate", str(path), "--operators-only"]) == 0
+        out = capsys.readouterr().out
+        assert "[constant]" not in out

@@ -1,0 +1,97 @@
+"""Debugging crashing programs from partial execution trees."""
+
+import pytest
+
+from repro.core import AlgorithmicDebugger, GadtSystem, ReferenceOracle
+from repro.pascal import analyze_source
+from repro.pascal.errors import PascalRuntimeError
+from repro.tracing import trace_source
+
+CRASHING = """
+program t;
+var r: integer;
+function pick(i: integer): integer;
+var a: array[1..3] of integer;
+begin
+  a[1] := 10; a[2] := 20; a[3] := 30;
+  pick := a[i + 1] (* bug: off-by-one index, crashes for i = 3 *)
+end;
+procedure scan(var total: integer);
+var i: integer;
+begin
+  total := 0;
+  for i := 1 to 3 do
+    total := total + pick(i)
+end;
+begin
+  scan(r);
+  writeln(r)
+end.
+"""
+FIXED = CRASHING.replace(
+    "pick := a[i + 1] (* bug: off-by-one index, crashes for i = 3 *)",
+    "pick := a[i]",
+)
+
+
+class TestTolerantTracing:
+    def test_default_tracing_raises(self):
+        with pytest.raises(PascalRuntimeError):
+            trace_source(CRASHING)
+
+    def test_tolerant_tracing_returns_partial_tree(self):
+        trace = trace_source(CRASHING, tolerate_errors=True)
+        assert trace.crashed
+        assert isinstance(trace.error, PascalRuntimeError)
+        assert "out of bounds" in str(trace.error)
+        names = [node.unit_name for node in trace.tree.walk()]
+        assert names.count("pick") == 3  # two complete + the crashing one
+
+    def test_crash_unit_identified(self):
+        trace = trace_source(CRASHING, tolerate_errors=True)
+        assert trace.crash_unit == "pick"
+
+    def test_open_activations_closed_with_partial_values(self):
+        trace = trace_source(CRASHING, tolerate_errors=True)
+        scan = trace.tree.find("scan")
+        # total had accumulated pick(1)+pick(2) = 20 + 30 before the crash
+        assert scan.output_binding("total").value == 50
+
+    def test_step_limit_also_tolerated(self):
+        looping = "program t; begin while true do end."
+        trace = trace_source(looping, step_limit=500, tolerate_errors=True)
+        assert trace.crashed
+
+    def test_output_preserved_up_to_crash(self):
+        source = """
+        program t;
+        begin
+          writeln(1);
+          writeln(2);
+          writeln(1 div 0)
+        end.
+        """
+        trace = trace_source(source, tolerate_errors=True)
+        assert trace.execution.io.lines == ["1", "2"]
+
+
+class TestCrashLocalization:
+    def test_debugger_localizes_crashing_unit(self):
+        trace = trace_source(CRASHING, tolerate_errors=True)
+        oracle = ReferenceOracle(analyze_source(FIXED))
+        result = AlgorithmicDebugger(trace, oracle).debug()
+        assert result.bug_unit == "pick"
+
+    def test_gadt_system_tolerates_errors(self):
+        system = GadtSystem.from_source(CRASHING, tolerate_errors=True)
+        assert system.trace.crashed
+        oracle = ReferenceOracle.from_source(FIXED)
+        result = system.debugger(oracle).debug()
+        assert result.bug_unit is not None
+        assert result.bug_unit.startswith("pick")
+
+    def test_crashing_node_renders(self):
+        trace = trace_source(CRASHING, tolerate_errors=True)
+        crashing = [n for n in trace.tree.walk() if n.unit_name == "pick"][-1]
+        # the result was never assigned: shown as '?'
+        assert "=?" in crashing.render_head() or "?" in crashing.render_head()

@@ -1,0 +1,133 @@
+"""Unit tests for reaching definitions and live variables."""
+
+from repro.analysis.cfg import NodeKind, build_cfg
+from repro.analysis.dataflow import live_variables, reaching_definitions
+from repro.pascal import ast_nodes as ast
+from repro.pascal.semantics import analyze_source
+
+
+def setup(body: str, decls: str = ""):
+    analysis = analyze_source(f"program t; {decls} begin {body} end.")
+    cfg = build_cfg(analysis.main, analysis)
+    return analysis, cfg
+
+
+def stmt_node(cfg, index):
+    nodes = [n for n in cfg.nodes if n.kind is NodeKind.STMT]
+    return nodes[index]
+
+
+def symbol(analysis, name):
+    return analysis.global_scope.lookup(name)
+
+
+class TestReachingDefinitions:
+    def test_straightline_kill(self):
+        analysis, cfg = setup("x := 1; x := 2; y := x", "var x, y: integer;")
+        reaching = reaching_definitions(cfg)
+        use_node = stmt_node(cfg, 2)
+        defs = reaching.reaching_defs_of(use_node, symbol(analysis, "x"))
+        assert defs == {stmt_node(cfg, 1)}  # the first def is killed
+
+    def test_branch_merges_definitions(self):
+        analysis, cfg = setup(
+            "if c then x := 1 else x := 2; y := x",
+            "var x, y: integer; c: boolean;",
+        )
+        reaching = reaching_definitions(cfg)
+        use_node = [n for n in cfg.nodes if n.kind is NodeKind.STMT][-1]
+        defs = reaching.reaching_defs_of(use_node, symbol(analysis, "x"))
+        assert len(defs) == 2
+
+    def test_loop_definition_reaches_own_head(self):
+        analysis, cfg = setup(
+            "x := 0; while x < 3 do x := x + 1", "var x: integer;"
+        )
+        reaching = reaching_definitions(cfg)
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        defs = reaching.reaching_defs_of(pred, symbol(analysis, "x"))
+        assert len(defs) == 2  # initial def + loop body def
+
+    def test_def_use_chains(self):
+        analysis, cfg = setup("x := 1; y := x + 2", "var x, y: integer;")
+        reaching = reaching_definitions(cfg)
+        chains = reaching.def_use_chains()
+        use_node = stmt_node(cfg, 1)
+        assert (symbol(analysis, "x"), stmt_node(cfg, 0)) in chains[use_node]
+
+    def test_element_store_does_not_kill(self):
+        analysis, cfg = setup(
+            "a := [1, 2]; a[1] := 9; x := a[2]",
+            "var x: integer; a: array[1..2] of integer;",
+        )
+        reaching = reaching_definitions(cfg)
+        use_node = stmt_node(cfg, 2)
+        defs = reaching.reaching_defs_of(use_node, symbol(analysis, "a"))
+        # The element store kills the whole-array def as a *definition*,
+        # but reads the old array, so the chain stays connected through it.
+        assert stmt_node(cfg, 1) in defs
+        chains = reaching.def_use_chains()
+        element_node = stmt_node(cfg, 1)
+        assert any(d is stmt_node(cfg, 0) for _, d in chains[element_node])
+
+
+class TestLiveVariables:
+    def test_dead_variable_not_live(self):
+        analysis, cfg = setup("x := 1; y := 2; write(y)", "var x, y: integer;")
+        live = live_variables(cfg)
+        first = stmt_node(cfg, 0)
+        assert symbol(analysis, "x") not in live.live_out[first]
+
+    def test_used_variable_live(self):
+        analysis, cfg = setup("x := 1; write(x)", "var x: integer;")
+        live = live_variables(cfg)
+        first = stmt_node(cfg, 0)
+        assert symbol(analysis, "x") in live.live_out[first]
+
+    def test_live_through_loop(self):
+        analysis, cfg = setup(
+            "s := 0; while c do s := s + 1; write(s)",
+            "var s: integer; c: boolean;",
+        )
+        live = live_variables(cfg)
+        init = stmt_node(cfg, 0)
+        assert symbol(analysis, "s") in live.live_out[init]
+
+    def test_overwritten_before_use_not_live_at_entry(self):
+        analysis = analyze_source(
+            """
+            program t;
+            procedure q(var b: integer);
+            begin b := 0; b := b + 1 end;
+            begin end.
+            """
+        )
+        info = analysis.routine_named("q")
+        cfg = build_cfg(info, analysis)
+        live = live_variables(cfg)
+        b = info.scope.lookup("b")
+        assert b not in live.live_out[cfg.entry]
+
+    def test_read_before_write_live_at_entry(self):
+        analysis = analyze_source(
+            """
+            program t;
+            procedure q(var b: integer);
+            begin b := b + 1 end;
+            begin end.
+            """
+        )
+        info = analysis.routine_named("q")
+        cfg = build_cfg(info, analysis)
+        live = live_variables(cfg)
+        assert info.scope.lookup("b") in live.live_out[cfg.entry]
+
+    def test_branch_liveness_union(self):
+        analysis, cfg = setup(
+            "x := 1; y := 2; if c then write(x) else write(y)",
+            "var x, y: integer; c: boolean;",
+        )
+        live = live_variables(cfg)
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        assert symbol(analysis, "x") in live.live_in[pred]
+        assert symbol(analysis, "y") in live.live_in[pred]

@@ -1,0 +1,184 @@
+"""Unit tests for def/use computation."""
+
+from repro.analysis.cfg import NodeKind, build_cfg
+from repro.analysis.dataflow import node_def_use
+from repro.analysis.defuse import direct_def_use, expression_uses, target_root
+from repro.analysis.sideeffects import analyze_side_effects
+from repro.pascal import ast_nodes as ast
+from repro.pascal.semantics import analyze_source
+
+
+def setup(body: str, decls: str = ""):
+    analysis = analyze_source(f"program t; {decls} begin {body} end.")
+    return analysis, analysis.program.block.body.statements
+
+
+def names(symbols):
+    return {symbol.name for symbol in symbols}
+
+
+class TestExpressions:
+    def test_expression_uses_collects_variables(self):
+        analysis, stmts = setup("x := y + z * y", "var x, y, z: integer;")
+        uses = expression_uses(stmts[0].value, analysis)
+        assert names(uses) == {"y", "z"}
+
+    def test_expression_uses_includes_index(self):
+        analysis, stmts = setup(
+            "x := a[i]", "var x, i: integer; a: array[1..3] of integer;"
+        )
+        uses = expression_uses(stmts[0].value, analysis)
+        assert names(uses) == {"a", "i"}
+
+    def test_constants_are_not_uses(self):
+        analysis, stmts = setup("x := n + 1", "const n = 4; var x: integer;")
+        assert names(expression_uses(stmts[0].value, analysis)) == set()
+
+    def test_target_root_through_indexing(self):
+        analysis, stmts = setup(
+            "a[i] := 1", "var i: integer; a: array[1..3] of integer;"
+        )
+        assert target_root(stmts[0].target, analysis).name == "a"
+
+
+class TestStatements:
+    def test_scalar_assign(self):
+        analysis, stmts = setup("x := y", "var x, y: integer;")
+        du = direct_def_use(stmts[0], analysis)
+        assert names(du.defs) == {"x"}
+        assert names(du.uses) == {"y"}
+
+    def test_element_assign_preserves_array(self):
+        analysis, stmts = setup(
+            "a[i] := y", "var i, y: integer; a: array[1..3] of integer;"
+        )
+        du = direct_def_use(stmts[0], analysis)
+        assert names(du.defs) == {"a"}
+        assert names(du.uses) == {"a", "i", "y"}  # old array + index + value
+
+    def test_read_defines(self):
+        analysis, stmts = setup("read(x, y)", "var x, y: integer;")
+        du = direct_def_use(stmts[0], analysis)
+        assert names(du.defs) == {"x", "y"}
+
+    def test_write_uses(self):
+        analysis, stmts = setup("write(x + y)", "var x, y: integer;")
+        du = direct_def_use(stmts[0], analysis)
+        assert names(du.uses) == {"x", "y"}
+        assert not du.defs
+
+    def test_goto_has_no_effects(self):
+        analysis, stmts = setup("goto 9; 9: x := 1", "label 9; var x: integer;")
+        du = direct_def_use(stmts[0], analysis)
+        assert not du.defs and not du.uses
+
+
+class TestCalls:
+    SOURCE = """
+    program t;
+    var g: integer;
+    procedure onlyreads(a: integer; var r: integer);
+    begin r := a + g end;
+    procedure neverwrites(var r: integer);
+    begin g := r end;
+    begin g := 0 end.
+    """
+
+    def test_conservative_var_arg_is_def_and_use(self):
+        analysis, stmts = setup(
+            "q(x, y)",
+            "var x, y: integer; procedure q(a: integer; var b: integer); begin b := a end;",
+        )
+        du = direct_def_use(stmts[0], analysis)
+        assert names(du.defs) == {"y"}
+        assert "x" in names(du.uses)
+
+    def test_precise_with_side_effects(self):
+        analysis = analyze_source(self.SOURCE)
+        effects = analyze_side_effects(analysis)
+        body = analysis.program.block.body
+
+        # Build a call 'onlyreads(1, x)' programmatically via a fresh source.
+        analysis2 = analyze_source(
+            """
+            program t;
+            var g, x: integer;
+            procedure onlyreads(a: integer; var r: integer);
+            begin r := a + g end;
+            begin g := 0; onlyreads(1, x) end.
+            """
+        )
+        effects2 = analyze_side_effects(analysis2)
+        call = analysis2.program.block.body.statements[1]
+        du = direct_def_use(call, analysis2, effects2)
+        assert names(du.defs) == {"x"}
+        assert "g" in names(du.uses)  # callee's non-local read surfaces
+        assert "x" not in names(du.uses)  # callee never reads r's input
+
+    def test_function_call_effects_in_expression(self):
+        analysis = analyze_source(
+            """
+            program t;
+            var g, x: integer;
+            function bump: integer;
+            begin g := g + 1; bump := g end;
+            begin g := 0; x := bump() + 1 end.
+            """
+        )
+        effects = analyze_side_effects(analysis)
+        assign = analysis.program.block.body.statements[1]
+        du = direct_def_use(assign, analysis, effects)
+        assert "g" in names(du.defs)  # the embedded call writes g
+        assert "g" in names(du.uses)
+
+
+class TestCFGNodes:
+    def test_predicate_uses(self):
+        analysis, stmts = setup("if x > y then x := 1", "var x, y: integer;")
+        cfg = build_cfg(analysis.main, analysis)
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        du = node_def_use(cfg, pred)
+        assert names(du.uses) == {"x", "y"}
+        assert not du.defs
+
+    def test_for_nodes(self):
+        analysis, stmts = setup(
+            "for i := a to b do x := x + i", "var i, a, b, x: integer;"
+        )
+        cfg = build_cfg(analysis.main, analysis)
+        init = next(n for n in cfg.nodes if n.kind is NodeKind.FOR_INIT)
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.FOR_PRED)
+        step = next(n for n in cfg.nodes if n.kind is NodeKind.FOR_STEP)
+        assert names(node_def_use(cfg, init).defs) == {"i"}
+        assert names(node_def_use(cfg, init).uses) == {"a", "b"}
+        assert names(node_def_use(cfg, pred).uses) == {"i"}
+        assert names(node_def_use(cfg, step).defs) == {"i"}
+
+    def test_entry_defines_params(self):
+        analysis = analyze_source(
+            "program t; procedure q(a: integer; var b: integer); "
+            "begin b := a end; begin end."
+        )
+        cfg = build_cfg(analysis.routine_named("q"), analysis)
+        du = node_def_use(cfg, cfg.entry)
+        assert names(du.defs) == {"a", "b"}
+
+    def test_exit_uses_outputs(self):
+        analysis = analyze_source(
+            "program t; procedure q(a: integer; var b: integer); "
+            "begin b := a end; begin end."
+        )
+        effects = analyze_side_effects(analysis)
+        cfg = build_cfg(analysis.routine_named("q"), analysis)
+        du = node_def_use(cfg, cfg.exit, effects)
+        assert names(du.uses) == {"b"}
+
+    def test_exit_uses_function_result(self):
+        analysis = analyze_source(
+            "program t; function f(x: integer): integer; begin f := x end; "
+            "begin end."
+        )
+        effects = analyze_side_effects(analysis)
+        cfg = build_cfg(analysis.routine_named("f"), analysis)
+        du = node_def_use(cfg, cfg.exit, effects)
+        assert names(du.uses) == {"f"}

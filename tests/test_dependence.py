@@ -1,0 +1,121 @@
+"""Unit tests for control dependence and PDG construction."""
+
+from repro.analysis.cfg import NodeKind, build_cfg
+from repro.analysis.dependence import (
+    build_pdg,
+    control_dependences,
+    postdominators,
+)
+from repro.pascal.semantics import analyze_source
+
+
+def setup(body: str, decls: str = ""):
+    analysis = analyze_source(f"program t; {decls} begin {body} end.")
+    cfg = build_cfg(analysis.main, analysis)
+    return analysis, cfg
+
+
+def stmt_nodes(cfg):
+    return [n for n in cfg.nodes if n.kind is NodeKind.STMT]
+
+
+class TestPostdominators:
+    def test_exit_postdominates_everything(self):
+        _, cfg = setup("x := 1; if x > 0 then x := 2", "var x: integer;")
+        postdom = postdominators(cfg)
+        for node in cfg.nodes:
+            assert cfg.exit in postdom[node]
+
+    def test_merge_postdominates_branch(self):
+        _, cfg = setup(
+            "if c then x := 1 else x := 2; x := 3",
+            "var x: integer; c: boolean;",
+        )
+        postdom = postdominators(cfg)
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        merge = stmt_nodes(cfg)[-1]
+        assert merge in postdom[pred]
+
+    def test_branch_arm_does_not_postdominate(self):
+        _, cfg = setup(
+            "if c then x := 1 else x := 2",
+            "var x: integer; c: boolean;",
+        )
+        postdom = postdominators(cfg)
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        arm = stmt_nodes(cfg)[0]
+        assert arm not in postdom[pred]
+
+
+class TestControlDependence:
+    def test_branch_arms_depend_on_predicate(self):
+        _, cfg = setup(
+            "if c then x := 1 else x := 2; x := 3",
+            "var x: integer; c: boolean;",
+        )
+        deps = control_dependences(cfg)
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        then_arm, else_arm, merge = stmt_nodes(cfg)
+        assert pred in deps[then_arm]
+        assert pred in deps[else_arm]
+        assert pred not in deps[merge]
+
+    def test_straightline_has_no_control_deps(self):
+        _, cfg = setup("x := 1; x := 2", "var x: integer;")
+        deps = control_dependences(cfg)
+        for node in stmt_nodes(cfg):
+            assert not deps[node]
+
+    def test_loop_body_depends_on_loop_predicate(self):
+        _, cfg = setup("while c do x := 1", "var x: integer; c: boolean;")
+        deps = control_dependences(cfg)
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        body = stmt_nodes(cfg)[0]
+        assert pred in deps[body]
+
+    def test_while_predicate_self_dependent(self):
+        _, cfg = setup("while c do x := 1", "var x: integer; c: boolean;")
+        deps = control_dependences(cfg)
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        assert pred in deps[pred]
+
+    def test_nested_if_double_dependence(self):
+        _, cfg = setup(
+            "if a then if b then x := 1",
+            "var x: integer; a, b: boolean;",
+        )
+        deps = control_dependences(cfg)
+        preds = [n for n in cfg.nodes if n.kind is NodeKind.PRED]
+        inner_assign = stmt_nodes(cfg)[0]
+        inner_pred = next(p for p in preds if p in deps[inner_assign])
+        assert any(outer in deps[inner_pred] for outer in preds if outer is not inner_pred)
+
+
+class TestPDG:
+    def test_data_dependence_edges(self):
+        analysis, cfg = setup("x := 1; y := x", "var x, y: integer;")
+        pdg = build_pdg(cfg)
+        first, second = stmt_nodes(cfg)
+        assert first in pdg.dependences_of(second)
+
+    def test_backward_closure(self):
+        analysis, cfg = setup(
+            "a := 1; b := a; c := b; d := 7", "var a, b, c, d: integer;"
+        )
+        pdg = build_pdg(cfg)
+        nodes = stmt_nodes(cfg)
+        closure = pdg.backward_closure({nodes[2]})
+        assert nodes[0] in closure and nodes[1] in closure
+        assert nodes[3] not in closure
+
+    def test_closure_includes_control_parents(self):
+        analysis, cfg = setup(
+            "if c then x := 1; y := x",
+            "var x, y: integer; c: boolean;",
+        )
+        pdg = build_pdg(cfg)
+        # Seed from the definition of x inside the branch.
+        assign_x = stmt_nodes(cfg)[0]
+        closure = pdg.backward_closure({assign_x})
+        pred = next(n for n in cfg.nodes if n.kind is NodeKind.PRED)
+        assert pred in closure

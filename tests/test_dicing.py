@@ -1,0 +1,86 @@
+"""Tests for program dicing ([Lyle, Weiser 87], cited by the paper)."""
+
+import pytest
+
+from repro.core import GadtSystem, ReferenceOracle
+from repro.core.postmortem import contributing_statements, dice_statements
+
+BUGGY = """
+program t;
+var a, b: integer;
+function scale(x: integer): integer;
+var base: integer;
+begin
+  base := x * 2;
+  if x > 10 then
+    scale := base + 1 (* bug: only the high path *)
+  else
+    scale := base
+end;
+begin
+  a := scale(5);
+  b := scale(50);
+  writeln(a);
+  writeln(b)
+end.
+"""
+FIXED = BUGGY.replace(
+    "scale := base + 1 (* bug: only the high path *)", "scale := base"
+)
+
+
+@pytest.fixture(scope="module")
+def localized():
+    system = GadtSystem.from_source(BUGGY)
+    oracle = ReferenceOracle.from_source(FIXED)
+    result = system.debugger(oracle).debug()
+    assert result.bug_unit == "scale"
+    return system, result
+
+
+class TestDicing:
+    def test_correct_nodes_collected(self, localized):
+        system, result = localized
+        correct_units = [node.unit_name for node in result.correct_nodes]
+        assert "scale" in correct_units  # scale(5) answered yes
+
+    def test_contributors_include_shared_setup(self, localized):
+        system, result = localized
+        contributors = contributing_statements(
+            system.trace, result.bug_node, system.transformed
+        )
+        texts = {item.text for item in contributors}
+        assert "base := x * 2" in texts
+        assert "scale := base + 1" in texts
+
+    def test_dice_removes_shared_statements(self, localized):
+        system, result = localized
+        good = [
+            node
+            for node in system.trace.tree.walk()
+            if node.unit_name == "scale"
+            and any(c.node_id == node.node_id for c in result.correct_nodes)
+        ]
+        assert good
+        diced = dice_statements(
+            system.trace, result.bug_node, good, system.transformed
+        )
+        texts = {item.text for item in diced}
+        assert "scale := base + 1" in texts
+        assert "base := x * 2" not in texts  # shared with the correct run
+
+    def test_explain_bug_reports_dice(self, localized):
+        system, result = localized
+        report = system.explain_bug(result)
+        assert "narrowed by dicing" in report
+        assert "scale := base + 1" in report
+
+    def test_dice_with_no_good_runs_equals_contributors(self, localized):
+        system, result = localized
+        full = contributing_statements(
+            system.trace, result.bug_node, system.transformed
+        )
+        diced = dice_statements(system.trace, result.bug_node, [], system.transformed)
+        assert {(i.line, i.text) for i in diced} == {
+            (i.line, i.text) for i in full
+        }

@@ -1,0 +1,128 @@
+"""Tests for executable test-case driver generation (paper §2)."""
+
+import pytest
+
+from repro.pascal import analyze_source, parse_program
+from repro.pascal.values import ArrayValue, UNDEFINED
+from repro.tgen import Verdict, generate_frames, instantiate_cases
+from repro.tgen.cases import TestCase
+from repro.tgen.drivers import DriverError, generate_driver, run_driver
+from repro.tgen.frames import frame_for_choices
+from repro.workloads import ARRSUM_SOURCE
+from repro.workloads.arrsum_spec import arrsum_instantiator, arrsum_spec
+
+
+@pytest.fixture(scope="module")
+def arrsum_analysis():
+    return analyze_source(ARRSUM_SOURCE)
+
+
+@pytest.fixture(scope="module")
+def arrsum_cases():
+    spec = arrsum_spec()
+    return instantiate_cases(spec, generate_frames(spec), arrsum_instantiator)
+
+
+class TestGeneration:
+    def test_driver_is_valid_pascal(self, arrsum_analysis, arrsum_cases):
+        driver = generate_driver(arrsum_analysis, "arrsum", arrsum_cases)
+        program = parse_program(driver.source)  # must parse
+        assert program.name == "drive_arrsum"
+
+    def test_driver_copies_unit(self, arrsum_analysis, arrsum_cases):
+        driver = generate_driver(arrsum_analysis, "arrsum", arrsum_cases)
+        assert "procedure arrsum" in driver.source
+
+    def test_one_verdict_per_case(self, arrsum_analysis, arrsum_cases):
+        driver = generate_driver(arrsum_analysis, "arrsum", arrsum_cases)
+        assert driver.source.count("writeln('pass") == len(arrsum_cases)
+
+    def test_main_program_rejected(self, arrsum_analysis, arrsum_cases):
+        with pytest.raises(DriverError):
+            generate_driver(arrsum_analysis, "arrsumhost", arrsum_cases)
+
+    def test_predicate_expectation_rejected(self, arrsum_analysis):
+        frame = frame_for_choices(
+            arrsum_spec(),
+            {
+                "size_of_array": "two",
+                "type_of_elements": "positive",
+                "deviation": "small",
+            },
+        )
+        case = TestCase(
+            frame=frame,
+            args=[ArrayValue.from_values([1, 2] + [0] * 8), 2, UNDEFINED],
+            expected=lambda outcome: True,
+        )
+        with pytest.raises(DriverError):
+            generate_driver(arrsum_analysis, "arrsum", [case])
+
+    def test_foreign_case_rejected(self, arrsum_analysis):
+        from repro.tgen.frames import TestFrame
+
+        other = TestFrame(
+            unit="other", choices=("a",), categories=("c",), properties=frozenset()
+        )
+        with pytest.raises(DriverError):
+            generate_driver(
+                arrsum_analysis, "arrsum", [TestCase(frame=other, args=[])]
+            )
+
+
+class TestExecution:
+    def test_all_pass_on_correct_unit(self, arrsum_analysis, arrsum_cases):
+        driver = generate_driver(arrsum_analysis, "arrsum", arrsum_cases)
+        database = run_driver(driver)
+        assert len(database) == len(arrsum_cases)
+        assert all(
+            report.verdict is Verdict.PASS for report in database.all_reports()
+        )
+
+    def test_failures_detected(self, arrsum_cases):
+        buggy = analyze_source(ARRSUM_SOURCE.replace("b := 0;", "b := 1;"))
+        driver = generate_driver(buggy, "arrsum", arrsum_cases)
+        database = run_driver(driver)
+        assert all(
+            report.verdict is Verdict.FAIL for report in database.all_reports()
+        )
+
+    def test_crashing_driver_yields_errors(self, arrsum_cases):
+        crashing = analyze_source(
+            ARRSUM_SOURCE.replace("for i := 1 to m do", "for i := 0 to m do")
+        )
+        driver = generate_driver(crashing, "arrsum", arrsum_cases)
+        database = run_driver(driver)
+        assert any(
+            report.verdict is Verdict.ERROR for report in database.all_reports()
+        )
+
+    def test_function_unit_driver(self):
+        analysis = analyze_source(
+            """
+            program host;
+            function double(x: integer): integer;
+            begin double := x * 2 end;
+            begin end.
+            """
+        )
+        from repro.tgen.frames import TestFrame
+
+        frame = TestFrame(
+            unit="double",
+            choices=("any",),
+            categories=("c",),
+            properties=frozenset(),
+        )
+        case = TestCase(frame=frame, args=[21], expected={"result": 42})
+        driver = generate_driver(analysis, "double", [case])
+        assert "res1 := double(arg1_0)" in driver.source
+        database = run_driver(driver)
+        assert database.all_reports()[0].verdict is Verdict.PASS
+
+    def test_reports_keyed_by_frame(self, arrsum_analysis, arrsum_cases):
+        driver = generate_driver(arrsum_analysis, "arrsum", arrsum_cases)
+        database = run_driver(driver)
+        assert database.verdict_for(
+            "arrsum", ("two", "positive", "small")
+        ) is Verdict.PASS

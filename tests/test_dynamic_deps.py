@@ -1,0 +1,212 @@
+"""Fine-grained tests of dynamic dependence recording."""
+
+from repro.tracing import trace_source
+from repro.tracing.dynamic_deps import DynamicDependenceGraph
+
+
+def occ_lines(trace, occ_ids):
+    """Source lines of a set of occurrences (for readable assertions)."""
+    return sorted(
+        trace.dependence_graph.occurrences[occ].location_line for occ in occ_ids
+    )
+
+
+def slice_lines(trace, unit, variable):
+    from repro.slicing import DynamicCriterion, dynamic_slice
+
+    node = trace.tree.find(unit)
+    result = dynamic_slice(
+        trace,
+        DynamicCriterion(node=node, variable=variable),
+        restrict_to_subtree=False,
+    )
+    return occ_lines(trace, result.occurrences)
+
+
+class TestGraphMechanics:
+    def test_backward_slice_transitive(self):
+        graph = DynamicDependenceGraph()
+        for occ_id in (1, 2, 3, 4):
+            graph.new_occurrence(None, 0, occ_id)
+        graph.add_dep(2, 1)
+        graph.add_dep(3, 2)
+        graph.add_dep(4, 4)  # self-dep is ignored by add_dep
+        assert graph.backward_slice({3}) == {1, 2, 3}
+        assert graph.backward_slice({4}) == {4}
+
+    def test_self_dependence_ignored(self):
+        graph = DynamicDependenceGraph()
+        graph.new_occurrence(None, 0, 1)
+        graph.add_dep(1, 1)
+        assert graph.deps[1] == set()
+
+    def test_len(self):
+        graph = DynamicDependenceGraph()
+        graph.new_occurrence(None, 0, 1)
+        graph.new_occurrence(None, 0, 2)
+        assert len(graph) == 2
+
+
+class TestDataDependences:
+    def test_flow_through_scalar(self):
+        trace = trace_source(
+            "program t;\n"
+            "var a, b, c: integer;\n"
+            "begin\n"
+            "  a := 1;\n"  # line 4
+            "  b := a;\n"  # line 5
+            "  c := 7;\n"  # line 6 (irrelevant)
+            "  writeln(b)\n"
+            "end.\n"
+        )
+        # find the occurrence of line 5 and check its deps include line 4
+        ddg = trace.dependence_graph
+        line5 = next(o for o in ddg.occurrences.values() if o.location_line == 5)
+        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps[line5.occ_id]}
+        assert 4 in dep_lines
+        assert 6 not in dep_lines
+
+    def test_kill_breaks_dependence(self):
+        trace = trace_source(
+            "program t;\n"
+            "var a, b: integer;\n"
+            "begin\n"
+            "  a := 1;\n"  # line 4: killed
+            "  a := 2;\n"  # line 5
+            "  b := a\n"  # line 6
+            "end.\n"
+        )
+        ddg = trace.dependence_graph
+        line6 = next(o for o in ddg.occurrences.values() if o.location_line == 6)
+        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps[line6.occ_id]}
+        assert 5 in dep_lines
+        assert 4 not in dep_lines
+
+    def test_array_element_precision(self):
+        trace = trace_source(
+            "program t;\n"
+            "var a: array[1..2] of integer;\n"
+            "var x: integer;\n"
+            "begin\n"
+            "  a[1] := 10;\n"  # line 5
+            "  a[2] := 20;\n"  # line 6
+            "  x := a[1]\n"  # line 7: depends on 5, not 6
+            "end.\n"
+        )
+        ddg = trace.dependence_graph
+        line7 = next(o for o in ddg.occurrences.values() if o.location_line == 7)
+        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps[line7.occ_id]}
+        assert 5 in dep_lines
+        assert 6 not in dep_lines
+
+    def test_whole_array_write_supersedes_elements(self):
+        trace = trace_source(
+            "program t;\n"
+            "var a: array[1..2] of integer;\n"
+            "var x: integer;\n"
+            "begin\n"
+            "  a[1] := 10;\n"  # line 5: superseded
+            "  a := [7, 8];\n"  # line 6
+            "  x := a[1]\n"  # line 7
+            "end.\n"
+        )
+        ddg = trace.dependence_graph
+        line7 = next(o for o in ddg.occurrences.values() if o.location_line == 7)
+        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps[line7.occ_id]}
+        assert 6 in dep_lines
+        assert 5 not in dep_lines
+
+
+class TestInterproceduralDependences:
+    def test_value_param_links_to_call_site(self):
+        trace = trace_source(
+            "program t;\n"
+            "var r: integer;\n"
+            "procedure p(a: integer; var res: integer);\n"
+            "begin\n"
+            "  res := a\n"  # line 5: must reach the call (line 9)
+            "end;\n"
+            "var x: integer;\n"
+            "begin\n"
+            "  x := 4;\n"  # line 9
+            "  p(x + 1, r)\n"  # line 10
+            "end.\n"
+        )
+        ddg = trace.dependence_graph
+        line5 = next(o for o in ddg.occurrences.values() if o.location_line == 5)
+        closure = ddg.backward_slice({line5.occ_id})
+        lines = occ_lines(trace, closure)
+        assert 9 in lines  # x := 4 feeds the argument
+        assert 10 in lines  # the call site itself
+
+    def test_var_param_aliasing_is_physical(self):
+        trace = trace_source(
+            "program t;\n"
+            "var g: integer;\n"
+            "procedure touch(var v: integer);\n"
+            "begin\n"
+            "  v := v + 1\n"  # line 5
+            "end;\n"
+            "begin\n"
+            "  g := 10;\n"  # line 8
+            "  touch(g);\n"
+            "  writeln(g)\n"  # line 10: depends on line 5's write
+            "end.\n"
+        )
+        ddg = trace.dependence_graph
+        line10 = next(o for o in ddg.occurrences.values() if o.location_line == 10)
+        dep_lines = {
+            ddg.occurrences[d].location_line for d in ddg.deps[line10.occ_id]
+        }
+        assert 5 in dep_lines
+
+    def test_function_result_links_to_caller(self):
+        trace = trace_source(
+            "program t;\n"
+            "var x: integer;\n"
+            "function five: integer;\n"
+            "begin\n"
+            "  five := 5\n"  # line 5
+            "end;\n"
+            "begin\n"
+            "  x := five() + 1\n"  # line 8
+            "end.\n"
+        )
+        ddg = trace.dependence_graph
+        line8 = next(o for o in ddg.occurrences.values() if o.location_line == 8)
+        closure = ddg.backward_slice({line8.occ_id})
+        assert 5 in occ_lines(trace, closure)
+
+
+class TestControlDependences:
+    def test_branch_body_depends_on_enclosing_if(self):
+        trace = trace_source(
+            "program t;\n"
+            "var c, x: integer;\n"
+            "begin\n"
+            "  c := 1;\n"  # line 4
+            "  if c > 0 then\n"  # line 5
+            "    x := 9\n"  # line 6
+            "end.\n"
+        )
+        ddg = trace.dependence_graph
+        line6 = next(o for o in ddg.occurrences.values() if o.location_line == 6)
+        closure = ddg.backward_slice({line6.occ_id})
+        lines = occ_lines(trace, closure)
+        assert 5 in lines  # the if
+        assert 4 in lines  # through the condition's read of c
+
+    def test_sibling_branch_not_dependent(self):
+        trace = trace_source(
+            "program t;\n"
+            "var a, b: integer;\n"
+            "begin\n"
+            "  a := 1;\n"  # line 4
+            "  b := 2;\n"  # line 5 — independent of a
+            "  writeln(b)\n"
+            "end.\n"
+        )
+        ddg = trace.dependence_graph
+        line5 = next(o for o in ddg.occurrences.values() if o.location_line == 5)
+        closure = ddg.backward_slice({line5.occ_id})
+        assert 4 not in occ_lines(trace, closure)

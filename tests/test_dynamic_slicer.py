@@ -1,0 +1,216 @@
+"""Unit tests for dynamic slicing and execution-tree pruning."""
+
+import pytest
+
+from repro.slicing import DynamicCriterion, TreeView, dynamic_slice, prune_tree
+from repro.tracing import trace_source
+
+
+class TestCriteria:
+    def test_criterion_from_position(self, figure4_trace):
+        computs = figure4_trace.tree.find("computs")
+        criterion = DynamicCriterion.output_position(computs, 1)
+        assert criterion.variable == "r1"
+        criterion2 = DynamicCriterion.output_position(computs, 2)
+        assert criterion2.variable == "r2"
+
+    def test_describe(self, figure4_trace):
+        computs = figure4_trace.tree.find("computs")
+        criterion = DynamicCriterion(node=computs, variable="r1")
+        assert "r1" in criterion.describe()
+        assert "computs" in criterion.describe()
+
+
+class TestSlices:
+    def test_slice_on_unknown_output_raises(self, figure4_trace):
+        computs = figure4_trace.tree.find("computs")
+        with pytest.raises(KeyError):
+            dynamic_slice(
+                figure4_trace, DynamicCriterion(node=computs, variable="nope")
+            )
+
+    def test_relevant_nodes_subset_of_subtree(self, figure4_trace):
+        computs = figure4_trace.tree.find("computs")
+        result = dynamic_slice(
+            figure4_trace, DynamicCriterion(node=computs, variable="r1")
+        )
+        subtree_ids = {node.node_id for node in computs.walk()}
+        assert result.relevant_node_ids <= subtree_ids
+
+    def test_irrelevant_sibling_excluded(self):
+        trace = trace_source(
+            """
+            program t;
+            var a, b: integer;
+            procedure mk_a(var x: integer);
+            begin x := 1 end;
+            procedure mk_b(var x: integer);
+            begin x := 2 end;
+            procedure both(var x, y: integer);
+            begin mk_a(x); mk_b(y) end;
+            begin both(a, b); writeln(a); writeln(b) end.
+            """
+        )
+        both = trace.tree.find("both")
+        result = dynamic_slice(trace, DynamicCriterion(node=both, variable="x"))
+        names = {
+            node.unit_name
+            for node in trace.tree.walk()
+            if node.node_id in result.relevant_node_ids
+        }
+        assert "mk_a" in names
+        assert "mk_b" not in names
+
+    def test_dependence_through_var_param_chain(self):
+        trace = trace_source(
+            """
+            program t;
+            var r: integer;
+            procedure leaf(var x: integer);
+            begin x := 5 end;
+            procedure mid(var y: integer);
+            begin leaf(y); y := y + 1 end;
+            begin mid(r); writeln(r) end.
+            """
+        )
+        mid = trace.tree.find("mid")
+        result = dynamic_slice(trace, DynamicCriterion(node=mid, variable="y"))
+        names = {
+            node.unit_name
+            for node in trace.tree.walk()
+            if node.node_id in result.relevant_node_ids
+        }
+        assert "leaf" in names
+
+    def test_unrestricted_slice_crosses_subtree(self, figure4_trace):
+        computs = figure4_trace.tree.find("computs")
+        restricted = dynamic_slice(
+            figure4_trace,
+            DynamicCriterion(node=computs, variable="r1"),
+            restrict_to_subtree=True,
+        )
+        unrestricted = dynamic_slice(
+            figure4_trace,
+            DynamicCriterion(node=computs, variable="r1"),
+            restrict_to_subtree=False,
+        )
+        assert len(unrestricted.occurrences) > len(restricted.occurrences)
+        names = {
+            figure4_trace.tree.occurrence_owner[occ].unit_name
+            for occ in unrestricted.occurrences
+        }
+        assert "arrsum" in names  # t feeds computs' input y
+
+
+class TestTreeView:
+    def test_full_view_contains_everything(self, figure4_trace):
+        view = TreeView.full(figure4_trace.tree.root)
+        assert view.size() == figure4_trace.tree.size()
+
+    def test_children_filtered(self, figure4_trace):
+        root = figure4_trace.tree.root
+        sqrtest = figure4_trace.tree.find("sqrtest")
+        computs = figure4_trace.tree.find("computs")
+        view = TreeView.from_slice(
+            root, {sqrtest.node_id, computs.node_id}
+        )
+        assert [c.unit_name for c in view.children(sqrtest)] == ["computs"]
+
+    def test_from_slice_connects_ancestors(self, figure4_trace):
+        root = figure4_trace.tree.root
+        decrement = figure4_trace.tree.find("decrement")
+        view = TreeView.from_slice(root, {decrement.node_id})
+        names = {node.unit_name for node in view.walk()}
+        # every ancestor on the path is kept
+        assert {"main", "sqrtest", "computs", "comput1",
+                "partialsums", "sum2", "decrement"} <= names
+
+    def test_restricted_intersection(self, figure4_trace):
+        tree = figure4_trace.tree
+        computs = tree.find("computs")
+        view_a = TreeView.full(tree.root)
+        view_b = TreeView.from_slice(
+            computs, {tree.find("comput1").node_id}
+        )
+        combined = view_b.restricted(computs, view_a)
+        assert combined.root is computs
+        assert combined.contains(tree.find("comput1"))
+        assert not combined.contains(tree.find("comput2"))
+
+
+class TestOutputSlicing:
+    """The program's printed output is itself a sliceable result."""
+
+    def test_slice_on_program_output(self):
+        trace = trace_source(
+            """
+            program t;
+            var a, b: integer;
+            procedure mk_a(var x: integer);
+            begin x := 1 end;
+            procedure mk_b(var x: integer);
+            begin x := 2 end;
+            begin
+              mk_a(a);
+              mk_b(b);
+              writeln(a)
+            end.
+            """
+        )
+        root = trace.tree.root
+        view = prune_tree(trace, DynamicCriterion(node=root, variable="output"))
+        names = {node.unit_name for node in view.walk()}
+        assert "mk_a" in names
+        assert "mk_b" not in names  # b is never printed
+
+    def test_root_carries_output_binding(self, figure4_trace):
+        root = figure4_trace.tree.root
+        assert root.output_binding("output").value == "false\n"
+
+    def test_silent_program_has_no_output_binding(self):
+        trace = trace_source("program t; var x: integer; begin x := 1 end.")
+        assert trace.tree.root.outputs == []
+
+
+class TestPaperFigures:
+    def test_figure8_prune(self, figure4_trace):
+        computs = figure4_trace.tree.find("computs")
+        view = prune_tree(
+            figure4_trace, DynamicCriterion.output_position(computs, 1)
+        )
+        names = sorted(node.unit_name for node in view.walk())
+        assert names == [
+            "add",
+            "comput1",
+            "computs",
+            "decrement",
+            "increment",
+            "partialsums",
+            "sum1",
+            "sum2",
+        ]
+
+    def test_figure8_excludes_right_subtree(self, figure4_trace):
+        computs = figure4_trace.tree.find("computs")
+        view = prune_tree(
+            figure4_trace, DynamicCriterion.output_position(computs, 1)
+        )
+        names = {node.unit_name for node in view.walk()}
+        assert "comput2" not in names
+        assert "square" not in names
+
+    def test_figure9_prune(self, figure4_trace):
+        partialsums = figure4_trace.tree.find("partialsums")
+        view = prune_tree(
+            figure4_trace, DynamicCriterion.output_position(partialsums, 2)
+        )
+        names = sorted(node.unit_name for node in view.walk())
+        assert names == ["decrement", "partialsums", "sum2"]
+
+    def test_slice_on_r2_keeps_right_subtree(self, figure4_trace):
+        computs = figure4_trace.tree.find("computs")
+        view = prune_tree(
+            figure4_trace, DynamicCriterion.output_position(computs, 2)
+        )
+        names = sorted(node.unit_name for node in view.walk())
+        assert names == ["comput2", "computs", "square"]

@@ -1,0 +1,236 @@
+"""Edge-case and error-path tests across the substrate."""
+
+import pytest
+
+from repro.pascal import run_source
+from repro.pascal.errors import (
+    LexError,
+    ParseError,
+    PascalError,
+    PascalRuntimeError,
+    SemanticError,
+    SourceLocation,
+)
+from repro.pascal.semantics import analyze_source
+
+
+class TestSourceLocation:
+    def test_str(self):
+        assert str(SourceLocation(3, 7)) == "3:7"
+
+    def test_unknown(self):
+        assert SourceLocation.unknown() == SourceLocation(0, 0)
+
+    def test_ordering(self):
+        assert SourceLocation(1, 5) < SourceLocation(2, 1)
+        assert SourceLocation(2, 1) < SourceLocation(2, 9)
+
+    def test_error_message_carries_location(self):
+        error = PascalError("boom", SourceLocation(4, 2))
+        assert "4:2" in str(error)
+
+    def test_error_hierarchy(self):
+        assert issubclass(LexError, PascalError)
+        assert issubclass(ParseError, PascalError)
+        assert issubclass(SemanticError, PascalError)
+        assert issubclass(PascalRuntimeError, PascalError)
+
+
+class TestRuntimeEdges:
+    def test_deep_recursion_bounded(self):
+        source = """
+        program t;
+        procedure dive(n: integer);
+        begin dive(n + 1) end;
+        begin dive(0) end.
+        """
+        with pytest.raises(PascalRuntimeError, match="call depth"):
+            run_source(source)
+
+    def test_goto_escaping_program_is_error(self):
+        # A goto whose label sits inside an if-branch is not a legal
+        # jump target for the statement-list mechanism.
+        source = """
+        program t;
+        label 9;
+        var x: integer;
+        begin
+          x := 0;
+          goto 9;
+          if x = 1 then begin 9: x := 2 end
+        end.
+        """
+        with pytest.raises(PascalRuntimeError, match="goto"):
+            run_source(source)
+
+    def test_negative_for_range(self):
+        assert run_source(
+            "program t; var i, c: integer; begin c := 0; "
+            "for i := -2 to 2 do c := c + 1; writeln(c) end."
+        ).output == "5\n"
+
+    def test_downto_single_iteration(self):
+        assert run_source(
+            "program t; var i: integer; begin "
+            "for i := 3 downto 3 do writeln(i) end."
+        ).output == "3\n"
+
+    def test_mod_identity_property(self):
+        # a = (a div b) * b + (a mod b) for all sign combinations
+        for a in (-7, -1, 0, 1, 7):
+            for b in (-3, -1, 1, 3):
+                out = run_source(
+                    f"program t; begin writeln(({a} div {b}) * {b} + ({a} mod {b})) end."
+                ).output
+                assert out == f"{a}\n", (a, b)
+
+    def test_large_integers(self):
+        assert run_source(
+            "program t; var x: integer; begin "
+            "x := 1000000 * 1000000; writeln(x) end."
+        ).output == "1000000000000\n"
+
+    def test_integer_overflow_detected(self):
+        source = """
+        program t;
+        var x, i: integer;
+        begin
+          x := 2;
+          for i := 1 to 100 do x := x * x;
+          writeln(x)
+        end.
+        """
+        with pytest.raises(PascalRuntimeError, match="overflow"):
+            run_source(source)
+
+    def test_sqr_overflow_detected(self):
+        source = """
+        program t;
+        var x, i: integer;
+        begin
+          x := 10;
+          for i := 1 to 30 do x := sqr(x);
+          writeln(x)
+        end.
+        """
+        with pytest.raises(PascalRuntimeError, match="overflow"):
+            run_source(source)
+
+    def test_near_limit_arithmetic_ok(self):
+        limit = 2**62
+        assert run_source(
+            f"program t; begin writeln({limit} + {limit - 1}) end."
+        ).output == f"{2**63 - 1}\n"
+
+    def test_write_multiple_args(self):
+        assert run_source(
+            "program t; begin writeln('x = ', 3, ' ok ', true) end."
+        ).output == "x = 3 ok true\n"
+
+    def test_read_boolean(self):
+        assert run_source(
+            "program t; var b: boolean; begin read(b); writeln(not b) end.",
+            inputs=[True],
+        ).output == "false\n"
+
+
+class TestSemanticEdges:
+    def test_nested_shadowing_resolves_innermost(self):
+        out = run_source(
+            """
+            program t;
+            var x: integer;
+            procedure p;
+            var x: integer;
+            begin x := 10; writeln(x) end;
+            begin x := 1; p; writeln(x) end.
+            """
+        ).output
+        assert out == "10\n1\n"
+
+    def test_const_shadowed_by_local(self):
+        out = run_source(
+            """
+            program t;
+            const k = 5;
+            procedure p;
+            var k: integer;
+            begin k := 9; writeln(k) end;
+            begin p; writeln(k) end.
+            """
+        ).output
+        assert out == "9\n5\n"
+
+    def test_param_count_zero(self):
+        analysis = analyze_source(
+            "program t; procedure nop; begin end; begin nop end."
+        )
+        assert analysis.routine_named("nop").params == []
+
+    def test_routine_name_reuse_across_scopes(self):
+        out = run_source(
+            """
+            program t;
+            procedure outer;
+              procedure show;
+              begin writeln(1) end;
+            begin show end;
+            procedure show;
+            begin writeln(2) end;
+            begin outer; show end.
+            """
+        ).output
+        assert out == "1\n2\n"
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "program t; procedure a; begin b end; "
+                "procedure b; begin end; begin a end."
+            )
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "program t; procedure p(a: integer; a: integer); "
+                "begin end; begin end."
+            )
+
+    def test_goto_into_other_routine_rejected(self):
+        # Label declared in a *sibling* routine is not visible.
+        with pytest.raises(SemanticError):
+            analyze_source(
+                """
+                program t;
+                procedure a;
+                label 5;
+                begin 5: end;
+                procedure b;
+                begin goto 5 end;
+                begin a; b end.
+                """
+            )
+
+
+class TestParserEdges:
+    def test_deeply_nested_expression(self):
+        depth = 50
+        expr = "(" * depth + "1" + ")" * depth
+        assert run_source(f"program t; begin writeln({expr}) end.").output == "1\n"
+
+    def test_long_statement_chain(self):
+        body = "; ".join(f"x := {i}" for i in range(200))
+        out = run_source(
+            f"program t; var x: integer; begin {body}; writeln(x) end."
+        ).output
+        assert out == "199\n"
+
+    def test_empty_program_runs(self):
+        assert run_source("program t; begin end.").output == ""
+
+    def test_comment_between_tokens_everywhere(self):
+        out = run_source(
+            "program {c} t; var {c} x: integer; "
+            "begin x {c} := {c} 1; writeln(x) end."
+        ).output
+        assert out == "1\n"

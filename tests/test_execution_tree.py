@@ -1,0 +1,120 @@
+"""Unit tests for the execution-tree data structure."""
+
+import pytest
+
+from repro.tracing.execution_tree import (
+    Binding,
+    BindingMode,
+    ExecNode,
+    ExecutionTree,
+    NodeKind,
+)
+
+
+def make_tree():
+    root = ExecNode(kind=NodeKind.MAIN, unit_name="main")
+    parent = ExecNode(
+        kind=NodeKind.CALL,
+        unit_name="p",
+        inputs=[Binding("a", BindingMode.IN, 3)],
+        outputs=[Binding("b", BindingMode.OUT, 4)],
+    )
+    child_one = ExecNode(
+        kind=NodeKind.CALL,
+        unit_name="q",
+        outputs=[Binding("r", BindingMode.OUT, 1), Binding("s", BindingMode.OUT, 2)],
+    )
+    child_two = ExecNode(
+        kind=NodeKind.CALL,
+        unit_name="q",
+        outputs=[Binding("q", BindingMode.RESULT, 9)],
+    )
+    root.add_child(parent)
+    parent.add_child(child_one)
+    parent.add_child(child_two)
+    return ExecutionTree(root=root), root, parent, child_one, child_two
+
+
+class TestStructure:
+    def test_walk_preorder(self):
+        tree, root, parent, child_one, child_two = make_tree()
+        assert list(tree.walk()) == [root, parent, child_one, child_two]
+
+    def test_parent_links(self):
+        _, root, parent, child_one, _ = make_tree()
+        assert child_one.parent is parent
+        assert parent.parent is root
+        assert list(child_one.ancestors()) == [parent, root]
+
+    def test_size(self):
+        tree, *_ = make_tree()
+        assert tree.size() == 4
+
+    def test_find_nth_activation(self):
+        tree, _, _, child_one, child_two = make_tree()
+        assert tree.find("q") is child_one
+        assert tree.find("q", occurrence=2) is child_two
+        with pytest.raises(KeyError):
+            tree.find("q", occurrence=3)
+        with pytest.raises(KeyError):
+            tree.find("nothere")
+
+
+class TestBindings:
+    def test_output_binding_by_name(self):
+        _, _, parent, _, _ = make_tree()
+        assert parent.output_binding("b").value == 4
+        with pytest.raises(KeyError):
+            parent.output_binding("zzz")
+
+    def test_output_position_one_based(self):
+        _, _, _, child_one, _ = make_tree()
+        assert child_one.output_position(1).name == "r"
+        assert child_one.output_position(2).name == "s"
+        with pytest.raises(IndexError):
+            child_one.output_position(3)
+
+    def test_input_binding(self):
+        _, _, parent, _, _ = make_tree()
+        assert parent.input_binding("a").value == 3
+
+
+class TestRendering:
+    def test_render_head_paper_format(self):
+        _, _, parent, _, _ = make_tree()
+        assert parent.render_head() == "p(In a: 3, Out b: 4)"
+
+    def test_render_head_function_result(self):
+        _, _, _, _, child_two = make_tree()
+        assert child_two.render_head() == "q()=9"
+
+    def test_render_head_main(self):
+        _, root, *_ = make_tree()
+        assert root.render_head() == "Main"
+
+    def test_render_tree_indentation(self):
+        tree, *_ = make_tree()
+        lines = tree.render().splitlines()
+        assert lines[0] == "Main"
+        assert lines[1].startswith("  p(")
+        assert lines[2].startswith("    q(")
+
+    def test_render_with_keep_filter(self):
+        tree, root, parent, child_one, child_two = make_tree()
+        keep = {root.node_id, parent.node_id, child_two.node_id}
+        text = tree.render(keep=lambda node: node.node_id in keep)
+        assert "q(Out r: 1" not in text
+        assert "q()=9" in text
+
+    def test_render_iteration_node(self):
+        node = ExecNode(
+            kind=NodeKind.ITERATION,
+            unit_name="p$for1",
+            iteration=2,
+            inputs=[Binding("i", BindingMode.IN, 2)],
+        )
+        assert node.render_head() == "p$for1[iteration 2](In i: 2)"
+
+    def test_binding_render(self):
+        binding = Binding("x", BindingMode.IN, 7)
+        assert binding.render() == "In x: 7"

@@ -1,0 +1,160 @@
+"""Tests for forward static slicing (impact analysis extension)."""
+
+import pytest
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.semantics import analyze_source
+from repro.slicing import ForwardCriterion, forward_static_slice
+
+
+def setup(source: str):
+    analysis = analyze_source(source)
+    return analysis, analysis.program.block.body.statements
+
+
+def kept_texts(analysis, computed):
+    from repro.pascal.pretty import print_statement
+
+    texts = []
+    for node in analysis.program.walk():
+        if (
+            isinstance(node, ast.Stmt)
+            and not isinstance(node, ast.Compound)
+            and node.node_id in computed.stmt_ids
+        ):
+            texts.append(print_statement(node).strip().splitlines()[0])
+    return texts
+
+
+class TestForwardDataFlow:
+    SOURCE = """
+    program p;
+    var a, b, c, d: integer;
+    begin
+      a := 1;
+      b := a + 1;
+      c := b * 2;
+      d := 7
+    end.
+    """
+
+    def test_downstream_included(self):
+        analysis, stmts = setup(self.SOURCE)
+        computed = forward_static_slice(
+            analysis,
+            ForwardCriterion.at_statement("p", stmts[0].node_id, "a"),
+        )
+        texts = kept_texts(analysis, computed)
+        assert "a := 1" in texts
+        assert "b := a + 1" in texts
+        assert "c := b * 2" in texts
+
+    def test_unrelated_excluded(self):
+        analysis, stmts = setup(self.SOURCE)
+        computed = forward_static_slice(
+            analysis,
+            ForwardCriterion.at_statement("p", stmts[0].node_id, "a"),
+        )
+        texts = kept_texts(analysis, computed)
+        assert "d := 7" not in texts
+
+    def test_slice_from_middle(self):
+        analysis, stmts = setup(self.SOURCE)
+        computed = forward_static_slice(
+            analysis,
+            ForwardCriterion.at_statement("p", stmts[2].node_id, "c"),
+        )
+        texts = kept_texts(analysis, computed)
+        assert texts == ["c := b * 2"]  # nothing uses c afterwards
+
+
+class TestForwardControlFlow:
+    def test_predicate_fans_out(self):
+        analysis, stmts = setup(
+            """
+            program p;
+            var flag, x, y: integer;
+            begin
+              flag := 1;
+              if flag > 0 then x := 5 else y := 6
+            end.
+            """
+        )
+        computed = forward_static_slice(
+            analysis,
+            ForwardCriterion.at_statement("p", stmts[0].node_id, "flag"),
+        )
+        texts = kept_texts(analysis, computed)
+        assert "x := 5" in texts
+        assert "y := 6" in texts
+
+    def test_loop_body_affected_by_bound(self):
+        analysis, stmts = setup(
+            """
+            program p;
+            var n, s, i: integer;
+            begin
+              n := 3;
+              s := 0;
+              for i := 1 to n do s := s + i
+            end.
+            """
+        )
+        computed = forward_static_slice(
+            analysis,
+            ForwardCriterion.at_statement("p", stmts[0].node_id, "n"),
+        )
+        texts = kept_texts(analysis, computed)
+        assert any("s := s + i" in text for text in texts)
+
+
+class TestCriteria:
+    def test_all_definitions_mode(self):
+        analysis, stmts = setup(
+            """
+            program p;
+            var x, y: integer;
+            begin
+              x := 1;
+              y := x;
+              x := 2;
+              y := x + y
+            end.
+            """
+        )
+        computed = forward_static_slice(
+            analysis, ForwardCriterion.all_definitions("p", "x")
+        )
+        texts = kept_texts(analysis, computed)
+        assert "y := x" in texts
+        assert "y := x + y" in texts
+
+    def test_unknown_variable_raises(self):
+        analysis, _ = setup("program p; var x: integer; begin x := 1 end.")
+        with pytest.raises(KeyError):
+            forward_static_slice(
+                analysis, ForwardCriterion.all_definitions("p", "ghost")
+            )
+
+    def test_forward_backward_duality(self):
+        """If s2 is in the forward slice of s1's def, then s1 is in the
+        backward slice of s2's criterion variable."""
+        from repro.slicing import StaticCriterion, static_slice
+
+        source = """
+        program p;
+        var a, b: integer;
+        begin
+          a := 5;
+          b := a * 2
+        end.
+        """
+        analysis, stmts = setup(source)
+        forward = forward_static_slice(
+            analysis, ForwardCriterion.at_statement("p", stmts[0].node_id, "a")
+        )
+        assert stmts[1].node_id in forward.stmt_ids
+        backward = static_slice(
+            analysis, StaticCriterion.at_routine_exit("p", "b")
+        )
+        assert stmts[0].node_id in backward.included_stmt_ids

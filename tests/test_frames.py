@@ -1,0 +1,168 @@
+"""Unit tests for test-frame generation (paper §2, Figure 1)."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tgen.frames import frame_for_choices, generate_frames
+from repro.tgen.spec_parser import parse_spec
+from repro.workloads.arrsum_spec import arrsum_spec
+
+
+class TestFigure1:
+    def test_frame_count(self):
+        frames = generate_frames(arrsum_spec())
+        assert len(frames) == 8
+
+    def test_expected_frames_present(self):
+        frames = {frame.choices for frame in generate_frames(arrsum_spec())}
+        assert ("more", "mixed", "large") in frames
+        assert ("more", "mixed", "average") in frames
+        assert ("two", "positive", "small") in frames
+        assert ("more", "negative", "small") in frames
+
+    def test_mixed_requires_more(self):
+        frames = {frame.choices for frame in generate_frames(arrsum_spec())}
+        assert not any(
+            choices[1] == "mixed" and choices[0] != "more" for choices in frames
+        )
+
+    def test_single_choices_one_frame_each(self):
+        frames = generate_frames(arrsum_spec())
+        zero_frames = [f for f in frames if f.choice_of("size_of_array") == "zero"]
+        one_frames = [f for f in frames if f.choice_of("size_of_array") == "one"]
+        assert len(zero_frames) == 1
+        assert len(one_frames) == 1
+
+    def test_properties_recorded(self):
+        frames = generate_frames(arrsum_spec())
+        frame = next(f for f in frames if f.choices == ("more", "mixed", "large"))
+        assert frame.properties == frozenset({"more", "mixed"})
+
+    def test_frame_key_is_choices(self):
+        frames = generate_frames(arrsum_spec())
+        assert all(frame.key == frame.choices for frame in frames)
+
+
+class TestSelectorSemantics:
+    def test_unselectable_choice_yields_no_frame(self):
+        spec = parse_spec(
+            "test u; "
+            "category c; a : ; b : property P; "
+            "category d; x : if P; "
+        )
+        frames = generate_frames(spec)
+        # 'a' contributes no P, so only (b, x) survives for category d.
+        assert {frame.choices for frame in frames} == {("b", "x")}
+
+    def test_order_matters_for_selectors(self):
+        # A selector can only see properties of earlier categories.
+        spec = parse_spec(
+            "test u; "
+            "category first; p : property P; q : ; "
+            "category second; needsp : if P; free : ; "
+        )
+        frames = {frame.choices for frame in generate_frames(spec)}
+        assert ("p", "needsp") in frames
+        assert ("q", "needsp") not in frames
+        assert ("q", "free") in frames
+
+    def test_cartesian_product_without_selectors(self):
+        spec = parse_spec(
+            "test u; category a; x : ; y : ; category b; u : ; v : ; w : ;"
+        )
+        frames = generate_frames(spec)
+        assert len(frames) == 6
+
+
+class TestFrameForChoices:
+    def test_valid_selection(self):
+        frame = frame_for_choices(
+            arrsum_spec(),
+            {
+                "size_of_array": "more",
+                "type_of_elements": "mixed",
+                "deviation": "large",
+            },
+        )
+        assert frame.choices == ("more", "mixed", "large")
+
+    def test_inadmissible_selection_rejected(self):
+        with pytest.raises(ValueError):
+            frame_for_choices(
+                arrsum_spec(),
+                {
+                    "size_of_array": "two",
+                    "type_of_elements": "mixed",  # needs MORE
+                    "deviation": "large",
+                },
+            )
+
+    def test_missing_category_rejected(self):
+        with pytest.raises(KeyError):
+            frame_for_choices(arrsum_spec(), {"size_of_array": "two"})
+
+    def test_render(self):
+        frame = frame_for_choices(
+            arrsum_spec(),
+            {
+                "size_of_array": "two",
+                "type_of_elements": "positive",
+                "deviation": "small",
+            },
+        )
+        assert frame.render() == "(two, positive, small)"
+        assert str(frame) == "arrsum(two, positive, small)"
+
+
+@st.composite
+def random_specs(draw):
+    """Random small specs with occasionally-constrained choices."""
+    lines = ["test u;"]
+    property_pool: list[str] = []
+    categories = draw(st.integers(min_value=1, max_value=4))
+    for c_index in range(categories):
+        lines.append(f"category cat{c_index};")
+        choices = draw(st.integers(min_value=1, max_value=4))
+        for ch_index in range(choices):
+            parts = [f"  ch{c_index}_{ch_index} :"]
+            if property_pool and draw(st.booleans()):
+                chosen = draw(st.sampled_from(property_pool))
+                if draw(st.booleans()):
+                    parts.append(f"if not {chosen}")
+                else:
+                    parts.append(f"if {chosen}")
+            if draw(st.booleans()):
+                prop = f"p{c_index}_{ch_index}"
+                parts.append(f"property {prop}")
+                property_pool.append(prop)
+            lines.append(" ".join(parts) + ";")
+    return "\n".join(lines)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(text=random_specs())
+    def test_every_frame_satisfies_its_selectors(self, text):
+        spec = parse_spec(text)
+        for frame in generate_frames(spec):
+            properties: set[str] = set()
+            for category, choice_name in zip(spec.categories, frame.choices):
+                choice = category.choice_named(choice_name)
+                assert choice.selector.evaluate(properties)
+                properties |= set(choice.visible_properties)
+
+    @settings(max_examples=50, deadline=None)
+    @given(text=random_specs())
+    def test_frames_are_unique(self, text):
+        spec = parse_spec(text)
+        frames = generate_frames(spec)
+        assert len({frame.choices for frame in frames}) == len(frames)
+
+    @settings(max_examples=50, deadline=None)
+    @given(text=random_specs())
+    def test_one_choice_per_category(self, text):
+        spec = parse_spec(text)
+        for frame in generate_frames(spec):
+            assert len(frame.choices) == len(spec.categories)

@@ -1,0 +1,212 @@
+"""Unit tests for the globals-to-parameters transformation (paper §6)."""
+
+from repro.analysis.sideeffects import analyze_side_effects
+from repro.pascal import run_source
+from repro.pascal.interpreter import Interpreter
+from repro.pascal.pretty import print_program
+from repro.pascal.semantics import analyze, analyze_source
+from repro.transform.globals_to_params import convert_globals_to_params
+
+
+def transform(source: str):
+    analysis = analyze_source(source)
+    result = convert_globals_to_params(analysis)
+    return result, analyze(result.program)
+
+
+def run_transformed(source: str, inputs=None) -> str:
+    _, new_analysis = transform(source)
+    from repro.pascal.interpreter import PascalIO
+
+    return Interpreter(new_analysis, io=PascalIO(inputs)).run().output
+
+
+PAPER_SHAPE = """
+program t;
+var x, z, y: integer;
+procedure p(var y: integer);
+begin
+  y := x + 1;
+  z := y - x
+end;
+begin x := 10; y := 0; p(y); writeln(y); writeln(z) end.
+"""
+
+
+class TestPaperExample:
+    def test_in_and_out_modes_assigned(self):
+        result, _ = transform(PAPER_SHAPE)
+        assert result.added_params["p"] == [("x", "in"), ("z", "out")]
+
+    def test_printed_signature_matches_paper(self):
+        result, _ = transform(PAPER_SHAPE)
+        text = print_program(result.program)
+        assert "procedure p(var y: integer; in x: integer; out z: integer);" in text
+
+    def test_body_is_unchanged(self):
+        result, _ = transform(PAPER_SHAPE)
+        text = print_program(result.program)
+        assert "y := x + 1" in text
+        assert "z := y - x" in text
+
+    def test_call_site_extended(self):
+        result, _ = transform(PAPER_SHAPE)
+        text = print_program(result.program)
+        assert "p(y, x, z)" in text
+
+    def test_equivalent_behaviour(self):
+        assert run_transformed(PAPER_SHAPE) == run_source(PAPER_SHAPE).output
+
+
+class TestModes:
+    def test_read_write_global_becomes_var(self):
+        result, _ = transform(
+            """
+            program t;
+            var g: integer;
+            procedure bump;
+            begin g := g + 1 end;
+            begin g := 0; bump; writeln(g) end.
+            """
+        )
+        assert result.added_params["bump"] == [("g", "var")]
+
+    def test_write_only_global_becomes_out(self):
+        result, _ = transform(
+            """
+            program t;
+            var g: integer;
+            procedure setit;
+            begin g := 5 end;
+            begin setit; writeln(g) end.
+            """
+        )
+        assert result.added_params["setit"] == [("g", "out")]
+
+    def test_read_only_global_becomes_in(self):
+        result, _ = transform(
+            """
+            program t;
+            var g: integer;
+            procedure show;
+            begin writeln(g) end;
+            begin g := 3; show end.
+            """
+        )
+        assert result.added_params["show"] == [("g", "in")]
+
+
+class TestThreading:
+    CHAIN = """
+    program t;
+    var g: integer;
+    procedure inner;
+    begin g := g * 2 end;
+    procedure outer;
+    begin inner; inner end;
+    begin g := 3; outer; writeln(g) end.
+    """
+
+    def test_effects_thread_through_chain(self):
+        result, new_analysis = transform(self.CHAIN)
+        assert result.added_params == {
+            "inner": [("g", "var")],
+            "outer": [("g", "var")],
+        }
+        effects = analyze_side_effects(new_analysis)
+        for info in new_analysis.user_routines():
+            assert effects.of_info(info).is_side_effect_free
+
+    def test_chain_behaviour_preserved(self):
+        assert run_transformed(self.CHAIN) == run_source(self.CHAIN).output
+
+    def test_function_with_global_read(self):
+        source = """
+        program t;
+        var base: integer;
+        function shifted(x: integer): integer;
+        begin shifted := x + base end;
+        begin base := 100; writeln(shifted(1) + shifted(2)) end.
+        """
+        result, new_analysis = transform(source)
+        assert result.added_params["shifted"] == [("base", "in")]
+        assert run_transformed(source) == run_source(source).output
+
+    def test_function_with_global_write(self):
+        source = """
+        program t;
+        var count: integer;
+        function tick: integer;
+        begin count := count + 1; tick := count end;
+        begin count := 0; writeln(tick() + tick()); writeln(count) end.
+        """
+        result, _ = transform(source)
+        assert result.added_params["tick"] == [("count", "var")]
+        assert run_transformed(source) == run_source(source).output
+
+    def test_enclosing_local_threaded(self):
+        source = """
+        program t;
+        procedure outer;
+        var x: integer;
+          procedure inner;
+          begin x := x + 1 end;
+        begin x := 0; inner; inner; writeln(x) end;
+        begin outer end.
+        """
+        result, new_analysis = transform(source)
+        assert result.added_params["inner"] == [("x", "var")]
+        assert "outer" not in result.added_params
+        assert run_transformed(source) == run_source(source).output
+
+
+class TestEdgeCases:
+    def test_clean_program_untouched(self, figure4_analysis):
+        result = convert_globals_to_params(figure4_analysis)
+        assert not result.added_params
+        assert not result.warnings
+
+    def test_source_map_links_new_params(self):
+        result, _ = transform(PAPER_SHAPE)
+        routine = result.program.block.routines[0]
+        extra = routine.params[1:]
+        for param in extra:
+            assert result.source_map.is_synthesized(param.node_id)
+
+    def test_result_side_effect_warned(self):
+        source = """
+        program t;
+        function f(x: integer): integer;
+          procedure sneak;
+          begin f := 99 end;
+        begin f := x; sneak end;
+        begin writeln(f(1)) end.
+        """
+        result, _ = transform(source)
+        assert result.warnings
+        assert "result" in result.warnings[0]
+
+    def test_global_array_threaded(self):
+        source = """
+        program t;
+        var data: array[1..3] of integer;
+        procedure fill;
+        var i: integer;
+        begin for i := 1 to 3 do data[i] := i * i end;
+        begin fill; writeln(data[3]) end.
+        """
+        result, _ = transform(source)
+        assert result.added_params["fill"] == [("data", "var")]
+        assert run_transformed(source) == run_source(source).output
+
+    def test_read_into_global(self):
+        source = """
+        program t;
+        var g: integer;
+        procedure getit;
+        begin read(g) end;
+        begin getit; writeln(g) end.
+        """
+        result, _ = transform(source)
+        assert result.added_params["getit"] == [("g", "out")]
+        assert run_transformed(source, inputs=[42]) == "42\n"

@@ -1,0 +1,334 @@
+"""Unit tests for the Mini-Pascal interpreter."""
+
+import pytest
+
+from repro.pascal import run_source
+from repro.pascal.errors import (
+    PascalRuntimeError,
+    StepLimitExceeded,
+    UndefinedValueError,
+)
+from repro.pascal.interpreter import Interpreter, PascalIO
+from repro.pascal.semantics import analyze_source
+from repro.pascal.values import ArrayValue, UNDEFINED
+
+
+def run(body: str, decls: str = "", inputs=None) -> str:
+    return run_source(f"program t; {decls} begin {body} end.", inputs=inputs).output
+
+
+class TestArithmetic:
+    def test_basic_arithmetic(self):
+        assert run("writeln(2 + 3 * 4)") == "14\n"
+
+    def test_pascal_div_truncates_toward_zero(self):
+        assert run("writeln(-7 div 2)") == "-3\n"
+        assert run("writeln(7 div -2)") == "-3\n"
+        assert run("writeln(7 div 2)") == "3\n"
+
+    def test_pascal_mod_sign(self):
+        assert run("writeln(-7 mod 2)") == "-1\n"
+        assert run("writeln(7 mod -2)") == "1\n"
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(PascalRuntimeError):
+            run("writeln(1 div 0)")
+
+    def test_unary_minus(self):
+        assert run("writeln(-(2 + 3))") == "-5\n"
+
+    def test_builtins(self):
+        assert run("writeln(abs(-4))") == "4\n"
+        assert run("writeln(sqr(5))") == "25\n"
+        assert run("writeln(odd(3))") == "true\n"
+        assert run("writeln(min(2, 7))") == "2\n"
+        assert run("writeln(max(2, 7))") == "7\n"
+
+
+class TestBooleans:
+    def test_comparisons(self):
+        assert run("writeln(1 < 2)") == "true\n"
+        assert run("writeln(2 <= 1)") == "false\n"
+        assert run("writeln(3 = 3)") == "true\n"
+        assert run("writeln(3 <> 3)") == "false\n"
+
+    def test_logical_operators(self):
+        assert run("writeln(true and false)") == "false\n"
+        assert run("writeln(true or false)") == "true\n"
+        assert run("writeln(not false)") == "true\n"
+
+    def test_bool_int_never_equal(self):
+        source = "var b: boolean; begin b := true end"
+        # Equality across types is a semantic error; equality of same type works.
+        assert run("writeln(true = true)") == "true\n"
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run("if 1 < 2 then writeln(1) else writeln(2)") == "1\n"
+        assert run("if 2 < 1 then writeln(1) else writeln(2)") == "2\n"
+
+    def test_while(self):
+        assert (
+            run("x := 3; while x > 0 do begin writeln(x); x := x - 1 end",
+                "var x: integer;")
+            == "3\n2\n1\n"
+        )
+
+    def test_repeat_runs_at_least_once(self):
+        assert run("repeat writeln(9) until true") == "9\n"
+
+    def test_for_to(self):
+        assert run("for i := 1 to 3 do write(i)", "var i: integer;") == "123"
+
+    def test_for_downto(self):
+        assert run("for i := 3 downto 1 do write(i)", "var i: integer;") == "321"
+
+    def test_for_empty_range_skips(self):
+        assert run("for i := 3 to 1 do write(i)", "var i: integer;") == ""
+
+    def test_for_bounds_evaluated_once(self):
+        out = run(
+            "n := 3; for i := 1 to n do begin n := 10; write(i) end",
+            "var i, n: integer;",
+        )
+        assert out == "123"
+
+    def test_local_goto_forward(self):
+        assert run("goto 9; writeln(1); 9: writeln(2)", "label 9;") == "2\n"
+
+    def test_local_goto_backward_loops(self):
+        out = run(
+            "x := 0; 5: x := x + 1; if x < 3 then goto 5; writeln(x)",
+            "label 5; var x: integer;",
+        )
+        assert out == "3\n"
+
+    def test_step_limit(self):
+        with pytest.raises(StepLimitExceeded):
+            run_source(
+                "program t; begin while true do end.",
+                step_limit=1000,
+            )
+
+
+class TestVariables:
+    def test_uninitialized_read_raises(self):
+        with pytest.raises(UndefinedValueError):
+            run("writeln(x)", "var x: integer;")
+
+    def test_uninitialized_array_element_raises(self):
+        with pytest.raises(UndefinedValueError):
+            run("writeln(a[1])", "var a: array[1..2] of integer;")
+
+    def test_array_assignment_and_read(self):
+        out = run(
+            "a[1] := 10; a[2] := 20; writeln(a[1] + a[2])",
+            "var a: array[1..2] of integer;",
+        )
+        assert out == "30\n"
+
+    def test_array_out_of_bounds_raises(self):
+        with pytest.raises(PascalRuntimeError):
+            run("a[5] := 1", "var a: array[1..2] of integer;")
+
+    def test_whole_array_assignment_copies(self):
+        out = run(
+            "a := [1, 2]; b := a; b[1] := 99; writeln(a[1])",
+            "var a, b: array[1..2] of integer;",
+        )
+        assert out == "1\n"
+
+    def test_array_equality(self):
+        out = run(
+            "a := [1, 2]; b := [1, 2]; writeln(a = b); b[2] := 3; writeln(a = b)",
+            "var a, b: array[1..2] of integer;",
+        )
+        assert out == "true\nfalse\n"
+
+
+class TestProceduresAndFunctions:
+    def test_value_parameter_is_copied(self):
+        source = """
+        program t;
+        var x: integer;
+        procedure p(a: integer);
+        begin a := 99 end;
+        begin x := 1; p(x); writeln(x) end.
+        """
+        assert run_source(source).output == "1\n"
+
+    def test_var_parameter_aliases(self):
+        source = """
+        program t;
+        var x: integer;
+        procedure p(var a: integer);
+        begin a := 99 end;
+        begin x := 1; p(x); writeln(x) end.
+        """
+        assert run_source(source).output == "99\n"
+
+    def test_array_value_parameter_deep_copied(self):
+        source = """
+        program t;
+        var a: array[1..2] of integer;
+        procedure p(b: array[1..2] of integer);
+        begin b[1] := 99 end;
+        begin a := [1, 2]; p(a); writeln(a[1]) end.
+        """
+        assert run_source(source).output == "1\n"
+
+    def test_function_return_value(self):
+        source = """
+        program t;
+        function double(x: integer): integer;
+        begin double := x * 2 end;
+        begin writeln(double(21)) end.
+        """
+        assert run_source(source).output == "42\n"
+
+    def test_recursion(self):
+        source = """
+        program t;
+        function fact(n: integer): integer;
+        begin
+          if n <= 1 then fact := 1 else fact := n * fact(n - 1)
+        end;
+        begin writeln(fact(6)) end.
+        """
+        assert run_source(source).output == "720\n"
+
+    def test_mutual_recursion_via_nesting(self):
+        source = """
+        program t;
+        var count: integer;
+        procedure down(n: integer);
+        begin
+          count := count + 1;
+          if n > 0 then down(n - 1)
+        end;
+        begin count := 0; down(4); writeln(count) end.
+        """
+        assert run_source(source).output == "5\n"
+
+    def test_function_without_result_assignment_raises(self):
+        source = """
+        program t;
+        function f(x: integer): integer;
+        begin if x > 10 then f := 1 end;
+        begin writeln(f(1)) end.
+        """
+        with pytest.raises(UndefinedValueError):
+            run_source(source)
+
+    def test_nested_routine_accesses_enclosing_local(self):
+        source = """
+        program t;
+        procedure outer;
+        var x: integer;
+          procedure inner;
+          begin x := x + 1 end;
+        begin x := 10; inner; inner; writeln(x) end;
+        begin outer end.
+        """
+        assert run_source(source).output == "12\n"
+
+    def test_global_goto_unwinds_call(self):
+        source = """
+        program t;
+        label 9;
+        procedure deep(n: integer);
+        begin
+          if n = 0 then goto 9;
+          deep(n - 1)
+        end;
+        begin deep(3); writeln(0); 9: writeln(1) end.
+        """
+        assert run_source(source).output == "1\n"
+
+
+class TestIO:
+    def test_read_consumes_inputs(self):
+        out = run("read(x, y); writeln(x + y)", "var x, y: integer;", inputs=[3, 4])
+        assert out == "7\n"
+
+    def test_read_past_end_raises(self):
+        with pytest.raises(PascalRuntimeError):
+            run("read(x)", "var x: integer;", inputs=[])
+
+    def test_write_without_newline(self):
+        assert run("write(1); write(2)") == "12"
+
+    def test_writeln_string_literal(self):
+        assert run("writeln('hello')") == "hello\n"
+
+    def test_write_boolean(self):
+        assert run("write(true)") == "true"
+
+    def test_io_lines_helper(self):
+        result = run_source("program t; begin writeln(1); writeln(2) end.")
+        assert result.io.lines == ["1", "2"]
+
+
+class TestUnitCalls:
+    def test_call_routine_by_name(self):
+        analysis = analyze_source(
+            """
+            program t;
+            procedure addone(x: integer; var y: integer);
+            begin y := x + 1 end;
+            begin end.
+            """
+        )
+        outcome = Interpreter(analysis).call_routine_by_name("addone", [5, UNDEFINED])
+        assert outcome.out_values == {"y": 6}
+
+    def test_call_function_by_name(self):
+        analysis = analyze_source(
+            """
+            program t;
+            function triple(x: integer): integer;
+            begin triple := 3 * x end;
+            begin end.
+            """
+        )
+        outcome = Interpreter(analysis).call_routine_by_name("triple", [4])
+        assert outcome.result == 12
+
+    def test_call_with_globals_seeded(self):
+        analysis = analyze_source(
+            """
+            program t;
+            var base: integer;
+            function shifted(x: integer): integer;
+            begin shifted := x + base end;
+            begin base := 0 end.
+            """
+        )
+        outcome = Interpreter(analysis).call_routine_by_name(
+            "shifted", [1], globals_in={"base": 100}
+        )
+        assert outcome.result == 101
+
+    def test_call_wrong_arity_raises(self):
+        analysis = analyze_source(
+            "program t; procedure q(a: integer); begin end; begin end."
+        )
+        with pytest.raises(PascalRuntimeError):
+            Interpreter(analysis).call_routine_by_name("q", [])
+
+    def test_array_argument_widened(self):
+        analysis = analyze_source(
+            """
+            program t;
+            type arr = array[1..5] of integer;
+            procedure total(a: arr; n: integer; var s: integer);
+            var i: integer;
+            begin s := 0; for i := 1 to n do s := s + a[i] end;
+            begin end.
+            """
+        )
+        outcome = Interpreter(analysis).call_routine_by_name(
+            "total", [ArrayValue.from_values([2, 3]), 2, UNDEFINED]
+        )
+        assert outcome.out_values["s"] == 5

@@ -1,0 +1,145 @@
+"""Integration tests on the non-trivial ledger workload."""
+
+import pytest
+
+from repro.core import GadtSystem, ReferenceOracle
+from repro.pascal import analyze_source, run_source
+from repro.tgen import (
+    CaseRunner,
+    TestCaseLookup,
+    Verdict,
+    generate_frames,
+    instantiate_cases,
+)
+from repro.workloads.ledger import (
+    fee_frame_selector,
+    fee_instantiator,
+    fee_spec,
+    ledger_program,
+)
+
+
+def build_fee_lookup(analysis) -> TestCaseLookup:
+    spec = fee_spec()
+    cases = instantiate_cases(spec, generate_frames(spec), fee_instantiator)
+    database = CaseRunner(analysis).run_all(cases)
+    lookup = TestCaseLookup(database=database)
+    lookup.register(spec, fee_frame_selector)
+    return lookup
+
+
+class TestProgram:
+    def test_correct_ledger_output(self):
+        generated = ledger_program(None)
+        assert run_source(generated.source).io.lines == ["4450", "677"]
+
+    def test_each_bug_changes_output(self):
+        correct = run_source(ledger_program(None).source).output
+        for bug in ("fee", "transfer", "interest"):
+            buggy = run_source(ledger_program(bug).source).output
+            assert buggy != correct, bug
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ValueError):
+            ledger_program("gremlins")
+
+
+class TestFeeSpec:
+    def test_six_frames(self):
+        frames = generate_frames(fee_spec())
+        assert len(frames) == 6
+
+    def test_suite_passes_on_correct_build(self):
+        analysis = analyze_source(ledger_program(None).source)
+        lookup = build_fee_lookup(analysis)
+        verdicts = {r.verdict for r in lookup.database.all_reports()}
+        assert verdicts == {Verdict.PASS}
+
+    def test_suite_fails_on_fee_bug(self):
+        analysis = analyze_source(ledger_program("fee").source)
+        lookup = build_fee_lookup(analysis)
+        failing = [
+            report
+            for report in lookup.database.all_reports()
+            if report.verdict is Verdict.FAIL
+        ]
+        # exactly the mid tier misbehaves
+        assert failing
+        assert all(report.frame_key[0] == "mid" for report in failing)
+
+    def test_selector_classifies_boundaries(self):
+        frame = fee_frame_selector({"amount": 1000})
+        assert frame.choices == ("mid", "boundary")
+        frame = fee_frame_selector({"amount": 1001})
+        assert frame.choices == ("high", "boundary")
+        frame = fee_frame_selector({"amount": 40})
+        assert frame.choices == ("low", "interior")
+
+
+class TestLocalization:
+    @pytest.mark.parametrize("bug", ["fee", "transfer", "interest"])
+    def test_bug_localized(self, bug):
+        generated = ledger_program(bug)
+        system = GadtSystem.from_source(generated.source)
+        oracle = ReferenceOracle.from_source(generated.fixed_source)
+        result = system.debugger(oracle).debug()
+        assert result.localized
+        assert result.bug_unit.startswith(generated.buggy_unit)
+
+    def test_call_site_bug_localized_to_caller(self):
+        """Paper §5.3.3: a wrong argument at a call site localizes to the
+        calling procedure once all sub-computations answer yes."""
+        generated = ledger_program("transfer")
+        system = GadtSystem.from_source(generated.source)
+        oracle = ReferenceOracle.from_source(generated.fixed_source)
+        result = system.debugger(oracle).debug()
+        assert result.bug_unit == "transfer"
+        # deposit was asked and answered yes (it behaves correctly for
+        # the wrong argument it received)
+        deposit_events = [
+            event
+            for event in result.session.events
+            if event.text.startswith("deposit")
+        ]
+        assert deposit_events and "yes" in deposit_events[-1].answer_text
+
+    def test_loop_bug_localized_to_loop_unit(self):
+        generated = ledger_program("interest")
+        system = GadtSystem.from_source(generated.source)
+        oracle = ReferenceOracle.from_source(generated.fixed_source)
+        result = system.debugger(oracle).debug()
+        assert result.bug_unit.startswith("accrue_interest")
+
+    def test_test_db_answers_fee_queries_when_passing(self):
+        generated = ledger_program("transfer")  # fee itself is correct here
+        system = GadtSystem.from_source(generated.source)
+        lookup = build_fee_lookup(system.analysis)
+        oracle = ReferenceOracle.from_source(generated.fixed_source)
+        result = system.debugger(oracle, test_lookup=lookup).debug()
+        assert result.bug_unit == "transfer"
+        assert result.auto_answers >= 1
+        auto_units = {
+            event.text.split("(")[0] for event in result.session.auto_answers()
+        }
+        assert "fee" in auto_units
+
+    def test_failed_fee_reports_do_not_mask_the_bug(self):
+        generated = ledger_program("fee")
+        system = GadtSystem.from_source(generated.source)
+        lookup = build_fee_lookup(system.analysis)  # built on the BUGGY build
+        oracle = ReferenceOracle.from_source(generated.fixed_source)
+        result = system.debugger(oracle, test_lookup=lookup).debug()
+        assert result.bug_unit == "fee"
+        # a failing frame never auto-answers 'yes'
+        assert all(
+            "fee" not in event.text
+            for event in result.session.auto_answers()
+        )
+
+    def test_show_bug_renders_ledger_source(self):
+        generated = ledger_program("fee")
+        system = GadtSystem.from_source(generated.source)
+        oracle = ReferenceOracle.from_source(generated.fixed_source)
+        result = system.debugger(oracle).debug()
+        report = system.show_bug(result)
+        assert "function fee(amount: integer): integer;" in report

@@ -1,0 +1,191 @@
+"""Unit tests for the Mini-Pascal scanner."""
+
+import pytest
+
+from repro.pascal.errors import LexError
+from repro.pascal.lexer import tokenize
+from repro.pascal.tokens import TokenType
+
+
+def kinds(source):
+    return [token.type for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.INT_LITERAL
+        assert tokens[0].text == "42"
+
+    def test_identifier(self):
+        tokens = tokenize("foo_bar9")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].text == "foo_bar9"
+
+    def test_identifier_normalization_preserves_spelling(self):
+        token = tokenize("CamelCase")[0]
+        assert token.text == "CamelCase"
+        assert token.normalized == "camelcase"
+
+    def test_keywords_are_case_insensitive(self):
+        assert kinds("BEGIN End wHiLe")[:3] == [
+            TokenType.BEGIN,
+            TokenType.END,
+            TokenType.WHILE,
+        ]
+
+    def test_all_keywords_recognized(self):
+        source = "and array begin const div do downto else end for function goto"
+        expected = [
+            TokenType.AND,
+            TokenType.ARRAY,
+            TokenType.BEGIN,
+            TokenType.CONST,
+            TokenType.DIV,
+            TokenType.DO,
+            TokenType.DOWNTO,
+            TokenType.ELSE,
+            TokenType.END,
+            TokenType.FOR,
+            TokenType.FUNCTION,
+            TokenType.GOTO,
+        ]
+        assert kinds(source)[: len(expected)] == expected
+
+    def test_boolean_literals_are_keywords(self):
+        assert kinds("true false")[:2] == [TokenType.TRUE, TokenType.FALSE]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            (":=", TokenType.ASSIGN),
+            ("<=", TokenType.LE),
+            (">=", TokenType.GE),
+            ("<>", TokenType.NEQ),
+            ("<", TokenType.LT),
+            (">", TokenType.GT),
+            ("=", TokenType.EQ),
+            ("..", TokenType.DOTDOT),
+            (".", TokenType.DOT),
+            ("+", TokenType.PLUS),
+            ("-", TokenType.MINUS),
+            ("*", TokenType.STAR),
+            ("/", TokenType.SLASH),
+            (";", TokenType.SEMICOLON),
+            (":", TokenType.COLON),
+            (",", TokenType.COMMA),
+            ("(", TokenType.LPAREN),
+            (")", TokenType.RPAREN),
+            ("[", TokenType.LBRACKET),
+            ("]", TokenType.RBRACKET),
+        ],
+    )
+    def test_single_operator(self, text, expected):
+        assert kinds(text)[0] is expected
+
+    def test_maximal_munch_for_compound_operators(self):
+        assert kinds("a:=b<=c")[:5] == [
+            TokenType.IDENT,
+            TokenType.ASSIGN,
+            TokenType.IDENT,
+            TokenType.LE,
+            TokenType.IDENT,
+        ]
+
+    def test_dotdot_inside_array_bounds(self):
+        assert kinds("[1..10]")[:5] == [
+            TokenType.LBRACKET,
+            TokenType.INT_LITERAL,
+            TokenType.DOTDOT,
+            TokenType.INT_LITERAL,
+            TokenType.RBRACKET,
+        ]
+
+
+class TestComments:
+    def test_brace_comment_skipped(self):
+        assert texts("a { this is a comment } b") == ["a", "b"]
+
+    def test_paren_star_comment_skipped(self):
+        assert texts("a (* comment *) b") == ["a", "b"]
+
+    def test_paren_star_comment_with_stars_inside(self):
+        assert texts("a (* ** x * *) b") == ["a", "b"]
+
+    def test_multiline_comment(self):
+        assert texts("a (* line1\nline2 *) b") == ["a", "b"]
+
+    def test_unterminated_brace_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("{ never closed")
+
+    def test_unterminated_paren_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("(* never closed")
+
+    def test_lone_paren_is_not_comment(self):
+        assert kinds("(a)")[:3] == [
+            TokenType.LPAREN,
+            TokenType.IDENT,
+            TokenType.RPAREN,
+        ]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING_LITERAL
+        assert token.text == "hello"
+
+    def test_doubled_quote_escapes(self):
+        token = tokenize("'it''s'")[0]
+        assert token.text == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].text == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'never closed")
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'line\nbreak'")
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_location_after_comment(self):
+        tokens = tokenize("{x\ny}\nz")
+        assert tokens[0].location.line == 3
+
+    def test_unexpected_character_raises_with_location(self):
+        with pytest.raises(LexError) as info:
+            tokenize("a\n  @")
+        assert info.value.location.line == 2
+
+
+class TestWholeProgram:
+    def test_figure4_lexes_cleanly(self):
+        from repro.workloads import FIGURE4_SOURCE
+
+        tokens = tokenize(FIGURE4_SOURCE)
+        assert tokens[-1].type is TokenType.EOF
+        assert len(tokens) > 200

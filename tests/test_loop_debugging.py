@@ -1,0 +1,167 @@
+"""Debugging scenarios centered on loop units (paper §5.1, §6.1)."""
+
+import pytest
+
+from repro.core import GadtSystem, ReferenceOracle
+from repro.tracing.execution_tree import NodeKind
+
+
+def debug(buggy: str, fixed: str):
+    system = GadtSystem.from_source(buggy)
+    oracle = ReferenceOracle.from_source(fixed)
+    return system, system.debugger(oracle).debug()
+
+
+class TestWhileLoopBug:
+    BUGGY = """
+    program t;
+    var n, s: integer;
+    procedure sumdown(n: integer; var s: integer);
+    begin
+      s := 0;
+      while n > 0 do begin
+        s := s + n * n; (* bug: squares *)
+        n := n - 1
+      end
+    end;
+    begin sumdown(4, s); writeln(s) end.
+    """
+    FIXED = BUGGY.replace("s := s + n * n; (* bug: squares *)", "s := s + n;")
+
+    def test_localized_to_loop_unit(self):
+        system, result = debug(self.BUGGY, self.FIXED)
+        assert result.bug_unit == "sumdown$while1"
+
+    def test_iteration_questions_asked(self):
+        system, result = debug(self.BUGGY, self.FIXED)
+        iteration_questions = [
+            event
+            for event in result.session.events
+            if "[iteration" in event.text
+        ]
+        assert iteration_questions  # §6.1: iterations are queried
+
+    def test_first_wrong_iteration_is_the_stop(self):
+        system, result = debug(self.BUGGY, self.FIXED)
+        # iteration 1 already computes 16 instead of 4 -> localized there
+        assert result.bug_node.kind is NodeKind.ITERATION
+        assert result.bug_node.iteration == 1
+
+
+class TestLateIterationBug:
+    """A bug that only fires in a *later* iteration: early iterations
+    answer yes, pinpointing the first bad one."""
+
+    BUGGY = """
+    program t;
+    var s: integer;
+    procedure scan(var s: integer);
+    var i, term: integer;
+    begin
+      s := 0;
+      for i := 1 to 5 do begin
+        if i = 4 then term := 99 else term := i; (* bug at i = 4 *)
+        s := s + term
+      end
+    end;
+    begin scan(s); writeln(s) end.
+    """
+    FIXED = BUGGY.replace(
+        "if i = 4 then term := 99 else term := i; (* bug at i = 4 *)",
+        "term := i;",
+    )
+
+    def test_fourth_iteration_blamed(self):
+        system, result = debug(self.BUGGY, self.FIXED)
+        assert result.bug_node.kind is NodeKind.ITERATION
+        assert result.bug_node.iteration == 4
+
+    def test_earlier_iterations_answer_yes(self):
+        system, result = debug(self.BUGGY, self.FIXED)
+        yes_iterations = [
+            event
+            for event in result.session.events
+            if "[iteration" in event.text and event.answer_text == "yes"
+        ]
+        assert len(yes_iterations) == 3
+
+
+class TestNestedLoops:
+    BUGGY = """
+    program t;
+    var s: integer;
+    procedure grid(var s: integer);
+    var i, j: integer;
+    begin
+      s := 0;
+      for i := 1 to 3 do
+        for j := 1 to 3 do
+          s := s + i * j + 1 (* bug: + 1 *)
+    end;
+    begin grid(s); writeln(s) end.
+    """
+    FIXED = BUGGY.replace("s := s + i * j + 1 (* bug: + 1 *)", "s := s + i * j")
+
+    def test_inner_loop_blamed(self):
+        system, result = debug(self.BUGGY, self.FIXED)
+        assert result.bug_unit == "grid$for2"
+        assert result.bug_node.kind is NodeKind.ITERATION
+
+    def test_tree_nests_loop_units(self):
+        system, _ = debug(self.BUGGY, self.FIXED)
+        outer = system.trace.tree.find("grid$for1")
+        first_outer_iteration = outer.children[0]
+        inner = [
+            child
+            for child in first_outer_iteration.children
+            if child.kind is NodeKind.LOOP
+        ]
+        assert [node.unit_name for node in inner] == ["grid$for2"]
+
+
+class TestRepeatLoopBug:
+    BUGGY = """
+    program t;
+    var x: integer;
+    procedure halve(var x: integer);
+    begin
+      repeat
+        x := x div 2
+      until x <= 2 (* bug: stops one halving early *)
+    end;
+    begin x := 40; halve(x); writeln(x) end.
+    """
+    FIXED = BUGGY.replace(
+        "until x <= 2 (* bug: stops one halving early *)", "until x <= 1"
+    )
+
+    def test_repeat_unit_blamed(self):
+        system, result = debug(self.BUGGY, self.FIXED)
+        assert result.bug_unit == "halve$repeat1"
+
+
+class TestCorrectLoopsAnswerYes:
+    def test_loop_units_skipped_when_correct(self):
+        source = """
+        program t;
+        var s, r: integer;
+        procedure sum(var s: integer);
+        var i: integer;
+        begin
+          s := 0;
+          for i := 1 to 3 do s := s + i
+        end;
+        procedure broken(var r: integer);
+        begin r := 99 end; (* bug *)
+        begin sum(s); broken(r); writeln(s + r) end.
+        """
+        fixed = source.replace("begin r := 99 end; (* bug *)", "begin r := 1 end;")
+        system, result = debug(source, fixed)
+        assert result.bug_unit == "broken"
+        loop_questions = [
+            event for event in result.session.events if "$for" in event.text
+        ]
+        # sum answered yes at the procedure level: its loop never queried
+        assert not any(
+            event.text.startswith("sum$for") for event in loop_questions
+        ) or all("yes" in event.answer_text for event in loop_questions)

@@ -1,0 +1,183 @@
+"""Unit tests for loop-unit extraction (paper §5.1, §6)."""
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.semantics import analyze_source
+from repro.transform.loop_units import compute_loop_units
+
+
+def units_of(source: str):
+    analysis = analyze_source(source)
+    return compute_loop_units(analysis), analysis
+
+
+def the_unit(units):
+    assert len(units) == 1
+    return next(iter(units.values()))
+
+
+def names(symbols):
+    return [symbol.name for symbol in symbols]
+
+
+class TestSingleLoops:
+    def test_while_unit_in_and_out(self):
+        units, _ = units_of(
+            """
+            program t;
+            var s, n: integer;
+            begin
+              read(n);
+              s := 0;
+              while n > 0 do begin s := s + n; n := n - 1 end;
+              writeln(s)
+            end.
+            """
+        )
+        unit = the_unit(units)
+        assert unit.name == "t$while1"
+        assert names(unit.inputs) == ["n", "s"]
+        assert "s" in names(unit.outputs)
+
+    def test_for_unit(self):
+        units, _ = units_of(
+            """
+            program t;
+            var i, s: integer;
+            begin
+              s := 0;
+              for i := 1 to 5 do s := s + i;
+              writeln(s)
+            end.
+            """
+        )
+        unit = the_unit(units)
+        assert unit.name == "t$for1"
+        assert "s" in names(unit.inputs)
+        assert "s" in names(unit.outputs)
+
+    def test_repeat_unit(self):
+        units, _ = units_of(
+            """
+            program t;
+            var x: integer;
+            begin
+              x := 10;
+              repeat x := x - 3 until x < 0;
+              writeln(x)
+            end.
+            """
+        )
+        unit = the_unit(units)
+        assert unit.name == "t$repeat1"
+        assert names(unit.outputs) == ["x"]
+
+    def test_dead_loop_output_excluded(self):
+        units, _ = units_of(
+            """
+            program t;
+            var i, s, dead: integer;
+            begin
+              s := 0;
+              for i := 1 to 5 do begin s := s + i; dead := i end;
+              writeln(s)
+            end.
+            """
+        )
+        unit = the_unit(units)
+        assert "dead" not in names(unit.outputs)
+        assert "s" in names(unit.outputs)
+
+    def test_loop_temp_not_an_input(self):
+        units, _ = units_of(
+            """
+            program t;
+            var n, s, tmp: integer;
+            begin
+              n := 4; s := 0;
+              while n > 0 do begin tmp := n * n; s := s + tmp; n := n - 1 end;
+              writeln(s)
+            end.
+            """
+        )
+        unit = the_unit(units)
+        assert "tmp" not in names(unit.inputs)
+
+
+class TestPlacement:
+    def test_loops_in_procedures(self):
+        units, analysis = units_of(
+            """
+            program t;
+            procedure p(n: integer; var s: integer);
+            var i: integer;
+            begin
+              s := 0;
+              for i := 1 to n do s := s + i
+            end;
+            begin end.
+            """
+        )
+        unit = the_unit(units)
+        assert unit.name == "p$for1"
+        assert "n" in names(unit.inputs)
+
+    def test_nested_loops_both_units(self):
+        units, _ = units_of(
+            """
+            program t;
+            var i, j, s: integer;
+            begin
+              s := 0;
+              for i := 1 to 3 do
+                for j := 1 to 3 do
+                  s := s + i * j;
+              writeln(s)
+            end.
+            """
+        )
+        assert len(units) == 2
+        unit_names = sorted(unit.name for unit in units.values())
+        assert unit_names == ["t$for1", "t$for2"]
+
+    def test_numbering_is_syntactic_order(self):
+        units, analysis = units_of(
+            """
+            program t;
+            var a, b: integer;
+            begin
+              a := 0; b := 0;
+              while a < 2 do a := a + 1;
+              while b < 2 do b := b + 1;
+              writeln(a + b)
+            end.
+            """
+        )
+        body = analysis.program.block.body.statements
+        first_loop = next(s for s in body if isinstance(s, ast.While))
+        assert units[first_loop.node_id].name == "t$while1"
+
+    def test_no_loops_no_units(self, figure4_analysis):
+        # Figure 4 has exactly one loop: the for inside arrsum.
+        units = compute_loop_units(figure4_analysis)
+        assert len(units) == 1
+        unit = next(iter(units.values()))
+        assert unit.name == "arrsum$for1"
+        assert "a" in names(unit.inputs)
+        assert names(unit.outputs) == ["b"]
+
+    def test_loop_with_call_inside(self):
+        units, _ = units_of(
+            """
+            program t;
+            var i, s: integer;
+            procedure bump(var x: integer);
+            begin x := x + 1 end;
+            begin
+              s := 0;
+              for i := 1 to 3 do bump(s);
+              writeln(s)
+            end.
+            """
+        )
+        unit = next(u for u in units.values() if u.name == "t$for1")
+        assert "s" in names(unit.outputs)

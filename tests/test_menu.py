@@ -1,0 +1,85 @@
+"""Tests for menu-based frame selection (paper §5.3.2)."""
+
+import io
+
+from repro.pascal.values import ArrayValue
+from repro.tgen.lookup import LookupStatus, TestCaseLookup
+from repro.tgen.menu import TerminalMenu
+from repro.tgen.reports import TestReport, TestReportDatabase, Verdict
+from repro.workloads.arrsum_spec import arrsum_spec
+
+
+def menu_with(*answers):
+    feed = iter(answers)
+    return TerminalMenu(input_fn=lambda prompt: next(feed), output=io.StringIO())
+
+
+class TestTerminalMenu:
+    def test_pick_by_number(self):
+        # deviation offers only (large, average) once MIXED is set
+        menu = menu_with("4", "3", "1")  # more, mixed, large
+        frame = menu(arrsum_spec(), {"n": 5})
+        assert frame is not None
+        assert frame.choices == ("more", "mixed", "large")
+
+    def test_pick_by_name(self):
+        menu = menu_with("two", "positive", "small")
+        frame = menu(arrsum_spec(), {})
+        assert frame.choices == ("two", "positive", "small")
+
+    def test_selectors_restrict_later_menus(self):
+        # Choosing 'two' (no MORE property) forbids 'mixed'; deviation
+        # then has only 'small' (if not MIXED), chosen automatically.
+        menu = menu_with("two", "negative")
+        frame = menu(arrsum_spec(), {})
+        assert frame.choices == ("two", "negative", "small")
+
+    def test_abandon_with_q(self):
+        menu = menu_with("q")
+        assert menu(arrsum_spec(), {}) is None
+
+    def test_retry_on_garbage(self):
+        menu = menu_with("99", "banana", "two", "positive", "small")
+        frame = menu(arrsum_spec(), {})
+        assert frame.choices == ("two", "positive", "small")
+
+    def test_single_choices_offered(self):
+        menu = menu_with("zero", "positive", "small")
+        frame = menu(arrsum_spec(), {})
+        assert frame.choices == ("zero", "positive", "small")
+
+    def test_inputs_echoed(self):
+        out = io.StringIO()
+        feed = iter(["two", "positive", "small"])
+        menu = TerminalMenu(input_fn=lambda prompt: next(feed), output=out)
+        menu(arrsum_spec(), {"a": ArrayValue.from_values([1, 2]), "n": 2})
+        text = out.getvalue()
+        assert "a = [1,2]" in text
+        assert "n = 2" in text
+
+
+class TestMenuInLookup:
+    def test_lookup_uses_menu(self):
+        database = TestReportDatabase()
+        database.add(
+            TestReport(
+                unit="arrsum",
+                frame_key=("two", "positive", "small"),
+                verdict=Verdict.PASS,
+            )
+        )
+        lookup = TestCaseLookup(
+            database=database, menu=menu_with("two", "positive", "small")
+        )
+        lookup.register(arrsum_spec())  # no automatic selector
+        outcome = lookup.consult("arrsum", {"n": 2})
+        assert outcome.status is LookupStatus.VERIFIED
+        assert lookup.menu_interactions == 1
+
+    def test_abandoned_menu_means_no_frame(self):
+        lookup = TestCaseLookup(
+            database=TestReportDatabase(), menu=menu_with("q")
+        )
+        lookup.register(arrsum_spec())
+        outcome = lookup.consult("arrsum", {"n": 2})
+        assert outcome.status is LookupStatus.NO_FRAME

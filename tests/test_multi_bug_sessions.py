@@ -1,0 +1,125 @@
+"""Multi-bug debugging sessions.
+
+Paper §5.3.3 on the misnamed-argument question: "if there is a bug in a
+sub-computation, this bug will be localized first, and the misnamed
+variable bug will be localized when this bug has been corrected."
+These tests play that fix-and-repeat loop.
+"""
+
+import pytest
+
+from repro.core import AlgorithmicDebugger, GadtSystem, ReferenceOracle
+from repro.pascal import analyze_source
+from repro.tracing import trace_source
+
+TWO_BUGS = """
+program t;
+var r: integer;
+function scale(x: integer): integer;
+begin
+  scale := x * 3 {BUG1}
+end;
+function shift(x: integer): integer;
+begin
+  shift := x + 2 {BUG2}
+end;
+procedure compute(x: integer; var r: integer);
+begin
+  r := shift(scale(x))
+end;
+begin
+  compute(5, r);
+  writeln(r)
+end.
+"""
+
+FIXED = TWO_BUGS.replace("x * 3 {BUG1}", "x * 2").replace(
+    "x + 2 {BUG2}", "x + 1"
+)
+BUG2_ONLY = TWO_BUGS.replace("x * 3 {BUG1}", "x * 2")
+
+
+class TestSequentialLocalization:
+    def test_first_bug_found_first(self):
+        trace = trace_source(TWO_BUGS)
+        oracle = ReferenceOracle(analyze_source(FIXED))
+        result = AlgorithmicDebugger(trace, oracle).debug()
+        # Top-down meets scale (inner call evaluated first in the tree)
+        assert result.bug_unit == "scale"
+
+    def test_second_bug_found_after_fixing_first(self):
+        trace = trace_source(BUG2_ONLY)
+        oracle = ReferenceOracle(analyze_source(FIXED))
+        result = AlgorithmicDebugger(trace, oracle).debug()
+        assert result.bug_unit == "shift"
+
+    def test_fixed_program_runs_correctly(self):
+        from repro.pascal import run_source
+
+        assert run_source(FIXED).output == "11\n"
+        assert run_source(TWO_BUGS).output != "11\n"
+
+    def test_gadt_loop_until_clean(self):
+        """Fix bugs one at a time until the program is correct."""
+        from repro.pascal import run_source
+
+        expected = run_source(FIXED).output
+        current = TWO_BUGS
+        fixes = {
+            "scale": ("x * 3 {BUG1}", "x * 2"),
+            "shift": ("x + 2 {BUG2}", "x + 1"),
+        }
+        localized: list[str] = []
+        for _round in range(4):
+            if run_source(current).output == expected:
+                break
+            system = GadtSystem.from_source(current)
+            oracle = ReferenceOracle.from_source(FIXED)
+            result = system.debugger(oracle).debug()
+            assert result.localized
+            localized.append(result.bug_unit)
+            old, new = fixes[result.bug_unit]
+            current = current.replace(old, new)
+        assert run_source(current).output == expected
+        assert localized == ["scale", "shift"]
+
+
+class TestMisnamedArgumentScenario:
+    """The paper's exact §5.3.3 scenario: a wrong argument at a call
+    site AND a bug in a sub-computation. The sub-computation bug is
+    localized first; the call-site bug after the fix."""
+
+    BOTH = """
+    program t;
+    var r, unused: integer;
+    function square(x: integer): integer;
+    begin
+      square := x * x + 1 {INNERBUG}
+    end;
+    procedure compute(a, b: integer; var r: integer);
+    begin
+      r := square(a) {ARGBUG: should be square(b)}
+    end;
+    begin
+      unused := 3;
+      compute(2, 4, r);
+      writeln(r)
+    end.
+    """
+    INNER_FIXED = BOTH.replace("x * x + 1 {INNERBUG}", "x * x")
+    ALL_FIXED = INNER_FIXED.replace(
+        "square(a) {ARGBUG: should be square(b)}", "square(b)"
+    )
+
+    def test_inner_bug_first(self):
+        trace = trace_source(self.BOTH)
+        oracle = ReferenceOracle(analyze_source(self.ALL_FIXED))
+        result = AlgorithmicDebugger(trace, oracle).debug()
+        assert result.bug_unit == "square"
+
+    def test_argument_bug_localized_to_caller_after_fix(self):
+        trace = trace_source(self.INNER_FIXED)
+        oracle = ReferenceOracle(analyze_source(self.ALL_FIXED))
+        result = AlgorithmicDebugger(trace, oracle).debug()
+        # square(2) is correct for its input; compute is the culprit.
+        assert result.bug_unit == "compute"

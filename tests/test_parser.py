@@ -1,0 +1,289 @@
+"""Unit tests for the Mini-Pascal parser."""
+
+import pytest
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.errors import ParseError
+from repro.pascal.parser import parse_expression, parse_program
+
+
+def parse_body(body: str, decls: str = "") -> ast.Compound:
+    program = parse_program(f"program t; {decls} begin {body} end.")
+    return program.block.body
+
+
+def parse_one(body: str, decls: str = "") -> ast.Stmt:
+    statements = parse_body(body, decls).statements
+    assert len(statements) == 1
+    return statements[0]
+
+
+class TestProgramStructure:
+    def test_minimal_program(self):
+        program = parse_program("program p; begin end.")
+        assert program.name == "p"
+        assert program.block.body.statements == []
+
+    def test_program_with_file_list(self):
+        program = parse_program("program p(input, output); begin end.")
+        assert program.name == "p"
+
+    def test_missing_final_dot_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("program p; begin end")
+
+    def test_var_declarations_split_per_name(self):
+        program = parse_program("program p; var a, b: integer; c: boolean; begin end.")
+        names = [decl.name for decl in program.block.variables]
+        assert names == ["a", "b", "c"]
+
+    def test_const_declarations(self):
+        program = parse_program("program p; const n = 10; m = 2; begin end.")
+        assert [c.name for c in program.block.consts] == ["n", "m"]
+
+    def test_type_declaration_array(self):
+        program = parse_program(
+            "program p; type arr = array[1..8] of integer; begin end."
+        )
+        decl = program.block.types[0]
+        assert isinstance(decl.type_expr, ast.ArrayType)
+        assert isinstance(decl.type_expr.element, ast.NamedType)
+
+    def test_label_declarations(self):
+        program = parse_program(
+            "program p; label 5, 9; begin 5: ; 9: end."
+        )
+        assert [l.label for l in program.block.labels] == ["5", "9"]
+
+
+class TestRoutines:
+    def test_procedure_with_mixed_params(self):
+        program = parse_program(
+            "program p; procedure q(a, b: integer; var c: integer); begin end; begin end."
+        )
+        params = program.block.routines[0].params
+        assert [(p.name, p.mode) for p in params] == [
+            ("a", "value"),
+            ("b", "value"),
+            ("c", "var"),
+        ]
+
+    def test_in_out_parameter_modes(self):
+        program = parse_program(
+            "program p; procedure q(in a: integer; out b: integer); begin end; begin end."
+        )
+        params = program.block.routines[0].params
+        assert [(p.name, p.mode) for p in params] == [("a", "in"), ("b", "out")]
+
+    def test_function_with_result_type(self):
+        program = parse_program(
+            "program p; function f(x: integer): integer; begin f := x end; begin end."
+        )
+        routine = program.block.routines[0]
+        assert routine.is_function
+        assert isinstance(routine.result_type, ast.NamedType)
+
+    def test_nested_routines(self):
+        program = parse_program(
+            """
+            program p;
+            procedure outer;
+              procedure inner; begin end;
+            begin inner end;
+            begin end.
+            """
+        )
+        outer = program.block.routines[0]
+        assert outer.block.routines[0].name == "inner"
+
+    def test_parameterless_procedure(self):
+        program = parse_program("program p; procedure q; begin end; begin q end.")
+        call = program.block.body.statements[0]
+        assert isinstance(call, ast.ProcCall)
+        assert call.args == []
+
+
+class TestStatements:
+    def test_assignment(self):
+        stmt = parse_one("x := 1", "var x: integer;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.VarRef)
+
+    def test_indexed_assignment(self):
+        stmt = parse_one("a[2] := 1", "var a: array[1..3] of integer;")
+        assert isinstance(stmt.target, ast.IndexedRef)
+
+    def test_if_then_else(self):
+        stmt = parse_one("if true then x := 1 else x := 2", "var x: integer;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_branch is not None
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        stmt = parse_one(
+            "if true then if false then x := 1 else x := 2", "var x: integer;"
+        )
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_branch is None
+        inner = stmt.then_branch
+        assert isinstance(inner, ast.If)
+        assert inner.else_branch is not None
+
+    def test_while(self):
+        stmt = parse_one("while x > 0 do x := x - 1", "var x: integer;")
+        assert isinstance(stmt, ast.While)
+
+    def test_repeat_until(self):
+        stmt = parse_one("repeat x := x - 1 until x = 0", "var x: integer;")
+        assert isinstance(stmt, ast.Repeat)
+        assert len(stmt.body) == 1
+
+    def test_repeat_with_multiple_statements(self):
+        stmt = parse_one(
+            "repeat x := x - 1; y := y + 1 until x = 0", "var x, y: integer;"
+        )
+        assert isinstance(stmt, ast.Repeat)
+        assert len(stmt.body) == 2
+
+    def test_for_to(self):
+        stmt = parse_one("for i := 1 to 10 do x := x + i", "var i, x: integer;")
+        assert isinstance(stmt, ast.For)
+        assert not stmt.downto
+
+    def test_for_downto(self):
+        stmt = parse_one("for i := 10 downto 1 do x := x + i", "var i, x: integer;")
+        assert isinstance(stmt, ast.For)
+        assert stmt.downto
+
+    def test_goto_and_label(self):
+        body = parse_body("goto 9; 9: x := 1", "label 9; var x: integer;")
+        goto, labelled = body.statements
+        assert isinstance(goto, ast.Goto)
+        assert goto.target == "9"
+        assert labelled.label == "9"
+
+    def test_empty_statement_before_end(self):
+        body = parse_body("x := 1;", "var x: integer;")
+        assert len(body.statements) == 1
+
+    def test_semicolon_sequence_produces_empty_statements(self):
+        body = parse_body("; x := 1", "var x: integer;")
+        assert isinstance(body.statements[0], ast.EmptyStmt)
+
+    def test_compound_statement_nesting(self):
+        stmt = parse_one("begin x := 1; begin x := 2 end end", "var x: integer;")
+        assert isinstance(stmt, ast.Compound)
+        assert isinstance(stmt.statements[1], ast.Compound)
+
+
+class TestExpressions:
+    def test_precedence_multiplication_over_addition(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_relational_is_loosest(self):
+        expr = parse_expression("a + 1 < b * 2")
+        assert expr.op == "<"
+
+    def test_and_binds_like_multiplication(self):
+        expr = parse_expression("p and q or r")
+        assert expr.op == "or"
+        assert expr.left.op == "and"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_signed_factor_extension(self):
+        expr = parse_expression("a - -b")
+        assert expr.op == "-"
+        assert isinstance(expr.right, ast.UnaryOp)
+
+    def test_not(self):
+        expr = parse_expression("not p")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "not"
+
+    def test_function_call_expression(self):
+        expr = parse_expression("f(1, g(2))")
+        assert isinstance(expr, ast.FuncCall)
+        assert isinstance(expr.args[1], ast.FuncCall)
+
+    def test_array_literal(self):
+        expr = parse_expression("[1, 2, 3]")
+        assert isinstance(expr, ast.ArrayLiteral)
+        assert len(expr.elements) == 3
+
+    def test_nested_indexing(self):
+        expr = parse_expression("a[i + 1]")
+        assert isinstance(expr, ast.IndexedRef)
+        assert isinstance(expr.index, ast.BinaryOp)
+
+    def test_div_and_mod(self):
+        expr = parse_expression("a div b mod c")
+        assert expr.op == "mod"
+        assert expr.left.op == "div"
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 )")
+
+    def test_missing_operand_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 +")
+
+
+class TestErrors:
+    def test_missing_then_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("program p; begin if true x := 1 end.")
+
+    def test_missing_do_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("program p; begin while true x := 1 end.")
+
+    def test_missing_until_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("program p; begin repeat x := 1 end.")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("program p;\nbegin\n  if true x := 1\nend.")
+        assert info.value.location.line == 3
+
+
+class TestPaperPrograms:
+    def test_figure4_parses(self):
+        from repro.workloads import FIGURE4_SOURCE
+
+        program = parse_program(FIGURE4_SOURCE)
+        names = [routine.name for routine in program.block.routines]
+        assert names == [
+            "test",
+            "arrsum",
+            "square",
+            "comput2",
+            "add",
+            "decrement",
+            "increment",
+            "sum2",
+            "sum1",
+            "partialsums",
+            "comput1",
+            "computs",
+            "sqrtest",
+        ]
+
+    def test_figure2_parses(self):
+        from repro.workloads import FIGURE2_SOURCE
+
+        program = parse_program(FIGURE2_SOURCE)
+        assert len(program.block.variables) == 5

@@ -1,0 +1,175 @@
+"""Integration tests for the full transformation pipeline (paper §5.1)."""
+
+from repro.analysis.sideeffects import analyze_side_effects
+from repro.pascal import run_source
+from repro.pascal.interpreter import Interpreter, PascalIO
+from repro.pascal.pretty import print_program
+from repro.transform import transform_source
+
+
+def assert_equivalent(source: str, inputs=None):
+    original = run_source(source, inputs=list(inputs) if inputs else None)
+    transformed = transform_source(source)
+    output = Interpreter(
+        transformed.analysis, io=PascalIO(list(inputs) if inputs else None)
+    ).run().output
+    assert output == original.output
+    return transformed
+
+
+EVERYTHING = """
+program t;
+label 9;
+var total, limit: integer;
+
+procedure account(n: integer);
+begin
+  total := total + n;
+  if total > limit then goto 9
+end;
+
+procedure spree;
+var i: integer;
+begin
+  i := 0;
+  while i < 100 do begin
+    i := i + 1;
+    account(i);
+    if i > 50 then goto 9
+  end
+end;
+
+begin
+  total := 0;
+  limit := 40;
+  spree;
+  writeln(0);
+  9: writeln(total)
+end.
+"""
+
+
+class TestPipeline:
+    def test_equivalence_on_combined_features(self):
+        assert_equivalent(EVERYTHING)
+
+    def test_result_is_fully_clean(self):
+        transformed = transform_source(EVERYTHING)
+        effects = analyze_side_effects(transformed.analysis)
+        for info in transformed.analysis.user_routines():
+            e = effects.of_info(info)
+            assert e.is_side_effect_free, (info.name, e)
+            assert not info.global_gotos
+
+    def test_exit_params_recorded(self):
+        transformed = transform_source(EVERYTHING)
+        assert "account" in transformed.exit_params
+        assert "spree" in transformed.exit_params
+
+    def test_added_global_params_recorded(self):
+        transformed = transform_source(EVERYTHING)
+        assert ("total", "var") in transformed.added_params["account"]
+        assert ("limit", "in") in transformed.added_params["account"]
+
+    def test_loop_units_computed_on_final_tree(self):
+        transformed = transform_source(EVERYTHING)
+        names = sorted(unit.name for unit in transformed.loop_units.values())
+        assert names == ["spree$while1"]
+        # The registry keys must exist in the final analysis' AST.
+        ids = {node.node_id for node in transformed.analysis.program.walk()}
+        assert set(transformed.loop_units) <= ids
+
+    def test_instrumented_program_present_and_runs(self):
+        transformed = transform_source(EVERYTHING)
+        from repro.pascal.semantics import analyze
+
+        assert transformed.instrumented_program is not None
+        instrumented = analyze(transformed.instrumented_program)
+        output = Interpreter(instrumented, io=PascalIO()).run().output
+        assert output == run_source(EVERYTHING).output
+
+    def test_source_map_reaches_back_to_original(self):
+        transformed = transform_source(EVERYTHING)
+        original_ids = {
+            node.node_id for node in transformed.original_analysis.program.walk()
+        }
+        mapped = 0
+        for node in transformed.program.walk():
+            original = transformed.original_node_id(node.node_id)
+            if original is not None:
+                assert original in original_ids
+                mapped += 1
+        assert mapped > 20  # the bulk of the program maps back
+
+    def test_growth_factor_reasonable(self):
+        # EVERYTHING is adversarial (every feature at once); even so the
+        # whole program stays within a small constant factor.
+        transformed = transform_source(EVERYTHING)
+        factor = transformed.growth_factor()
+        assert 1.0 <= factor < 4.0
+
+    def test_per_routine_growth(self):
+        transformed = transform_source(EVERYTHING)
+        factors = transformed.routine_growth_factors()
+        assert set(factors) == {"account", "spree"}
+        for name, factor in factors.items():
+            assert factor >= 1.0, name
+
+
+class TestPaperGrowthClaim:
+    TYPICAL = """
+    program t;
+    var total, count: integer;
+    procedure record_one(n: integer);
+    begin
+      total := total + n;
+      count := count + 1
+    end;
+    procedure mean(var m: integer);
+    begin
+      m := total div count
+    end;
+    procedure reset;
+    begin
+      total := 0;
+      count := 0
+    end;
+    begin
+      reset;
+      record_one(4);
+      record_one(8);
+      mean(total);
+      writeln(total)
+    end.
+    """
+
+    def test_small_procedures_grow_less_than_factor_two(self):
+        """Paper §9: 'Small procedures usually grow less than a factor of
+        two after transformations.' Checked on typical (global-using,
+        goto-free) procedures, without the instrumentation overhead."""
+        transformed = transform_source(self.TYPICAL, instrument=False)
+        factors = transformed.routine_growth_factors()
+        assert factors
+        assert all(factor < 2.0 for factor in factors.values()), factors
+
+
+class TestNoOpPipeline:
+    def test_clean_program_passes_through(self):
+        from repro.workloads import FIGURE4_SOURCE
+
+        transformed = transform_source(FIGURE4_SOURCE)
+        assert not transformed.added_params
+        assert not transformed.exit_params
+        assert not transformed.warnings
+        assert transformed.growth_factor() >= 1.0
+
+    def test_clean_program_equivalent(self):
+        from repro.workloads import FIGURE4_SOURCE
+
+        assert_equivalent(FIGURE4_SOURCE)
+
+    def test_figure2_with_inputs(self):
+        from repro.workloads import FIGURE2_SOURCE
+
+        assert_equivalent(FIGURE2_SOURCE, inputs=[5, 7, 9])
+        assert_equivalent(FIGURE2_SOURCE, inputs=[1, 2])

@@ -1,0 +1,80 @@
+"""Property-based tests of the language substrate.
+
+Invariants:
+
+* pretty-print ∘ parse is the identity (modulo empty statements);
+* generated programs always run to completion (the generators' safety
+  guarantees hold);
+* execution is deterministic.
+"""
+
+from hypothesis import given, settings
+
+from repro.pascal import run_source
+from repro.pascal.errors import PascalRuntimeError
+from repro.pascal.parser import parse_program
+from repro.pascal.pretty import print_program
+from tests.program_gen import (
+    programs_with_procedures,
+    straightline_programs,
+    structured_programs,
+)
+from tests.test_pretty import ast_equal, normalize
+
+
+def run_or_error(source: str) -> tuple[str, str]:
+    """Output, or the failure class (e.g. integer overflow) — generated
+    arithmetic can legitimately overflow; behaviour must be *consistent*."""
+    try:
+        return ("ok", run_source(source, step_limit=200_000).output)
+    except PascalRuntimeError as error:
+        return ("error", type(error).__name__)
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=straightline_programs())
+def test_straightline_round_trip(source):
+    original = normalize(parse_program(source))
+    reparsed = normalize(parse_program(print_program(original)))
+    assert ast_equal(original, reparsed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=structured_programs())
+def test_structured_round_trip(source):
+    original = normalize(parse_program(source))
+    reparsed = normalize(parse_program(print_program(original)))
+    assert ast_equal(original, reparsed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=programs_with_procedures())
+def test_procedure_programs_round_trip(source):
+    original = normalize(parse_program(source))
+    reparsed = normalize(parse_program(print_program(original)))
+    assert ast_equal(original, reparsed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=structured_programs())
+def test_generated_programs_run(source):
+    status, payload = run_or_error(source)
+    if status == "ok":
+        assert payload  # every generated program prints its variables
+    else:
+        # the only legitimate failure of a generated program is overflow
+        assert payload == "PascalRuntimeError", payload
+
+
+@settings(max_examples=30, deadline=None)
+@given(source=structured_programs())
+def test_execution_is_deterministic(source):
+    assert run_or_error(source) == run_or_error(source)
+
+
+@settings(max_examples=30, deadline=None)
+@given(source=structured_programs())
+def test_reprinted_program_runs_identically(source):
+    original = run_or_error(source)
+    printed = print_program(parse_program(source))
+    assert run_or_error(printed) == original

@@ -1,0 +1,173 @@
+"""Property-based tests of the system-level invariants.
+
+* Transformation preserves behaviour on arbitrary global-using programs.
+* Static slices preserve the criterion variable's final value.
+* The debugger, given a truthful oracle, always localizes the planted bug.
+* Dynamic-slice tree pruning never removes the path to the bug.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AlgorithmicDebugger, GadtSystem, ReferenceOracle
+from repro.pascal import analyze_source, print_program, run_source
+from repro.pascal.interpreter import Interpreter, PascalIO
+from repro.slicing import StaticCriterion, static_slice
+from repro.tracing import trace_source
+from repro.workloads import (
+    CallChainSpec,
+    CallTreeSpec,
+    generate_call_chain_program,
+    generate_call_tree_program,
+    generate_irrelevant_siblings_program,
+)
+from tests.program_gen import (
+    programs_with_procedures,
+    straightline_programs,
+    structured_programs,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=programs_with_procedures())
+def test_transformation_preserves_behaviour(source):
+    from repro.transform import transform_source
+
+    original = run_source(source, step_limit=500_000).output
+    transformed = transform_source(source)
+    output = Interpreter(transformed.analysis, io=PascalIO()).run().output
+    assert output == original
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=programs_with_procedures())
+def test_transformation_removes_all_side_effects(source):
+    from repro.analysis.sideeffects import analyze_side_effects
+    from repro.transform import transform_source
+
+    transformed = transform_source(source)
+    effects = analyze_side_effects(transformed.analysis)
+    for info in transformed.analysis.user_routines():
+        assert effects.of_info(info).is_side_effect_free
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=straightline_programs(), variable_index=st.integers(0, 4))
+def test_static_slice_preserves_criterion_value(source, variable_index):
+    analysis = analyze_source(source)
+    variables = [decl.name for decl in analysis.program.block.variables]
+    variable = variables[variable_index % len(variables)]
+    computed = static_slice(
+        analysis,
+        StaticCriterion.at_routine_exit(analysis.program.name, variable),
+    )
+    sliced_text = print_program(computed.extract_program())
+    full = run_source(source, step_limit=500_000)
+    sliced = run_source(sliced_text, step_limit=500_000)
+    assert sliced.global_value(variable) == full.global_value(variable)
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=structured_programs(), variable_index=st.integers(0, 4))
+def test_static_slice_sound_on_structured_programs(source, variable_index):
+    from hypothesis import assume
+    from repro.pascal.errors import PascalRuntimeError
+
+    analysis = analyze_source(source)
+    variables = [
+        decl.name
+        for decl in analysis.program.block.variables
+        if not decl.name.startswith("cnt")
+    ]
+    variable = variables[variable_index % len(variables)]
+    computed = static_slice(
+        analysis,
+        StaticCriterion.at_routine_exit(analysis.program.name, variable),
+    )
+    sliced_text = print_program(computed.extract_program())
+    try:
+        full = run_source(source, step_limit=500_000)
+    except PascalRuntimeError:
+        assume(False)  # generated arithmetic overflowed; not a slicing case
+        return
+    sliced = run_source(sliced_text, step_limit=500_000)
+    assert sliced.global_value(variable) == full.global_value(variable)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=10),
+    bug_depth_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_debugger_always_localizes_chain_bug(depth, bug_depth_fraction):
+    bug_depth = max(1, min(depth, round(bug_depth_fraction * depth)))
+    generated = generate_call_chain_program(
+        CallChainSpec(depth=depth, bug_depth=bug_depth)
+    )
+    trace = trace_source(generated.source)
+    oracle = ReferenceOracle(analyze_source(generated.fixed_source))
+    result = AlgorithmicDebugger(trace, oracle).debug()
+    assert result.bug_unit == generated.buggy_unit
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    depth=st.integers(min_value=0, max_value=4),
+    leaf_fraction=st.floats(min_value=0.0, max_value=1.0),
+    strategy=st.sampled_from(["top-down", "bottom-up", "divide-and-query"]),
+)
+def test_all_strategies_localize_tree_bug(depth, leaf_fraction, strategy):
+    leaves = 2**depth
+    leaf = min(leaves - 1, int(leaf_fraction * leaves))
+    generated = generate_call_tree_program(
+        CallTreeSpec(depth=depth, buggy_leaf=leaf)
+    )
+    trace = trace_source(generated.source)
+    oracle = ReferenceOracle(analyze_source(generated.fixed_source))
+    result = AlgorithmicDebugger(trace, oracle, strategy=strategy).debug()
+    assert result.bug_unit == generated.buggy_unit
+
+
+@settings(max_examples=15, deadline=None)
+@given(workers=st.integers(min_value=0, max_value=12))
+def test_gadt_with_slicing_localizes_sibling_bug(workers):
+    generated = generate_irrelevant_siblings_program(workers=workers)
+    system = GadtSystem.from_source(generated.source)
+    oracle = ReferenceOracle(analyze_source(generated.fixed_source))
+    result = system.debugger(oracle).debug()
+    assert result.bug_unit == generated.buggy_unit
+
+
+@settings(max_examples=10, deadline=None)
+@given(source=programs_with_procedures(), mutant_index=st.integers(0, 100))
+def test_random_mutants_localize_to_mutated_routine(source, mutant_index):
+    """Localization soundness under random fault injection: any
+    behaviour-changing single fault is blamed on the mutated routine."""
+    from hypothesis import assume
+    from repro.workloads.mutants import evaluate_mutants, generate_mutants
+
+    mutants = generate_mutants(source, include_constants=False)
+    assume(mutants)
+    mutant = mutants[mutant_index % len(mutants)]
+    outcomes = evaluate_mutants(source, [mutant], step_limit=200_000)
+    outcome = outcomes[0]
+    assume(outcome.status in ("localized", "mislocalized"))
+    assert outcome.status == "localized", (
+        mutant.description,
+        outcome.localized_unit,
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(workers=st.integers(min_value=2, max_value=12))
+def test_slicing_question_count_independent_of_workers(workers):
+    """The paper's Figure 5 claim: irrelevant procedures never queried
+    once slicing prunes them, so questions don't grow with the noise."""
+    generated = generate_irrelevant_siblings_program(workers=workers)
+    system = GadtSystem.from_source(generated.source)
+    oracle = ReferenceOracle(
+        analyze_source(generated.fixed_source), report_error_position=True
+    )
+    result = system.debugger(oracle).debug()
+    assert result.bug_unit == generated.buggy_unit
+    assert result.user_questions <= 4  # p, relevant, helper (+1 tolerance)

@@ -1,0 +1,83 @@
+"""Unit tests for queries and answers (paper dialogue format)."""
+
+import pytest
+
+from repro.core.queries import Answer, AnswerKind, AnswerSource, Query
+from repro.tracing.execution_tree import Binding, BindingMode, ExecNode, NodeKind
+
+
+def sample_node():
+    return ExecNode(
+        kind=NodeKind.CALL,
+        unit_name="computs",
+        inputs=[Binding("y", BindingMode.IN, 3)],
+        outputs=[
+            Binding("r1", BindingMode.OUT, 12),
+            Binding("r2", BindingMode.OUT, 9),
+        ],
+    )
+
+
+class TestQuery:
+    def test_render_matches_paper(self):
+        query = Query(sample_node())
+        assert query.render() == "computs(In y: 3, Out r1: 12, Out r2: 9)?"
+
+    def test_inputs_outputs_maps(self):
+        query = Query(sample_node())
+        assert query.inputs() == {"y": 3}
+        assert query.outputs() == {"r1": 12, "r2": 9}
+
+    def test_unit_name(self):
+        assert Query(sample_node()).unit_name == "computs"
+
+
+class TestAnswer:
+    def test_yes(self):
+        answer = Answer.yes()
+        assert answer.is_correct and not answer.is_incorrect
+        assert answer.render() == "yes"
+
+    def test_no(self):
+        answer = Answer.no()
+        assert answer.is_incorrect
+        assert answer.render() == "no"
+
+    def test_no_with_position_renders_ordinal(self):
+        answer = Answer.no_error_on(position=1)
+        assert answer.render() == "no, error on first output variable"
+        assert Answer.no_error_on(position=2).render() == (
+            "no, error on second output variable"
+        )
+        assert "7th" in Answer.no_error_on(position=7).render()
+
+    def test_no_with_variable_name(self):
+        answer = Answer.no_error_on(variable="r1")
+        assert answer.render() == "no, error on r1"
+
+    def test_error_answer_requires_target(self):
+        with pytest.raises(ValueError):
+            Answer.no_error_on()
+
+    def test_dont_know(self):
+        answer = Answer.dont_know()
+        assert not answer.is_correct and not answer.is_incorrect
+        assert answer.render() == "don't know"
+
+    def test_resolve_error_variable_by_position(self):
+        node = sample_node()
+        answer = Answer.no_error_on(position=2)
+        assert answer.resolve_error_variable(node) == "r2"
+
+    def test_resolve_error_variable_by_name(self):
+        node = sample_node()
+        answer = Answer.no_error_on(variable="r1")
+        assert answer.resolve_error_variable(node) == "r1"
+
+    def test_resolve_on_yes_is_none(self):
+        assert Answer.yes().resolve_error_variable(sample_node()) is None
+
+    def test_sources_recorded(self):
+        answer = Answer.yes(source=AnswerSource.TEST_DATABASE, note="frame ok")
+        assert answer.source is AnswerSource.TEST_DATABASE
+        assert answer.note == "frame ok"

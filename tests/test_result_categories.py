@@ -1,0 +1,104 @@
+"""Tests for result categories (T-GEN extension, paper §2) and
+symptom verification."""
+
+import pytest
+
+from repro.pascal.semantics import analyze_source
+from repro.tgen import CaseRunner, Verdict
+from repro.tgen.cases import TestCase
+from repro.tgen.frames import frame_for_choices
+from repro.tgen.scripts import result_choices_for
+from repro.workloads.ledger import fee_spec, ledger_program
+
+HOST = ledger_program(None).source
+
+
+def fee_classifier(outcome):
+    """Classify a fee outcome: 'rounded' when the high-tier formula
+    (amount div 100) produced it."""
+    if outcome.result is not None and outcome.result >= 10:
+        return "rounded"
+    return None
+
+
+def high_case(expected_choice=None, expected_fee=25):
+    frame = frame_for_choices(
+        fee_spec(), {"tier": "high", "position": "interior"}
+    )
+    return TestCase(
+        frame=frame,
+        args=[2500],
+        expected={"result": expected_fee},
+        expected_result_choice=expected_choice,
+    )
+
+
+class TestResultCategories:
+    def test_result_choices_assigned_by_selector(self):
+        spec = fee_spec()
+        high = frame_for_choices(spec, {"tier": "high", "position": "interior"})
+        low = frame_for_choices(spec, {"tier": "low", "position": "interior"})
+        assert result_choices_for(spec, high) == ["rounded"]
+        assert result_choices_for(spec, low) == []
+
+    def test_classifier_pass(self):
+        analysis = analyze_source(HOST)
+        runner = CaseRunner(analysis, result_classifier=fee_classifier)
+        report = runner.run(high_case(expected_choice="rounded"))
+        assert report.verdict is Verdict.PASS
+
+    def test_classifier_mismatch_fails(self):
+        analysis = analyze_source(HOST)
+        runner = CaseRunner(
+            analysis, result_classifier=lambda outcome: "something_else"
+        )
+        report = runner.run(high_case(expected_choice="rounded"))
+        assert report.verdict is Verdict.FAIL
+        assert "result category" in report.detail
+
+    def test_missing_classifier_fails_loudly(self):
+        analysis = analyze_source(HOST)
+        runner = CaseRunner(analysis)  # no classifier
+        report = runner.run(high_case(expected_choice="rounded"))
+        assert report.verdict is Verdict.FAIL
+        assert "no result classifier" in report.detail
+
+    def test_no_expected_choice_skips_classification(self):
+        analysis = analyze_source(HOST)
+        runner = CaseRunner(analysis, result_classifier=fee_classifier)
+        report = runner.run(high_case(expected_choice=None))
+        assert report.verdict is Verdict.PASS
+
+
+class TestSymptomVerification:
+    def test_correct_program_yields_no_bug(self):
+        from repro.core import GadtSystem, ReferenceOracle
+
+        correct = ledger_program(None)
+        system = GadtSystem.from_source(correct.source)
+        oracle = ReferenceOracle.from_source(correct.fixed_source)
+        result = system.debugger(oracle).debug(assume_symptom=False)
+        assert result.bug_node is None
+        assert not result.localized
+
+    def test_buggy_program_still_localized(self):
+        from repro.core import GadtSystem, ReferenceOracle
+
+        buggy = ledger_program("fee")
+        system = GadtSystem.from_source(buggy.source)
+        oracle = ReferenceOracle.from_source(buggy.fixed_source)
+        result = system.debugger(oracle).debug(assume_symptom=False)
+        assert result.bug_unit == "fee"
+
+    def test_symptom_check_on_subtree(self):
+        from repro.core import GadtSystem, ReferenceOracle
+
+        buggy = ledger_program("interest")
+        system = GadtSystem.from_source(buggy.source)
+        oracle = ReferenceOracle.from_source(buggy.fixed_source)
+        # starting from a *correct* subtree: nothing to localize
+        setup_node = system.trace.tree.find("setup")
+        result = system.debugger(oracle).debug(
+            start=setup_node, assume_symptom=False
+        )
+        assert result.bug_node is None

@@ -1,0 +1,300 @@
+"""Unit tests for semantic analysis: resolution, typing, routine facts."""
+
+import pytest
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.errors import SemanticError
+from repro.pascal.semantics import analyze_source
+from repro.pascal.symbols import ArrayTypeInfo, BOOLEAN, INTEGER, SymbolKind
+
+
+def analyze_ok(source: str):
+    return analyze_source(source)
+
+
+def analyze_fails(source: str) -> str:
+    with pytest.raises(SemanticError) as info:
+        analyze_source(source)
+    return str(info.value)
+
+
+class TestDeclarations:
+    def test_duplicate_variable_rejected(self):
+        message = analyze_fails("program p; var x: integer; x: integer; begin end.")
+        assert "duplicate" in message
+
+    def test_undeclared_identifier_rejected(self):
+        message = analyze_fails("program p; begin x := 1 end.")
+        assert "undeclared" in message
+
+    def test_unknown_type_rejected(self):
+        message = analyze_fails("program p; var x: mystery; begin end.")
+        assert "unknown type" in message
+
+    def test_named_array_type_resolves(self):
+        analysis = analyze_ok(
+            "program p; type arr = array[1..3] of integer; var a: arr; begin end."
+        )
+        symbol = analysis.global_scope.lookup("a")
+        assert isinstance(symbol.type, ArrayTypeInfo)
+        assert symbol.type.length == 3
+        assert symbol.type.name == "arr"
+
+    def test_const_used_as_array_bound(self):
+        analysis = analyze_ok(
+            "program p; const n = 4; var a: array[1..n] of integer; begin end."
+        )
+        symbol = analysis.global_scope.lookup("a")
+        assert symbol.type.high == 4
+
+    def test_const_arithmetic_bound(self):
+        analysis = analyze_ok(
+            "program p; const n = 4; var a: array[1..n * 2 - 1] of integer; begin end."
+        )
+        assert analysis.global_scope.lookup("a").type.high == 7
+
+    def test_empty_array_bounds_rejected(self):
+        message = analyze_fails(
+            "program p; var a: array[5..2] of integer; begin end."
+        )
+        assert "empty array bounds" in message
+
+    def test_non_constant_bound_rejected(self):
+        analyze_fails(
+            "program p; var n: integer; a: array[1..n] of integer; begin end."
+        )
+
+    def test_shadowing_in_nested_routine(self):
+        analysis = analyze_ok(
+            """
+            program p;
+            var x: integer;
+            procedure q;
+            var x: integer;
+            begin x := 1 end;
+            begin x := 2 end.
+            """
+        )
+        q = analysis.routine_named("q")
+        assert not q.nonlocal_writes  # q writes its own x
+
+
+class TestTypes:
+    def test_arith_requires_integers(self):
+        analyze_fails("program p; var b: boolean; begin b := b + b end.")
+
+    def test_condition_must_be_boolean(self):
+        message = analyze_fails("program p; begin if 1 then end.")
+        assert "boolean" in message
+
+    def test_assign_bool_to_int_rejected(self):
+        analyze_fails("program p; var x: integer; begin x := true end.")
+
+    def test_comparison_mixed_types_rejected(self):
+        analyze_fails(
+            "program p; var x: integer; b: boolean; begin b := x = b end."
+        )
+
+    def test_relational_yields_boolean(self):
+        analysis = analyze_ok(
+            "program p; var b: boolean; begin b := 1 < 2 end."
+        )
+        body = analysis.program.block.body
+        assign = body.statements[0]
+        assert analysis.expr_type[assign.value.node_id] is BOOLEAN
+
+    def test_array_literal_widens_to_declared_type(self):
+        analyze_ok(
+            "program p; var a: array[1..5] of integer; begin a := [1, 2] end."
+        )
+
+    def test_array_literal_too_long_rejected(self):
+        analyze_fails(
+            "program p; var a: array[1..2] of integer; begin a := [1, 2, 3] end."
+        )
+
+    def test_array_literal_mixed_types_rejected(self):
+        analyze_fails("program p; var b: boolean; begin b := [1, true] = [1, true] end.")
+
+    def test_index_must_be_integer(self):
+        analyze_fails(
+            "program p; var a: array[1..3] of integer; begin a[true] := 1 end."
+        )
+
+    def test_indexing_non_array_rejected(self):
+        analyze_fails("program p; var x: integer; begin x[1] := 2 end.")
+
+
+class TestRoutineChecks:
+    def test_call_arity_checked(self):
+        message = analyze_fails(
+            "program p; procedure q(a: integer); begin end; begin q(1, 2) end."
+        )
+        assert "expects 1 argument" in message
+
+    def test_var_argument_must_be_lvalue(self):
+        message = analyze_fails(
+            "program p; var x: integer; procedure q(var a: integer); begin end; "
+            "begin q(x + 1) end."
+        )
+        assert "must be a variable" in message
+
+    def test_var_argument_type_must_match_exactly(self):
+        analyze_fails(
+            "program p; var b: boolean; procedure q(var a: integer); begin end; "
+            "begin q(b) end."
+        )
+
+    def test_function_called_as_procedure_rejected(self):
+        analyze_fails(
+            "program p; function f: integer; begin f := 1 end; begin f end."
+        )
+
+    def test_procedure_in_expression_rejected(self):
+        analyze_fails(
+            "program p; var x: integer; procedure q; begin end; begin x := q() end."
+        )
+
+    def test_function_result_assignment_resolves_to_result_symbol(self):
+        analysis = analyze_ok(
+            "program p; function f(x: integer): integer; begin f := x end; begin end."
+        )
+        f = analysis.routine_named("f")
+        assert f.result_symbol is not None
+        assert f.result_symbol.kind is SymbolKind.RESULT
+        assert analysis.result_assigns  # the f := x target was recorded
+
+    def test_recursive_function_call(self):
+        analysis = analyze_ok(
+            """
+            program p;
+            function fact(n: integer): integer;
+            begin
+              if n <= 1 then fact := 1 else fact := n * fact(n - 1)
+            end;
+            begin end.
+            """
+        )
+        fact = analysis.routine_named("fact")
+        assert any(target.name == "fact" for _, target in fact.call_sites)
+
+    def test_assign_to_in_parameter_rejected(self):
+        message = analyze_fails(
+            "program p; procedure q(in a: integer); begin a := 1 end; begin end."
+        )
+        assert "'in' parameter" in message
+
+    def test_assign_to_constant_rejected(self):
+        analyze_fails("program p; const n = 1; begin n := 2 end.")
+
+
+class TestNonlocalTracking:
+    SOURCE = """
+    program p;
+    var g, h: integer;
+    procedure reader;
+    var t: integer;
+    begin t := g end;
+    procedure writer;
+    begin h := 1 end;
+    procedure both;
+    begin g := g + h end;
+    begin end.
+    """
+
+    def test_reader_has_nonlocal_read(self):
+        analysis = analyze_ok(self.SOURCE)
+        reader = analysis.routine_named("reader")
+        assert {s.name for s in reader.nonlocal_reads} == {"g"}
+        assert not reader.nonlocal_writes
+
+    def test_writer_has_nonlocal_write(self):
+        analysis = analyze_ok(self.SOURCE)
+        writer = analysis.routine_named("writer")
+        assert {s.name for s in writer.nonlocal_writes} == {"h"}
+
+    def test_both_reads_and_writes(self):
+        analysis = analyze_ok(self.SOURCE)
+        both = analysis.routine_named("both")
+        assert {s.name for s in both.nonlocal_reads} == {"g", "h"}
+        assert {s.name for s in both.nonlocal_writes} == {"g"}
+
+    def test_enclosing_routine_local_counts_as_nonlocal(self):
+        analysis = analyze_ok(
+            """
+            program p;
+            procedure outer;
+            var x: integer;
+              procedure inner;
+              begin x := 1 end;
+            begin x := 0; inner end;
+            begin end.
+            """
+        )
+        inner = analysis.routine_named("outer.inner")
+        assert {s.name for s in inner.nonlocal_writes} == {"x"}
+
+
+class TestGotoClassification:
+    def test_local_goto(self):
+        analysis = analyze_ok(
+            "program p; label 3; begin 3: goto 3 end."
+        )
+        assert not analysis.main.global_gotos
+        assert len(analysis.main.local_gotos) == 1
+
+    def test_global_goto_detected(self):
+        analysis = analyze_ok(
+            """
+            program p;
+            label 9;
+            procedure q;
+            begin goto 9 end;
+            begin 9: end.
+            """
+        )
+        q = analysis.routine_named("q")
+        assert len(q.global_gotos) == 1
+        goto = q.global_gotos[0]
+        assert analysis.goto_is_global[goto.node_id]
+
+    def test_goto_to_undeclared_label_rejected(self):
+        analyze_fails("program p; begin goto 7 end.")
+
+    def test_label_declared_but_never_defined_rejected(self):
+        message = analyze_fails("program p; label 4; begin end.")
+        assert "never defined" in message
+
+    def test_label_defined_twice_rejected(self):
+        message = analyze_fails("program p; label 4; begin 4: ; 4: end.")
+        assert "defined 2 times" in message
+
+
+class TestLookups:
+    def test_routine_named_qualified(self):
+        analysis = analyze_ok(
+            """
+            program p;
+            procedure a; procedure b; begin end; begin b end;
+            begin a end.
+            """
+        )
+        assert analysis.routine_named("a.b").name == "b"
+
+    def test_routine_named_ambiguous_raises(self):
+        analysis = analyze_ok(
+            """
+            program p;
+            procedure a; procedure x; begin end; begin x end;
+            procedure b; procedure x; begin end; begin x end;
+            begin a; b end.
+            """
+        )
+        with pytest.raises(KeyError):
+            analysis.routine_named("x")
+        assert analysis.routine_named("a.x") is not analysis.routine_named("b.x")
+
+    def test_user_routines_excludes_main(self):
+        analysis = analyze_ok("program p; procedure q; begin end; begin q end.")
+        assert [info.name for info in analysis.user_routines()] == ["q"]
+        assert analysis.main in analysis.all_routines()

@@ -1,0 +1,119 @@
+"""Tests for execution-tree JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.pascal.values import ArrayValue, UNDEFINED
+from repro.tracing.serialize import (
+    dump_tree,
+    load_tree,
+    tree_from_dict,
+    tree_to_dict,
+    value_from_json,
+    value_to_json,
+)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [0, -5, 2**40, True, False, "hello", "it's", UNDEFINED],
+        ids=repr,
+    )
+    def test_scalar_round_trip(self, value):
+        assert value_from_json(value_to_json(value)) is value or (
+            value_from_json(value_to_json(value)) == value
+        )
+
+    def test_bool_int_distinct(self):
+        assert value_to_json(True)["t"] == "bool"
+        assert value_to_json(1)["t"] == "int"
+        assert value_from_json(value_to_json(True)) is True
+
+    def test_array_round_trip(self):
+        array = ArrayValue(3, 6, [1, UNDEFINED, True, 9])
+        restored = value_from_json(value_to_json(array))
+        assert isinstance(restored, ArrayValue)
+        assert restored.low == 3 and restored.high == 6
+        assert restored.elements == array.elements
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            value_from_json({"t": "complex"})
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            value_to_json(1.5)
+
+
+class TestTreeCodec:
+    def test_figure4_round_trips(self, figure4_trace):
+        restored = load_tree(dump_tree(figure4_trace.tree))
+        assert restored.render() == figure4_trace.tree.render()
+
+    def test_round_trip_preserves_structure(self, figure4_trace):
+        restored = tree_from_dict(tree_to_dict(figure4_trace.tree))
+        assert restored.size() == figure4_trace.tree.size()
+        originals = [node.unit_name for node in figure4_trace.tree.walk()]
+        copies = [node.unit_name for node in restored.walk()]
+        assert originals == copies
+
+    def test_round_trip_preserves_bindings(self, figure4_trace):
+        restored = load_tree(dump_tree(figure4_trace.tree))
+        computs = restored.find("computs")
+        assert computs.input_binding("y").value == 3
+        assert computs.output_binding("r1").value == 12
+
+    def test_loop_units_round_trip(self):
+        from repro.core import GadtSystem
+
+        system = GadtSystem.from_source(
+            "program t; var i, s: integer; "
+            "begin s := 0; for i := 1 to 3 do s := s + i; writeln(s) end."
+        )
+        restored = load_tree(dump_tree(system.trace.tree))
+        loop = restored.find("t$for1")
+        iterations = [c for c in loop.children]
+        assert [node.iteration for node in iterations] == [1, 2, 3]
+
+    def test_via_goto_round_trips(self):
+        from repro.core import GadtSystem
+
+        system = GadtSystem.from_source(
+            """
+            program t;
+            label 9;
+            var n: integer;
+            procedure jump;
+            begin n := 1; goto 9 end;
+            begin n := 0; jump; 9: writeln(n) end.
+            """
+        )
+        restored = load_tree(dump_tree(system.trace.tree))
+        assert restored.find("jump").via_goto == "9"
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError):
+            tree_from_dict({"version": 99, "root": {}})
+
+    def test_output_is_valid_json(self, figure4_trace):
+        parsed = json.loads(dump_tree(figure4_trace.tree))
+        assert parsed["version"] == 1
+        assert parsed["root"]["unit"] == "main"
+
+
+class TestReloadedTreeDebugging:
+    def test_pure_ad_works_on_reloaded_tree(self, figure4_trace):
+        """A reloaded tree supports pure algorithmic debugging."""
+        from dataclasses import replace
+
+        from repro.core import AlgorithmicDebugger, ReferenceOracle
+        from repro.pascal import analyze_source
+        from repro.workloads import FIGURE4_FIXED_SOURCE
+
+        restored = load_tree(dump_tree(figure4_trace.tree))
+        trace = replace(figure4_trace, tree=restored)
+        oracle = ReferenceOracle(analyze_source(FIGURE4_FIXED_SOURCE))
+        result = AlgorithmicDebugger(trace, oracle).debug()
+        assert result.bug_unit == "decrement"

@@ -1,0 +1,67 @@
+"""Unit tests for session transcripts."""
+
+from repro.core.queries import Answer, AnswerSource, Query
+from repro.core.session import EventKind, Interaction, Session
+from repro.tracing.execution_tree import Binding, BindingMode, ExecNode, NodeKind
+
+
+def node():
+    return ExecNode(
+        kind=NodeKind.CALL,
+        unit_name="p",
+        inputs=[Binding("a", BindingMode.IN, 1)],
+        outputs=[Binding("b", BindingMode.OUT, 2)],
+    )
+
+
+class TestSession:
+    def test_user_question_rendering(self):
+        session = Session()
+        session.ask(Query(node()), Answer.no())
+        text = session.render()
+        assert "p(In a: 1, Out b: 2)?" in text
+        assert ">no" in text
+
+    def test_auto_answer_annotated(self):
+        session = Session()
+        session.ask(
+            Query(node()),
+            Answer.yes(source=AnswerSource.TEST_DATABASE, note="frame ok"),
+        )
+        text = session.render()
+        assert "answered by test-database" in text
+
+    def test_slice_event(self):
+        session = Session()
+        session.note_slice("slice on variable 'r1'")
+        assert "-- slicing: slice on variable 'r1' --" in session.render()
+
+    def test_localized_event(self):
+        session = Session()
+        session.localized("decrement")
+        assert (
+            "An error has been localized inside the body of decrement."
+            in session.render()
+        )
+
+    def test_user_vs_auto_partition(self):
+        session = Session()
+        session.ask(Query(node()), Answer.no())
+        session.ask(
+            Query(node()), Answer.yes(source=AnswerSource.ASSERTION)
+        )
+        session.ask(
+            Query(node()), Answer.yes(source=AnswerSource.CACHE)
+        )
+        assert len(session.user_questions()) == 1
+        assert len(session.auto_answers()) == 2
+
+    def test_len_counts_events(self):
+        session = Session()
+        session.note("hello")
+        session.localized("p")
+        assert len(session) == 2
+
+    def test_interaction_kinds(self):
+        event = Interaction(kind=EventKind.NOTE, text="x")
+        assert event.render() == "-- x --"

@@ -1,0 +1,259 @@
+"""Unit tests for Banning-style interprocedural side-effect analysis."""
+
+from repro.analysis.sideeffects import analyze_side_effects
+from repro.pascal.semantics import analyze_source
+
+
+def effects_of(source: str):
+    analysis = analyze_source(source)
+    return analyze_side_effects(analysis), analysis
+
+
+def names(symbols):
+    return {symbol.name for symbol in symbols}
+
+
+class TestDirectEffects:
+    SOURCE = """
+    program t;
+    var g, h: integer;
+    procedure reads_g(var r: integer);
+    begin r := g end;
+    procedure writes_h;
+    begin h := 5 end;
+    begin g := 0; h := 0 end.
+    """
+
+    def test_gref_direct(self):
+        effects, analysis = effects_of(self.SOURCE)
+        e = effects.of(analysis.routine_named("reads_g").symbol)
+        assert names(e.gref) == {"g"}
+        assert not e.gmod
+
+    def test_gmod_direct(self):
+        effects, analysis = effects_of(self.SOURCE)
+        e = effects.of(analysis.routine_named("writes_h").symbol)
+        assert names(e.gmod) == {"h"}
+
+    def test_side_effect_free_flags(self):
+        effects, analysis = effects_of(self.SOURCE)
+        reads = effects.of(analysis.routine_named("reads_g").symbol)
+        assert reads.has_variable_side_effects
+        assert not reads.is_side_effect_free
+
+    def test_main_has_no_nonlocal_effects(self):
+        effects, analysis = effects_of(self.SOURCE)
+        main = effects.of(analysis.main.symbol)
+        assert main.is_side_effect_free
+
+
+class TestTransitiveEffects:
+    SOURCE = """
+    program t;
+    var g: integer;
+    procedure inner;
+    begin g := g + 1 end;
+    procedure outer;
+    begin inner end;
+    procedure outermost;
+    begin outer end;
+    begin g := 0; outermost end.
+    """
+
+    def test_effects_propagate_up_call_chain(self):
+        effects, analysis = effects_of(self.SOURCE)
+        for name in ("inner", "outer", "outermost"):
+            e = effects.of(analysis.routine_named(name).symbol)
+            assert names(e.gmod) == {"g"}, name
+            assert names(e.gref) == {"g"}, name
+
+    def test_contained_effect_stops_at_owner(self):
+        effects, analysis = effects_of(
+            """
+            program t;
+            procedure owner;
+            var x: integer;
+              procedure child;
+              begin x := 1 end;
+            begin x := 0; child end;
+            begin owner end.
+            """
+        )
+        child = effects.of(analysis.routine_named("owner.child").symbol)
+        owner = effects.of(analysis.routine_named("owner").symbol)
+        assert names(child.gmod) == {"x"}
+        assert not owner.gmod  # x is owner's local: contained
+
+    def test_recursive_routines_reach_fixpoint(self):
+        effects, analysis = effects_of(
+            """
+            program t;
+            var g: integer;
+            procedure ping(n: integer);
+            begin
+              g := g + 1;
+              if n > 0 then ping(n - 1)
+            end;
+            begin g := 0; ping(3) end.
+            """
+        )
+        e = effects.of(analysis.routine_named("ping").symbol)
+        assert names(e.gmod) == {"g"}
+
+
+class TestParamEffects:
+    def test_mod_params_direct(self):
+        effects, analysis = effects_of(
+            "program t; procedure q(a: integer; var b: integer); "
+            "begin b := a end; begin end."
+        )
+        e = effects.of(analysis.routine_named("q").symbol)
+        assert names(e.mod_params) == {"b"}
+        assert names(e.ref_params) == {"a"}
+
+    def test_mod_params_through_callee(self):
+        effects, analysis = effects_of(
+            """
+            program t;
+            procedure setit(var x: integer);
+            begin x := 1 end;
+            procedure wrapper(var y: integer);
+            begin setit(y) end;
+            begin end.
+            """
+        )
+        e = effects.of(analysis.routine_named("wrapper").symbol)
+        assert names(e.mod_params) == {"y"}
+
+    def test_ref_params_through_callee(self):
+        effects, analysis = effects_of(
+            """
+            program t;
+            procedure useit(var x: integer);
+            var t: integer;
+            begin t := x end;
+            procedure wrapper(var y: integer);
+            begin useit(y) end;
+            begin end.
+            """
+        )
+        e = effects.of(analysis.routine_named("wrapper").symbol)
+        assert names(e.ref_params) == {"y"}
+        assert not e.mod_params
+
+    def test_var_param_not_directly_read_is_not_ref(self):
+        effects, analysis = effects_of(
+            "program t; procedure q(var b: integer); begin b := 1 end; begin end."
+        )
+        e = effects.of(analysis.routine_named("q").symbol)
+        assert not e.ref_params
+
+    def test_global_passed_as_var_arg(self):
+        effects, analysis = effects_of(
+            """
+            program t;
+            var g: integer;
+            procedure setit(var x: integer);
+            begin x := 1 end;
+            procedure wrapper;
+            begin setit(g) end;
+            begin wrapper end.
+            """
+        )
+        e = effects.of(analysis.routine_named("wrapper").symbol)
+        assert names(e.gmod) == {"g"}
+
+    def test_for_loop_writes_param(self):
+        effects, analysis = effects_of(
+            "program t; procedure q(var i: integer); "
+            "begin for i := 1 to 3 do i := i end; begin end."
+        )
+        e = effects.of(analysis.routine_named("q").symbol)
+        assert names(e.mod_params) == {"i"}
+
+    def test_read_statement_writes_param(self):
+        effects, analysis = effects_of(
+            "program t; procedure q(var x: integer); begin read(x) end; begin end."
+        )
+        e = effects.of(analysis.routine_named("q").symbol)
+        assert names(e.mod_params) == {"x"}
+
+
+class TestExitEffects:
+    SOURCE = """
+    program t;
+    label 9;
+    procedure jumper;
+    begin goto 9 end;
+    procedure wrapper;
+    begin jumper end;
+    begin wrapper; 9: end.
+    """
+
+    def test_direct_exit_effect(self):
+        effects, analysis = effects_of(self.SOURCE)
+        e = effects.of(analysis.routine_named("jumper").symbol)
+        assert e.has_exit_side_effects
+        assert names(e.exit_labels) == {"9"}
+
+    def test_exit_effect_propagates(self):
+        effects, analysis = effects_of(self.SOURCE)
+        e = effects.of(analysis.routine_named("wrapper").symbol)
+        assert names(e.exit_labels) == {"9"}
+
+    def test_exit_effect_contained_at_label_owner(self):
+        effects, analysis = effects_of(
+            """
+            program t;
+            procedure owner;
+            label 5;
+              procedure child;
+              begin goto 5 end;
+            begin child; 5: end;
+            begin owner end.
+            """
+        )
+        child = effects.of(analysis.routine_named("owner.child").symbol)
+        owner = effects.of(analysis.routine_named("owner").symbol)
+        assert names(child.exit_labels) == {"5"}
+        assert not owner.exit_labels
+
+
+class TestAliases:
+    def test_same_variable_twice_flagged(self):
+        effects, _ = effects_of(
+            """
+            program t;
+            var x: integer;
+            procedure q(var a, b: integer);
+            begin a := b end;
+            begin x := 1; q(x, x) end.
+            """
+        )
+        assert effects.alias_warnings
+        assert "bound to both" in effects.alias_warnings[0].description
+
+    def test_global_passed_by_ref_to_its_accessor_flagged(self):
+        effects, _ = effects_of(
+            """
+            program t;
+            var g: integer;
+            procedure q(var a: integer);
+            begin a := g end;
+            begin g := 1; q(g) end.
+            """
+        )
+        assert any(
+            "also accesses it non-locally" in warning.description
+            for warning in effects.alias_warnings
+        )
+
+    def test_clean_program_has_no_warnings(self, figure4_analysis):
+        effects = analyze_side_effects(figure4_analysis)
+        assert not effects.alias_warnings
+
+
+class TestFigure4:
+    def test_all_routines_side_effect_free(self, figure4_analysis):
+        effects = analyze_side_effects(figure4_analysis)
+        assert not effects.routines_with_side_effects()

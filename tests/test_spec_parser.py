@@ -1,0 +1,118 @@
+"""Unit tests for the T-GEN test-specification parser."""
+
+import pytest
+
+from repro.tgen.spec_ast import Always, And, Not, Or, PropRef
+from repro.tgen.spec_parser import SpecError, parse_spec
+from repro.workloads.arrsum_spec import ARRSUM_SPEC_TEXT
+
+
+class TestStructure:
+    def test_figure1_spec_parses(self):
+        spec = parse_spec(ARRSUM_SPEC_TEXT)
+        assert spec.unit == "arrsum"
+        assert [category.name for category in spec.categories] == [
+            "size_of_array",
+            "type_of_elements",
+            "deviation",
+        ]
+        assert [script.name for script in spec.scripts] == ["script_1", "script_2"]
+        assert [result.name for result in spec.results] == ["result_1"]
+
+    def test_choice_names(self):
+        spec = parse_spec(ARRSUM_SPEC_TEXT)
+        size = spec.category_named("size_of_array")
+        assert [choice.name for choice in size.choices] == [
+            "zero",
+            "one",
+            "two",
+            "more",
+        ]
+
+    def test_single_property(self):
+        spec = parse_spec(ARRSUM_SPEC_TEXT)
+        size = spec.category_named("size_of_array")
+        assert size.choice_named("zero").is_single
+        assert size.choice_named("one").is_single
+        assert not size.choice_named("two").is_single
+
+    def test_properties_case_insensitive(self):
+        spec = parse_spec(ARRSUM_SPEC_TEXT)
+        more = spec.category_named("size_of_array").choice_named("more")
+        assert more.visible_properties == frozenset({"more"})
+
+    def test_selector_attached(self):
+        spec = parse_spec(ARRSUM_SPEC_TEXT)
+        mixed = spec.category_named("type_of_elements").choice_named("mixed")
+        assert isinstance(mixed.selector, PropRef)
+        assert mixed.selector.name == "more"
+
+    def test_default_selector_is_always(self):
+        spec = parse_spec(ARRSUM_SPEC_TEXT)
+        positive = spec.category_named("type_of_elements").choice_named("positive")
+        assert isinstance(positive.selector, Always)
+
+
+class TestSelectors:
+    def test_not_selector(self):
+        spec = parse_spec(
+            "test u; category c; a : property P; b : if not P;"
+        )
+        b = spec.category_named("c").choice_named("b")
+        assert isinstance(b.selector, Not)
+        assert b.selector.evaluate(set())
+        assert not b.selector.evaluate({"p"})
+
+    def test_and_or_precedence(self):
+        spec = parse_spec(
+            "test u; category c; a : property P; b : property Q; "
+            "d : if P and Q or not P;"
+        )
+        d = spec.category_named("c").choice_named("d")
+        assert isinstance(d.selector, Or)
+        assert d.selector.evaluate({"p", "q"})
+        assert d.selector.evaluate(set())
+        assert not d.selector.evaluate({"p"})
+
+    def test_parenthesized_selector(self):
+        spec = parse_spec(
+            "test u; category c; a : property P; b : property Q; "
+            "d : if P and (Q or not Q);"
+        )
+        d = spec.category_named("c").choice_named("d")
+        assert isinstance(d.selector, And)
+
+    def test_multiple_properties(self):
+        spec = parse_spec("test u; category c; a : property P, Q;")
+        a = spec.category_named("c").choice_named("a")
+        assert a.visible_properties == frozenset({"p", "q"})
+
+
+class TestErrors:
+    def test_missing_test_header(self):
+        with pytest.raises(SpecError):
+            parse_spec("category c; a : ;")
+
+    def test_duplicate_category(self):
+        with pytest.raises(SpecError, match="duplicate category"):
+            parse_spec("test u; category c; a : ; category c; b : ;")
+
+    def test_duplicate_choice(self):
+        with pytest.raises(SpecError, match="duplicate choice"):
+            parse_spec("test u; category c; a : ; a : ;")
+
+    def test_unknown_property_in_selector(self):
+        with pytest.raises(SpecError, match="unknown"):
+            parse_spec("test u; category c; a : if GHOST;")
+
+    def test_empty_category(self):
+        with pytest.raises(SpecError, match="no choices"):
+            parse_spec("test u; category c; category d; a : ;")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SpecError):
+            parse_spec("test u; category c; a : @ ;")
+
+    def test_comment_allowed(self):
+        spec = parse_spec("test u; { a comment } category c; a : ;")
+        assert spec.unit == "u"

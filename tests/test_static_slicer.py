@@ -1,0 +1,321 @@
+"""Unit tests for static slicing (paper §4)."""
+
+import pytest
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal import run_source
+from repro.pascal.pretty import print_program
+from repro.pascal.semantics import analyze_source
+from repro.slicing import StaticCriterion, static_slice
+from repro.workloads import FIGURE2_SOURCE
+
+
+def slice_main(source: str, *variables: str):
+    analysis = analyze_source(source)
+    program_name = analysis.program.name
+    computed = static_slice(
+        analysis, StaticCriterion.at_routine_exit(program_name, *variables)
+    )
+    return computed, analysis
+
+
+class TestIntraprocedural:
+    def test_irrelevant_statement_excluded(self):
+        computed, analysis = slice_main(
+            """
+            program p;
+            var x, y: integer;
+            begin
+              x := 1;
+              y := 2;
+              x := x + 1
+            end.
+            """,
+            "x",
+        )
+        texts = _kept_statements(computed, analysis)
+        assert "x := 1" in texts
+        assert "x := x + 1" in texts
+        assert "y := 2" not in texts
+
+    def test_transitive_data_dependence(self):
+        computed, analysis = slice_main(
+            """
+            program p;
+            var a, b, c, d: integer;
+            begin
+              a := 1;
+              b := a;
+              c := b;
+              d := 9
+            end.
+            """,
+            "c",
+        )
+        texts = _kept_statements(computed, analysis)
+        assert {"a := 1", "b := a", "c := b"} <= set(texts)
+        assert "d := 9" not in texts
+
+    def test_control_dependence_pulls_predicate(self):
+        computed, analysis = slice_main(
+            """
+            program p;
+            var flag, x, y: integer;
+            begin
+              flag := 1;
+              x := 0;
+              if flag > 0 then x := 5;
+              y := 3
+            end.
+            """,
+            "x",
+        )
+        texts = _kept_statements(computed, analysis)
+        assert any("if" in text for text in texts)
+        assert "flag := 1" in texts
+        assert "y := 3" not in texts
+
+    def test_loop_kept_when_relevant(self):
+        computed, analysis = slice_main(
+            """
+            program p;
+            var i, s, junk: integer;
+            begin
+              s := 0;
+              junk := 0;
+              for i := 1 to 3 do s := s + i;
+              junk := junk + 1
+            end.
+            """,
+            "s",
+        )
+        program = computed.extract_program()
+        text = print_program(program)
+        assert "for i := 1 to 3 do" in text
+        assert "junk" not in text
+
+
+class TestInterprocedural:
+    def test_callee_included(self):
+        computed, analysis = slice_main(
+            """
+            program p;
+            var x: integer;
+            procedure setx(var v: integer);
+            begin v := 42 end;
+            begin setx(x) end.
+            """,
+            "x",
+        )
+        assert analysis.routine_named("setx").symbol in computed.routines
+
+    def test_irrelevant_callee_dropped(self):
+        computed, analysis = slice_main(
+            """
+            program p;
+            var x, y: integer;
+            procedure setx(var v: integer);
+            begin v := 1 end;
+            procedure sety(var v: integer);
+            begin v := 2 end;
+            begin setx(x); sety(y) end.
+            """,
+            "x",
+        )
+        names = {symbol.name for symbol in computed.routines}
+        assert "setx" in names
+        assert "sety" not in names
+
+    def test_only_relevant_callee_outputs_traced(self):
+        computed, analysis = slice_main(
+            """
+            program p;
+            var x, y: integer;
+            procedure both(var a, b: integer);
+            var ta, tb: integer;
+            begin
+              ta := 10;
+              tb := 20;
+              a := ta;
+              b := tb
+            end;
+            begin both(x, y) end.
+            """,
+            "x",
+        )
+        texts = _kept_statements(computed, analysis)
+        assert "a := ta" in texts
+        assert "ta := 10" in texts
+        assert "b := tb" not in texts
+        assert "tb := 20" not in texts
+
+    def test_function_in_expression_included(self):
+        computed, analysis = slice_main(
+            """
+            program p;
+            var x: integer;
+            function five: integer;
+            begin five := 5 end;
+            begin x := five() end.
+            """,
+            "x",
+        )
+        assert analysis.routine_named("five").symbol in computed.routines
+
+    def test_global_effect_through_call(self):
+        computed, analysis = slice_main(
+            """
+            program p;
+            var g, x, y: integer;
+            procedure setg;
+            begin g := 7 end;
+            begin setg; x := g; y := 1 end.
+            """,
+            "x",
+        )
+        names = {symbol.name for symbol in computed.routines}
+        assert "setg" in names
+        texts = _kept_statements(computed, analysis)
+        assert "y := 1" not in texts
+
+
+class TestExtraction:
+    def test_figure2_slice_matches_paper(self, figure2_analysis):
+        computed = static_slice(
+            figure2_analysis, StaticCriterion.at_routine_exit("p", "mul")
+        )
+        text = print_program(computed.extract_program())
+        assert "read(x, y)" in text
+        assert "mul := 0" in text
+        assert "mul := x * y" in text
+        assert "sum" not in text
+        assert "read(z)" not in text
+        assert "z" not in text.replace("z: integer", "")  # declaration gone
+
+    def test_extracted_slice_runs_and_preserves_criterion(self, figure2_analysis):
+        computed = static_slice(
+            figure2_analysis, StaticCriterion.at_routine_exit("p", "mul")
+        )
+        text = print_program(computed.extract_program())
+        for inputs in ([5, 7, 9], [1, 4], [0, 0]):
+            full = run_source(FIGURE2_SOURCE, inputs=list(inputs) + [0, 0])
+            sliced = run_source(text, inputs=list(inputs) + [0, 0])
+            assert sliced.global_value("mul") == full.global_value("mul")
+
+    def test_slice_on_sum_drops_mul(self, figure2_analysis):
+        computed = static_slice(
+            figure2_analysis, StaticCriterion.at_routine_exit("p", "sum")
+        )
+        text = print_program(computed.extract_program())
+        assert "sum := x + y" in text
+        assert "mul := x * y" not in text
+
+    def test_extracted_program_keeps_signature(self):
+        computed, analysis = slice_main(
+            """
+            program p;
+            var x: integer;
+            procedure setx(extra: integer; var v: integer);
+            begin v := 42 end;
+            begin setx(1, x) end.
+            """,
+            "x",
+        )
+        program = computed.extract_program()
+        routine = program.block.routines[0]
+        assert [param.name for param in routine.params] == ["extra", "v"]
+
+    def test_unknown_variable_raises(self, figure2_analysis):
+        with pytest.raises(KeyError):
+            static_slice(
+                figure2_analysis, StaticCriterion.at_routine_exit("p", "nope")
+            )
+
+    def test_statement_count(self, figure2_analysis):
+        computed = static_slice(
+            figure2_analysis, StaticCriterion.at_routine_exit("p", "mul")
+        )
+        assert 0 < computed.statement_count() < 10
+
+
+class TestFigure4Interprocedural:
+    """Static analogue of the paper's dynamic Figures 8/9: slicing on one
+    output of computs keeps only the corresponding computation path."""
+
+    def test_slice_on_r1_keeps_left_subtree(self, figure4_analysis):
+        computed = static_slice(
+            figure4_analysis, StaticCriterion.at_routine_exit("computs", "r1")
+        )
+        names = {symbol.name for symbol in computed.routines}
+        assert {"comput1", "partialsums", "sum1", "sum2", "add",
+                "increment", "decrement"} <= names
+        assert "comput2" not in names
+        assert "square" not in names
+        assert "test" not in names  # downstream of the criterion
+
+    def test_slice_on_r2_keeps_right_subtree(self, figure4_analysis):
+        computed = static_slice(
+            figure4_analysis, StaticCriterion.at_routine_exit("computs", "r2")
+        )
+        names = {symbol.name for symbol in computed.routines}
+        assert {"comput2", "square"} <= names
+        assert "comput1" not in names
+        assert "partialsums" not in names
+        assert "decrement" not in names
+
+    def test_upward_context_included(self, figure4_analysis):
+        # y's value comes from arrsum through sqrtest: both stay.
+        computed = static_slice(
+            figure4_analysis, StaticCriterion.at_routine_exit("computs", "r2")
+        )
+        names = {symbol.name for symbol in computed.routines}
+        assert {"arrsum", "sqrtest"} <= names
+
+    def test_whole_program_slice_on_isok(self, figure4_analysis):
+        computed = static_slice(
+            figure4_analysis, StaticCriterion.at_routine_exit("sqrtest", "isok")
+        )
+        names = {symbol.name for symbol in computed.routines}
+        # everything feeds isok except nothing: the full computation
+        assert {"test", "computs", "comput1", "comput2", "arrsum"} <= names
+
+
+class TestCriterionAtStatement:
+    def test_slice_at_specific_point(self):
+        source = """
+        program p;
+        var x, y: integer;
+        begin
+          x := 1;
+          y := x;
+          x := 99
+        end.
+        """
+        analysis = analyze_source(source)
+        body = analysis.program.block.body.statements
+        mid = body[1]  # y := x
+        computed = static_slice(
+            analysis,
+            StaticCriterion.at_statement("p", mid.node_id, "x"),
+        )
+        texts = _kept_statements(computed, analysis)
+        assert "x := 1" in texts
+        assert "x := 99" not in texts
+
+
+def _kept_statements(computed, analysis) -> list[str]:
+    from repro.pascal.pretty import print_statement
+
+    texts = []
+    for stmt_id in computed.included_stmt_ids:
+        stmt = next(
+            (
+                node
+                for node in analysis.program.walk()
+                if node.node_id == stmt_id and isinstance(node, ast.Stmt)
+            ),
+            None,
+        )
+        if stmt is not None and not isinstance(stmt, (ast.Compound,)):
+            texts.append(print_statement(stmt).strip().rstrip(";"))
+    return texts

@@ -1,0 +1,156 @@
+"""Unit tests for the search strategies."""
+
+import pytest
+
+from repro.core.strategies import available_strategies, make_strategy
+from repro.slicing.tree_pruning import TreeView
+from repro.tracing.execution_tree import ExecNode, NodeKind
+
+
+def chain_tree(depth: int):
+    """main -> c1 -> c2 -> ... -> c<depth>."""
+    root = ExecNode(kind=NodeKind.MAIN, unit_name="main")
+    current = root
+    nodes = [root]
+    for index in range(1, depth + 1):
+        child = ExecNode(kind=NodeKind.CALL, unit_name=f"c{index}")
+        current.add_child(child)
+        nodes.append(child)
+        current = child
+    return root, nodes
+
+
+def wide_tree(width: int):
+    root = ExecNode(kind=NodeKind.MAIN, unit_name="main")
+    children = []
+    for index in range(width):
+        child = ExecNode(kind=NodeKind.CALL, unit_name=f"w{index}")
+        root.add_child(child)
+        children.append(child)
+    return root, children
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in available_strategies():
+            strategy = make_strategy(name)
+            assert strategy.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_strategy("magic")
+
+
+class TestTopDown:
+    def test_asks_children_in_order(self):
+        root, children = wide_tree(3)
+        view = TreeView.full(root)
+        strategy = make_strategy("top-down")
+        judgements = {}
+        first = strategy.next_query(view, root, judgements)
+        assert first.unit_name == "w0"
+        judgements[first.node_id] = True
+        second = strategy.next_query(view, root, judgements)
+        assert second.unit_name == "w1"
+
+    def test_none_when_all_children_judged(self):
+        root, children = wide_tree(2)
+        view = TreeView.full(root)
+        strategy = make_strategy("top-down")
+        judgements = {child.node_id: True for child in children}
+        assert strategy.next_query(view, root, judgements) is None
+
+    def test_respects_view_filter(self):
+        root, children = wide_tree(3)
+        view = TreeView(
+            root=root, kept_ids={root.node_id, children[2].node_id}
+        )
+        strategy = make_strategy("top-down")
+        assert strategy.next_query(view, root, {}).unit_name == "w2"
+
+    def test_only_children_of_current(self):
+        root, nodes = chain_tree(3)
+        view = TreeView.full(root)
+        strategy = make_strategy("top-down")
+        # current bug is c1: only c2 is a candidate, not c3
+        candidate = strategy.next_query(view, nodes[1], {})
+        assert candidate.unit_name == "c2"
+
+
+class TestBottomUp:
+    def test_asks_leaf_first(self):
+        root, nodes = chain_tree(3)
+        view = TreeView.full(root)
+        strategy = make_strategy("bottom-up")
+        first = strategy.next_query(view, root, {})
+        assert first.unit_name == "c3"
+
+    def test_moves_up_after_yes(self):
+        root, nodes = chain_tree(3)
+        view = TreeView.full(root)
+        strategy = make_strategy("bottom-up")
+        judgements = {nodes[3].node_id: True}
+        second = strategy.next_query(view, root, judgements)
+        assert second.unit_name == "c2"
+
+    def test_skips_exonerated_subtrees(self):
+        root, children = wide_tree(2)
+        grand = ExecNode(kind=NodeKind.CALL, unit_name="g")
+        children[0].add_child(grand)
+        view = TreeView.full(root)
+        strategy = make_strategy("bottom-up")
+        judgements = {children[0].node_id: True}  # subtree exonerated
+        candidate = strategy.next_query(view, root, judgements)
+        assert candidate.unit_name == "w1"
+
+
+class TestDivideAndQuery:
+    def test_picks_middle_of_chain(self):
+        root, nodes = chain_tree(7)
+        view = TreeView.full(root)
+        strategy = make_strategy("divide-and-query")
+        candidate = strategy.next_query(view, root, {})
+        # 7 suspects; the weight-4 node (c4) is closest to 3.5
+        assert candidate.unit_name in ("c4", "c3")
+
+    def test_halves_on_yes(self):
+        root, nodes = chain_tree(7)
+        view = TreeView.full(root)
+        strategy = make_strategy("divide-and-query")
+        first = strategy.next_query(view, root, {})
+        judgements = {first.node_id: True}
+        second = strategy.next_query(view, root, judgements)
+        assert second is not None
+        # second query lies strictly above the exonerated subtree
+        exonerated = {node.unit_name for node in first.walk()}
+        assert second.unit_name not in exonerated
+
+    def test_none_when_no_suspects(self):
+        root, nodes = chain_tree(1)
+        view = TreeView.full(root)
+        strategy = make_strategy("divide-and-query")
+        judgements = {nodes[1].node_id: False}
+        assert strategy.next_query(view, nodes[1], judgements) is None
+
+    def test_logarithmic_behaviour_on_chain(self):
+        """D&Q should need ~log2(n) queries to localize a leaf bug."""
+        root, nodes = chain_tree(31)
+        view = TreeView.full(root)
+        strategy = make_strategy("divide-and-query")
+        judgements = {}
+        current = root
+        queries = 0
+        buggy = nodes[-1]  # bug at the deepest node
+        while True:
+            candidate = strategy.next_query(view, current, judgements)
+            if candidate is None:
+                break
+            queries += 1
+            is_buggy_subtree = buggy in list(candidate.walk())
+            if is_buggy_subtree:
+                judgements[candidate.node_id] = False
+                current = candidate
+            else:
+                judgements[candidate.node_id] = True
+        assert current is buggy
+        assert queries <= 10  # far fewer than the 31 a linear scan needs

@@ -1,0 +1,275 @@
+"""Unit tests for T-GEN scripts, cases, reports, and lookup."""
+
+import pytest
+
+from repro.pascal.semantics import analyze_source
+from repro.pascal.values import ArrayValue, UNDEFINED
+from repro.tgen import (
+    CaseRunner,
+    TestCase,
+    TestCaseLookup,
+    TestReport,
+    TestReportDatabase,
+    Verdict,
+    assign_scripts,
+    frames_by_script,
+    generate_frames,
+    instantiate_cases,
+    parse_spec,
+)
+from repro.tgen.frames import frame_for_choices
+from repro.tgen.lookup import LookupStatus
+from repro.tgen.scripts import result_choices_for
+from repro.workloads import ARRSUM_SOURCE
+from repro.workloads.arrsum_spec import (
+    arrsum_frame_selector,
+    arrsum_instantiator,
+    arrsum_spec,
+    classify_arrsum_inputs,
+)
+
+
+@pytest.fixture(scope="module")
+def arrsum_setup():
+    spec = arrsum_spec()
+    frames = generate_frames(spec)
+    analysis = analyze_source(ARRSUM_SOURCE)
+    cases = instantiate_cases(spec, frames, arrsum_instantiator)
+    database = CaseRunner(analysis).run_all(cases)
+    return spec, frames, analysis, cases, database
+
+
+class TestScripts:
+    def test_script1_contains_exactly_paper_frames(self, arrsum_setup):
+        spec, frames, *_ = arrsum_setup
+        by_script = frames_by_script(spec, frames)
+        assert {frame.choices for frame in by_script["script_1"]} == {
+            ("more", "mixed", "large"),
+            ("more", "mixed", "average"),
+        }
+
+    def test_script2_gets_the_rest(self, arrsum_setup):
+        spec, frames, *_ = arrsum_setup
+        by_script = frames_by_script(spec, frames)
+        assert len(by_script["script_2"]) == len(frames) - 2
+
+    def test_scripts_partition_by_selector(self, arrsum_setup):
+        spec, frames, *_ = arrsum_setup
+        for frame in frames:
+            scripts = assign_scripts(spec, frame)
+            assert len(scripts) == 1  # MIXED and not MIXED partition
+
+    def test_result_choices(self, arrsum_setup):
+        spec, frames, *_ = arrsum_setup
+        mixed = next(f for f in frames if "mixed" in f.choices)
+        plain = next(f for f in frames if "mixed" not in f.choices)
+        assert result_choices_for(spec, mixed) == ["result_1"]
+        assert result_choices_for(spec, plain) == []
+
+
+class TestCases:
+    def test_every_frame_instantiated(self, arrsum_setup):
+        spec, frames, _, cases, _ = arrsum_setup
+        assert len(cases) == len(frames)
+
+    def test_cases_carry_script(self, arrsum_setup):
+        _, _, _, cases, _ = arrsum_setup
+        assert all(case.script in ("script_1", "script_2") for case in cases)
+
+    def test_all_cases_pass_on_correct_arrsum(self, arrsum_setup):
+        *_, database = arrsum_setup
+        assert all(
+            report.verdict is Verdict.PASS for report in database.all_reports()
+        )
+
+    def test_failing_case_detected(self):
+        analysis = analyze_source(
+            """
+            program t;
+            type intarray = array[1..10] of integer;
+            procedure arrsum(a: intarray; m: integer; var b: integer);
+            var i: integer;
+            begin
+              b := 1; (* bug: should start at 0 *)
+              for i := 1 to m do b := b + a[i]
+            end;
+            begin end.
+            """
+        )
+        spec = arrsum_spec()
+        frames = generate_frames(spec)
+        cases = instantiate_cases(spec, frames, arrsum_instantiator)
+        database = CaseRunner(analysis).run_all(cases)
+        verdicts = {report.verdict for report in database.all_reports()}
+        assert verdicts == {Verdict.FAIL}
+
+    def test_crashing_case_is_error(self):
+        analysis = analyze_source(
+            """
+            program t;
+            type intarray = array[1..10] of integer;
+            procedure arrsum(a: intarray; m: integer; var b: integer);
+            var i: integer;
+            begin
+              b := 0;
+              for i := 0 to m do b := b + a[i] (* bug: index 0 *)
+            end;
+            begin end.
+            """
+        )
+        spec = arrsum_spec()
+        frames = generate_frames(spec)
+        cases = instantiate_cases(spec, frames, arrsum_instantiator)
+        database = CaseRunner(analysis).run_all(cases)
+        assert any(
+            report.verdict is Verdict.ERROR for report in database.all_reports()
+        )
+
+    def test_predicate_expectation(self):
+        analysis = analyze_source(ARRSUM_SOURCE)
+        frame = frame_for_choices(
+            arrsum_spec(),
+            {
+                "size_of_array": "two",
+                "type_of_elements": "positive",
+                "deviation": "small",
+            },
+        )
+        case = TestCase(
+            frame=frame,
+            args=[ArrayValue.from_values([1, 2] + [0] * 8), 2, UNDEFINED],
+            expected=lambda outcome: outcome.out_values["b"] == 3,
+        )
+        report = CaseRunner(analysis).run(case)
+        assert report.verdict is Verdict.PASS
+
+
+class TestReportDatabaseBehaviour:
+    def test_verdict_for_missing_frame_is_none(self, arrsum_setup):
+        *_, database = arrsum_setup
+        assert database.verdict_for("arrsum", ("nope",)) is None
+
+    def test_fail_dominates_pass(self):
+        database = TestReportDatabase()
+        key = ("two", "positive", "small")
+        database.add(TestReport(unit="u", frame_key=key, verdict=Verdict.PASS))
+        database.add(TestReport(unit="u", frame_key=key, verdict=Verdict.FAIL))
+        assert database.verdict_for("u", key) is Verdict.FAIL
+
+    def test_error_dominates_fail(self):
+        database = TestReportDatabase()
+        key = ("k",)
+        database.add(TestReport(unit="u", frame_key=key, verdict=Verdict.FAIL))
+        database.add(TestReport(unit="u", frame_key=key, verdict=Verdict.ERROR))
+        assert database.verdict_for("u", key) is Verdict.ERROR
+
+    def test_len_and_units(self, arrsum_setup):
+        *_, database = arrsum_setup
+        assert len(database) == 8
+        assert database.units() == {"arrsum"}
+        assert len(database.frames_of("arrsum")) == 8
+
+    def test_report_render(self):
+        report = TestReport(
+            unit="u", frame_key=("a", "b"), verdict=Verdict.PASS, case_args=(1, 2)
+        )
+        assert "u(1, 2)" in report.render()
+        assert "pass" in report.render()
+
+
+class TestClassifier:
+    def test_zero_one_two_more(self):
+        array = ArrayValue(1, 10)
+        assert classify_arrsum_inputs(array, 0)["size_of_array"] == "zero"
+        array.set(1, 5)
+        assert classify_arrsum_inputs(array, 1)["size_of_array"] == "one"
+        array.set(2, 5)
+        assert classify_arrsum_inputs(array, 2)["size_of_array"] == "two"
+        array.set(3, 5)
+        assert classify_arrsum_inputs(array, 3)["size_of_array"] == "more"
+
+    def test_positive_negative_mixed(self):
+        positive = ArrayValue.from_values([1, 2, 3])
+        negative = ArrayValue.from_values([-1, -2, -3])
+        mixed = ArrayValue.from_values([-1, 2, 3])
+        assert classify_arrsum_inputs(positive, 3)["type_of_elements"] == "positive"
+        assert classify_arrsum_inputs(negative, 3)["type_of_elements"] == "negative"
+        assert classify_arrsum_inputs(mixed, 3)["type_of_elements"] == "mixed"
+
+
+class TestLookup:
+    def test_verified_outcome(self, arrsum_setup):
+        *_, database = arrsum_setup
+        lookup = TestCaseLookup(database=database)
+        lookup.register(arrsum_spec(), arrsum_frame_selector)
+        outcome = lookup.consult(
+            "arrsum", {"a": ArrayValue.from_values([1, 2]), "n": 2}
+        )
+        assert outcome.status is LookupStatus.VERIFIED
+        assert outcome.answers_yes
+
+    def test_no_spec(self, arrsum_setup):
+        *_, database = arrsum_setup
+        lookup = TestCaseLookup(database=database)
+        outcome = lookup.consult("mystery", {})
+        assert outcome.status is LookupStatus.NO_SPEC
+
+    def test_no_frame_when_inputs_unclassifiable(self, arrsum_setup):
+        *_, database = arrsum_setup
+        lookup = TestCaseLookup(database=database)
+        lookup.register(arrsum_spec(), arrsum_frame_selector)
+        outcome = lookup.consult("arrsum", {"x": 1})
+        assert outcome.status is LookupStatus.NO_FRAME
+
+    def test_no_report_when_frame_untested(self):
+        lookup = TestCaseLookup(database=TestReportDatabase())
+        lookup.register(arrsum_spec(), arrsum_frame_selector)
+        outcome = lookup.consult(
+            "arrsum", {"a": ArrayValue.from_values([1, 2]), "n": 2}
+        )
+        assert outcome.status is LookupStatus.NO_REPORT
+        assert not outcome.answers_yes
+
+    def test_failed_report_blocks_yes(self):
+        database = TestReportDatabase()
+        database.add(
+            TestReport(
+                unit="arrsum",
+                frame_key=("two", "positive", "small"),
+                verdict=Verdict.FAIL,
+            )
+        )
+        lookup = TestCaseLookup(database=database)
+        lookup.register(arrsum_spec(), arrsum_frame_selector)
+        outcome = lookup.consult(
+            "arrsum", {"a": ArrayValue.from_values([1, 2]), "n": 2}
+        )
+        assert outcome.status is LookupStatus.FAILED_REPORT
+        assert not outcome.answers_yes
+
+    def test_menu_fallback_counts_interaction(self, arrsum_setup):
+        *_, database = arrsum_setup
+        chosen = frame_for_choices(
+            arrsum_spec(),
+            {
+                "size_of_array": "two",
+                "type_of_elements": "positive",
+                "deviation": "small",
+            },
+        )
+        lookup = TestCaseLookup(
+            database=database, menu=lambda spec, inputs: chosen
+        )
+        lookup.register(arrsum_spec())  # no selector: menu used
+        outcome = lookup.consult("arrsum", {"a": ArrayValue.from_values([1, 2])})
+        assert outcome.status is LookupStatus.VERIFIED
+        assert lookup.menu_interactions == 1
+
+    def test_statistics(self, arrsum_setup):
+        *_, database = arrsum_setup
+        lookup = TestCaseLookup(database=database)
+        lookup.register(arrsum_spec(), arrsum_frame_selector)
+        lookup.consult("arrsum", {"a": ArrayValue.from_values([1, 2]), "n": 2})
+        lookup.consult("other", {})
+        assert lookup.consultations == 2
+        assert lookup.hits == 1

@@ -1,0 +1,124 @@
+"""Debugging side-effectful programs *without* the transformation phase.
+
+The tracer annotates execution-tree nodes with GREF/GMOD globals, so
+queries about side-effecting procedures are well-posed even on the raw
+program — the transformation phase is what makes units independently
+*executable* (for test cases and isolated oracle calls), not what makes
+them traceable.
+"""
+
+import pytest
+
+from repro.core import AlgorithmicDebugger, ReferenceOracle
+from repro.pascal import analyze_source
+from repro.tracing import trace_source
+
+GLOBAL_HEAVY = """
+program g;
+var total, count: integer;
+procedure add(n: integer);
+begin
+  total := total + n + 1 (* bug: extra + 1 *)
+end;
+procedure tick;
+begin
+  count := count + 1
+end;
+procedure both(n: integer);
+begin
+  tick;
+  add(n)
+end;
+begin
+  total := 0;
+  count := 0;
+  both(10);
+  both(20);
+  writeln(total);
+  writeln(count)
+end.
+"""
+GLOBAL_FIXED = GLOBAL_HEAVY.replace(
+    "total := total + n + 1 (* bug: extra + 1 *)", "total := total + n"
+)
+
+
+class TestGlobalsInQueries:
+    def test_bindings_show_globals(self):
+        trace = trace_source(GLOBAL_HEAVY)
+        add = trace.tree.find("add")
+        total_in = add.input_binding("total")
+        total_out = add.output_binding("total")
+        assert total_in.is_global and total_out.is_global
+        assert total_in.value == 0
+        assert total_out.value == 11
+
+    def test_unmentioned_globals_absent(self):
+        trace = trace_source(GLOBAL_HEAVY)
+        add = trace.tree.find("add")
+        names = {binding.name for binding in add.inputs + add.outputs}
+        assert "count" not in names  # add never touches count
+
+    def test_render_matches_paper_question_style(self):
+        trace = trace_source(GLOBAL_HEAVY)
+        add = trace.tree.find("add")
+        assert add.render_head() == "add(In n: 10, In total: 0, Out total: 11)"
+
+
+class TestLocalizationWithoutTransform:
+    def test_bug_localized_on_raw_program(self):
+        trace = trace_source(GLOBAL_HEAVY)
+        oracle = ReferenceOracle(analyze_source(GLOBAL_FIXED))
+        result = AlgorithmicDebugger(trace, oracle).debug()
+        assert result.bug_unit == "add"
+
+    def test_side_effect_only_procedure_comparable(self):
+        trace = trace_source(GLOBAL_HEAVY)
+        oracle = ReferenceOracle(analyze_source(GLOBAL_FIXED))
+        result = AlgorithmicDebugger(trace, oracle).debug()
+        tick_events = [
+            event
+            for event in result.session.events
+            if event.text.startswith("tick")
+        ]
+        assert tick_events
+        assert "yes" in tick_events[0].answer_text
+
+    def test_slicing_works_on_raw_program(self):
+        from repro.slicing import DynamicCriterion, prune_tree
+
+        trace = trace_source(GLOBAL_HEAVY)
+        both = trace.tree.find("both")
+        view = prune_tree(
+            trace, DynamicCriterion(node=both, variable="total")
+        )
+        names = {node.unit_name for node in view.walk()}
+        assert "add" in names
+        assert "tick" not in names  # count computation is irrelevant
+
+    def test_enclosing_scope_side_effects(self):
+        source = """
+        program t;
+        var final: integer;
+        procedure owner(var final: integer);
+        var acc: integer;
+          procedure work(n: integer);
+          begin acc := acc + n * n end; (* bug: squares *)
+        begin
+          acc := 0;
+          work(2);
+          work(3);
+          final := acc
+        end;
+        begin owner(final); writeln(final) end.
+        """
+        fixed = source.replace("acc := acc + n * n end; (* bug: squares *)",
+                               "acc := acc + n end;")
+        trace = trace_source(source)
+        work = trace.tree.find("work")
+        # 'acc' is non-local to work (it lives in owner's frame): the
+        # binding is marked like a global for question purposes.
+        assert work.input_binding("acc").is_global
+        oracle = ReferenceOracle(analyze_source(fixed))
+        result = AlgorithmicDebugger(trace, oracle).debug()
+        assert result.bug_unit == "work"

@@ -1,0 +1,104 @@
+"""Unit tests for runtime values."""
+
+import pytest
+
+from repro.pascal.symbols import ArrayTypeInfo, BOOLEAN, INTEGER
+from repro.pascal.values import (
+    ArrayValue,
+    UNDEFINED,
+    copy_value,
+    default_value,
+    format_value,
+    type_of_value,
+    values_equal,
+)
+
+
+class TestArrayValue:
+    def test_bounds_and_defaults(self):
+        array = ArrayValue(2, 5)
+        assert array.low == 2 and array.high == 5
+        assert all(element is UNDEFINED for element in array.elements)
+
+    def test_from_values(self):
+        array = ArrayValue.from_values([10, 20, 30])
+        assert (array.low, array.high) == (1, 3)
+        assert array.get(2) == 20
+
+    def test_get_set_respect_low_bound(self):
+        array = ArrayValue(5, 7)
+        array.set(6, 42)
+        assert array.get(6) == 42
+        assert array.elements[1] == 42
+
+    def test_in_bounds(self):
+        array = ArrayValue(1, 3)
+        assert array.in_bounds(1) and array.in_bounds(3)
+        assert not array.in_bounds(0) and not array.in_bounds(4)
+
+    def test_wrong_element_count_raises(self):
+        with pytest.raises(ValueError):
+            ArrayValue(1, 3, [1, 2])
+
+    def test_copy_is_independent(self):
+        array = ArrayValue.from_values([1, 2])
+        duplicate = array.copy()
+        duplicate.set(1, 99)
+        assert array.get(1) == 1
+
+    def test_equality_structural(self):
+        assert ArrayValue.from_values([1, 2]) == ArrayValue.from_values([1, 2])
+        assert ArrayValue.from_values([1, 2]) != ArrayValue.from_values([2, 1])
+        assert ArrayValue(1, 2) != ArrayValue(0, 1)
+
+
+class TestFormatting:
+    def test_scalars(self):
+        assert format_value(3) == "3"
+        assert format_value(True) == "true"
+        assert format_value(False) == "false"
+        assert format_value("hi") == "'hi'"
+        assert format_value(UNDEFINED) == "?"
+
+    def test_array_paper_style(self):
+        assert format_value(ArrayValue.from_values([1, 2])) == "[1,2]"
+
+    def test_array_with_undefined_holes(self):
+        array = ArrayValue(1, 3)
+        array.set(1, 5)
+        assert format_value(array) == "[5,?,?]"
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            format_value(1.5)
+
+
+class TestHelpers:
+    def test_default_value_for_array_type(self):
+        value = default_value(ArrayTypeInfo(1, 2, INTEGER))
+        assert isinstance(value, ArrayValue)
+
+    def test_default_value_for_scalar(self):
+        assert default_value(INTEGER) is UNDEFINED
+
+    def test_copy_value_arrays_only(self):
+        array = ArrayValue.from_values([1])
+        assert copy_value(array) is not array
+        assert copy_value(5) == 5
+
+    def test_type_of_value(self):
+        assert type_of_value(1) is INTEGER
+        assert type_of_value(True) is BOOLEAN
+        array_type = type_of_value(ArrayValue.from_values([1, 2]))
+        assert isinstance(array_type, ArrayTypeInfo)
+
+    def test_values_equal_distinguishes_bool_int(self):
+        assert not values_equal(True, 1)
+        assert not values_equal(0, False)
+        assert values_equal(1, 1)
+        assert values_equal(True, True)
+
+    def test_undefined_is_singleton(self):
+        import copy
+
+        assert copy.deepcopy(UNDEFINED) is UNDEFINED

@@ -1,0 +1,92 @@
+"""Unit tests for the synthetic program generators."""
+
+import pytest
+
+from repro.pascal import run_source
+from repro.workloads import (
+    CallChainSpec,
+    CallTreeSpec,
+    generate_call_chain_program,
+    generate_call_tree_program,
+    generate_irrelevant_siblings_program,
+)
+
+
+class TestCallChain:
+    def test_buggy_and_fixed_differ(self):
+        generated = generate_call_chain_program(CallChainSpec(depth=5))
+        buggy = run_source(generated.source).output
+        fixed = run_source(generated.fixed_source).output
+        assert buggy != fixed
+
+    def test_fixed_value_is_arithmetic(self):
+        generated = generate_call_chain_program(
+            CallChainSpec(depth=4, seed_value=3)
+        )
+        # leaf doubles, then 3 increments: 3*2 + 3 = 9
+        assert run_source(generated.fixed_source).output == "9\n"
+
+    def test_bug_depth_validation(self):
+        with pytest.raises(ValueError):
+            generate_call_chain_program(CallChainSpec(depth=3, bug_depth=4))
+        with pytest.raises(ValueError):
+            generate_call_chain_program(CallChainSpec(depth=0))
+
+    def test_buggy_unit_name(self):
+        generated = generate_call_chain_program(
+            CallChainSpec(depth=5, bug_depth=2)
+        )
+        assert generated.buggy_unit == "c2"
+        # only c2 differs between the two sources
+        diff = [
+            (a, b)
+            for a, b in zip(
+                generated.source.splitlines(), generated.fixed_source.splitlines()
+            )
+            if a != b
+        ]
+        assert len(diff) == 1
+
+
+class TestSiblings:
+    def test_noise_identical_bug_in_y(self):
+        generated = generate_irrelevant_siblings_program(workers=5)
+        buggy_lines = run_source(generated.source).io.lines
+        fixed_lines = run_source(generated.fixed_source).io.lines
+        assert buggy_lines[0] != fixed_lines[0]  # y differs
+        assert buggy_lines[1] == fixed_lines[1]  # noise identical
+
+    def test_zero_workers(self):
+        generated = generate_irrelevant_siblings_program(workers=0)
+        assert run_source(generated.source).output  # still runs
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            generate_irrelevant_siblings_program(workers=-1)
+
+    def test_worker_count_scales_program(self):
+        small = generate_irrelevant_siblings_program(workers=2)
+        large = generate_irrelevant_siblings_program(workers=12)
+        assert len(large.source) > len(small.source)
+
+
+class TestCallTree:
+    def test_fixed_tree_value(self):
+        generated = generate_call_tree_program(CallTreeSpec(depth=3, seed_value=3))
+        # 8 leaves each computing 3 + 1 = 4 -> total 32
+        assert run_source(generated.fixed_source).output == "32\n"
+
+    def test_buggy_tree_off_by_one(self):
+        generated = generate_call_tree_program(CallTreeSpec(depth=3, buggy_leaf=0))
+        assert run_source(generated.source).output == "33\n"
+
+    def test_depth_zero_single_leaf(self):
+        generated = generate_call_tree_program(CallTreeSpec(depth=0))
+        assert generated.buggy_unit == "t_0_0"
+        assert run_source(generated.source).output != run_source(
+            generated.fixed_source
+        ).output
+
+    def test_buggy_leaf_validation(self):
+        with pytest.raises(ValueError):
+            generate_call_tree_program(CallTreeSpec(depth=2, buggy_leaf=4))
