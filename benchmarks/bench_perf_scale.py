@@ -1,46 +1,99 @@
 """PERF1 — wall-time scalability of the pipeline stages.
 
 Not a paper figure (the paper reports no timings): this series records
-how tracing, dynamic slicing, and a full debugging session scale with
-program size on this implementation, so regressions are visible.
+how plain execution, tracing, dynamic slicing, and a full debugging
+session scale with program size on this implementation, so regressions
+are visible from PR to PR.
 
-Measures: trace+debug on the largest call tree.
+The measurement logic lives in :func:`measure_series` /
+:func:`collect_perf_report` so the standalone runner
+(``benchmarks/run_perf.py``) can emit ``BENCH_perf.json`` — the
+repeatable per-stage record the performance trajectory is tracked
+against — while the pytest-benchmark test below keeps exercising the
+largest tree.
+
+Stages, per call-tree depth (2**depth leaves):
+
+* ``run_s``    — un-traced ``run_source`` (null-hook fast path);
+* ``trace_s``  — tracing: execution tree + dynamic dependence graph;
+* ``slice_s``  — dynamic backward slice from the program's output;
+* ``debug_s``  — a full divide-and-query debugging session against a
+  reference oracle;
+
+plus one mutation sweep (``mutants``) over the paper's Figure 4 program,
+the machine cost of the MUT1 accuracy experiment.
 """
 
 import time
 
 from benchmarks.helpers import debug_with
-from repro.pascal import analyze_source
+from repro.cache import cache_stats, clear_caches
+from repro.slicing import DynamicCriterion, dynamic_slice
 from repro.tracing import trace_source
+from repro.pascal import run_source
 from repro.workloads import (
+    FIGURE4_FIXED_SOURCE,
     CallTreeSpec,
     generate_call_tree_program,
 )
 
-DEPTHS = [2, 4, 6]  # 4, 16, 64 leaves
+#: 4, 16, 64, 256 leaves — depth 8 is the "deep tree" tier added with
+#: the fast-path engine; keep 6 as the cross-PR comparison point.
+DEPTHS = [2, 4, 6, 8]
 
 
-def measure_series():
+def _best_of(repeats, fn):
+    """Best-of-N wall time plus the last return value (repeatable runs)."""
+    best = None
+    value = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, value
+
+
+def measure_series(depths=DEPTHS, repeats=1):
+    """Per-depth, per-stage wall times over the call-tree family."""
     rows = []
-    for depth in DEPTHS:
+    for depth in depths:
         generated = generate_call_tree_program(CallTreeSpec(depth=depth))
-        started = time.perf_counter()
-        trace = trace_source(generated.source)
-        trace_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        result = debug_with(
-            trace, generated.fixed_source, strategy="divide-and-query"
+        # warm the content caches so stage timings measure the stage,
+        # not one-off lex/parse/analyze (run_perf reports cold separately)
+        run_source(generated.source)
+
+        run_seconds, _ = _best_of(repeats, lambda: run_source(generated.source))
+        trace_seconds, trace = _best_of(
+            repeats, lambda: trace_source(generated.source)
         )
-        debug_seconds = time.perf_counter() - started
+
+        criterion = DynamicCriterion.output_position(trace.root, 1)
+        slice_seconds, sliced = _best_of(
+            repeats, lambda: dynamic_slice(trace, criterion)
+        )
+
+        debug_seconds, result = _best_of(
+            repeats,
+            lambda: debug_with(
+                trace, generated.fixed_source, strategy="divide-and-query"
+            ),
+        )
         assert result.bug_unit == generated.buggy_unit
 
         rows.append(
             {
+                "depth": depth,
                 "leaves": 2**depth,
                 "tree_nodes": trace.tree.size(),
                 "occurrences": len(trace.dependence_graph),
+                "dep_edges": trace.dependence_graph.edge_count(),
+                "slice_occurrences": len(sliced),
+                "run_s": run_seconds,
                 "trace_s": trace_seconds,
+                "slice_s": slice_seconds,
                 "debug_s": debug_seconds,
                 "questions": result.user_questions,
             }
@@ -48,16 +101,62 @@ def measure_series():
     return rows
 
 
+def measure_mutants(workers=None, repeats=1):
+    """Wall time of the Figure 4 mutation sweep (the MUT1 machine cost)."""
+    from repro.workloads.mutants import accuracy, evaluate_mutants, generate_mutants
+
+    mutants = generate_mutants(FIGURE4_FIXED_SOURCE)
+    seconds, outcomes = _best_of(
+        repeats,
+        lambda: evaluate_mutants(FIGURE4_FIXED_SOURCE, mutants, workers=workers),
+    )
+    correct, debuggable = accuracy(outcomes)
+    return {
+        "mutants": len(mutants),
+        "workers": workers or 1,
+        "seconds": seconds,
+        "correct": correct,
+        "debuggable": debuggable,
+    }
+
+
+def measure_fast_path(depth=6, repeats=3):
+    """Cold vs warm un-traced execution: the null-hook fast path plus the
+    analysis cache is what plain ``run_source`` pays for."""
+    generated = generate_call_tree_program(CallTreeSpec(depth=depth))
+    clear_caches()
+    cold, _ = _best_of(1, lambda: run_source(generated.source))
+    warm, _ = _best_of(repeats, lambda: run_source(generated.source))
+    return {"depth": depth, "cold_s": cold, "warm_s": warm}
+
+
+def collect_perf_report(depths=DEPTHS, repeats=1, workers=None):
+    """The full ``BENCH_perf.json`` payload (see benchmarks/run_perf.py)."""
+    clear_caches()
+    report = {
+        "schema": "bench_perf/1",
+        "depths": list(depths),
+        "repeats": repeats,
+        "series": measure_series(depths=depths, repeats=repeats),
+        "mutants": measure_mutants(workers=workers, repeats=repeats),
+        "fast_path": measure_fast_path(),
+        "cache": cache_stats(),
+    }
+    return report
+
+
 def test_perf_scale(benchmark):
     rows = measure_series()
 
     print("\n[PERF1] wall-time scaling (divide-and-query debugging):")
     print(f"  {'leaves':>7} {'nodes':>6} {'occs':>6} "
-          f"{'trace(s)':>9} {'debug(s)':>9} {'questions':>10}")
+          f"{'run(s)':>9} {'trace(s)':>9} {'slice(s)':>9} "
+          f"{'debug(s)':>9} {'questions':>10}")
     for row in rows:
         print(
             f"  {row['leaves']:>7} {row['tree_nodes']:>6} "
-            f"{row['occurrences']:>6} {row['trace_s']:>9.4f} "
+            f"{row['occurrences']:>6} {row['run_s']:>9.4f} "
+            f"{row['trace_s']:>9.4f} {row['slice_s']:>9.4f} "
             f"{row['debug_s']:>9.4f} {row['questions']:>10}"
         )
     print("[PERF1] tracing grows linearly with executed statements; "
@@ -66,7 +165,7 @@ def test_perf_scale(benchmark):
     # questions sublinear in leaves
     assert rows[-1]["questions"] < rows[-1]["leaves"]
 
-    generated = generate_call_tree_program(CallTreeSpec(depth=DEPTHS[-1]))
+    generated = generate_call_tree_program(CallTreeSpec(depth=6))
 
     def run():
         trace = trace_source(generated.source)

@@ -1,0 +1,86 @@
+"""Standalone perf runner: emits ``BENCH_perf.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf.py [--depths 2,4,6,8]
+        [--repeats 3] [--workers N] [--output BENCH_perf.json]
+
+Runs the PERF1 stage series (un-traced run, trace, dynamic slice,
+debug, mutation sweep) from :mod:`benchmarks.bench_perf_scale` and
+writes one JSON document so the performance trajectory is tracked in a
+stable, diffable artifact from PR to PR. Smoke mode (``--depths 2``) is
+what CI runs; the full series is for local measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# allow `python benchmarks/run_perf.py` from the repo root without -m
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_perf_scale import DEPTHS, collect_perf_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--depths",
+        default=",".join(str(d) for d in DEPTHS),
+        help="comma-separated call-tree depths (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of-N repeats per stage (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the mutation sweep (default: sequential)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_perf.json",
+        help="output path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    depths = [int(part) for part in args.depths.split(",") if part.strip()]
+    report = collect_perf_report(
+        depths=depths, repeats=args.repeats, workers=args.workers
+    )
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {output}")
+    print(f"  {'leaves':>7} {'run(s)':>9} {'trace(s)':>9} "
+          f"{'slice(s)':>9} {'debug(s)':>9} {'questions':>10}")
+    for row in report["series"]:
+        print(
+            f"  {row['leaves']:>7} {row['run_s']:>9.4f} {row['trace_s']:>9.4f} "
+            f"{row['slice_s']:>9.4f} {row['debug_s']:>9.4f} "
+            f"{row['questions']:>10}"
+        )
+    mutants = report["mutants"]
+    print(
+        f"  mutation sweep: {mutants['mutants']} mutants in "
+        f"{mutants['seconds']:.3f}s ({mutants['workers']} worker(s)), "
+        f"{mutants['correct']}/{mutants['debuggable']} localized"
+    )
+    fast = report["fast_path"]
+    print(
+        f"  un-traced run (depth {fast['depth']}): cold {fast['cold_s']:.4f}s, "
+        f"warm {fast['warm_s']:.4f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Content-addressed caches for analysis and transformation results.
+
+Benchmarks, mutation sweeps, and reference oracles repeatedly feed the
+*same* source text through lex → parse → analyze (and the transformation
+pipeline). Those stages are pure functions of the source, so their
+results are cached here keyed on the SHA-256 of the text: an identical
+source returns the identical result object; any edit — even one
+character — produces a different digest and therefore a fresh build.
+
+Sharing a result object is safe because every consumer treats analyzed
+programs as immutable: the transformation passes are *copying* rewriters
+(:mod:`repro.transform.rewriter`), the interpreter only reads the
+resolution tables, and the mutation generator restores every flip before
+returning. Tracing and debugging state always lives in per-run objects
+(trees, dependence graphs), never in the analysis.
+
+Caches are bounded LRU (a mutation sweep over thousands of distinct
+mutant sources must not retain every analysis), can be disabled globally
+with :func:`set_enabled`, cleared with :func:`clear_caches`, and report
+hit/miss counters through :func:`cache_stats` so the benchmark harness
+can show what the cache is doing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Callable
+
+#: global switch — when False every lookup misses and nothing is stored
+_ENABLED = True
+
+
+def set_enabled(enabled: bool) -> None:
+    """Turn all content caches on or off (off → every lookup rebuilds)."""
+    global _ENABLED
+    _ENABLED = enabled
+
+
+def source_key(source: str, *extra: object) -> tuple:
+    """Cache key for ``source``: content digest plus option fingerprint."""
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return (digest, *extra)
+
+
+class ContentCache:
+    """A named, bounded, LRU content cache with hit/miss counters."""
+
+    __slots__ = ("name", "max_entries", "hits", "misses", "_store")
+
+    def __init__(self, name: str, max_entries: int = 256):
+        self.name = name
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[tuple, Any] = OrderedDict()
+
+    def get_or_build(self, key: tuple, build: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, building (and storing) on miss."""
+        if not _ENABLED:
+            return build()
+        store = self._store
+        value = store.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            store.move_to_end(key)
+            return value
+        self.misses += 1
+        value = build()
+        store[key] = value
+        if len(store) > self.max_entries:
+            store.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+_MISSING = object()
+
+#: every cache created via :func:`register`, by name
+_CACHES: dict[str, ContentCache] = {}
+
+
+def register(name: str, max_entries: int = 256) -> ContentCache:
+    """Create (or fetch) the named cache. Module-level singletons."""
+    cache = _CACHES.get(name)
+    if cache is None:
+        cache = ContentCache(name, max_entries=max_entries)
+        _CACHES[name] = cache
+    return cache
+
+
+def clear_caches() -> None:
+    """Drop every cached entry (counters are kept)."""
+    for cache in _CACHES.values():
+        cache.clear()
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Per-cache entry/hit/miss counts, keyed by cache name."""
+    return {name: cache.stats() for name, cache in sorted(_CACHES.items())}

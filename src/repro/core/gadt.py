@@ -27,12 +27,11 @@ from repro.core.algorithmic import AlgorithmicDebugger, DebugResult
 from repro.core.assertions import AssertionStore
 from repro.core.oracle import Oracle
 from repro.core.strategies import Strategy
-from repro.pascal.parser import parse_program
-from repro.pascal.semantics import AnalyzedProgram, analyze
+from repro.pascal.semantics import AnalyzedProgram
 from repro.tgen.lookup import TestCaseLookup
 from repro.tracing.execution_tree import ExecNode
 from repro.tracing.tracer import TraceResult, trace_program
-from repro.transform.pipeline import TransformedProgram, transform_program
+from repro.transform.pipeline import TransformedProgram, transform_source
 
 
 class GadtDebugger(AlgorithmicDebugger):
@@ -109,8 +108,13 @@ class GadtSystem:
         (transparent debugging, paper §6.1). ``tolerate_errors`` lets a
         crashing program yield its partial execution tree so the crash
         itself can be debugged.
+
+        The transformation phase is served from the content-addressed
+        transform cache (pure function of the source text); only the
+        trace — which depends on ``program_inputs`` and carries all
+        per-run state — is built fresh on every call.
         """
-        transformed = transform_program(analyze(parse_program(source)))
+        transformed = transform_source(source)
         trace = trace_program(
             transformed.analysis,
             inputs=program_inputs,

@@ -21,6 +21,13 @@ Global gotos (exit side effects) propagate as :class:`GotoSignal` through
 routine frames until a frame whose statement list defines the label
 catches them, faithfully modelling the paper's pre-transformation
 semantics.
+
+Execution speed (see ``docs/PERFORMANCE.md``): statements and expressions
+are dispatched through precomputed per-node-type tables instead of
+``isinstance`` chains, and when no observer is attached (``hooks=None``,
+the plain ``run_source`` case) the interpreter switches to a *null-hook
+fast path* that skips every :class:`ExecutionHooks` callback — the hot
+loop then pays nothing for the tracing machinery it is not using.
 """
 
 from __future__ import annotations
@@ -74,7 +81,7 @@ class Cell:
         return f"<Cell {name}={self.value!r}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """An activation record: one per routine call, plus one for globals."""
 
@@ -131,6 +138,12 @@ class ExecutionHooks:
 
     def io_write(self, text: str) -> None:
         """The program wrote ``text`` to its output."""
+
+
+#: Shared no-op hook instance used when execution is unobserved. Hot
+#: paths additionally test ``self._hk is None`` so the fast path never
+#: pays for a Python-level no-op call.
+_NULL_HOOKS = ExecutionHooks()
 
 
 class PascalIO:
@@ -236,11 +249,18 @@ class Interpreter:
     ):
         self.analysis = analysis
         self.io = io if io is not None else PascalIO()
-        self.hooks = hooks if hooks is not None else ExecutionHooks()
+        self.hooks = hooks if hooks is not None else _NULL_HOOKS
         self.step_limit = step_limit
         self.steps = 0
         self.globals_frame: Frame | None = None
         self._frames: list[Frame] = []
+        # Null-hook fast path: a bare ExecutionHooks (or None) observes
+        # nothing, so skip every callback. ``_hk`` is the single flag the
+        # hot paths test; the per-statement wrapper is swapped wholesale.
+        observed = hooks is not None and type(hooks) is not ExecutionHooks
+        self._hk: ExecutionHooks | None = self.hooks if observed else None
+        if not observed:
+            self._exec_stmt = self._exec_stmt_fast  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # entry points
@@ -248,7 +268,9 @@ class Interpreter:
     def run(self) -> ExecutionResult:
         """Execute the whole program from its main body."""
         frame = self._make_globals_frame()
-        self.hooks.enter_routine(None, self.analysis.main, frame)
+        hk = self._hk
+        if hk is not None:
+            hk.enter_routine(None, self.analysis.main, frame)
         via_goto: Symbol | None = None
         with _RecursionHeadroom():
             try:
@@ -258,7 +280,8 @@ class Interpreter:
                     f"goto {signal.label.name} escaped the program", signal.location
                 )
             finally:
-                self.hooks.exit_routine(self.analysis.main, frame, via_goto)
+                if hk is not None:
+                    hk.exit_routine(self.analysis.main, frame, via_goto)
         return ExecutionResult(io=self.io, globals_frame=frame, steps=self.steps)
 
     def call_routine_by_name(
@@ -402,7 +425,9 @@ class Interpreter:
             frame.result_cell = Cell(UNDEFINED, symbol=info.result_symbol)
 
         self._frames.append(frame)
-        self.hooks.enter_routine(call, info, frame)
+        hk = self._hk
+        if hk is not None:
+            hk.enter_routine(call, info, frame)
         via_goto: Symbol | None = None
         try:
             self._exec_stmt(info.block.body, frame)
@@ -410,7 +435,8 @@ class Interpreter:
             via_goto = signal.label
             raise
         finally:
-            self.hooks.exit_routine(info, frame, via_goto)
+            if hk is not None:
+                hk.exit_routine(info, frame, via_goto)
             self._frames.pop()
 
         if frame.result_cell is not None:
@@ -433,37 +459,54 @@ class Interpreter:
             )
 
     def _exec_stmt(self, stmt: ast.Stmt, frame: Frame) -> None:
-        self._tick(stmt)
-        self.hooks.before_stmt(stmt, frame)
-        if isinstance(stmt, ast.EmptyStmt):
-            pass
-        elif isinstance(stmt, ast.Compound):
-            self._exec_stmt_list(stmt.statements, frame)
-        elif isinstance(stmt, ast.Assign):
-            self._exec_assign(stmt, frame)
-        elif isinstance(stmt, ast.ProcCall):
-            self._exec_proc_call(stmt, frame)
-        elif isinstance(stmt, ast.If):
-            condition = self._eval(stmt.condition, frame)
-            self.hooks.branch(stmt, frame, condition)
-            if condition:
-                self._exec_stmt(stmt.then_branch, frame)
-            elif stmt.else_branch is not None:
-                self._exec_stmt(stmt.else_branch, frame)
-        elif isinstance(stmt, ast.While):
-            self._exec_while(stmt, frame)
-        elif isinstance(stmt, ast.Repeat):
-            self._exec_repeat(stmt, frame)
-        elif isinstance(stmt, ast.For):
-            self._exec_for(stmt, frame)
-        elif isinstance(stmt, ast.Goto):
-            label = self.analysis.goto_target[stmt.node_id]
-            raise GotoSignal(label, stmt.location)
-        else:
-            raise PascalRuntimeError(
-                f"cannot execute {type(stmt).__name__}", stmt.location
+        """Traced statement dispatch (hooks observe every statement)."""
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise StepLimitExceeded(
+                f"execution exceeded {self.step_limit} steps", stmt.location
             )
-        self.hooks.after_stmt(stmt, frame)
+        handler = _STMT_DISPATCH.get(stmt.__class__)
+        if handler is None:
+            handler = _register_subclass(_STMT_DISPATCH, stmt, "execute")
+        hooks = self.hooks
+        hooks.before_stmt(stmt, frame)
+        handler(self, stmt, frame)
+        hooks.after_stmt(stmt, frame)
+
+    def _exec_stmt_fast(self, stmt: ast.Stmt, frame: Frame) -> None:
+        """Null-hook statement dispatch (installed as ``_exec_stmt`` when
+        no observer is attached): no callback overhead at all."""
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise StepLimitExceeded(
+                f"execution exceeded {self.step_limit} steps", stmt.location
+            )
+        handler = _STMT_DISPATCH.get(stmt.__class__)
+        if handler is None:
+            handler = _register_subclass(_STMT_DISPATCH, stmt, "execute")
+        handler(self, stmt, frame)
+
+    # individual statement handlers (dispatch table targets) -----------
+
+    def _exec_empty(self, stmt: ast.EmptyStmt, frame: Frame) -> None:
+        pass
+
+    def _exec_compound(self, stmt: ast.Compound, frame: Frame) -> None:
+        self._exec_stmt_list(stmt.statements, frame)
+
+    def _exec_if(self, stmt: ast.If, frame: Frame) -> None:
+        condition = self._eval(stmt.condition, frame)
+        hk = self._hk
+        if hk is not None:
+            hk.branch(stmt, frame, condition)
+        if condition:
+            self._exec_stmt(stmt.then_branch, frame)
+        elif stmt.else_branch is not None:
+            self._exec_stmt(stmt.else_branch, frame)
+
+    def _exec_goto(self, stmt: ast.Goto, frame: Frame) -> None:
+        label = self.analysis.goto_target[stmt.node_id]
+        raise GotoSignal(label, stmt.location)
 
     def _exec_stmt_list(self, statements: list[ast.Stmt], frame: Frame) -> None:
         labels = {
@@ -506,7 +549,9 @@ class Interpreter:
                     target.location,
                 )
             array.set(index, value)
-        self.hooks.cell_write(cell, index, value)
+        hk = self._hk
+        if hk is not None:
+            hk.cell_write(cell, index, value)
 
     def _exec_proc_call(self, stmt: ast.ProcCall, frame: Frame) -> None:
         if stmt.name in IO_PROCEDURES:
@@ -518,21 +563,26 @@ class Interpreter:
                 for arg in stmt.args
                 if not isinstance(arg, ast.StringLiteral)
             ]
-            self.hooks.trace_action(stmt, frame, values)
+            hk = self._hk
+            if hk is not None:
+                hk.trace_action(stmt, frame, values)
             return
         target = self.analysis.call_target[stmt.node_id]
         self._call_routine(stmt, target, stmt.args, frame)
 
     def _exec_io(self, stmt: ast.ProcCall, frame: Frame) -> None:
         if stmt.name in ("write", "writeln"):
+            hk = self._hk
             for arg in stmt.args:
                 value = self._eval(arg, frame)
                 text = value if isinstance(value, str) else format_value(value)
                 self.io.write(text)
-                self.hooks.io_write(text)
+                if hk is not None:
+                    hk.io_write(text)
             if stmt.name == "writeln":
                 self.io.write("\n")
-                self.hooks.io_write("\n")
+                if hk is not None:
+                    hk.io_write("\n")
             return
         for arg in stmt.args:
             value = self.io.read_value(stmt.location)
@@ -540,43 +590,55 @@ class Interpreter:
             self._store(cell, index, value, arg)
 
     def _exec_while(self, stmt: ast.While, frame: Frame) -> None:
-        self.hooks.loop_enter(stmt, frame)
+        hk = self._hk
+        if hk is not None:
+            hk.loop_enter(stmt, frame)
         iterations = 0
         try:
             while True:
                 self._tick(stmt)
                 condition = self._eval(stmt.condition, frame)
-                self.hooks.branch(stmt, frame, condition)
+                if hk is not None:
+                    hk.branch(stmt, frame, condition)
                 if not condition:
                     break
                 iterations += 1
-                self.hooks.loop_iteration(stmt, frame, iterations)
+                if hk is not None:
+                    hk.loop_iteration(stmt, frame, iterations)
                 self._exec_stmt(stmt.body, frame)
         finally:
-            self.hooks.loop_exit(stmt, frame, iterations)
+            if hk is not None:
+                hk.loop_exit(stmt, frame, iterations)
 
     def _exec_repeat(self, stmt: ast.Repeat, frame: Frame) -> None:
-        self.hooks.loop_enter(stmt, frame)
+        hk = self._hk
+        if hk is not None:
+            hk.loop_enter(stmt, frame)
         iterations = 0
         try:
             while True:
                 self._tick(stmt)
                 iterations += 1
-                self.hooks.loop_iteration(stmt, frame, iterations)
+                if hk is not None:
+                    hk.loop_iteration(stmt, frame, iterations)
                 self._exec_stmt_list(stmt.body, frame)
                 condition = self._eval(stmt.condition, frame)
-                self.hooks.branch(stmt, frame, condition)
+                if hk is not None:
+                    hk.branch(stmt, frame, condition)
                 if condition:
                     break
         finally:
-            self.hooks.loop_exit(stmt, frame, iterations)
+            if hk is not None:
+                hk.loop_exit(stmt, frame, iterations)
 
     def _exec_for(self, stmt: ast.For, frame: Frame) -> None:
         symbol = self.analysis.for_symbol[stmt.node_id]
         cell = self._lookup_cell(symbol, frame)
         start = self._expect_int(self._eval(stmt.start, frame), stmt.start)
         stop = self._expect_int(self._eval(stmt.stop, frame), stmt.stop)
-        self.hooks.loop_enter(stmt, frame)
+        hk = self._hk
+        if hk is not None:
+            hk.loop_enter(stmt, frame)
         iterations = 0
         try:
             step = -1 if stmt.downto else 1
@@ -585,39 +647,30 @@ class Interpreter:
                 self._tick(stmt)
                 iterations += 1
                 cell.value = current
-                self.hooks.cell_write(cell, None, current)
-                self.hooks.loop_iteration(stmt, frame, iterations)
+                if hk is not None:
+                    hk.cell_write(cell, None, current)
+                    hk.loop_iteration(stmt, frame, iterations)
                 self._exec_stmt(stmt.body, frame)
                 current += step
         finally:
-            self.hooks.loop_exit(stmt, frame, iterations)
+            if hk is not None:
+                hk.loop_exit(stmt, frame, iterations)
 
     # ------------------------------------------------------------------
     # expressions
 
     def _eval(self, expr: ast.Expr, frame: Frame) -> object:
-        if isinstance(expr, ast.IntLiteral):
-            return expr.value
-        if isinstance(expr, ast.BoolLiteral):
-            return expr.value
-        if isinstance(expr, ast.StringLiteral):
-            return expr.value
-        if isinstance(expr, ast.VarRef):
-            return self._eval_var(expr, frame)
-        if isinstance(expr, ast.IndexedRef):
-            return self._eval_indexed(expr, frame)
-        if isinstance(expr, ast.ArrayLiteral):
-            return ArrayValue.from_values(
-                self._eval(element, frame) for element in expr.elements
-            )
-        if isinstance(expr, ast.FuncCall):
-            return self._eval_func_call(expr, frame)
-        if isinstance(expr, ast.UnaryOp):
-            return self._eval_unary(expr, frame)
-        if isinstance(expr, ast.BinaryOp):
-            return self._eval_binary(expr, frame)
-        raise PascalRuntimeError(
-            f"cannot evaluate {type(expr).__name__}", expr.location
+        handler = _EXPR_DISPATCH.get(expr.__class__)
+        if handler is None:
+            handler = _register_subclass(_EXPR_DISPATCH, expr, "evaluate")
+        return handler(self, expr, frame)
+
+    def _eval_literal(self, expr: ast.Expr, frame: Frame) -> object:
+        return expr.value  # type: ignore[attr-defined]
+
+    def _eval_array_literal(self, expr: ast.ArrayLiteral, frame: Frame) -> object:
+        return ArrayValue.from_values(
+            self._eval(element, frame) for element in expr.elements
         )
 
     def _eval_var(self, expr: ast.VarRef, frame: Frame) -> object:
@@ -625,7 +678,9 @@ class Interpreter:
         if symbol.kind is SymbolKind.CONSTANT:
             return symbol.const_value
         cell = self._lookup_cell(symbol, frame)
-        self.hooks.cell_read(cell, None)
+        hk = self._hk
+        if hk is not None:
+            hk.cell_read(cell, None)
         if cell.value is UNDEFINED:
             raise UndefinedValueError(
                 f"'{symbol.name}' used before assignment", expr.location
@@ -643,7 +698,9 @@ class Interpreter:
                 f"index {index} out of bounds [{array.low}..{array.high}]",
                 expr.location,
             )
-        self.hooks.cell_read(cell, index)
+        hk = self._hk
+        if hk is not None:
+            hk.cell_read(cell, index)
         value = array.get(index)
         if value is UNDEFINED:
             raise UndefinedValueError(
@@ -798,13 +855,62 @@ class Interpreter:
         return value
 
 
+# ----------------------------------------------------------------------
+# dispatch tables
+#
+# Precomputed per-node-type tables replace the former ``isinstance``-elif
+# chains: statement/expression dispatch is a single dict lookup on the
+# node's concrete class. Unknown classes (e.g. an ast subclass defined by
+# an extension) fall back to an ``isinstance`` scan once, then are
+# memoized into the table.
+
+_STMT_DISPATCH: dict[type, object] = {
+    ast.EmptyStmt: Interpreter._exec_empty,
+    ast.Compound: Interpreter._exec_compound,
+    ast.Assign: Interpreter._exec_assign,
+    ast.ProcCall: Interpreter._exec_proc_call,
+    ast.If: Interpreter._exec_if,
+    ast.While: Interpreter._exec_while,
+    ast.Repeat: Interpreter._exec_repeat,
+    ast.For: Interpreter._exec_for,
+    ast.Goto: Interpreter._exec_goto,
+}
+
+_EXPR_DISPATCH: dict[type, object] = {
+    ast.IntLiteral: Interpreter._eval_literal,
+    ast.BoolLiteral: Interpreter._eval_literal,
+    ast.StringLiteral: Interpreter._eval_literal,
+    ast.VarRef: Interpreter._eval_var,
+    ast.IndexedRef: Interpreter._eval_indexed,
+    ast.ArrayLiteral: Interpreter._eval_array_literal,
+    ast.FuncCall: Interpreter._eval_func_call,
+    ast.UnaryOp: Interpreter._eval_unary,
+    ast.BinaryOp: Interpreter._eval_binary,
+}
+
+
+def _register_subclass(table: dict[type, object], node: ast.Node, verb: str):
+    """Memoize dispatch for an ast subclass not directly in the table."""
+    for base, handler in list(table.items()):
+        if isinstance(node, base):
+            table[node.__class__] = handler
+            return handler
+    raise PascalRuntimeError(
+        f"cannot {verb} {type(node).__name__}", node.location
+    )
+
+
 def run_source(
     source: str,
     inputs: list[object] | None = None,
     hooks: ExecutionHooks | None = None,
     step_limit: int = 2_000_000,
 ) -> ExecutionResult:
-    """Parse, analyze, and run a program in one call."""
+    """Parse, analyze, and run a program in one call.
+
+    Analysis is served from the content-addressed cache (keyed on the
+    source text), so repeated runs of the same program only pay for
+    execution."""
     from repro.pascal.semantics import analyze_source
 
     analysis = analyze_source(source)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import cache as _cache
 from repro.pascal import ast_nodes as ast
 from repro.pascal.errors import SemanticError
 from repro.pascal.symbols import (
@@ -761,8 +762,23 @@ def analyze(program: ast.Program) -> AnalyzedProgram:
     return SemanticAnalyzer(program).analyze()
 
 
-def analyze_source(source: str) -> AnalyzedProgram:
-    """Parse and analyze Mini-Pascal source text."""
+#: content-addressed cache for :func:`analyze_source` (see repro.cache)
+_ANALYSIS_CACHE = _cache.register("analysis")
+
+
+def analyze_source(source: str, cached: bool = True) -> AnalyzedProgram:
+    """Parse and analyze Mini-Pascal source text.
+
+    Results are served from a content-addressed cache keyed on the
+    source hash: identical text returns the identical
+    :class:`AnalyzedProgram` object (analysis is pure and consumers
+    never mutate it); any edit yields a fresh analysis. Pass
+    ``cached=False`` to force a rebuild.
+    """
     from repro.pascal.parser import parse_program
 
-    return analyze(parse_program(source))
+    if not cached:
+        return analyze(parse_program(source))
+    return _ANALYSIS_CACHE.get_or_build(
+        _cache.source_key(source), lambda: analyze(parse_program(source))
+    )

