@@ -103,7 +103,12 @@ def measure_series(depths=DEPTHS, repeats=1):
 
 def measure_mutants(workers=None, repeats=1):
     """Wall time of the Figure 4 mutation sweep (the MUT1 machine cost)."""
-    from repro.workloads.mutants import accuracy, evaluate_mutants, generate_mutants
+    from repro.workloads.mutants import (
+        accuracy,
+        evaluate_mutants,
+        generate_mutants,
+        summarize,
+    )
 
     mutants = generate_mutants(FIGURE4_FIXED_SOURCE)
     seconds, outcomes = _best_of(
@@ -117,6 +122,7 @@ def measure_mutants(workers=None, repeats=1):
         "seconds": seconds,
         "correct": correct,
         "debuggable": debuggable,
+        "by_status": summarize(outcomes),
     }
 
 
@@ -130,16 +136,45 @@ def measure_fast_path(depth=6, repeats=3):
     return {"depth": depth, "cold_s": cold, "warm_s": warm}
 
 
+def measure_obs(depth=6):
+    """One instrumented trace+debug: the obs metrics and the per-session
+    answer-source accounting embedded into ``BENCH_perf.json``.
+
+    Runs *after* the timed stages (observability stays off while wall
+    times are measured) on the warm cross-PR comparison depth.
+    """
+    from repro import obs
+
+    generated = generate_call_tree_program(CallTreeSpec(depth=depth))
+    obs.reset()
+    obs.enable()
+    try:
+        trace = trace_source(generated.source)
+        result = debug_with(
+            trace, generated.fixed_source, strategy="divide-and-query"
+        )
+        assert result.bug_unit == generated.buggy_unit
+        return {
+            "depth": depth,
+            "metrics": obs.snapshot(),
+            "session": result.report(),
+        }
+    finally:
+        obs.disable()
+        obs.reset()
+
+
 def collect_perf_report(depths=DEPTHS, repeats=1, workers=None):
     """The full ``BENCH_perf.json`` payload (see benchmarks/run_perf.py)."""
     clear_caches()
     report = {
-        "schema": "bench_perf/1",
+        "schema": "bench_perf/2",
         "depths": list(depths),
         "repeats": repeats,
         "series": measure_series(depths=depths, repeats=repeats),
         "mutants": measure_mutants(workers=workers, repeats=repeats),
         "fast_path": measure_fast_path(),
+        "obs": measure_obs(depth=min(6, max(depths))),
         "cache": cache_stats(),
     }
     return report

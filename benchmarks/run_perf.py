@@ -69,15 +69,28 @@ def main(argv: list[str] | None = None) -> int:
             f"{row['questions']:>10}"
         )
     mutants = report["mutants"]
+    by_status = ", ".join(
+        f"{status} {count}" for status, count in mutants["by_status"].items()
+    )
     print(
         f"  mutation sweep: {mutants['mutants']} mutants in "
         f"{mutants['seconds']:.3f}s ({mutants['workers']} worker(s)), "
-        f"{mutants['correct']}/{mutants['debuggable']} localized"
+        f"{mutants['correct']}/{mutants['debuggable']} localized ({by_status})"
     )
     fast = report["fast_path"]
     print(
         f"  un-traced run (depth {fast['depth']}): cold {fast['cold_s']:.4f}s, "
         f"warm {fast['warm_s']:.4f}s"
+    )
+    session = report["obs"]["session"]
+    sources = ", ".join(
+        f"{source} {count}"
+        for source, count in session["queries"]["by_source"].items()
+    )
+    print(
+        f"  obs (depth {report['obs']['depth']}): "
+        f"{session['queries']['total']} queries ({sources}), "
+        f"{session['interactions_saved']} interactions saved"
     )
     return 0
 

@@ -7,10 +7,22 @@
     python -m repro debug PROGRAM [--reference FIXED] [--strategy S]
                                   [--no-slicing] [--input V ...]
     python -m repro frames SPECFILE
+    python -m repro mutate PROGRAM [--evaluate]
+    python -m repro stats PROGRAM [--reference FIXED]
 
 `debug` without ``--reference`` runs an interactive session: you answer
 the questions (yes / no / no <k> / no <name> / assert <expr> / ?); with
 ``--reference`` a simulated user backed by the fixed program answers.
+
+The ``run``, ``trace``, ``debug``, ``mutate``, and ``stats`` subcommands
+take ``--profile`` (print a phase/metric summary on stderr after the
+command) and ``--events PATH`` (stream observability events as JSONL);
+see ``docs/OBSERVABILITY.md``.
+
+Exit codes are uniform across subcommands: **0** success, **1** the
+command ran but the outcome is negative (bug not localized, mutation
+accuracy below 100%), **2** usage or input errors (bad flags, missing or
+unparsable files, unknown criteria).
 """
 
 from __future__ import annotations
@@ -19,6 +31,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.core import (
     AlgorithmicDebugger,
     GadtSystem,
@@ -124,7 +137,7 @@ def cmd_debug(args: argparse.Namespace) -> int:
     debugger = system.debugger(
         oracle, strategy=args.strategy, enable_slicing=not args.no_slicing
     )
-    result = debugger.debug()
+    result = debugger.debug(assume_symptom=not args.query_symptom)
 
     print(result.session.render())
     if result.bug_node is not None:
@@ -133,11 +146,18 @@ def cmd_debug(args: argparse.Namespace) -> int:
         f"questions: {result.user_questions} user, "
         f"{result.auto_answers} automatic; slices: {result.slices}"
     )
+    if getattr(args, "profile", False):
+        print(obs.report.render_answer_sources(result.report()))
     return 0 if result.localized else 1
 
 
 def cmd_mutate(args: argparse.Namespace) -> int:
-    from repro.workloads.mutants import accuracy, evaluate_mutants, generate_mutants
+    from repro.workloads.mutants import (
+        accuracy,
+        evaluate_mutants,
+        generate_mutants,
+        summarize,
+    )
 
     source = _read(args.program)
     mutants = generate_mutants(
@@ -148,14 +168,19 @@ def cmd_mutate(args: argparse.Namespace) -> int:
         for index, mutant in enumerate(mutants, start=1):
             print(f"  {index:3d}. [{mutant.kind}] {mutant.description}")
         return 0
-    outcomes = evaluate_mutants(source, mutants)
+    outcomes = evaluate_mutants(source, mutants, workers=args.workers)
     for outcome in outcomes:
         detail = (
             f"-> {outcome.localized_unit} ({outcome.user_questions} questions)"
             if outcome.status in ("localized", "mislocalized")
             else ""
         )
-        print(f"  {outcome.status:>12}  {outcome.mutant.description} {detail}")
+        print(f"  {outcome.status:>13}  {outcome.mutant.description} {detail}")
+    counts = summarize(outcomes)
+    print(
+        "outcomes: "
+        + ", ".join(f"{status} {count}" for status, count in counts.items())
+    )
     correct, debuggable = accuracy(outcomes)
     print(f"localization accuracy: {correct}/{debuggable}")
     return 0 if correct == debuggable else 1
@@ -176,22 +201,68 @@ def cmd_frames(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run the pipeline (and optionally a reference-oracle debug session)
+    with observability forced on; print the full metric summary."""
+    source = _read(args.program)
+    system = GadtSystem.from_source(
+        source, program_inputs=_parse_inputs(args.input)
+    )
+    print(f"program: {system.analysis.program.name}")
+    print(f"tree: {system.trace.tree.size()} activation(s)")
+    print(
+        f"dependences: {len(system.trace.dependence_graph)} occurrence(s), "
+        f"{system.trace.dependence_graph.edge_count()} edge(s)"
+    )
+    if args.reference:
+        oracle = ReferenceOracle.from_source(
+            _read(args.reference), program_inputs=_parse_inputs(args.input)
+        )
+        result = system.debugger(oracle, strategy=args.strategy).debug()
+        print(f"localized: {result.bug_unit or 'no'}")
+        print(obs.report.render_answer_sources(result.report()))
+    print(obs.report.render_summary(obs.snapshot()))
+    return 0
+
+
 # ----------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="GADT: generalized algorithmic debugging and testing",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = sub.add_parser("run", help="execute a Mini-Pascal program")
+    # observability flags shared by the pipeline-running subcommands
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_parent.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a phase/metric summary on stderr after the command",
+    )
+    obs_parent.add_argument(
+        "--events",
+        metavar="PATH",
+        help="stream observability events to PATH as JSON lines",
+    )
+
+    run_parser = sub.add_parser(
+        "run", parents=[obs_parent], help="execute a Mini-Pascal program"
+    )
     run_parser.add_argument("program")
     run_parser.add_argument("--input", action="append", metavar="V")
     run_parser.set_defaults(func=cmd_run)
 
-    trace_parser = sub.add_parser("trace", help="print the execution tree")
+    trace_parser = sub.add_parser(
+        "trace", parents=[obs_parent], help="print the execution tree"
+    )
     trace_parser.add_argument("program")
     trace_parser.add_argument("--input", action="append", metavar="V")
     trace_parser.add_argument(
@@ -225,7 +296,9 @@ def build_parser() -> argparse.ArgumentParser:
     slice_parser.add_argument("--input", action="append", metavar="V")
     slice_parser.set_defaults(func=cmd_slice)
 
-    debug_parser = sub.add_parser("debug", help="run a debugging session")
+    debug_parser = sub.add_parser(
+        "debug", parents=[obs_parent], help="run a debugging session"
+    )
     debug_parser.add_argument("program")
     debug_parser.add_argument(
         "--reference", help="bug-free program; simulates the user's answers"
@@ -236,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["top-down", "bottom-up", "divide-and-query"],
     )
     debug_parser.add_argument("--no-slicing", action="store_true")
+    debug_parser.add_argument(
+        "--query-symptom",
+        action="store_true",
+        help="query the root instead of assuming it erroneous; a 'yes' "
+        "ends the session with no bug localized (exit code 1)",
+    )
     debug_parser.add_argument("--quiet", action="store_true")
     debug_parser.add_argument("--input", action="append", metavar="V")
     debug_parser.set_defaults(func=cmd_debug)
@@ -247,7 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
     frames_parser.set_defaults(func=cmd_frames)
 
     mutate_parser = sub.add_parser(
-        "mutate", help="fault-injection sweep: list or evaluate mutants"
+        "mutate",
+        parents=[obs_parent],
+        help="fault-injection sweep: list or evaluate mutants",
     )
     mutate_parser.add_argument("program")
     mutate_parser.add_argument(
@@ -256,14 +337,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="debug every behaviour-changing mutant and report accuracy",
     )
     mutate_parser.add_argument("--operators-only", action="store_true")
+    mutate_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --evaluate (default: sequential)",
+    )
     mutate_parser.set_defaults(func=cmd_mutate)
+
+    stats_parser = sub.add_parser(
+        "stats",
+        parents=[obs_parent],
+        help="run the pipeline with observability on and print its metrics",
+    )
+    stats_parser.add_argument("program")
+    stats_parser.add_argument(
+        "--reference", help="bug-free program; also run and account a debug session"
+    )
+    stats_parser.add_argument(
+        "--strategy",
+        default="top-down",
+        choices=["top-down", "bottom-up", "divide-and-query"],
+    )
+    stats_parser.add_argument("--input", action="append", metavar="V")
+    stats_parser.set_defaults(func=cmd_stats, needs_obs=True)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 for --version/--help;
+        # return instead so every caller sees one consistent code path.
+        code = exc.code
+        return code if isinstance(code, int) else 2
+
+    profiling = getattr(args, "profile", False)
+    events_path = getattr(args, "events", None)
+    observing = profiling or events_path or getattr(args, "needs_obs", False)
+    event_sink: obs.JsonlFileSink | None = None
+    if observing:
+        obs.reset()
+        obs.enable()
+        if events_path:
+            event_sink = obs.add_sink(obs.JsonlFileSink(events_path))
     try:
         return args.func(args)
     except (PascalError, SpecError) as error:
@@ -275,6 +395,14 @@ def main(argv: list[str] | None = None) -> int:
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+    finally:
+        if observing:
+            if profiling:
+                print(obs.report.render_summary(obs.snapshot()), file=sys.stderr)
+            if event_sink is not None:
+                obs.remove_sink(event_sink)
+                event_sink.close()
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,8 +22,10 @@ which restricts the remaining search to the pruned execution tree
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.assertions import AssertionStore
 from repro.core.oracle import Oracle
 from repro.core.queries import Answer, AnswerKind, AnswerSource, Query
@@ -34,6 +36,18 @@ from repro.slicing.tree_pruning import TreeView, prune_tree
 from repro.tgen.lookup import TestCaseLookup
 from repro.tracing.execution_tree import ExecNode
 from repro.tracing.tracer import TraceResult
+
+#: answer-source labels used in per-session accounting. The first four
+#: map :class:`AnswerSource` values; ``slice-pruned`` counts activations
+#: the search never had to ask about because a dynamic slice exonerated
+#: them (paper §7 — the mechanism behind "fewer user interactions").
+SOURCE_LABELS = {
+    AnswerSource.USER: "user",
+    AnswerSource.ASSERTION: "assertion",
+    AnswerSource.TEST_DATABASE: "test-db",
+    AnswerSource.CACHE: "cache",
+}
+SLICE_PRUNED = "slice-pruned"
 
 
 @dataclass
@@ -49,6 +63,13 @@ class DebugResult:
     #: activations judged correct during the search (dicing material)
     correct_nodes: list[ExecNode] = field(default_factory=list)
     used_test_answers: bool = False
+    #: query count per answer source ("user" / "assertion" / "test-db" /
+    #: "cache" / "slice-pruned"); see :data:`SOURCE_LABELS`
+    queries_by_source: dict[str, int] = field(default_factory=dict)
+    #: activations removed from the search space by dynamic slices
+    slice_pruned: int = 0
+    #: wall time of the debugging search (always measured)
+    elapsed_s: float = 0.0
 
     @property
     def bug_unit(self) -> str | None:
@@ -61,6 +82,35 @@ class DebugResult:
     @property
     def total_questions(self) -> int:
         return self.user_questions + self.auto_answers
+
+    def report(self) -> dict:
+        """Structured per-session accounting (JSON-ready).
+
+        ``queries.total`` counts every resolved query — explicit ones
+        (answered by the user, an assertion, the test database, or the
+        answer cache) plus the activations a dynamic slice pruned out of
+        the search, which a sliceless top-down session would have had to
+        ask about. ``by_source`` always sums to ``total``;
+        ``interactions_saved`` is ``total`` minus the queries that cost
+        a user interaction.
+        """
+        by_source = {
+            label: self.queries_by_source.get(label, 0)
+            for label in (*SOURCE_LABELS.values(), SLICE_PRUNED)
+        }
+        total = sum(by_source.values())
+        return {
+            "schema": "gadt_session/1",
+            "localized": self.localized,
+            "bug_unit": self.bug_unit,
+            "queries": {"total": total, "by_source": by_source},
+            "user_questions": self.user_questions,
+            "auto_answers": self.auto_answers,
+            "interactions_saved": total - by_source["user"],
+            "slices": self.slices,
+            "uncertain": len(self.uncertain_nodes),
+            "elapsed_s": self.elapsed_s,
+        }
 
 
 class AlgorithmicDebugger:
@@ -104,6 +154,21 @@ class AlgorithmicDebugger:
         start node is queried first, and a "yes" ends the session with
         no bug localized (``result.bug_node is None``).
         """
+        started = time.perf_counter()
+        with obs.span("debug.session", strategy=type(self.strategy).__name__):
+            result = self._search(start, assume_symptom)
+        result.elapsed_s = time.perf_counter() - started
+        if obs.enabled():
+            obs.add("debug.sessions")
+            obs.add("debug.slices", result.slices)
+            for source, count in result.queries_by_source.items():
+                obs.add(f"debug.queries.{source}", count)
+            obs.emit("session", report=result.report())
+        return result
+
+    def _search(
+        self, start: ExecNode | None, assume_symptom: bool
+    ) -> DebugResult:
         session = Session()
         result = DebugResult(bug_node=None, session=session)
 
@@ -174,14 +239,38 @@ class AlgorithmicDebugger:
             )
             return view
         result.slices += 1
-        before = sum(1 for _ in node.walk())
+        subtree_ids = {descendant.node_id for descendant in node.walk()}
+        before = len(subtree_ids)
         combined = TreeView(
             root=node, kept_ids=(sliced.kept_ids & view.kept_ids) | {node.node_id}
         )
+        # Activations the slice just removed from the search space: they
+        # were still candidates (in the current view, inside the suspect
+        # subtree, not yet answered) and are now exonerated — each one is
+        # a query the session no longer needs (paper §7).
+        pruned = (
+            (view.kept_ids & subtree_ids)
+            - combined.kept_ids
+            - set(self._answer_cache)
+        )
+        if pruned:
+            result.slice_pruned += len(pruned)
+            result.queries_by_source[SLICE_PRUNED] = (
+                result.queries_by_source.get(SLICE_PRUNED, 0) + len(pruned)
+            )
         session.note_slice(
             f"slice on {criterion.describe()}: "
             f"{combined.size()} of {before} activations remain"
         )
+        if obs.enabled():
+            obs.emit(
+                "slice",
+                unit=node.unit_name,
+                variable=variable,
+                kept=combined.size(),
+                subtree=before,
+                pruned=len(pruned),
+            )
         return combined
 
     # ------------------------------------------------------------------
@@ -192,19 +281,22 @@ class AlgorithmicDebugger:
     ) -> Answer:
         cached = self._answer_cache.get(query.node.node_id)
         if cached is not None:
-            return Answer(
+            answer = Answer(
                 kind=cached.kind,
                 source=AnswerSource.CACHE,
                 error_variable=cached.error_variable,
                 error_position=cached.error_position,
                 note="previously answered",
             )
+            self._account(result, query, answer)
+            return answer
 
         answer = self.assertions.try_answer(query)
         if answer is not None:
             result.auto_answers += 1
             session.ask(query, answer)
             self._answer_cache[query.node.node_id] = answer
+            self._account(result, query, answer)
             return answer
 
         if self.test_lookup is not None:
@@ -217,6 +309,7 @@ class AlgorithmicDebugger:
                 result.used_test_answers = True
                 session.ask(query, answer)
                 self._answer_cache[query.node.node_id] = answer
+                self._account(result, query, answer)
                 return answer
 
         answer = self.oracle.answer(query)
@@ -237,4 +330,21 @@ class AlgorithmicDebugger:
                 answer = Answer.dont_know(source=AnswerSource.USER)
         session.ask(query, answer)
         self._answer_cache[query.node.node_id] = answer
+        self._account(result, query, answer)
         return answer
+
+    @staticmethod
+    def _account(result: DebugResult, query: Query, answer: Answer) -> None:
+        """Tag one resolved query with its answer source (obs accounting)."""
+        label = SOURCE_LABELS.get(answer.source, answer.source.value)
+        result.queries_by_source[label] = (
+            result.queries_by_source.get(label, 0) + 1
+        )
+        if obs.enabled():
+            obs.emit(
+                "query",
+                unit=query.unit_name,
+                node=query.node.node_id,
+                source=label,
+                answer=answer.kind.value,
+            )

@@ -1,0 +1,97 @@
+"""Pluggable event sinks: a ring buffer and a JSONL file writer.
+
+Every observability event is one flat JSON-ready dict with three
+standard fields — ``seq`` (monotonic per process), ``ts`` (Unix time),
+``kind`` (``"span"`` / ``"query"`` / ``"slice"`` / ``"session"`` /
+``"mutant"``) — plus kind-specific fields documented in
+``docs/OBSERVABILITY.md``. Sinks receive the same dict object; they must
+not mutate it.
+
+The ring buffer is the default sink (installed by
+:func:`repro.obs.enable`) so recent events are always inspectable
+in-process; the JSONL writer streams events to a file for offline
+analysis (``repro debug ... --events out.jsonl``). Writes flush
+immediately: event volume is phase- and query-granular, never
+per-statement, so durability wins over buffering.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import IO
+
+
+class EventSink:
+    """Interface: override :meth:`write` (and optionally :meth:`close`)."""
+
+    def write(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (file handles); idempotent."""
+
+
+class RingBufferSink(EventSink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._buffer: deque[dict] = deque(maxlen=capacity)
+
+    def write(self, event: dict) -> None:
+        self._buffer.append(event)
+
+    def events(self) -> list[dict]:
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlFileSink(EventSink):
+    """Appends one JSON object per line to ``path``."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: IO[str] | None = open(path, "w", encoding="utf-8")
+
+    def write(self, event: dict) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(event, default=str) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+#: currently attached sinks (managed via repro.obs.add_sink/remove_sink)
+SINKS: list[EventSink] = []
+
+_seq = 0
+
+
+def broadcast(kind: str, fields: dict) -> None:
+    """Stamp ``seq``/``ts``/``kind`` onto ``fields`` and fan out to sinks.
+
+    Unconditional: enabled-gating happens at the instrumentation sites
+    (:func:`repro.obs.emit` and live spans), not here.
+    """
+    global _seq
+    _seq += 1
+    event = {"seq": _seq, "ts": time.time(), "kind": kind}
+    event.update(fields)
+    for sink in SINKS:
+        sink.write(event)
+
+
+def reset_seq() -> None:
+    global _seq
+    _seq = 0

@@ -1,0 +1,137 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Metrics are named with dotted paths grouped by pipeline phase
+(``transform.*``, ``trace.*``, ``slice.*``, ``debug.*``, ``mutants.*``;
+see ``docs/OBSERVABILITY.md`` for the full catalogue). The registry is a
+module-level singleton, mirroring :mod:`repro.cache`: one process, one
+registry, so benchmarks and the CLI read the same numbers the
+instrumented pipeline wrote.
+
+All three instrument types are deliberately tiny — a counter is one
+integer, a histogram keeps count/total/min/max rather than buckets —
+because the registry must cost nothing measurable even when
+observability is on, and nothing at all when it is off (callers gate on
+:func:`repro.obs.enabled` before touching it).
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last set wins; :meth:`set_max` keeps peaks)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Summary statistics over observed values (count/total/min/max).
+
+    ``unit`` is a display hint: span durations use ``"s"`` so renderers
+    format them as seconds; size histograms leave it empty.
+    """
+
+    __slots__ = ("name", "unit", "count", "total", "min", "max")
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.count = 0
+        self.total: float = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, unit: str = "") -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name, unit=unit)
+        return metric
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dump of every metric, sorted by name."""
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: metric.value for name, metric in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "unit": metric.unit,
+                    "count": metric.count,
+                    "total": metric.total,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+                for name, metric in sorted(self.histograms.items())
+            },
+        }
+
+
+#: the process-local registry every instrumentation site writes to
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,81 @@
+"""Text rendering of metric snapshots and per-session debug reports.
+
+Consumed by the CLI (``--profile`` summaries, ``repro stats``) and by
+the CI obs smoke job, which greps for the ``answer sources:`` line —
+keep that prefix stable.
+"""
+
+from __future__ import annotations
+
+#: presentation order for the answer-source breakdown (paper Figure 3
+#: chain order, then the two implicit sources)
+ANSWER_SOURCE_ORDER = ("assertion", "test-db", "slice-pruned", "cache", "user")
+
+
+def render_answer_sources(session_report: dict) -> str:
+    """One line: per-source query counts summing to the total.
+
+    ``session_report`` is :meth:`repro.core.DebugResult.report` output.
+    """
+    queries = session_report["queries"]
+    parts = [
+        f"{source} {queries['by_source'].get(source, 0)}"
+        for source in ANSWER_SOURCE_ORDER
+    ]
+    return (
+        f"answer sources: {', '.join(parts)} (total {queries['total']}, "
+        f"saved {session_report['interactions_saved']} interactions)"
+    )
+
+
+def render_summary(snapshot: dict) -> str:
+    """Multi-line phase/metric summary of a registry snapshot."""
+    lines = ["== observability =="]
+
+    timers = {
+        name: data
+        for name, data in snapshot["histograms"].items()
+        if data["unit"] == "s"
+    }
+    if timers:
+        lines.append("phase timings:")
+        for name, data in timers.items():
+            lines.append(
+                f"  {name:<28} {data['count']:>4}x  total {data['total']:.4f}s"
+                f"  max {data['max']:.4f}s"
+            )
+
+    sizes = {
+        name: data
+        for name, data in snapshot["histograms"].items()
+        if data["unit"] != "s" and data["count"]
+    }
+    if sizes:
+        lines.append("distributions:")
+        for name, data in sizes.items():
+            mean = data["total"] / data["count"]
+            lines.append(
+                f"  {name:<28} {data['count']:>4}x  mean {mean:.1f}"
+                f"  min {data['min']:g}  max {data['max']:g}"
+            )
+
+    if snapshot["counters"]:
+        lines.append("counters:")
+        for name, value in snapshot["counters"].items():
+            lines.append(f"  {name:<28} {value}")
+
+    if snapshot["gauges"]:
+        lines.append("gauges:")
+        for name, value in snapshot["gauges"].items():
+            lines.append(f"  {name:<28} {value:g}")
+
+    cache = snapshot.get("cache")
+    if cache:
+        lines.append("content caches:")
+        for name, stats in cache.items():
+            lines.append(
+                f"  {name:<28} entries {stats['entries']}"
+                f"  hits {stats['hits']}  misses {stats['misses']}"
+            )
+
+    return "\n".join(lines)

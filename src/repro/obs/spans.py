@@ -1,0 +1,89 @@
+"""Nesting span timers over ``time.perf_counter``.
+
+A span measures one phase of the pipeline::
+
+    with obs.span("trace.execute", program="fig4"):
+        interpreter.run()
+
+On exit the duration lands in the histogram named after the span
+(``trace.execute`` with unit ``"s"``) and a ``span`` event goes to the
+sinks, carrying the nesting depth and parent span name so per-pass
+transform timings can be re-assembled into a tree offline.
+
+When observability is disabled, :func:`repro.obs.span` hands back the
+shared :data:`NULL_SPAN` instead — entering and exiting it does nothing,
+following the null-hook pattern of
+:class:`repro.pascal.interpreter.ExecutionHooks`: the disabled path pays
+one flag test and no allocation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+
+#: the stack of currently open spans (process-local, like the registry)
+_STACK: list["Span"] = []
+
+
+class Span:
+    """One timed, possibly nested, region. Use as a context manager."""
+
+    __slots__ = ("name", "attrs", "started", "elapsed_s", "depth")
+
+    def __init__(self, name: str, attrs: dict | None = None):
+        self.name = name
+        self.attrs = attrs
+        self.started: float = 0.0
+        self.elapsed_s: float = 0.0
+        self.depth = 0
+
+    def __enter__(self) -> "Span":
+        self.depth = len(_STACK)
+        _STACK.append(self)
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed_s = time.perf_counter() - self.started
+        if _STACK and _STACK[-1] is self:
+            _STACK.pop()
+        parent = _STACK[-1].name if _STACK else None
+        _metrics.REGISTRY.histogram(self.name, unit="s").observe(self.elapsed_s)
+        fields: dict = {
+            "name": self.name,
+            "duration_s": self.elapsed_s,
+            "depth": self.depth,
+            "parent": parent,
+        }
+        if self.attrs:
+            fields.update(self.attrs)
+        if exc_type is not None:
+            fields["error"] = exc_type.__name__
+        _events.broadcast("span", fields)
+
+
+class NullSpan:
+    """The disabled-path span: enters, exits, records nothing."""
+
+    __slots__ = ()
+    elapsed_s = 0.0
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+def reset_stack() -> None:
+    _STACK.clear()
+
+
+def current_depth() -> int:
+    return len(_STACK)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.slicing.criteria import DynamicCriterion
 from repro.tracing.execution_tree import ExecNode, ExecutionTree
 from repro.tracing.tracer import TraceResult
@@ -49,6 +50,17 @@ def dynamic_slice(
     activation's inputs into the rest of the execution (a whole-execution
     slice, useful for analysis rather than tree pruning).
     """
+    with obs.span(
+        "slice.dynamic", unit=criterion.node.unit_name, variable=criterion.variable
+    ):
+        return _dynamic_slice(trace, criterion, restrict_to_subtree)
+
+
+def _dynamic_slice(
+    trace: TraceResult,
+    criterion: DynamicCriterion,
+    restrict_to_subtree: bool,
+) -> DynamicSlice:
     tree = trace.tree
     node = criterion.node
     seeds = tree.output_writers.get((node.node_id, criterion.variable))
@@ -85,6 +97,10 @@ def dynamic_slice(
         for occ in visited
         if occ in ddg.occurrences
     }
+    if obs.enabled():
+        obs.add("slice.computed")
+        obs.observe("slice.occurrences", len(visited))
+        obs.observe("slice.relevant_nodes", len(relevant_nodes))
     return DynamicSlice(
         criterion=criterion,
         occurrences=visited,

@@ -98,5 +98,14 @@ def prune_tree(trace: TraceResult, criterion: DynamicCriterion) -> TreeView:
     contains only activations that contribute to the erroneous value —
     the paper's Figures 8 and 9.
     """
+    from repro import obs
+
     computed = dynamic_slice(trace, criterion, restrict_to_subtree=True)
-    return TreeView.from_slice(criterion.node, computed.relevant_node_ids)
+    view = TreeView.from_slice(criterion.node, computed.relevant_node_ids)
+    if obs.enabled():
+        subtree = sum(1 for _ in criterion.node.walk())
+        kept = view.size()
+        obs.add("slice.prunes")
+        obs.observe("slice.kept_nodes", kept)
+        obs.observe("slice.pruned_nodes", subtree - kept)
+    return view

@@ -477,6 +477,7 @@ def trace_program(
     closed with its values as of that moment, so the debugger can chase
     the crash the same way it chases a wrong value.
     """
+    from repro import obs
     from repro.pascal.errors import PascalError
 
     tracer = Tracer(analysis, side_effects=side_effects, loop_units=loop_units)
@@ -485,22 +486,37 @@ def trace_program(
     )
     tracer.attach(interpreter)
     error: Exception | None = None
-    try:
-        execution = interpreter.run()
-    except PascalError as raised:
-        if not tolerate_errors:
-            raise
-        error = raised
-        frame = interpreter.globals_frame
-        assert frame is not None  # run() builds it before executing
-        execution = ExecutionResult(
-            io=interpreter.io, globals_frame=frame, steps=interpreter.steps
-        )
+    with obs.span("trace.execute", program=analysis.program.name):
+        try:
+            execution = interpreter.run()
+        except PascalError as raised:
+            if not tolerate_errors:
+                raise
+            error = raised
+            frame = interpreter.globals_frame
+            assert frame is not None  # run() builds it before executing
+            execution = ExecutionResult(
+                io=interpreter.io, globals_frame=frame, steps=interpreter.steps
+            )
     result = tracer.result(execution)
     result.error = error
     if error is not None:
         crash_node = tracer._tree_index.get(tracer.last_active_node_id)
         result.crash_unit = crash_node.unit_name if crash_node is not None else None
+    if obs.enabled():
+        # End-of-trace accounting only: the per-statement hot path stays
+        # untouched (see the null-hook fast path in the interpreter).
+        nodes = result.tree.size()
+        occurrences = len(result.dependence_graph)
+        edges = result.dependence_graph.edge_count()
+        obs.add("trace.runs")
+        obs.add("trace.nodes", nodes)
+        obs.add("trace.occurrences", occurrences)
+        obs.add("trace.dep_edges", edges)
+        obs.add("trace.steps", execution.steps)
+        obs.set_max_gauge("trace.peak_nodes", nodes)
+        obs.set_max_gauge("trace.peak_occurrences", occurrences)
+        obs.set_max_gauge("trace.peak_dep_edges", edges)
     return result
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import cache as _cache
+from repro import obs
 from repro.analysis.sideeffects import SideEffects, analyze_side_effects
 from repro.pascal import ast_nodes as ast
 from repro.pascal.parser import parse_program
@@ -108,58 +109,83 @@ def transform_program(
     max_goto_rounds: int = 10,
 ) -> TransformedProgram:
     """Run the full transformation pipeline on an analyzed program."""
+    with obs.span("transform.pipeline", program=analysis.program.name):
+        return _transform_program(
+            analysis,
+            instrument=instrument,
+            with_loop_units=with_loop_units,
+            max_goto_rounds=max_goto_rounds,
+        )
+
+
+def _transform_program(
+    analysis: AnalyzedProgram,
+    instrument: bool,
+    with_loop_units: bool,
+    max_goto_rounds: int,
+) -> TransformedProgram:
     original = analysis
     warnings: list[str] = []
     accumulated = SourceMap.identity(analysis.program)
 
     # 1. gotos out of loops
-    loop_goto = eliminate_loop_gotos(analysis)
-    warnings.extend(loop_goto.warnings)
-    accumulated = loop_goto.source_map.compose(accumulated)
-    analysis = analyze(loop_goto.program)
+    with obs.span("transform.pass.loop_gotos"):
+        loop_goto = eliminate_loop_gotos(analysis)
+        warnings.extend(loop_goto.warnings)
+        accumulated = loop_goto.source_map.compose(accumulated)
+        analysis = analyze(loop_goto.program)
 
     # 2. global gotos, to a fixpoint. Each round may synthesize dispatch
     #    gotos inside loop bodies (a call in a loop whose callee exits
     #    globally), so the loop-goto pass is interleaved.
     exit_params: dict[str, str] = {}
-    for _round in range(max_goto_rounds):
-        round_result = break_global_gotos(analysis)
-        warnings.extend(round_result.warnings)
-        if not round_result.changed:
-            break
-        exit_params.update(round_result.exit_params)
-        accumulated = round_result.source_map.compose(accumulated)
-        analysis = analyze(round_result.program)
-        loop_round = eliminate_loop_gotos(analysis)
-        if loop_round.changed:
-            warnings.extend(loop_round.warnings)
-            accumulated = loop_round.source_map.compose(accumulated)
-            analysis = analyze(loop_round.program)
-    else:
-        warnings.append(
-            f"global gotos remained after {max_goto_rounds} rounds"
-        )
+    with obs.span("transform.pass.global_gotos"):
+        for _round in range(max_goto_rounds):
+            round_result = break_global_gotos(analysis)
+            warnings.extend(round_result.warnings)
+            if not round_result.changed:
+                break
+            exit_params.update(round_result.exit_params)
+            accumulated = round_result.source_map.compose(accumulated)
+            analysis = analyze(round_result.program)
+            loop_round = eliminate_loop_gotos(analysis)
+            if loop_round.changed:
+                warnings.extend(loop_round.warnings)
+                accumulated = loop_round.source_map.compose(accumulated)
+                analysis = analyze(loop_round.program)
+        else:
+            warnings.append(
+                f"global gotos remained after {max_goto_rounds} rounds"
+            )
 
     # 3. globals to parameters
-    side_effects = analyze_side_effects(analysis)
-    globals_result = convert_globals_to_params(analysis, side_effects)
-    warnings.extend(globals_result.warnings)
-    accumulated = globals_result.source_map.compose(accumulated)
-    analysis = analyze(globals_result.program)
-    side_effects = analyze_side_effects(analysis)
+    with obs.span("transform.pass.globals_to_params"):
+        side_effects = analyze_side_effects(analysis)
+        globals_result = convert_globals_to_params(analysis, side_effects)
+        warnings.extend(globals_result.warnings)
+        accumulated = globals_result.source_map.compose(accumulated)
+        analysis = analyze(globals_result.program)
+        side_effects = analyze_side_effects(analysis)
 
     # 4. loop units on the final program
-    loop_units = (
-        compute_loop_units(analysis, side_effects) if with_loop_units else {}
-    )
+    with obs.span("transform.pass.loop_units"):
+        loop_units = (
+            compute_loop_units(analysis, side_effects) if with_loop_units else {}
+        )
 
     # 5. trace instrumentation (display artifact; see module docstring)
     instrumented_program: ast.Program | None = None
     instrumented_map: SourceMap | None = None
     if instrument:
-        instrumented = instrument_program(analysis, side_effects, loop_units)
-        instrumented_program = instrumented.program
-        instrumented_map = instrumented.source_map.compose(accumulated)
+        with obs.span("transform.pass.instrument"):
+            instrumented = instrument_program(analysis, side_effects, loop_units)
+            instrumented_program = instrumented.program
+            instrumented_map = instrumented.source_map.compose(accumulated)
+
+    if obs.enabled():
+        obs.add("transform.programs")
+        obs.add("transform.loop_units", len(loop_units))
+        obs.add("transform.warnings", len(warnings))
 
     return TransformedProgram(
         original_analysis=original,

@@ -11,8 +11,10 @@ mutant, that the debugger blames exactly that routine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
+from repro import obs
 from repro.pascal import ast_nodes as ast
 from repro.pascal.pretty import print_program
 from repro.pascal.semantics import AnalyzedProgram, analyze_source
@@ -102,15 +104,28 @@ def generate_mutants(
     return mutants
 
 
+#: every status an outcome can carry, in reporting order
+OUTCOME_STATUSES = (
+    "localized",
+    "mislocalized",
+    "not_localized",
+    "equivalent",
+    "crashed",
+)
+
+
 @dataclass
 class LocalizationOutcome:
     """Result of debugging one mutant."""
 
     mutant: Mutant
-    #: "localized" | "mislocalized" | "not_localized" | "equivalent" | "crashed"
+    #: one of :data:`OUTCOME_STATUSES`
     status: str
     localized_unit: str | None = None
     user_questions: int = 0
+    #: wall time of this mutant's run/trace/debug (always measured;
+    #: excluded from equality so timings don't break outcome comparison)
+    seconds: float = field(default=0.0, compare=False)
 
 
 def _debug_one_mutant(
@@ -122,6 +137,22 @@ def _debug_one_mutant(
     step_limit: int,
 ) -> LocalizationOutcome:
     """Run/trace/debug one mutant (shared by sequential and parallel paths)."""
+    started = time.perf_counter()
+    outcome = _debug_one_mutant_impl(
+        mutant, baseline, reference, strategy, enable_slicing, step_limit
+    )
+    outcome.seconds = time.perf_counter() - started
+    return outcome
+
+
+def _debug_one_mutant_impl(
+    mutant: Mutant,
+    baseline: str,
+    reference,
+    strategy: str,
+    enable_slicing: bool,
+    step_limit: int,
+) -> LocalizationOutcome:
     from repro.core import AlgorithmicDebugger, GadtSystem
     from repro.pascal import run_source
     from repro.pascal.errors import PascalError
@@ -208,27 +239,56 @@ def evaluate_mutants(
     worker builds its own reference oracle, so the result list is
     identical (including order) to the sequential path.
     """
-    if workers is not None and workers > 1 and len(mutants) > 1:
-        import multiprocessing
+    with obs.span("mutants.evaluate", mutants=len(mutants)):
+        if workers is not None and workers > 1 and len(mutants) > 1:
+            import multiprocessing
 
-        with multiprocessing.Pool(
-            processes=min(workers, len(mutants)),
-            initializer=_init_mutant_worker,
-            initargs=(source, strategy, enable_slicing, step_limit),
-        ) as pool:
-            return pool.map(_evaluate_in_worker, mutants)
+            with multiprocessing.Pool(
+                processes=min(workers, len(mutants)),
+                initializer=_init_mutant_worker,
+                initargs=(source, strategy, enable_slicing, step_limit),
+            ) as pool:
+                outcomes = pool.map(_evaluate_in_worker, mutants)
+        else:
+            from repro.core import ReferenceOracle
+            from repro.pascal import run_source
 
-    from repro.core import ReferenceOracle
-    from repro.pascal import run_source
+            baseline = run_source(source, step_limit=step_limit).output
+            reference = ReferenceOracle.from_source(source, step_limit=step_limit)
+            outcomes = [
+                _debug_one_mutant(
+                    mutant, baseline, reference, strategy, enable_slicing, step_limit
+                )
+                for mutant in mutants
+            ]
+    if obs.enabled():
+        # Aggregated in the parent so worker processes (where obs stays
+        # at its default, off) still land in one registry.
+        for outcome in outcomes:
+            obs.add(f"mutants.outcome.{outcome.status}")
+            obs.observe("mutants.debug_s", outcome.seconds, unit="s")
+            obs.emit(
+                "mutant",
+                status=outcome.status,
+                unit=outcome.mutant.unit,
+                description=outcome.mutant.description,
+                localized_unit=outcome.localized_unit,
+                user_questions=outcome.user_questions,
+                seconds=outcome.seconds,
+            )
+    return outcomes
 
-    baseline = run_source(source, step_limit=step_limit).output
-    reference = ReferenceOracle.from_source(source, step_limit=step_limit)
-    return [
-        _debug_one_mutant(
-            mutant, baseline, reference, strategy, enable_slicing, step_limit
-        )
-        for mutant in mutants
-    ]
+
+def summarize(outcomes: list[LocalizationOutcome]) -> dict[str, int]:
+    """Outcome counts by status, every status present (zeros included).
+
+    ``not_localized`` is reported as its own count — a session that ends
+    without blaming any unit is neither localized nor mislocalized.
+    """
+    counts = {status: 0 for status in OUTCOME_STATUSES}
+    for outcome in outcomes:
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+    return counts
 
 
 def accuracy(outcomes: list[LocalizationOutcome]) -> tuple[int, int]:

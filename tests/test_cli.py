@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import __version__
 from repro.cli import main
 from repro.workloads import FIGURE2_SOURCE, FIGURE4_FIXED_SOURCE, FIGURE4_SOURCE
 from repro.workloads.arrsum_spec import ARRSUM_SPEC_TEXT
@@ -189,3 +192,160 @@ class TestMutate:
         assert main(["mutate", str(path), "--operators-only"]) == 0
         out = capsys.readouterr().out
         assert "[constant]" not in out
+
+    def test_evaluate_reports_outcome_breakdown(self, tmp_path, capsys):
+        path = tmp_path / "s.pas"
+        path.write_text(self.SMALL)
+        assert main(["mutate", str(path), "--evaluate"]) == 0
+        out = capsys.readouterr().out
+        assert "not_localized" in out
+        outcome_line = next(
+            line for line in out.splitlines() if line.startswith("outcomes:")
+        )
+        for status in (
+            "localized",
+            "mislocalized",
+            "not_localized",
+            "equivalent",
+            "crashed",
+        ):
+            assert f"{status} " in outcome_line
+
+
+class TestExitCodes:
+    def test_version_flag(self, capsys):
+        assert main(["--version"]) == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_no_subcommand_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_subcommand_is_usage_error(self, capsys):
+        assert main(["frobnicate"]) == 2
+
+    def test_unknown_flag_is_usage_error(self, fig4, capsys):
+        assert main(["run", fig4, "--bogus"]) == 2
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_missing_input_is_code_2(self, capsys):
+        assert main(["run", "/nonexistent.pas"]) == 2
+
+    def test_negative_outcome_is_code_1(self, fig4_fixed, capsys):
+        # querying the symptom on the *fixed* program: root behaves as
+        # intended, so nothing is localized
+        assert main(
+            [
+                "debug",
+                fig4_fixed,
+                "--reference",
+                fig4_fixed,
+                "--quiet",
+                "--query-symptom",
+            ]
+        ) == 1
+        assert "nothing to localize" in capsys.readouterr().out
+
+    def test_query_symptom_still_localizes_real_bug(self, fig4, fig4_fixed, capsys):
+        assert main(
+            [
+                "debug",
+                fig4,
+                "--reference",
+                fig4_fixed,
+                "--quiet",
+                "--query-symptom",
+            ]
+        ) == 0
+        assert "decrement" in capsys.readouterr().out
+
+
+class TestProfileAndEvents:
+    def test_debug_profile_prints_answer_sources(self, fig4, fig4_fixed, capsys):
+        assert main(
+            ["debug", fig4, "--reference", fig4_fixed, "--quiet", "--profile"]
+        ) == 0
+        captured = capsys.readouterr()
+        source_lines = [
+            line
+            for line in captured.out.splitlines()
+            if line.startswith("answer sources:")
+        ]
+        assert len(source_lines) == 1
+        line = source_lines[0]
+        for label in ("assertion", "test-db", "slice-pruned", "cache", "user"):
+            assert f"{label} " in line
+        # breakdown sums to the advertised total
+        counts = {
+            label: int(count)
+            for label, count in zip(
+                ("assertion", "test-db", "slice-pruned", "cache", "user"),
+                [
+                    part.rsplit(" ", 1)[1]
+                    for part in line.split(": ", 1)[1].split(" (")[0].split(", ")
+                ],
+            )
+        }
+        total = int(line.split("(total ")[1].split(",")[0])
+        assert sum(counts.values()) == total
+        # the obs summary goes to stderr, not stdout
+        assert "== observability ==" in captured.err
+        assert "debug.session" in captured.err
+
+    def test_debug_events_jsonl(self, fig4, fig4_fixed, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert main(
+            [
+                "debug",
+                fig4,
+                "--reference",
+                fig4_fixed,
+                "--quiet",
+                "--events",
+                str(events_path),
+            ]
+        ) == 0
+        events = [
+            json.loads(line) for line in events_path.read_text().splitlines()
+        ]
+        assert events
+        kinds = {event["kind"] for event in events}
+        assert "query" in kinds
+        (session,) = [e for e in events if e["kind"] == "session"]
+        queries = session["report"]["queries"]
+        assert queries["total"] == sum(queries["by_source"].values()) > 0
+
+    def test_profile_left_disabled_after_command(self, fig4, fig4_fixed, capsys):
+        from repro import obs
+
+        assert main(
+            ["debug", fig4, "--reference", fig4_fixed, "--quiet", "--profile"]
+        ) == 0
+        assert not obs.enabled()
+
+    def test_trace_profile_summarizes_phases(self, fig4, capsys):
+        assert main(["trace", fig4, "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "== observability ==" in err
+        assert "trace.execute" in err
+
+
+class TestStats:
+    def test_stats_reports_pipeline_numbers(self, fig4, capsys):
+        assert main(["stats", fig4]) == 0
+        out = capsys.readouterr().out
+        assert "program: main" in out
+        assert "tree: " in out and "activation(s)" in out
+        assert "dependences: " in out and "edge(s)" in out
+        assert "== observability ==" in out
+
+    def test_stats_with_reference_runs_session(self, fig4, fig4_fixed, capsys):
+        assert main(["stats", fig4, "--reference", fig4_fixed]) == 0
+        out = capsys.readouterr().out
+        assert "localized: decrement" in out
+        assert "answer sources:" in out
+
+    def test_stats_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent.pas"]) == 2

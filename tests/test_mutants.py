@@ -5,11 +5,13 @@ import pytest
 from repro.pascal import parse_program, run_source
 from repro.workloads import FIGURE4_FIXED_SOURCE
 from repro.workloads.mutants import (
+    OUTCOME_STATUSES,
     LocalizationOutcome,
     Mutant,
     accuracy,
     evaluate_mutants,
     generate_mutants,
+    summarize,
 )
 
 SMALL = """
@@ -149,6 +151,49 @@ class TestEvaluation:
         assert changed
         assert all(o.status == "not_localized" for o in changed)
         assert all(o.localized_unit is None for o in changed)
+
+
+class TestSummarize:
+    def test_every_status_present_with_zeros(self):
+        assert summarize([]) == {
+            "localized": 0,
+            "mislocalized": 0,
+            "not_localized": 0,
+            "equivalent": 0,
+            "crashed": 0,
+        }
+
+    def test_not_localized_is_its_own_bucket(self):
+        mutant = Mutant(source="", unit="u", description="", kind="operator")
+        outcomes = [
+            LocalizationOutcome(mutant=mutant, status="localized"),
+            LocalizationOutcome(mutant=mutant, status="not_localized"),
+            LocalizationOutcome(mutant=mutant, status="not_localized"),
+            LocalizationOutcome(mutant=mutant, status="crashed"),
+        ]
+        counts = summarize(outcomes)
+        assert counts["not_localized"] == 2
+        assert counts["localized"] == 1
+        assert counts["mislocalized"] == 0
+        assert sum(counts.values()) == len(outcomes)
+
+    def test_counts_cover_real_sweep(self):
+        mutants = generate_mutants(SMALL)
+        outcomes = evaluate_mutants(SMALL, mutants)
+        counts = summarize(outcomes)
+        assert set(counts) == set(OUTCOME_STATUSES)
+        assert sum(counts.values()) == len(outcomes)
+
+    def test_outcomes_carry_wall_time(self):
+        mutants = generate_mutants(SMALL, include_constants=False)
+        outcomes = evaluate_mutants(SMALL, mutants)
+        assert all(outcome.seconds > 0 for outcome in outcomes)
+
+    def test_seconds_excluded_from_equality(self):
+        mutant = Mutant(source="", unit="u", description="", kind="operator")
+        first = LocalizationOutcome(mutant=mutant, status="localized", seconds=0.5)
+        second = LocalizationOutcome(mutant=mutant, status="localized", seconds=0.9)
+        assert first == second
 
 
 class TestParallelEvaluation:
