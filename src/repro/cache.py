@@ -19,16 +19,48 @@ mutant sources must not retain every analysis), can be disabled globally
 with :func:`set_enabled`, cleared with :func:`clear_caches`, and report
 hit/miss counters through :func:`cache_stats` so the benchmark harness
 can show what the cache is doing.
+
+**Crash safety** (see ``docs/ROBUSTNESS.md``): an optional on-disk
+layer (:class:`DiskCacheBackend`, attached per cache or for all caches
+via :func:`enable_persistence`) persists entries across processes.
+Disk writes are atomic — a temp file in the cache directory published
+with ``os.replace`` — so a crash mid-write can never leave a torn
+entry. Every entry carries a SHA-256 checksum of its payload;
+corruption detected on read (or injected via the ``cache.read`` fault
+point) quarantines the entry to ``*.corrupt``, counts it in the
+``corrupt`` stat (and the ``cache.corrupt_entries`` metric), and
+treats the lookup as a miss — corruption is never a crash.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import sys
+import tempfile
 from collections import OrderedDict
+from pathlib import Path
 from typing import Any, Callable
 
 #: global switch — when False every lookup misses and nothing is stored
 _ENABLED = True
+
+
+def _fire_read_fault(cache_name: str):
+    """Consult the fault-injection plan, if the resilience layer is even
+    loaded (``sys.modules`` probe: the substrate must not import upward,
+    and an unloaded fault module cannot hold an installed plan)."""
+    faults = sys.modules.get("repro.resilience.faults")
+    if faults is None:
+        return None
+    return faults.fire("cache.read", key=cache_name)
+
+
+def _count_corrupt_metric(amount: int = 1) -> None:
+    obs = sys.modules.get("repro.obs")
+    if obs is not None:
+        obs.add("cache.corrupt_entries", amount)
 
 
 def set_enabled(enabled: bool) -> None:
@@ -44,33 +76,79 @@ def source_key(source: str, *extra: object) -> tuple:
 
 
 class ContentCache:
-    """A named, bounded, LRU content cache with hit/miss counters."""
+    """A named, bounded, LRU content cache with hit/miss counters and an
+    optional crash-safe on-disk layer."""
 
-    __slots__ = ("name", "max_entries", "hits", "misses", "_store")
+    __slots__ = (
+        "name", "max_entries", "hits", "misses", "disk_hits",
+        "corrupt_entries", "persist", "_store",
+    )
 
-    def __init__(self, name: str, max_entries: int = 256):
+    def __init__(
+        self,
+        name: str,
+        max_entries: int = 256,
+        persist: "DiskCacheBackend | None" = None,
+    ):
         self.name = name
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        #: entries dropped as corrupted (injected or detected on disk)
+        self.corrupt_entries = 0
+        self.persist = persist
         self._store: OrderedDict[tuple, Any] = OrderedDict()
 
     def get_or_build(self, key: tuple, build: Callable[[], Any]) -> Any:
-        """The cached value for ``key``, building (and storing) on miss."""
+        """The cached value for ``key``, building (and storing) on miss.
+
+        A corrupted entry — detected by the disk layer's checksum or
+        injected at the ``cache.read`` fault point — is quarantined and
+        counted, then treated as an ordinary miss: the value rebuilds.
+        """
         if not _ENABLED:
             return build()
+        corrupt_injected = _fire_read_fault(self.name) is not None
+        corrupted = False
         store = self._store
         value = store.get(key, _MISSING)
         if value is not _MISSING:
-            self.hits += 1
-            store.move_to_end(key)
-            return value
+            if corrupt_injected:
+                del store[key]
+                corrupted = True
+            else:
+                self.hits += 1
+                store.move_to_end(key)
+                return value
+        if self.persist is not None:
+            value = self.persist.load(key, force_corrupt=corrupt_injected)
+            if value is _CORRUPT:
+                corrupted = True
+            elif value is not _MISSING:
+                self.disk_hits += 1
+                self._put(key, value)
+                return value
+        if corrupted or (corrupt_injected and value is _MISSING):
+            # One logical corrupted read, however many layers it hit
+            # (an injected fault with no entry anywhere still counts:
+            # the injection simulates the entry having been damaged).
+            self._note_corrupt()
         self.misses += 1
         value = build()
-        store[key] = value
-        if len(store) > self.max_entries:
-            store.popitem(last=False)
+        self._put(key, value)
+        if self.persist is not None:
+            self.persist.store(key, value)
         return value
+
+    def _put(self, key: tuple, value: Any) -> None:
+        self._store[key] = value
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def _note_corrupt(self) -> None:
+        self.corrupt_entries += 1
+        _count_corrupt_metric()
 
     def clear(self) -> None:
         self._store.clear()
@@ -83,10 +161,88 @@ class ContentCache:
             "entries": len(self._store),
             "hits": self.hits,
             "misses": self.misses,
+            "corrupt": self.corrupt_entries,
         }
 
 
 _MISSING = object()
+_CORRUPT = object()
+
+
+class DiskCacheBackend:
+    """Content-addressed on-disk entries with atomic writes and checksum
+    verification (one file per entry, named by the key's digest).
+
+    File format: 64 hex chars of SHA-256 over the payload, a newline,
+    then the pickled payload. Writes go to a temp file in the same
+    directory and are published with ``os.replace`` — readers see either
+    the old entry, the new entry, or nothing, never a torn write. A
+    checksum mismatch (or unreadable pickle) quarantines the file as
+    ``<name>.corrupt`` and reads as a miss.
+    """
+
+    def __init__(self, directory: str | os.PathLike, name: str):
+        self.directory = Path(directory) / name
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: tuple) -> Path:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return self.directory / f"{digest}.entry"
+
+    def load(self, key: tuple, force_corrupt: bool = False) -> Any:
+        """The stored value, ``_MISSING``, or ``_CORRUPT`` (after
+        quarantining). ``force_corrupt`` treats an existing entry as
+        damaged (the injection path)."""
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return _MISSING
+        except OSError:
+            return _MISSING
+        if not force_corrupt:
+            header, sep, payload = blob.partition(b"\n")
+            if sep and header.decode("ascii", "replace") == hashlib.sha256(
+                payload
+            ).hexdigest():
+                try:
+                    return pickle.loads(payload)
+                except Exception:
+                    pass  # checksum ok but unpicklable: quarantine below
+        self._quarantine(path)
+        return _CORRUPT
+
+    def store(self, key: tuple, value: Any) -> None:
+        """Atomically persist ``value``; unpicklable values are skipped
+        (the in-memory layer still serves them)."""
+        try:
+            payload = pickle.dumps(value)
+        except Exception:
+            return
+        header = hashlib.sha256(payload).hexdigest().encode("ascii")
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(header + b"\n" + payload)
+            os.replace(tmp_name, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        for path in self.directory.glob("*.entry"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
 #: every cache created via :func:`register`, by name
 _CACHES: dict[str, ContentCache] = {}
@@ -97,14 +253,37 @@ def register(name: str, max_entries: int = 256) -> ContentCache:
     cache = _CACHES.get(name)
     if cache is None:
         cache = ContentCache(name, max_entries=max_entries)
+        if _PERSIST_DIR is not None:
+            cache.persist = DiskCacheBackend(_PERSIST_DIR, name)
         _CACHES[name] = cache
     return cache
 
 
 def clear_caches() -> None:
-    """Drop every cached entry (counters are kept)."""
+    """Drop every cached in-memory entry (counters and disk entries are
+    kept; use :meth:`DiskCacheBackend.clear` to drop persisted ones)."""
     for cache in _CACHES.values():
         cache.clear()
+
+
+def enable_persistence(directory: str | os.PathLike) -> None:
+    """Attach a crash-safe disk layer under ``directory`` to every
+    registered cache (and to caches registered later)."""
+    global _PERSIST_DIR
+    _PERSIST_DIR = Path(directory)
+    for cache in _CACHES.values():
+        cache.persist = DiskCacheBackend(_PERSIST_DIR, cache.name)
+
+
+def disable_persistence() -> None:
+    """Detach the disk layer everywhere (entries on disk are kept)."""
+    global _PERSIST_DIR
+    _PERSIST_DIR = None
+    for cache in _CACHES.values():
+        cache.persist = None
+
+
+_PERSIST_DIR: Path | None = None
 
 
 def cache_stats() -> dict[str, dict[str, int]]:

@@ -19,6 +19,12 @@ take ``--profile`` (print a phase/metric summary on stderr after the
 command) and ``--events PATH`` (stream observability events as JSONL);
 see ``docs/OBSERVABILITY.md``.
 
+``run``, ``trace``, ``debug``, and ``mutate`` take ``--deadline S`` (a
+wall-clock budget for program execution; a blown budget exits 2 — or,
+with ``--degrade`` on the tracing commands, salvages a partial trace
+and keeps going). ``mutate`` additionally takes ``--retries N`` for
+crash-isolated parallel sweeps; see ``docs/ROBUSTNESS.md``.
+
 Exit codes are uniform across subcommands: **0** success, **1** the
 command ran but the outcome is negative (bug not localized, mutation
 accuracy below 100%), **2** usage or input errors (bad flags, missing or
@@ -66,14 +72,40 @@ def _parse_inputs(values: list[str] | None) -> list[object]:
 # subcommands
 
 
+def _budget(args: argparse.Namespace):
+    """A started :class:`repro.resilience.Budget` for ``--deadline``,
+    or None when no resource flag was given."""
+    deadline = getattr(args, "deadline", None)
+    if deadline is None:
+        return None
+    from repro.resilience import Budget
+
+    return Budget.started(deadline_s=deadline)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    result = run_source(_read(args.program), inputs=_parse_inputs(args.input))
+    result = run_source(
+        _read(args.program),
+        inputs=_parse_inputs(args.input),
+        budget=_budget(args),
+    )
     sys.stdout.write(result.output)
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    trace = trace_source(_read(args.program), inputs=_parse_inputs(args.input))
+    trace = trace_source(
+        _read(args.program),
+        inputs=_parse_inputs(args.input),
+        budget=_budget(args),
+        degrade=getattr(args, "degrade", False),
+    )
+    if trace.degraded:
+        print(
+            f"warning: trace degraded ({trace.degraded_reason}); "
+            f"{trace.truncated_nodes} activation(s) dropped",
+            file=sys.stderr,
+        )
     if args.json:
         from repro.tracing.serialize import dump_tree
 
@@ -121,7 +153,10 @@ def cmd_slice(args: argparse.Namespace) -> int:
 def cmd_debug(args: argparse.Namespace) -> int:
     source = _read(args.program)
     system = GadtSystem.from_source(
-        source, program_inputs=_parse_inputs(args.input)
+        source,
+        program_inputs=_parse_inputs(args.input),
+        budget=_budget(args),
+        degrade=getattr(args, "degrade", False),
     )
     if not args.quiet:
         print("Execution tree:")
@@ -140,6 +175,12 @@ def cmd_debug(args: argparse.Namespace) -> int:
     result = debugger.debug(assume_symptom=not args.query_symptom)
 
     print(result.session.render())
+    if result.partial:
+        print(
+            f"warning: result is partial — trace degraded "
+            f"({result.degraded_reason})",
+            file=sys.stderr,
+        )
     if result.bug_node is not None:
         print(system.explain_bug(result))
     print(
@@ -168,7 +209,14 @@ def cmd_mutate(args: argparse.Namespace) -> int:
         for index, mutant in enumerate(mutants, start=1):
             print(f"  {index:3d}. [{mutant.kind}] {mutant.description}")
         return 0
-    outcomes = evaluate_mutants(source, mutants, workers=args.workers)
+    outcomes = evaluate_mutants(
+        source,
+        mutants,
+        workers=args.workers,
+        deadline_s=args.deadline,
+        retries=args.retries,
+        degrade=args.degrade,
+    )
     for outcome in outcomes:
         detail = (
             f"-> {outcome.localized_unit} ({outcome.user_questions} questions)"
@@ -253,15 +301,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream observability events to PATH as JSON lines",
     )
 
+    # resource-budget flags shared by the executing subcommands
+    # (see docs/ROBUSTNESS.md)
+    budget_parent = argparse.ArgumentParser(add_help=False)
+    budget_parent.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget in seconds for program execution",
+    )
+    degrade_parent = argparse.ArgumentParser(add_help=False)
+    degrade_parent.add_argument(
+        "--degrade",
+        action="store_true",
+        help="on a blown budget, salvage a partial trace instead of failing",
+    )
+
     run_parser = sub.add_parser(
-        "run", parents=[obs_parent], help="execute a Mini-Pascal program"
+        "run",
+        parents=[obs_parent, budget_parent],
+        help="execute a Mini-Pascal program",
     )
     run_parser.add_argument("program")
     run_parser.add_argument("--input", action="append", metavar="V")
     run_parser.set_defaults(func=cmd_run)
 
     trace_parser = sub.add_parser(
-        "trace", parents=[obs_parent], help="print the execution tree"
+        "trace",
+        parents=[obs_parent, budget_parent, degrade_parent],
+        help="print the execution tree",
     )
     trace_parser.add_argument("program")
     trace_parser.add_argument("--input", action="append", metavar="V")
@@ -297,7 +366,9 @@ def build_parser() -> argparse.ArgumentParser:
     slice_parser.set_defaults(func=cmd_slice)
 
     debug_parser = sub.add_parser(
-        "debug", parents=[obs_parent], help="run a debugging session"
+        "debug",
+        parents=[obs_parent, budget_parent, degrade_parent],
+        help="run a debugging session",
     )
     debug_parser.add_argument("program")
     debug_parser.add_argument(
@@ -327,7 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     mutate_parser = sub.add_parser(
         "mutate",
-        parents=[obs_parent],
+        parents=[obs_parent, budget_parent, degrade_parent],
         help="fault-injection sweep: list or evaluate mutants",
     )
     mutate_parser.add_argument("program")
@@ -342,6 +413,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for --evaluate (default: sequential)",
+    )
+    mutate_parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retry a mutant whose worker died up to N times "
+        "before recording infra_error (parallel sweeps)",
     )
     mutate_parser.set_defaults(func=cmd_mutate)
 

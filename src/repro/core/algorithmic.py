@@ -70,6 +70,11 @@ class DebugResult:
     slice_pruned: int = 0
     #: wall time of the debugging search (always measured)
     elapsed_s: float = 0.0
+    #: the session ran over a degraded (budget-salvaged, depth-capped)
+    #: partial trace: the localization is valid for the traced prefix
+    #: but the bug may live in an activation the trace never recorded
+    partial: bool = False
+    degraded_reason: str | None = None
 
     @property
     def bug_unit(self) -> str | None:
@@ -110,6 +115,8 @@ class DebugResult:
             "slices": self.slices,
             "uncertain": len(self.uncertain_nodes),
             "elapsed_s": self.elapsed_s,
+            "partial": self.partial,
+            "degraded_reason": self.degraded_reason,
         }
 
 
@@ -158,6 +165,16 @@ class AlgorithmicDebugger:
         with obs.span("debug.session", strategy=type(self.strategy).__name__):
             result = self._search(start, assume_symptom)
         result.elapsed_s = time.perf_counter() - started
+        if self.trace.degraded:
+            # Degraded tracing (blown budget, salvaged partial tree):
+            # the session still localizes, but only over the traced
+            # prefix — the result is explicitly partial.
+            result.partial = True
+            result.degraded_reason = self.trace.degraded_reason
+            result.session.note(
+                f"trace degraded ({self.trace.degraded_reason}); "
+                "result is partial"
+            )
         if obs.enabled():
             obs.add("debug.sessions")
             obs.add("debug.slices", result.slices)

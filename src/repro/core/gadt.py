@@ -99,6 +99,8 @@ class GadtSystem:
         step_limit: int = 2_000_000,
         present_original_view: bool = True,
         tolerate_errors: bool = False,
+        budget=None,
+        degrade: bool = False,
     ) -> "GadtSystem":
         """Transform, then trace, a Mini-Pascal program (phases I and II).
 
@@ -108,6 +110,11 @@ class GadtSystem:
         (transparent debugging, paper §6.1). ``tolerate_errors`` lets a
         crashing program yield its partial execution tree so the crash
         itself can be debugged.
+
+        ``budget`` (a :class:`repro.resilience.Budget`) bounds the trace;
+        with ``degrade``, blowing it salvages a depth-capped partial tree
+        (``trace.degraded``) instead of raising, and any debug session
+        run over it reports its result as partial.
 
         The transformation phase is served from the content-addressed
         transform cache (pure function of the source text); only the
@@ -122,6 +129,8 @@ class GadtSystem:
             loop_units=transformed.loop_units,
             step_limit=step_limit,
             tolerate_errors=tolerate_errors,
+            budget=budget,
+            degrade=degrade,
         )
         if present_original_view:
             from repro.core.presentation import present_tree

@@ -18,9 +18,26 @@ per-statement, so durability wins over buffering.
 from __future__ import annotations
 
 import json
+import os
+import sys
 import time
 from collections import deque
 from typing import IO
+
+
+def _fire_write_fault(path: str):
+    """Consult the fault-injection plan if the resilience layer is
+    loaded (``sys.modules`` probe keeps this module import-light)."""
+    faults = sys.modules.get("repro.resilience.faults")
+    if faults is None:
+        return None
+    return faults.fire("sink.write", key=path)
+
+
+def _count_sink_error() -> None:
+    obs = sys.modules.get("repro.obs")
+    if obs is not None:
+        obs.add("resilience.sink_errors")
 
 
 class EventSink:
@@ -54,22 +71,65 @@ class RingBufferSink(EventSink):
 
 
 class JsonlFileSink(EventSink):
-    """Appends one JSON object per line to ``path``."""
+    """Appends one JSON object per line to ``path``.
 
-    def __init__(self, path: str):
+    **Fault tolerance**: a failed write (``OSError`` — disk full,
+    revoked handle, or the ``sink.write`` injection point) never
+    propagates into the pipeline; it is counted in ``errors`` (and the
+    ``resilience.sink_errors`` metric), and after ``max_errors``
+    consecutive failures the sink degrades to a no-op so a dead disk
+    cannot slow every event.
+
+    **Atomic mode**: with ``atomic=True`` events stream to
+    ``<path>.part`` and the finished file is published to ``path`` with
+    ``os.replace`` on :meth:`close` — downstream consumers see either
+    the complete event log or none, never a torn one.
+    """
+
+    def __init__(self, path: str, atomic: bool = False, max_errors: int = 8):
         self.path = path
-        self._handle: IO[str] | None = open(path, "w", encoding="utf-8")
+        self.atomic = atomic
+        self.max_errors = max_errors
+        self.errors = 0
+        self._write_path = f"{path}.part" if atomic else path
+        self._handle: IO[str] | None = open(self._write_path, "w", encoding="utf-8")
+
+    @property
+    def degraded(self) -> bool:
+        """True once the sink gave up after ``max_errors`` failures."""
+        return self._handle is None and self.errors >= self.max_errors
 
     def write(self, event: dict) -> None:
         if self._handle is None:
             return
-        self._handle.write(json.dumps(event, default=str) + "\n")
-        self._handle.flush()
+        try:
+            spec = _fire_write_fault(self.path)
+            if spec is not None:
+                raise OSError(f"{spec.message} [sink.write]")
+            self._handle.write(json.dumps(event, default=str) + "\n")
+            self._handle.flush()
+        except OSError:
+            self.errors += 1
+            _count_sink_error()
+            if self.errors >= self.max_errors:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.close()
+            try:
+                self._handle.close()
+            except OSError:
+                pass
             self._handle = None
+            if self.atomic:
+                try:
+                    os.replace(self._write_path, self.path)
+                except OSError:
+                    pass
 
 
 #: currently attached sinks (managed via repro.obs.add_sink/remove_sink)

@@ -76,6 +76,7 @@ def render_summary(snapshot: dict) -> str:
             lines.append(
                 f"  {name:<28} entries {stats['entries']}"
                 f"  hits {stats['hits']}  misses {stats['misses']}"
+                f"  corrupt {stats.get('corrupt', 0)}"
             )
 
     return "\n".join(lines)

@@ -217,6 +217,11 @@ class UnitCallResult:
 #: Python recursion limit to keep this bound the one that fires.
 _MAX_DEPTH = 150
 
+#: wall-clock deadline checks fire when ``steps & _DEADLINE_MASK == 0``
+#: (mirrors repro.resilience.budget.DEADLINE_CHECK_MASK; duplicated here
+#: so the substrate stays free of upward imports)
+_DEADLINE_MASK = 0x3FF
+
 #: Pascal integers are bounded; we use 64-bit limits (far beyond the
 #: paper-era 16/32-bit maxint, but still overflow-checked so runaway
 #: arithmetic fails diagnosably instead of growing without bound).
@@ -246,10 +251,23 @@ class Interpreter:
         io: PascalIO | None = None,
         hooks: ExecutionHooks | None = None,
         step_limit: int = 2_000_000,
+        budget=None,
     ):
         self.analysis = analysis
         self.io = io if io is not None else PascalIO()
         self.hooks = hooks if hooks is not None else _NULL_HOOKS
+        # A resource budget (repro.resilience.Budget) tightens the step
+        # limit and call depth and adds a wall-clock deadline. The budget
+        # is duck-typed — this module never imports the resilience layer,
+        # keeping the substrate free of upward dependencies.
+        if budget is not None:
+            step_limit = budget.effective_step_limit(step_limit)
+            self._max_depth = budget.effective_call_depth(_MAX_DEPTH)
+            if budget.deadline_at is None:
+                budget.start()
+        else:
+            self._max_depth = _MAX_DEPTH
+        self._budget = budget
         self.step_limit = step_limit
         self.steps = 0
         self.globals_frame: Frame | None = None
@@ -413,7 +431,7 @@ class Interpreter:
         info: RoutineInfo,
         bound: list[tuple[Symbol, Cell]],
     ) -> object:
-        if len(self._frames) >= _MAX_DEPTH:
+        if len(self._frames) >= self._max_depth:
             raise PascalRuntimeError(f"call depth exceeded in {info.name}")
         frame = Frame(routine=info, depth=len(self._frames))
         for param, cell in bound:
@@ -457,6 +475,8 @@ class Interpreter:
             raise StepLimitExceeded(
                 f"execution exceeded {self.step_limit} steps", stmt.location
             )
+        if self._budget is not None and (self.steps & _DEADLINE_MASK) == 0:
+            self._budget.check(stmt.location)
 
     def _exec_stmt(self, stmt: ast.Stmt, frame: Frame) -> None:
         """Traced statement dispatch (hooks observe every statement)."""
@@ -465,6 +485,8 @@ class Interpreter:
             raise StepLimitExceeded(
                 f"execution exceeded {self.step_limit} steps", stmt.location
             )
+        if self._budget is not None and (self.steps & _DEADLINE_MASK) == 0:
+            self._budget.check(stmt.location)
         handler = _STMT_DISPATCH.get(stmt.__class__)
         if handler is None:
             handler = _register_subclass(_STMT_DISPATCH, stmt, "execute")
@@ -481,6 +503,8 @@ class Interpreter:
             raise StepLimitExceeded(
                 f"execution exceeded {self.step_limit} steps", stmt.location
             )
+        if self._budget is not None and (self.steps & _DEADLINE_MASK) == 0:
+            self._budget.check(stmt.location)
         handler = _STMT_DISPATCH.get(stmt.__class__)
         if handler is None:
             handler = _register_subclass(_STMT_DISPATCH, stmt, "execute")
@@ -905,16 +929,20 @@ def run_source(
     inputs: list[object] | None = None,
     hooks: ExecutionHooks | None = None,
     step_limit: int = 2_000_000,
+    budget=None,
 ) -> ExecutionResult:
     """Parse, analyze, and run a program in one call.
 
     Analysis is served from the content-addressed cache (keyed on the
     source text), so repeated runs of the same program only pay for
-    execution."""
+    execution. ``budget`` (a :class:`repro.resilience.Budget`) adds a
+    wall-clock deadline and tightens the step/depth limits; exhaustion
+    raises :class:`repro.resilience.BudgetExceeded`."""
     from repro.pascal.semantics import analyze_source
 
     analysis = analyze_source(source)
     interpreter = Interpreter(
-        analysis, io=PascalIO(inputs), hooks=hooks, step_limit=step_limit
+        analysis, io=PascalIO(inputs), hooks=hooks, step_limit=step_limit,
+        budget=budget,
     )
     return interpreter.run()

@@ -1,0 +1,38 @@
+"""Graceful degradation helpers: salvaging partial execution trees.
+
+When tracing blows its budget mid-run, the execution tree built so far
+is still a valid (if incomplete) search space — divide-and-query and
+top-down strategies work fine on partial trees, they just localize with
+less precision. The salvage step here bounds the *debugging* cost of a
+blown trace the same way the budget bounded the tracing cost: the tree
+is capped at a fixed depth so a pathologically deep partial trace never
+hands the debugger an unbounded search.
+"""
+
+from __future__ import annotations
+
+from repro.tracing.execution_tree import ExecNode
+
+
+def cap_depth(root: ExecNode, max_depth: int) -> int:
+    """Drop every activation deeper than ``max_depth`` below ``root``.
+
+    Depth is counted in tree edges (``root`` is depth 0). Returns the
+    number of nodes removed. The cut is taken by clearing the children
+    of depth-``max_depth`` nodes, so the kept prefix stays a well-formed
+    tree the debugger and the renderer can traverse.
+    """
+    if max_depth < 0:
+        raise ValueError("max_depth must be >= 0")
+    dropped = 0
+    frontier: list[tuple[ExecNode, int]] = [(root, 0)]
+    while frontier:
+        node, depth = frontier.pop()
+        if depth == max_depth:
+            if node.children:
+                dropped += sum(child.subtree_size() for child in node.children)
+                node.children.clear()
+            continue
+        for child in node.children:
+            frontier.append((child, depth + 1))
+    return dropped

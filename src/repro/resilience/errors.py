@@ -1,0 +1,68 @@
+"""Structured error taxonomy for the fault-tolerant pipeline.
+
+The pipeline's normal diet is hostile programs — mutants that loop
+forever, recurse past the stack, or crash mid-trace — so failures must
+be *classifiable*, not bare exceptions: the mutation sweep maps each
+class to a per-mutant outcome status instead of aborting wholesale.
+
+Budget- and trace-shaped failures deliberately subclass
+:class:`~repro.pascal.errors.PascalRuntimeError`: every existing
+``except PascalError`` handler keeps working, while new code can catch
+:class:`ResilienceError` (or the specific class) to react precisely.
+"""
+
+from __future__ import annotations
+
+from repro.pascal.errors import PascalRuntimeError, SourceLocation
+
+
+class ResilienceError(Exception):
+    """Marker base for every failure class the resilience layer defines."""
+
+
+class BudgetExceeded(ResilienceError, PascalRuntimeError):
+    """A resource budget (wall-clock deadline, step limit, call depth)
+    was exhausted. ``resource`` names which guard fired."""
+
+    def __init__(
+        self,
+        message: str,
+        location: SourceLocation | None = None,
+        resource: str = "deadline",
+    ):
+        self.resource = resource
+        PascalRuntimeError.__init__(self, message, location)
+
+
+class TraceAborted(ResilienceError, PascalRuntimeError):
+    """Tracing was cut short by a guard (e.g. the execution tree grew
+    past the budget's node cap). The partial tree is still salvageable —
+    :func:`repro.tracing.tracer.trace_program` turns this into a
+    degraded :class:`~repro.tracing.tracer.TraceResult` when asked to."""
+
+    def __init__(
+        self,
+        message: str,
+        location: SourceLocation | None = None,
+        reason: str = "tree-nodes",
+    ):
+        self.reason = reason
+        PascalRuntimeError.__init__(self, message, location)
+
+
+class WorkerCrashed(ResilienceError):
+    """A sweep worker died or raised outside the task protocol (parent-
+    side classification; never raised inside worker processes)."""
+
+    def __init__(self, message: str, task_index: int | None = None):
+        self.task_index = task_index
+        super().__init__(message)
+
+
+class FaultInjected(RuntimeError):
+    """The deliberate failure raised by :mod:`repro.resilience.faults`.
+
+    Deliberately *not* a :class:`ResilienceError` or ``PascalError``:
+    an injected fault must look to the code under test exactly like the
+    unclassified infrastructure failure it simulates.
+    """

@@ -1,0 +1,146 @@
+"""Deterministic fault injection at the pipeline's failure boundaries.
+
+Crash isolation, retries, and degraded tracing are only trustworthy if
+they are *testable*: this module lets tests (and the CI smoke job)
+plant failures at exactly four boundaries —
+
+* ``cache.read`` — a content-cache entry reads back corrupted,
+* ``sink.write`` — an event sink write fails with ``OSError``,
+* ``trace`` — tracing a program dies with a runtime error,
+* ``worker`` — a sweep worker raises (or hard-exits, simulating a
+  process crash).
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` rules. Each site
+calls :func:`fire` with its point name and a site *key* (e.g. the
+mutant description, attempt-qualified); a spec matches when its point
+equals the site's and its ``match`` substring occurs in the key (or is
+None). Matching decrements the spec's remaining ``times`` — injection
+is therefore fully deterministic, with no randomness and no clocks.
+
+Plans are plain picklable objects so the parent process can ship the
+active plan to pool workers through the initializer; each worker gets
+its own countdown copy.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.resilience.errors import FaultInjected
+
+#: the boundaries that consult the fault plan
+FAULT_POINTS = ("cache.read", "sink.write", "trace", "worker")
+
+#: what a fired spec does at its site
+FAULT_MODES = ("raise", "oserror", "exit", "corrupt")
+
+
+@dataclass
+class FaultSpec:
+    """One injection rule: fail ``times`` matching hits at ``point``,
+    after letting the first ``skip`` matching hits pass unharmed (so a
+    plan can target e.g. the second trace of a run, not the first)."""
+
+    point: str
+    match: str | None = None
+    mode: str = "raise"
+    times: int = 1  # -1 = every matching hit
+    message: str = "injected fault"
+    skip: int = 0
+    #: hits consumed so far (countdown state; copied per process)
+    fired: int = field(default=0, compare=False)
+    #: matching hits let through by ``skip`` so far
+    skipped: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ValueError(f"unknown fault point {self.point!r}")
+        if self.mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+
+    def matches(self, point: str, key: str | None) -> bool:
+        if self.point != point:
+            return False
+        if self.times >= 0 and self.fired >= self.times:
+            return False
+        if self.match is not None and (key is None or self.match not in key):
+            return False
+        if self.skipped < self.skip:
+            self.skipped += 1
+            return False
+        return True
+
+    def consume(self) -> None:
+        self.fired += 1
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of injection rules (first match wins)."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    def fire(self, point: str, key: str | None = None) -> FaultSpec | None:
+        for spec in self.specs:
+            if spec.matches(point, key):
+                spec.consume()
+                return spec
+        return None
+
+
+#: the process-global plan (None = no injection, the production state)
+_PLAN: FaultPlan | None = None
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Make ``plan`` the active plan for this process."""
+    global _PLAN
+    _PLAN = plan
+
+
+def clear() -> None:
+    install(None)
+
+
+def active() -> FaultPlan | None:
+    """The currently installed plan (shipped to sweep workers)."""
+    return _PLAN
+
+
+def fire(point: str, key: str | None = None) -> FaultSpec | None:
+    """Consult the active plan; the fired spec, or None (the fast path:
+    one global load and an is-None test when injection is off)."""
+    if _PLAN is None:
+        return None
+    return _PLAN.fire(point, key)
+
+
+def trip(point: str, key: str | None = None) -> FaultSpec | None:
+    """Fire and act: ``raise`` → :class:`FaultInjected`, ``oserror`` →
+    ``OSError``, ``exit`` → ``os._exit(23)`` (a real process death).
+    ``corrupt`` specs are returned for the site to apply itself."""
+    spec = fire(point, key)
+    if spec is None:
+        return None
+    if spec.mode == "exit":
+        os._exit(23)
+    if spec.mode == "oserror":
+        raise OSError(f"{spec.message} [{point}]")
+    if spec.mode == "raise":
+        raise FaultInjected(f"{spec.message} [{point}]")
+    return spec  # "corrupt": caller damages its own data
+
+
+@contextmanager
+def injected(*specs: FaultSpec) -> Iterator[FaultPlan]:
+    """Install a plan for the duration of a ``with`` block (tests)."""
+    previous = _PLAN
+    plan = FaultPlan(list(specs))
+    install(plan)
+    try:
+        yield plan
+    finally:
+        install(previous)

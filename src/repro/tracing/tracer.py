@@ -62,6 +62,12 @@ class TraceResult:
     error: Exception | None = None
     #: unit active when the error struck (for the user's orientation)
     crash_unit: str | None = None
+    #: the trace blew its resource budget and this is a salvaged,
+    #: depth-capped partial tree (see docs/ROBUSTNESS.md)
+    degraded: bool = False
+    degraded_reason: str | None = None
+    #: activations dropped when capping the salvaged tree's depth
+    truncated_nodes: int = 0
 
     @property
     def root(self) -> ExecNode:
@@ -78,6 +84,7 @@ class Tracer(ExecutionHooks):
         analysis: AnalyzedProgram,
         side_effects: SideEffects | None = None,
         loop_units: dict[int, LoopUnitInfo] | None = None,
+        max_tree_nodes: int | None = None,
     ):
         self.analysis = analysis
         self.side_effects = (
@@ -85,6 +92,9 @@ class Tracer(ExecutionHooks):
         )
         self.loop_units = loop_units or {}
         self.interpreter: Interpreter | None = None
+        #: memory guard: abort the trace when the tree outgrows this
+        self.max_tree_nodes = max_tree_nodes
+        self._node_count = 0
 
         self.ddg = DynamicDependenceGraph()
         self._occ_counter = 0
@@ -126,6 +136,19 @@ class Tracer(ExecutionHooks):
             dependence_graph=self.ddg,
             execution=execution,
         )
+
+    def _count_node(self) -> None:
+        """Memory guard: a tree node pins bindings and dependence
+        bookkeeping, so runaway traces are aborted (and salvaged by
+        :func:`trace_program` when degradation is enabled)."""
+        self._node_count += 1
+        if self.max_tree_nodes is not None and self._node_count > self.max_tree_nodes:
+            from repro.resilience.errors import TraceAborted
+
+            raise TraceAborted(
+                f"execution tree exceeded {self.max_tree_nodes} activations",
+                reason="tree-nodes",
+            )
 
     # ------------------------------------------------------------------
     # occurrences
@@ -191,6 +214,7 @@ class Tracer(ExecutionHooks):
     def enter_routine(
         self, call: ast.Node | None, info: RoutineInfo, frame: Frame
     ) -> None:
+        self._count_node()
         if info.is_main:
             node = ExecNode(
                 kind=NodeKind.MAIN, unit_name=info.name, routine=info.symbol
@@ -246,6 +270,7 @@ class Tracer(ExecutionHooks):
         unit = self.loop_units.get(stmt.node_id)
         if unit is None:
             return
+        self._count_node()
         node = ExecNode(
             kind=NodeKind.LOOP,
             unit_name=unit.name,
@@ -262,6 +287,7 @@ class Tracer(ExecutionHooks):
         unit = self.loop_units.get(stmt.node_id)
         if unit is None:
             return
+        self._count_node()
         loop_node, iter_node = self._open_loops[-1]
         if iter_node is not None:
             self._close_iteration(unit, iter_node, frame)
@@ -468,6 +494,8 @@ def trace_program(
     loop_units: dict[int, LoopUnitInfo] | None = None,
     step_limit: int = 2_000_000,
     tolerate_errors: bool = False,
+    budget=None,
+    degrade: bool = False,
 ) -> TraceResult:
     """Run an analyzed program under the tracer (the paper's tracing phase).
 
@@ -476,21 +504,51 @@ def trace_program(
     execution tree: every activation open at the moment of the crash is
     closed with its values as of that moment, so the debugger can chase
     the crash the same way it chases a wrong value.
+
+    ``budget`` (a :class:`repro.resilience.Budget`) bounds the trace:
+    deadline and step/depth limits in the interpreter, plus a tree-node
+    cap in the tracer. With ``degrade``, blowing the budget does not
+    raise — the partial execution tree built so far is salvaged, capped
+    at ``budget.salvage_depth``, and returned with ``degraded`` set, so
+    the debugger can still localize on partial information.
     """
     from repro import obs
-    from repro.pascal.errors import PascalError
+    from repro.pascal.errors import (
+        PascalError,
+        PascalRuntimeError,
+        StepLimitExceeded,
+    )
+    from repro.resilience import faults
+    from repro.resilience.budget import DEFAULT_SALVAGE_DEPTH
+    from repro.resilience.errors import BudgetExceeded, TraceAborted
 
-    tracer = Tracer(analysis, side_effects=side_effects, loop_units=loop_units)
+    max_tree_nodes = budget.max_tree_nodes if budget is not None else None
+    tracer = Tracer(
+        analysis,
+        side_effects=side_effects,
+        loop_units=loop_units,
+        max_tree_nodes=max_tree_nodes,
+    )
     interpreter = Interpreter(
-        analysis, io=PascalIO(inputs), hooks=tracer, step_limit=step_limit
+        analysis, io=PascalIO(inputs), hooks=tracer, step_limit=step_limit,
+        budget=budget,
     )
     tracer.attach(interpreter)
     error: Exception | None = None
+    degraded_reason: str | None = None
     with obs.span("trace.execute", program=analysis.program.name):
+        spec = faults.fire("trace", key=analysis.program.name)
+        if spec is not None:
+            raise PascalRuntimeError(f"{spec.message} [trace]")
         try:
             execution = interpreter.run()
         except PascalError as raised:
-            if not tolerate_errors:
+            budget_blown = isinstance(
+                raised, (BudgetExceeded, TraceAborted, StepLimitExceeded)
+            )
+            if degrade and budget_blown:
+                degraded_reason = str(raised)
+            elif not tolerate_errors:
                 raise
             error = raised
             frame = interpreter.globals_frame
@@ -503,6 +561,31 @@ def trace_program(
     if error is not None:
         crash_node = tracer._tree_index.get(tracer.last_active_node_id)
         result.crash_unit = crash_node.unit_name if crash_node is not None else None
+    if degraded_reason is not None:
+        from repro.resilience.degrade import cap_depth
+
+        result.degraded = True
+        result.degraded_reason = degraded_reason
+        salvage_depth = (
+            budget.salvage_depth if budget is not None else DEFAULT_SALVAGE_DEPTH
+        )
+        result.truncated_nodes = cap_depth(result.tree.root, salvage_depth)
+        if result.truncated_nodes:
+            # Re-anchor the indexes on the surviving activations so the
+            # debugger and the slicer never chase a dropped node.
+            alive = {node.node_id for node in result.tree.walk()}
+            result.tree.occurrence_owner = {
+                occ: node
+                for occ, node in result.tree.occurrence_owner.items()
+                if node.node_id in alive
+            }
+            result.tree.output_writers = {
+                key: writers
+                for key, writers in result.tree.output_writers.items()
+                if key[0] in alive
+            }
+        if obs.enabled():
+            obs.add("resilience.degraded_traces")
     if obs.enabled():
         # End-of-trace accounting only: the per-statement hot path stays
         # untouched (see the null-hook fast path in the interpreter).
@@ -525,6 +608,8 @@ def trace_source(
     inputs: list[object] | None = None,
     step_limit: int = 2_000_000,
     tolerate_errors: bool = False,
+    budget=None,
+    degrade: bool = False,
 ) -> TraceResult:
     """Parse, analyze, and trace a program in one call."""
     from repro.pascal.semantics import analyze_source
@@ -535,4 +620,6 @@ def trace_source(
         inputs=inputs,
         step_limit=step_limit,
         tolerate_errors=tolerate_errors,
+        budget=budget,
+        degrade=degrade,
     )

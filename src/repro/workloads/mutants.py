@@ -111,6 +111,8 @@ OUTCOME_STATUSES = (
     "not_localized",
     "equivalent",
     "crashed",
+    "timed_out",
+    "infra_error",
 )
 
 
@@ -126,6 +128,14 @@ class LocalizationOutcome:
     #: wall time of this mutant's run/trace/debug (always measured;
     #: excluded from equality so timings don't break outcome comparison)
     seconds: float = field(default=0.0, compare=False)
+    #: the session ran over a degraded (budget-salvaged) partial trace
+    partial: bool = False
+    #: failure detail for ``timed_out`` / ``infra_error`` outcomes
+    error: str | None = None
+    #: failed attempts that preceded this outcome (parallel path only;
+    #: excluded from equality so a crash-then-retry run still compares
+    #: equal to a fault-free one)
+    retries: int = field(default=0, compare=False)
 
 
 def _debug_one_mutant(
@@ -135,11 +145,14 @@ def _debug_one_mutant(
     strategy: str,
     enable_slicing: bool,
     step_limit: int,
+    deadline_s: float | None = None,
+    degrade: bool = False,
 ) -> LocalizationOutcome:
     """Run/trace/debug one mutant (shared by sequential and parallel paths)."""
     started = time.perf_counter()
     outcome = _debug_one_mutant_impl(
-        mutant, baseline, reference, strategy, enable_slicing, step_limit
+        mutant, baseline, reference, strategy, enable_slicing, step_limit,
+        deadline_s, degrade,
     )
     outcome.seconds = time.perf_counter() - started
     return outcome
@@ -152,25 +165,53 @@ def _debug_one_mutant_impl(
     strategy: str,
     enable_slicing: bool,
     step_limit: int,
+    deadline_s: float | None = None,
+    degrade: bool = False,
 ) -> LocalizationOutcome:
     from repro.core import AlgorithmicDebugger, GadtSystem
     from repro.pascal import run_source
     from repro.pascal.errors import PascalError
+    from repro.resilience import Budget, BudgetExceeded
 
+    # One budget per mutant, armed here so the deadline covers the whole
+    # run/trace/debug pipeline, not each phase separately.
+    budget = (
+        Budget.started(deadline_s=deadline_s) if deadline_s is not None else None
+    )
     try:
-        output = run_source(mutant.source, step_limit=step_limit).output
+        output = run_source(
+            mutant.source, step_limit=step_limit, budget=budget
+        ).output
+    except BudgetExceeded as exc:
+        return LocalizationOutcome(
+            mutant=mutant, status="timed_out", error=str(exc)
+        )
     except PascalError:
         return LocalizationOutcome(mutant=mutant, status="crashed")
     if output == baseline:
         return LocalizationOutcome(mutant=mutant, status="equivalent")
-    system = GadtSystem.from_source(mutant.source, step_limit=step_limit)
-    debugger = AlgorithmicDebugger(
-        system.trace,
-        reference,
-        strategy=strategy,
-        enable_slicing=enable_slicing,
-    )
-    result = debugger.debug()
+    # Tracing re-executes with instrumentation overhead and debugging
+    # replays units through the reference oracle, so a mutant that ran
+    # clean above can still blow the step limit or raise here (e.g. a
+    # flipped loop bound that only diverges under the traced schedule).
+    # Those failures must cost this mutant its slot, never the sweep.
+    try:
+        system = GadtSystem.from_source(
+            mutant.source, step_limit=step_limit, budget=budget, degrade=degrade
+        )
+        debugger = AlgorithmicDebugger(
+            system.trace,
+            reference,
+            strategy=strategy,
+            enable_slicing=enable_slicing,
+        )
+        result = debugger.debug()
+    except BudgetExceeded as exc:
+        return LocalizationOutcome(
+            mutant=mutant, status="timed_out", error=str(exc)
+        )
+    except PascalError:
+        return LocalizationOutcome(mutant=mutant, status="crashed")
     blamed = result.bug_unit
     if blamed is None:
         # The session terminated without blaming any unit: distinct from
@@ -180,6 +221,7 @@ def _debug_one_mutant_impl(
             status="not_localized",
             localized_unit=None,
             user_questions=result.user_questions,
+            partial=result.partial,
         )
     correct = blamed == mutant.unit or blamed.startswith(mutant.unit + "$")
     return LocalizationOutcome(
@@ -187,32 +229,56 @@ def _debug_one_mutant_impl(
         status="localized" if correct else "mislocalized",
         localized_unit=blamed,
         user_questions=result.user_questions,
+        partial=result.partial,
     )
 
 
 #: per-worker-process state for the parallel path, built once by the pool
 #: initializer: (baseline output, reference oracle, strategy, slicing,
-#: step limit). Each worker owns a private oracle, so no state is shared
-#: across processes.
+#: step limit, deadline, degrade flag). Each worker owns a private
+#: oracle, so no state is shared across processes.
 _WORKER_STATE = None
 
 
 def _init_mutant_worker(
-    source: str, strategy: str, enable_slicing: bool, step_limit: int
+    source: str,
+    strategy: str,
+    enable_slicing: bool,
+    step_limit: int,
+    deadline_s: float | None = None,
+    degrade: bool = False,
+    fault_plan=None,
 ) -> None:
     global _WORKER_STATE
     from repro.core import ReferenceOracle
     from repro.pascal import run_source
+    from repro.resilience import faults
 
+    # The parent's fault plan is shipped to every worker so injection
+    # points inside worker code (the "worker" point, cache reads) fire
+    # there too; spec countdowns are per-process.
+    faults.install(fault_plan)
     baseline = run_source(source, step_limit=step_limit).output
     reference = ReferenceOracle.from_source(source, step_limit=step_limit)
-    _WORKER_STATE = (baseline, reference, strategy, enable_slicing, step_limit)
+    _WORKER_STATE = (
+        baseline, reference, strategy, enable_slicing, step_limit,
+        deadline_s, degrade,
+    )
 
 
-def _evaluate_in_worker(mutant: Mutant) -> LocalizationOutcome:
-    baseline, reference, strategy, enable_slicing, step_limit = _WORKER_STATE
+def _evaluate_in_worker(mutant: Mutant, attempt: int = 0) -> LocalizationOutcome:
+    from repro.resilience import faults
+
+    # The "worker" fault point: keyed on description@attempt so a plan
+    # can kill attempt 0 of one mutant and let its retry run clean.
+    faults.trip("worker", key=f"{mutant.description}@{attempt}")
+    (
+        baseline, reference, strategy, enable_slicing, step_limit,
+        deadline_s, degrade,
+    ) = _WORKER_STATE
     return _debug_one_mutant(
-        mutant, baseline, reference, strategy, enable_slicing, step_limit
+        mutant, baseline, reference, strategy, enable_slicing, step_limit,
+        deadline_s, degrade,
     )
 
 
@@ -223,6 +289,9 @@ def evaluate_mutants(
     enable_slicing: bool = True,
     step_limit: int = 500_000,
     workers: int | None = None,
+    deadline_s: float | None = None,
+    retries: int = 1,
+    degrade: bool = False,
 ) -> list[LocalizationOutcome]:
     """Debug every behaviour-changing mutant against the original program.
 
@@ -234,21 +303,61 @@ def evaluate_mutants(
     inside it (a loop unit such as ``arrsum$for1``); a session that ends
     without blaming any unit is *not_localized*.
 
-    ``workers`` > 1 fans the sweep out over a :mod:`multiprocessing`
-    pool — every mutant's run/trace/debug is independent, and each
-    worker builds its own reference oracle, so the result list is
-    identical (including order) to the sequential path.
-    """
-    with obs.span("mutants.evaluate", mutants=len(mutants)):
-        if workers is not None and workers > 1 and len(mutants) > 1:
-            import multiprocessing
+    **Robustness** (see ``docs/ROBUSTNESS.md``): ``deadline_s`` arms a
+    per-mutant wall-clock budget — a mutant that spins (an infinite loop
+    the step limit would take too long to catch) is recorded as
+    *timed_out*. With ``degrade``, a mutant whose *trace* blows the
+    budget salvages a depth-capped partial tree and is still debugged
+    (its outcome carries ``partial=True``) instead of crashing.
 
-            with multiprocessing.Pool(
-                processes=min(workers, len(mutants)),
+    ``workers`` > 1 fans the sweep out with crash isolation
+    (:func:`repro.resilience.pool.run_isolated`): every mutant's
+    run/trace/debug is an independently submitted task, a worker death
+    or hang costs that mutant one slot (retried up to ``retries`` times,
+    then *infra_error*), and each worker builds its own reference
+    oracle, so the result list is identical (including order) to the
+    sequential path. ``workers=0`` or negative is rejected.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError(
+            f"workers must be >= 1 (or None for sequential), got {workers}"
+        )
+    parallel = workers is not None and workers > 1 and len(mutants) > 1
+    with obs.span("mutants.evaluate", mutants=len(mutants)):
+        if parallel:
+            from repro.resilience import faults
+            from repro.resilience.pool import run_isolated
+
+            # Pool-level timeout is a backstop for hangs the in-task
+            # budget cannot see (stuck worker, pathological transform);
+            # the budget converts ordinary runaways long before this.
+            pool_timeout = None if deadline_s is None else deadline_s * 4 + 30
+            task_results = run_isolated(
+                _evaluate_in_worker,
+                mutants,
+                workers=min(workers, len(mutants)),
                 initializer=_init_mutant_worker,
-                initargs=(source, strategy, enable_slicing, step_limit),
-            ) as pool:
-                outcomes = pool.map(_evaluate_in_worker, mutants)
+                initargs=(
+                    source, strategy, enable_slicing, step_limit,
+                    deadline_s, degrade, faults.active(),
+                ),
+                timeout_s=pool_timeout,
+                retries=retries,
+            )
+            outcomes = []
+            for task, mutant in zip(task_results, mutants):
+                if task is not None and task.status == "ok":
+                    outcome = task.value
+                    outcome.retries = task.retries
+                else:
+                    status = task.status if task is not None else "infra_error"
+                    outcome = LocalizationOutcome(
+                        mutant=mutant,
+                        status=status,
+                        error=task.error if task is not None else None,
+                        retries=task.retries if task is not None else 0,
+                    )
+                outcomes.append(outcome)
         else:
             from repro.core import ReferenceOracle
             from repro.pascal import run_source
@@ -257,7 +366,8 @@ def evaluate_mutants(
             reference = ReferenceOracle.from_source(source, step_limit=step_limit)
             outcomes = [
                 _debug_one_mutant(
-                    mutant, baseline, reference, strategy, enable_slicing, step_limit
+                    mutant, baseline, reference, strategy, enable_slicing,
+                    step_limit, deadline_s, degrade,
                 )
                 for mutant in mutants
             ]
@@ -267,6 +377,15 @@ def evaluate_mutants(
         for outcome in outcomes:
             obs.add(f"mutants.outcome.{outcome.status}")
             obs.observe("mutants.debug_s", outcome.seconds, unit="s")
+            if outcome.status == "timed_out":
+                obs.add("resilience.timeouts")
+            if outcome.retries:
+                obs.add("resilience.retries", outcome.retries)
+            if parallel and outcome.partial:
+                # Sequential traces count themselves in-process; worker
+                # processes run with obs off, so their degraded traces
+                # are credited here.
+                obs.add("resilience.degraded_traces")
             obs.emit(
                 "mutant",
                 status=outcome.status,
@@ -275,6 +394,8 @@ def evaluate_mutants(
                 localized_unit=outcome.localized_unit,
                 user_questions=outcome.user_questions,
                 seconds=outcome.seconds,
+                partial=outcome.partial,
+                retries=outcome.retries,
             )
     return outcomes
 

@@ -85,13 +85,7 @@ class TestEvaluation:
         outcomes = evaluate_mutants(FIGURE4_FIXED_SOURCE, mutants)
         assert len(outcomes) == len(mutants)
         for outcome in outcomes:
-            assert outcome.status in (
-                "localized",
-                "mislocalized",
-                "not_localized",
-                "equivalent",
-                "crashed",
-            )
+            assert outcome.status in OUTCOME_STATUSES
 
     def test_equivalent_mutants_detected(self):
         # mutating 'b := 0' to 'b := 1' inside arrsum changes output;
@@ -136,6 +130,7 @@ class TestEvaluation:
         class _NoBlame:
             bug_unit = None
             user_questions = 3
+            partial = False
 
         class _FakeDebugger:
             def __init__(self, *args, **kwargs):
@@ -161,6 +156,8 @@ class TestSummarize:
             "not_localized": 0,
             "equivalent": 0,
             "crashed": 0,
+            "timed_out": 0,
+            "infra_error": 0,
         }
 
     def test_not_localized_is_its_own_bucket(self):

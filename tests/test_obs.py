@@ -89,7 +89,9 @@ class TestMetrics:
     def test_snapshot_includes_cache_stats(self, observing):
         snap = obs.snapshot()
         assert "transform" in snap["cache"]
-        assert set(snap["cache"]["transform"]) == {"entries", "hits", "misses"}
+        assert set(snap["cache"]["transform"]) == {
+            "entries", "hits", "misses", "corrupt",
+        }
 
     def test_reset_clears_everything(self, observing):
         obs.add("c")

@@ -1,0 +1,237 @@
+"""Fault-isolated mutation sweeps: per-mutant budgets, crash isolation,
+retries, and correct failure attribution (docs/ROBUSTNESS.md).
+
+The sweep-level invariant under test throughout: a pathological mutant
+(infinite loop, crash under tracing, worker death) costs exactly its
+own slot — every other mutant's outcome is identical to a fault-free
+sequential run.
+"""
+
+import pytest
+
+from repro import obs
+from repro.resilience import faults
+from repro.resilience.faults import FaultSpec
+from repro.workloads import FIGURE4_FIXED_SOURCE
+from repro.workloads.mutants import (
+    Mutant,
+    evaluate_mutants,
+    generate_mutants,
+    summarize,
+)
+
+SPIN = """\
+program t;
+var x : integer;
+procedure spin;
+begin
+  while 1 = 1 do
+    x := x + 1
+end;
+begin
+  x := 0;
+  spin;
+  writeln(x)
+end.
+"""
+
+#: a sweep-visible step limit high enough that only the deadline can
+#: stop the infinite-loop mutant
+BIG_STEPS = 10_000_000
+
+DEADLINE = 5.0
+
+
+def _corpus():
+    mutants = generate_mutants(FIGURE4_FIXED_SOURCE)[:6]
+    spin = Mutant(
+        source=SPIN,
+        unit="spin",
+        description="infinite loop in spin",
+        kind="operator",
+    )
+    return mutants + [spin]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _corpus()
+
+
+@pytest.fixture(scope="module")
+def fault_free_sequential(corpus):
+    """The reference outcomes every faulted sweep is compared against."""
+    return evaluate_mutants(
+        FIGURE4_FIXED_SOURCE,
+        corpus,
+        deadline_s=DEADLINE,
+        step_limit=BIG_STEPS,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_state():
+    yield
+    faults.clear()
+    obs.disable()
+    obs.reset()
+
+
+class TestWorkerValidation:
+    def test_workers_zero_rejected(self, corpus):
+        with pytest.raises(ValueError, match="workers"):
+            evaluate_mutants(FIGURE4_FIXED_SOURCE, corpus, workers=0)
+
+    def test_workers_negative_rejected(self, corpus):
+        with pytest.raises(ValueError, match="workers"):
+            evaluate_mutants(FIGURE4_FIXED_SOURCE, corpus, workers=-3)
+
+
+class TestDeadline:
+    def test_infinite_loop_mutant_times_out_sweep_survives(
+        self, corpus, fault_free_sequential
+    ):
+        outcomes = fault_free_sequential
+        assert len(outcomes) == len(corpus)
+        assert outcomes[-1].status == "timed_out"
+        assert outcomes[-1].error
+        # The runaway cost one slot; everything else localized normally.
+        counts = summarize(outcomes)
+        assert counts["timed_out"] == 1
+        assert counts["infra_error"] == 0
+        assert counts["localized"] + counts["equivalent"] == len(corpus) - 1
+
+
+class TestCrashIsolationInSweeps:
+    def test_mutant_crashing_under_tracing_is_recorded_not_fatal(
+        self, corpus, fault_free_sequential
+    ):
+        """Regression: a PascalError raised *after* the initial run —
+        inside GadtSystem.from_source — must mark that mutant crashed,
+        not abort the sweep. skip=1 spares the reference oracle's trace
+        so the fault lands on the first behaviour-changing mutant."""
+        with faults.injected(
+            FaultSpec(point="trace", mode="raise", times=1, skip=1)
+        ):
+            outcomes = evaluate_mutants(
+                FIGURE4_FIXED_SOURCE,
+                corpus,
+                deadline_s=DEADLINE,
+                step_limit=BIG_STEPS,
+            )
+        assert len(outcomes) == len(corpus)
+        flipped = [
+            (clean, faulted)
+            for clean, faulted in zip(fault_free_sequential, outcomes)
+            if clean != faulted
+        ]
+        assert len(flipped) == 1
+        clean, faulted = flipped[0]
+        assert faulted.status == "crashed"
+        assert clean.status not in ("equivalent", "crashed")
+
+    def test_mutant_crashing_during_debug_is_recorded_not_fatal(self, corpus):
+        """Regression: a PascalError escaping debugger.debug() (e.g. the
+        oracle replaying a unit that dies) must also cost one slot."""
+        from unittest.mock import patch
+
+        from repro.pascal.errors import PascalRuntimeError
+
+        class _DyingDebugger:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def debug(self):
+                raise PascalRuntimeError("oracle replay died")
+
+        with patch("repro.core.AlgorithmicDebugger", _DyingDebugger):
+            outcomes = evaluate_mutants(
+                FIGURE4_FIXED_SOURCE,
+                corpus[:6],
+                deadline_s=DEADLINE,
+                step_limit=BIG_STEPS,
+            )
+        assert len(outcomes) == 6
+        assert all(
+            outcome.status in ("crashed", "equivalent") for outcome in outcomes
+        )
+        assert any(outcome.status == "crashed" for outcome in outcomes)
+
+
+class TestAcceptanceScenario:
+    def test_faulted_parallel_sweep_attributes_every_failure(
+        self, corpus, fault_free_sequential
+    ):
+        """The issue's acceptance scenario: one parallel sweep containing
+        an infinite-loop mutant, an injected worker crash (transient),
+        a deterministic worker death, and an injected cache corruption
+        completes without raising and attributes each failure to exactly
+        the right mutant; all other outcomes are byte-identical to the
+        fault-free sequential run."""
+        transient = corpus[0].description  # crashes once, retried clean
+        fatal = corpus[1].description  # dies on every attempt
+        obs.reset()
+        obs.enable()
+        with faults.injected(
+            FaultSpec(point="worker", match=f"{transient}@0", mode="raise"),
+            FaultSpec(point="worker", match=f"{fatal}@", mode="exit", times=-1),
+            FaultSpec(point="cache.read", match="analysis", mode="corrupt"),
+        ):
+            outcomes = evaluate_mutants(
+                FIGURE4_FIXED_SOURCE,
+                corpus,
+                workers=4,
+                deadline_s=DEADLINE,
+                step_limit=BIG_STEPS,
+                retries=1,
+            )
+        snapshot = obs.snapshot()
+        obs.disable()
+
+        assert len(outcomes) == len(corpus)
+        # The transient crash: one retry, then the normal outcome.
+        assert outcomes[0].retries == 1
+        assert outcomes[0] == fault_free_sequential[0]
+        # The deterministic crasher: charged to exactly that mutant.
+        assert outcomes[1].status == "infra_error"
+        # The runaway: still a timeout, exactly as in the sequential run.
+        assert outcomes[-1].status == "timed_out"
+        # Everything else is byte-identical to the fault-free run (the
+        # injected cache corruption is a rebuild, never a crash).
+        for clean, faulted in zip(
+            fault_free_sequential[2:-1], outcomes[2:-1]
+        ):
+            assert clean == faulted
+        # The sweep's failures are visible in the metrics.
+        counters = snapshot["counters"]
+        assert counters["resilience.timeouts"] >= 1
+        assert counters["resilience.retries"] >= 1
+        assert counters["mutants.outcome.infra_error"] == 1
+
+    def test_fault_free_parallel_matches_sequential_with_budgets(
+        self, corpus, fault_free_sequential
+    ):
+        parallel = evaluate_mutants(
+            FIGURE4_FIXED_SOURCE,
+            corpus,
+            workers=4,
+            deadline_s=DEADLINE,
+            step_limit=BIG_STEPS,
+        )
+        assert parallel == fault_free_sequential
+
+
+class TestResilienceCounters:
+    def test_sequential_timeout_counted(self, corpus):
+        obs.reset()
+        obs.enable()
+        evaluate_mutants(
+            FIGURE4_FIXED_SOURCE,
+            [corpus[-1]],  # just the runaway
+            deadline_s=1.0,
+            step_limit=BIG_STEPS,
+        )
+        counters = obs.snapshot()["counters"]
+        obs.disable()
+        assert counters["resilience.timeouts"] == 1
+        assert counters["mutants.outcome.timed_out"] == 1
