@@ -169,6 +169,56 @@ _MISSING = object()
 _CORRUPT = object()
 
 
+# ----------------------------------------------------------------------
+# crash-safe file machinery, shared with the persistent test-report
+# store (:mod:`repro.store`): checksummed payload framing, atomic
+# publication, and quarantine of damaged files.
+
+
+def seal_payload(payload: bytes) -> bytes:
+    """Frame ``payload`` for crash-safe storage: 64 hex chars of SHA-256
+    over the payload, a newline, then the payload itself."""
+    header = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return header + b"\n" + payload
+
+
+def open_sealed(blob: bytes) -> bytes | None:
+    """The payload of a sealed ``blob``, or None when the checksum (or
+    the framing itself) does not verify — the caller quarantines."""
+    header, sep, payload = blob.partition(b"\n")
+    if not sep:
+        return None
+    if header.decode("ascii", "replace") != hashlib.sha256(payload).hexdigest():
+        return None
+    return payload
+
+
+def atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Publish ``blob`` at ``path`` atomically: a temp file in the same
+    directory, then ``os.replace`` — readers see the old file, the new
+    file, or nothing, never a torn write. OSErrors propagate after the
+    temp file is cleaned up."""
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp_name, path)
+    except OSError:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def quarantine_file(path: Path) -> None:
+    """Move a damaged file aside as ``<name>.corrupt`` (best effort)."""
+    try:
+        os.replace(path, path.with_suffix(".corrupt"))
+    except OSError:
+        pass
+
+
 class DiskCacheBackend:
     """Content-addressed on-disk entries with atomic writes and checksum
     verification (one file per entry, named by the key's digest).
@@ -201,10 +251,8 @@ class DiskCacheBackend:
         except OSError:
             return _MISSING
         if not force_corrupt:
-            header, sep, payload = blob.partition(b"\n")
-            if sep and header.decode("ascii", "replace") == hashlib.sha256(
-                payload
-            ).hexdigest():
+            payload = open_sealed(blob)
+            if payload is not None:
                 try:
                     return pickle.loads(payload)
                 except Exception:
@@ -219,23 +267,13 @@ class DiskCacheBackend:
             payload = pickle.dumps(value)
         except Exception:
             return
-        header = hashlib.sha256(payload).hexdigest().encode("ascii")
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(header + b"\n" + payload)
-            os.replace(tmp_name, self._path(key))
+            atomic_write_bytes(self._path(key), seal_payload(payload))
         except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+            pass  # the in-memory layer still serves the value
 
     def _quarantine(self, path: Path) -> None:
-        try:
-            os.replace(path, path.with_suffix(".corrupt"))
-        except OSError:
-            pass
+        quarantine_file(path)
 
     def clear(self) -> None:
         for path in self.directory.glob("*.entry"):

@@ -9,10 +9,17 @@
     python -m repro frames SPECFILE
     python -m repro mutate PROGRAM [--evaluate]
     python -m repro stats PROGRAM [--reference FIXED]
+    python -m repro testdb import DB_DIR REPORTS.jsonl [--shards N]
+    python -m repro testdb stats DB_DIR [--per-shard]
+    python -m repro testdb compact DB_DIR
 
 `debug` without ``--reference`` runs an interactive session: you answer
 the questions (yes / no / no <k> / no <name> / assert <expr> / ?); with
 ``--reference`` a simulated user backed by the fixed program answers.
+With ``--testdb DIR`` (plus ``--spec FILE`` per tested unit) queries
+are first answered from the persistent sharded test-report store at
+``DIR`` — see ``docs/TESTDB.md`` and the ``testdb`` subcommands that
+maintain such a store.
 
 The ``run``, ``trace``, ``debug``, ``mutate``, and ``stats`` subcommands
 take ``--profile`` (print a phase/metric summary on stderr after the
@@ -47,6 +54,7 @@ from repro.core import (
 from repro.pascal import analyze_source, print_program, run_source
 from repro.pascal.errors import PascalError
 from repro.slicing import DynamicCriterion, StaticCriterion, prune_tree, static_slice
+from repro.store import StoreError
 from repro.tgen import frames_by_script, generate_frames
 from repro.tgen.spec_parser import SpecError, parse_spec
 from repro.tracing import trace_source
@@ -150,6 +158,21 @@ def cmd_slice(args: argparse.Namespace) -> int:
     return 0
 
 
+def _testdb_lookup(args: argparse.Namespace, interactive: bool):
+    """The store-backed test lookup for ``debug --testdb``, or None."""
+    testdb = getattr(args, "testdb", None)
+    if testdb is None:
+        return None
+    import repro.workloads.arrsum_spec  # noqa: F401  (registers its selector)
+    from repro.tgen import FRAME_SELECTORS, TerminalMenu
+
+    specs = [parse_spec(_read(path)) for path in args.spec or []]
+    menu = TerminalMenu(output=sys.stdout) if interactive else None
+    return GadtSystem.store_lookup(
+        testdb, specs=specs, selectors=dict(FRAME_SELECTORS), menu=menu
+    )
+
+
 def cmd_debug(args: argparse.Namespace) -> int:
     source = _read(args.program)
     system = GadtSystem.from_source(
@@ -170,7 +193,10 @@ def cmd_debug(args: argparse.Namespace) -> int:
         oracle = InteractiveOracle(output=sys.stdout)
 
     debugger = system.debugger(
-        oracle, strategy=args.strategy, enable_slicing=not args.no_slicing
+        oracle,
+        strategy=args.strategy,
+        test_lookup=_testdb_lookup(args, interactive=not args.reference),
+        enable_slicing=not args.no_slicing,
     )
     result = debugger.debug(assume_symptom=not args.query_symptom)
 
@@ -270,6 +296,60 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(f"localized: {result.bug_unit or 'no'}")
         print(obs.report.render_answer_sources(result.report()))
     print(obs.report.render_summary(obs.snapshot()))
+    return 0
+
+
+def cmd_testdb_import(args: argparse.Namespace) -> int:
+    """Bulk-load a JSONL report dump into a sharded store."""
+    import json
+
+    from repro.store import CodecError, ShardedReportStore, report_from_dict
+
+    reports = []
+    for line_no, line in enumerate(
+        Path(args.reports).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            reports.append(report_from_dict(json.loads(line)))
+        except (json.JSONDecodeError, CodecError) as error:
+            print(f"error: {args.reports}:{line_no}: {error}", file=sys.stderr)
+            return 2
+    with ShardedReportStore(args.database, shards=args.shards) as store:
+        count = store.import_reports(reports, budget=_budget(args))
+        stats = store.stats()
+    print(
+        f"imported {count} report(s) into {stats['shards']} shard(s) "
+        f"({stats['segments']} segment(s), {stats['reports']} total)"
+    )
+    return 0
+
+
+def cmd_testdb_stats(args: argparse.Namespace) -> int:
+    from repro.store import ShardedReportStore
+
+    store = ShardedReportStore(args.database)
+    print(obs.report.render_store_stats(store.stats()))
+    if args.per_shard:
+        for index, row in store.iter_shard_stats():
+            print(
+                f"  shard {index:03d}: {row['reports']} report(s) in "
+                f"{row['segments']} segment(s), {row['frames']} frame(s), "
+                f"{row['quarantined']} quarantined"
+            )
+    return 0
+
+
+def cmd_testdb_compact(args: argparse.Namespace) -> int:
+    from repro.store import ShardedReportStore
+
+    with ShardedReportStore(args.database) as store:
+        merged = store.compact(budget=_budget(args))
+    print(
+        f"compacted {merged['segments_before']} segment(s) "
+        f"into {merged['segments_after']}"
+    )
     return 0
 
 
@@ -381,6 +461,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     debug_parser.add_argument("--no-slicing", action="store_true")
     debug_parser.add_argument(
+        "--testdb",
+        metavar="DIR",
+        help="answer queries from the persistent test-report store at DIR",
+    )
+    debug_parser.add_argument(
+        "--spec",
+        action="append",
+        metavar="FILE",
+        help="T-GEN specification for a tested unit (repeatable; "
+        "used with --testdb to map query inputs to test frames)",
+    )
+    debug_parser.add_argument(
         "--query-symptom",
         action="store_true",
         help="query the root instead of assuming it erroneous; a 'yes' "
@@ -441,6 +533,44 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("--input", action="append", metavar="V")
     stats_parser.set_defaults(func=cmd_stats, needs_obs=True)
 
+    testdb_parser = sub.add_parser(
+        "testdb",
+        help="maintain a persistent sharded test-report store",
+    )
+    testdb_sub = testdb_parser.add_subparsers(dest="testdb_command", required=True)
+
+    testdb_import = testdb_sub.add_parser(
+        "import",
+        parents=[budget_parent],
+        help="bulk-load a JSONL report dump into the store",
+    )
+    testdb_import.add_argument("database", help="store directory")
+    testdb_import.add_argument("reports", help="JSONL file, one report per line")
+    testdb_import.add_argument(
+        "--shards",
+        type=int,
+        default=8,
+        help="shard count when creating a new store (ignored on reopen)",
+    )
+    testdb_import.set_defaults(func=cmd_testdb_import)
+
+    testdb_stats = testdb_sub.add_parser(
+        "stats", help="shard/segment/report counts, hit rate, quarantine"
+    )
+    testdb_stats.add_argument("database", help="store directory")
+    testdb_stats.add_argument(
+        "--per-shard", action="store_true", help="also print one row per shard"
+    )
+    testdb_stats.set_defaults(func=cmd_testdb_stats)
+
+    testdb_compact = testdb_sub.add_parser(
+        "compact",
+        parents=[budget_parent],
+        help="merge each shard's segments, dropping duplicate rows",
+    )
+    testdb_compact.add_argument("database", help="store directory")
+    testdb_compact.set_defaults(func=cmd_testdb_compact)
+
     return parser
 
 
@@ -466,6 +596,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except (PascalError, SpecError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except StoreError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except FileNotFoundError as error:

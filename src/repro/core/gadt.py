@@ -156,6 +156,32 @@ class GadtSystem:
             enable_slicing=enable_slicing,
         )
 
+    @staticmethod
+    def store_lookup(
+        directory,
+        specs=(),
+        selectors=None,
+        menu=None,
+    ) -> TestCaseLookup:
+        """A :class:`TestCaseLookup` backed by the persistent sharded
+        test-report store at ``directory`` (see :mod:`repro.store` and
+        ``docs/TESTDB.md``): reports recorded by earlier testing runs —
+        in this process or any other — answer this session's queries.
+
+        ``specs`` is an iterable of :class:`~repro.tgen.TestSpec`;
+        ``selectors`` maps unit names to automatic frame selectors, and
+        ``menu`` is the fallback menu interaction for units without one.
+        """
+        from repro.store import BatchAnswerService, ShardedReportStore
+
+        service = BatchAnswerService(
+            ShardedReportStore(directory),
+            specs=specs,
+            selectors=selectors,
+            menu=menu,
+        )
+        return service.session_lookup()
+
     def show_bug(self, result: DebugResult) -> str:
         """Original-source rendering of the localized unit (paper §6.1).
 

@@ -28,6 +28,27 @@ def render_answer_sources(session_report: dict) -> str:
     )
 
 
+def render_store_stats(stats: dict) -> str:
+    """Multi-line summary of ``ShardedReportStore.stats()`` — the body
+    of ``repro testdb stats``. The CI testdb smoke job greps the
+    ``test-report store:`` prefix; keep it stable.
+    """
+    lines = [
+        f"test-report store: format {stats['format']}",
+        f"  shards      {stats['shards']}",
+        f"  segments    {stats['segments']}",
+        f"  reports     {stats['reports']} ({stats['frames']} frames, "
+        f"{stats['buffered']} buffered)",
+        f"  hit rate    {stats['hit_rate']:.2%} "
+        f"({stats['lru_hits']} cache hits, {stats['scans']} shard scans)",
+        f"  flushes     {stats['flushes']}",
+        f"  quarantined {stats['quarantined']} segment(s) "
+        f"({stats['corrupt_segments']} corrupt, "
+        f"{stats['read_errors']} read errors this open)",
+    ]
+    return "\n".join(lines)
+
+
 def render_summary(snapshot: dict) -> str:
     """Multi-line phase/metric summary of a registry snapshot."""
     lines = ["== observability =="]

@@ -2,13 +2,17 @@
 
 Crash isolation, retries, and degraded tracing are only trustworthy if
 they are *testable*: this module lets tests (and the CI smoke job)
-plant failures at exactly four boundaries —
+plant failures at exactly six boundaries —
 
 * ``cache.read`` — a content-cache entry reads back corrupted,
 * ``sink.write`` — an event sink write fails with ``OSError``,
 * ``trace`` — tracing a program dies with a runtime error,
 * ``worker`` — a sweep worker raises (or hard-exits, simulating a
-  process crash).
+  process crash),
+* ``store.read`` — a test-report segment reads back corrupted or
+  unreadable (:mod:`repro.store`),
+* ``store.write`` — a test-report segment flush fails, hard-exits
+  mid-flush, or publishes damaged bytes.
 
 A :class:`FaultPlan` is a list of :class:`FaultSpec` rules. Each site
 calls :func:`fire` with its point name and a site *key* (e.g. the
@@ -32,7 +36,14 @@ from typing import Iterator
 from repro.resilience.errors import FaultInjected
 
 #: the boundaries that consult the fault plan
-FAULT_POINTS = ("cache.read", "sink.write", "trace", "worker")
+FAULT_POINTS = (
+    "cache.read",
+    "sink.write",
+    "trace",
+    "worker",
+    "store.read",
+    "store.write",
+)
 
 #: what a fired spec does at its site
 FAULT_MODES = ("raise", "oserror", "exit", "corrupt")

@@ -1,0 +1,163 @@
+"""The batched answer service over the sharded test-report store.
+
+During debugging every ``(unit, inputs)`` query is one potential user
+interaction; the cheapest query is one answered from a recorded test
+report before the user ever sees it. :class:`BatchAnswerService`
+accepts many such queries at once — collected within one session, or
+submitted by several concurrent :class:`~repro.core.AlgorithmicDebugger`
+sessions — groups them by the shard their unit hashes into (consecutive
+lookups on one shard ride its LRU read cache instead of ping-ponging
+between shards), and answers each with the usual
+:class:`~repro.tgen.lookup.TestCaseLookup` semantics: spec → frame →
+combined verdict.
+
+Accounting lands in :mod:`repro.obs` (``store.batch.queries`` /
+``.hits`` / ``.misses`` / ``.conflicts``) and on the service itself, so
+``repro stats`` and ``DebugResult.report()`` keep summing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro import obs
+from repro.store.sharded import ShardedReportStore
+from repro.tgen.lookup import (
+    FrameSelector,
+    LookupOutcome,
+    LookupStatus,
+    MenuCallback,
+    TestCaseLookup,
+)
+from repro.tgen.spec_ast import TestSpec
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One correctness query: a unit name plus its concrete inputs."""
+
+    unit: str
+    inputs: Mapping[str, object]
+
+
+@dataclass
+class BatchStats:
+    """Cumulative service counters (mirrored into :mod:`repro.obs`)."""
+
+    queries: int = 0
+    hits: int = 0
+    misses: int = 0
+    conflicts: int = 0
+    batches: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "queries": self.queries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "conflicts": self.conflicts,
+            "batches": self.batches,
+        }
+
+
+class BatchAnswerService:
+    """Answers correctness queries in shard-grouped batches.
+
+    Thread-safe: concurrent sessions may call :meth:`answer_batch` (or
+    take per-session lookups via :meth:`session_lookup`) against one
+    shared service; the store's per-shard locks serialize disk access
+    and the service lock keeps its own counters consistent.
+    """
+
+    def __init__(
+        self,
+        store: ShardedReportStore,
+        specs: Iterable[TestSpec] = (),
+        selectors: Mapping[str, FrameSelector] | None = None,
+        menu: MenuCallback | None = None,
+    ):
+        self.store = store
+        self._specs: dict[str, TestSpec] = {spec.unit: spec for spec in specs}
+        self._selectors: dict[str, FrameSelector] = dict(selectors or {})
+        self._menu = menu
+        self._lock = threading.Lock()
+        self.stats = BatchStats()
+
+    def register(self, spec: TestSpec, selector: FrameSelector | None = None) -> None:
+        """Add a unit's spec (and optional automatic frame selector)."""
+        with self._lock:
+            self._specs[spec.unit] = spec
+            if selector is not None:
+                self._selectors[spec.unit] = selector
+
+    def session_lookup(self) -> TestCaseLookup:
+        """A fresh :class:`TestCaseLookup` over the shared store, with
+        this service's specs and selectors — one per debug session, so
+        per-session counters never race across threads."""
+        with self._lock:
+            return TestCaseLookup(
+                database=self.store,
+                specs=dict(self._specs),
+                selectors=dict(self._selectors),
+                menu=self._menu,
+            )
+
+    def answer_batch(
+        self, queries: Sequence[BatchQuery], budget=None
+    ) -> list[LookupOutcome]:
+        """Answer ``queries``, returned in submission order.
+
+        Queries are grouped by shard and resolved shard-by-shard so a
+        batch touching few shards pays few segment scans. ``budget`` (a
+        :class:`repro.resilience.Budget`) is checked before every query,
+        so an armed deadline bounds even a huge batch.
+        """
+        lookup = self.session_lookup()
+        outcomes: list[LookupOutcome | None] = [None] * len(queries)
+        by_shard: dict[int, list[int]] = {}
+        for position, query in enumerate(queries):
+            by_shard.setdefault(self.store.shard_of(query.unit), []).append(
+                position
+            )
+        for shard_index in sorted(by_shard):
+            for position in by_shard[shard_index]:
+                if budget is not None:
+                    budget.check()
+                query = queries[position]
+                outcomes[position] = lookup.consult(query.unit, query.inputs)
+        self._account(outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _account(self, outcomes: Sequence[LookupOutcome | None]) -> None:
+        hits = sum(
+            1 for outcome in outcomes if outcome is not None and outcome.answers_yes
+        )
+        conflicts = sum(
+            1
+            for outcome in outcomes
+            if outcome is not None
+            and outcome.status is LookupStatus.CONFLICTING_REPORTS
+        )
+        answered = sum(1 for outcome in outcomes if outcome is not None)
+        misses = answered - hits - conflicts
+        with self._lock:
+            self.stats.queries += answered
+            self.stats.hits += hits
+            self.stats.misses += misses
+            self.stats.conflicts += conflicts
+            self.stats.batches += 1
+        obs.add("store.batch.queries", answered)
+        obs.add("store.batch.hits", hits)
+        obs.add("store.batch.misses", misses)
+        obs.add("store.batch.conflicts", conflicts)
+        obs.add("store.batch.batches")
+        if obs.enabled():
+            obs.emit(
+                "batch-answer",
+                queries=answered,
+                hits=hits,
+                misses=misses,
+                conflicts=conflicts,
+            )

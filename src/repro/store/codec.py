@@ -1,0 +1,127 @@
+"""JSON codec for test reports (the on-disk document format).
+
+Segments store reports as plain JSON so the database stays inspectable
+with standard tools (``jq``, a text editor) and importable from JSONL
+dumps — see ``docs/TESTDB.md`` for the full format. Pascal runtime
+values are encoded with a small tagged scheme: scalars pass through,
+arrays and undefined storage get ``{"$": ...}`` wrappers, and anything
+else degrades to a ``repr`` string (reports are evidence for the
+verdict, which never depends on reconstructing exotic values).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.pascal.values import UNDEFINED, ArrayValue
+from repro.tgen.reports import TestReport, Verdict
+
+
+@dataclass(frozen=True)
+class OpaqueValue:
+    """Placeholder for a value that only survived as its ``repr``."""
+
+    text: str
+
+    def __repr__(self) -> str:
+        return self.text
+
+
+def encode_value(value: object) -> Any:
+    """A JSON-ready encoding of one Pascal runtime value."""
+    if value is UNDEFINED:
+        return {"$": "undef"}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, ArrayValue):
+        return {
+            "$": "array",
+            "low": value.low,
+            "elements": [encode_value(item) for item in value.elements],
+        }
+    if isinstance(value, OpaqueValue):
+        return {"$": "repr", "text": value.text}
+    return {"$": "repr", "text": repr(value)}
+
+
+def decode_value(encoded: Any) -> object:
+    """Inverse of :func:`encode_value` (``repr`` values come back as
+    :class:`OpaqueValue`)."""
+    if not isinstance(encoded, dict):
+        return encoded
+    tag = encoded.get("$")
+    if tag == "undef":
+        return UNDEFINED
+    if tag == "array":
+        elements = [decode_value(item) for item in encoded["elements"]]
+        low = int(encoded["low"])
+        return ArrayValue(low, low + len(elements) - 1, elements)
+    if tag == "repr":
+        return OpaqueValue(str(encoded["text"]))
+    raise CodecError(f"unknown value tag {tag!r}")
+
+
+class CodecError(ValueError):
+    """A report document does not decode (bad tag, missing field, ...)."""
+
+
+def report_to_dict(report: TestReport) -> dict:
+    """One report as a JSON-ready dict (the segment/JSONL row shape)."""
+    return {
+        "unit": report.unit,
+        "frame_key": list(report.frame_key),
+        "verdict": report.verdict.value,
+        "case_args": [encode_value(value) for value in report.case_args],
+        "outputs": [
+            [name, encode_value(value)] for name, value in report.outputs
+        ],
+        "detail": report.detail,
+        "script": report.script,
+    }
+
+
+def report_from_dict(row: Mapping) -> TestReport:
+    """Rebuild a :class:`TestReport` from its dict form."""
+    try:
+        return TestReport(
+            unit=str(row["unit"]),
+            frame_key=tuple(str(choice) for choice in row["frame_key"]),
+            verdict=Verdict(row["verdict"]),
+            case_args=tuple(decode_value(value) for value in row.get("case_args", ())),
+            outputs=tuple(
+                (str(name), decode_value(value))
+                for name, value in row.get("outputs", ())
+            ),
+            detail=str(row.get("detail", "")),
+            script=row.get("script"),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise CodecError(f"bad report row: {error}") from error
+
+
+def dumps_reports(reports: list[TestReport]) -> bytes:
+    """The segment payload: a one-object JSON document."""
+    document = {
+        "format": "gadt-testdb/1",
+        "reports": [report_to_dict(report) for report in reports],
+    }
+    return json.dumps(document, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+
+
+def loads_reports(payload: bytes) -> list[TestReport]:
+    """Decode a segment payload; :class:`CodecError` on any damage the
+    checksum did not catch (wrong format tag, malformed rows)."""
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CodecError(f"unparsable segment payload: {error}") from error
+    if not isinstance(document, dict) or document.get("format") != "gadt-testdb/1":
+        raise CodecError("not a gadt-testdb/1 segment")
+    rows = document.get("reports")
+    if not isinstance(rows, list):
+        raise CodecError("segment has no report list")
+    return [report_from_dict(row) for row in rows]

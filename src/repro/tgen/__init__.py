@@ -27,15 +27,28 @@ from repro.tgen.spec_parser import parse_spec
 from repro.tgen.frames import TestFrame, frame_for_choices, generate_frames
 from repro.tgen.scripts import assign_scripts, frames_by_script
 from repro.tgen.cases import CaseRunner, TestCase, instantiate_cases
-from repro.tgen.reports import TestReport, TestReportDatabase, Verdict
-from repro.tgen.lookup import FrameSelector, TestCaseLookup
+from repro.tgen.reports import (
+    TestReport,
+    TestReportDatabase,
+    Verdict,
+    combine_verdicts,
+)
+from repro.tgen.lookup import (
+    FRAME_SELECTORS,
+    FrameSelector,
+    ReportBackend,
+    TestCaseLookup,
+    register_frame_selector,
+)
 from repro.tgen.menu import TerminalMenu
 
 __all__ = [
     "CaseRunner",
     "Category",
     "Choice",
+    "FRAME_SELECTORS",
     "FrameSelector",
+    "ReportBackend",
     "ResultChoice",
     "ScriptDef",
     "Selector",
@@ -48,9 +61,11 @@ __all__ = [
     "TestSpec",
     "Verdict",
     "assign_scripts",
+    "combine_verdicts",
     "frame_for_choices",
     "frames_by_script",
     "generate_frames",
     "instantiate_cases",
     "parse_spec",
+    "register_frame_selector",
 ]

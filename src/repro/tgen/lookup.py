@@ -18,11 +18,24 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Protocol, runtime_checkable
 
 from repro.tgen.frames import TestFrame
-from repro.tgen.reports import TestReportDatabase, Verdict
+from repro.tgen.reports import TestReport, Verdict
 from repro.tgen.spec_ast import TestSpec
+
+
+@runtime_checkable
+class ReportBackend(Protocol):
+    """What the lookup needs from a report database: the in-memory
+    :class:`~repro.tgen.reports.TestReportDatabase` and the persistent
+    :class:`repro.store.ShardedReportStore` both satisfy it."""
+
+    def lookup(self, unit: str, frame_key: tuple[str, ...]) -> list[TestReport]:
+        ...
+
+    def verdict_for(self, unit: str, frame_key: tuple[str, ...]) -> Verdict | None:
+        ...
 
 #: Maps concrete input values (by parameter name) to the matching frame,
 #: or None when the inputs fall outside the specified categories.
@@ -31,10 +44,24 @@ FrameSelector = Callable[[Mapping[str, object]], TestFrame | None]
 #: Menu interaction: given the spec and inputs, let the user pick a frame.
 MenuCallback = Callable[[TestSpec, Mapping[str, object]], TestFrame | None]
 
+#: Built-in frame selectors by unit name. Workload modules register the
+#: selector that pairs with their spec (``repro.workloads.arrsum_spec``
+#: does for ``arrsum``), so consumers that only receive spec *files* —
+#: the ``repro debug --testdb --spec`` path — can still answer queries
+#: automatically instead of falling back to the menu or the user.
+FRAME_SELECTORS: dict[str, FrameSelector] = {}
+
+
+def register_frame_selector(unit: str, selector: FrameSelector) -> FrameSelector:
+    """Register ``selector`` as the built-in selector for ``unit``."""
+    FRAME_SELECTORS[unit] = selector
+    return selector
+
 
 class LookupStatus(enum.Enum):
     VERIFIED = "verified"  # good report: the query is answered 'yes'
     FAILED_REPORT = "failed-report"  # frame known but a test failed
+    CONFLICTING_REPORTS = "conflicting-reports"  # reports disagree
     NO_REPORT = "no-report"  # frame identified, never tested
     NO_FRAME = "no-frame"  # could not map the inputs to a frame
     NO_SPEC = "no-spec"  # unit has no test specification
@@ -55,7 +82,7 @@ class LookupOutcome:
 class TestCaseLookup:
     """Holds specs, selectors, and the report database for one program."""
 
-    database: TestReportDatabase
+    database: ReportBackend
     specs: dict[str, TestSpec] = field(default_factory=dict)
     selectors: dict[str, FrameSelector] = field(default_factory=dict)
     menu: MenuCallback | None = None
@@ -63,6 +90,8 @@ class TestCaseLookup:
     consultations: int = 0
     hits: int = 0
     menu_interactions: int = 0
+    #: frames whose reports disagreed (see :data:`Verdict.INCONCLUSIVE`)
+    conflicts: int = 0
 
     def register(
         self,
@@ -95,6 +124,16 @@ class TestCaseLookup:
                 LookupStatus.VERIFIED,
                 frame=frame,
                 detail=f"frame {frame.render()} passed its tests",
+            )
+        if verdict is Verdict.INCONCLUSIVE:
+            # Conflicting reports prove nothing: surface the conflict
+            # instead of silently trusting either side, and leave the
+            # query for the next answer source.
+            self.conflicts += 1
+            return LookupOutcome(
+                LookupStatus.CONFLICTING_REPORTS,
+                frame=frame,
+                detail=f"frame {frame.render()} has conflicting reports",
             )
         return LookupOutcome(
             LookupStatus.FAILED_REPORT,

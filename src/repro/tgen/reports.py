@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.pascal.values import format_value
 
@@ -17,6 +18,43 @@ class Verdict(enum.Enum):
     PASS = "pass"
     FAIL = "fail"
     ERROR = "error"  # the case itself crashed (bad index, step limit, ...)
+    #: combined verdict for a frame whose reports *disagree* (some pass,
+    #: some fail/error): the frame proves nothing either way, so the
+    #: query it would have answered stays open instead of silently
+    #: trusting one side of the conflict
+    INCONCLUSIVE = "inconclusive"
+
+
+def combine_verdicts(reports: "Iterable[TestReport]") -> Verdict | None:
+    """The combined verdict of a frame's reports, shared by the
+    in-memory database and the sharded on-disk store so both backends
+    agree report-for-report.
+
+    PASS only if every report passed; ERROR/FAIL when every report
+    agrees the frame is bad (ERROR dominates FAIL); None with no
+    reports. Disagreement — passing and non-passing reports for the
+    same frame — is an explicit :data:`Verdict.INCONCLUSIVE`, never a
+    silent preference for one side.
+    """
+    saw_pass = saw_fail = saw_error = False
+    for report in reports:
+        if report.verdict is Verdict.PASS:
+            saw_pass = True
+        elif report.verdict is Verdict.FAIL:
+            saw_fail = True
+        elif report.verdict is Verdict.ERROR:
+            saw_error = True
+        else:  # a stored INCONCLUSIVE taints the whole frame
+            return Verdict.INCONCLUSIVE
+    if not (saw_pass or saw_fail or saw_error):
+        return None
+    if saw_pass and (saw_fail or saw_error):
+        return Verdict.INCONCLUSIVE
+    if saw_error:
+        return Verdict.ERROR
+    if saw_fail:
+        return Verdict.FAIL
+    return Verdict.PASS
 
 
 @dataclass(frozen=True)
@@ -56,16 +94,11 @@ class TestReportDatabase:
         return list(self._reports.get((unit, frame_key), ()))
 
     def verdict_for(self, unit: str, frame_key: tuple[str, ...]) -> Verdict | None:
-        """The combined verdict for a frame: PASS only if every report
-        passed; FAIL/ERROR if any did; None if the frame was never run."""
-        reports = self._reports.get((unit, frame_key))
-        if not reports:
-            return None
-        if any(report.verdict is Verdict.ERROR for report in reports):
-            return Verdict.ERROR
-        if any(report.verdict is Verdict.FAIL for report in reports):
-            return Verdict.FAIL
-        return Verdict.PASS
+        """The combined verdict for a frame (see :func:`combine_verdicts`):
+        PASS only if every report passed, FAIL/ERROR when the reports
+        agree the frame is bad, INCONCLUSIVE when they conflict, None if
+        the frame was never run."""
+        return combine_verdicts(self._reports.get((unit, frame_key), ()))
 
     def units(self) -> set[str]:
         return {unit for unit, _ in self._reports}

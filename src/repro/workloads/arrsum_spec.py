@@ -21,6 +21,7 @@ from typing import Iterable, Mapping
 from repro.pascal.values import ArrayValue, UNDEFINED
 from repro.tgen.cases import TestCase
 from repro.tgen.frames import TestFrame, frame_for_choices
+from repro.tgen.lookup import register_frame_selector
 from repro.tgen.spec_ast import TestSpec
 from repro.tgen.spec_parser import parse_spec
 
@@ -102,6 +103,9 @@ def arrsum_frame_selector(inputs: Mapping[str, object]) -> TestFrame | None:
         return frame_for_choices(arrsum_spec(), classify_arrsum_inputs(a, n))
     except (KeyError, ValueError):
         return None
+
+
+register_frame_selector("arrsum", arrsum_frame_selector)
 
 
 # ----------------------------------------------------------------------

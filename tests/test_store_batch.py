@@ -1,0 +1,137 @@
+"""The batched answer service (repro.store.batch)."""
+
+import pytest
+
+from repro import obs
+from repro.pascal.values import ArrayValue
+from repro.resilience import Budget, BudgetExceeded
+from repro.store import BatchAnswerService, BatchQuery, ShardedReportStore
+from repro.tgen.lookup import LookupStatus
+from repro.tgen.reports import TestReport, Verdict
+from repro.workloads.arrsum_spec import arrsum_frame_selector, arrsum_spec
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def arrsum_query(values):
+    return BatchQuery(
+        "arrsum", {"a": ArrayValue.from_values(values), "n": len(values)}
+    )
+
+
+@pytest.fixture()
+def service(tmp_path):
+    store = ShardedReportStore(tmp_path / "db", shards=4)
+    store.add(
+        TestReport(
+            unit="arrsum",
+            frame_key=("two", "positive", "small"),
+            verdict=Verdict.PASS,
+        )
+    )
+    store.add(
+        TestReport(
+            unit="arrsum",
+            frame_key=("more", "mixed", "large"),
+            verdict=Verdict.FAIL,
+        )
+    )
+    for verdict in (Verdict.PASS, Verdict.FAIL):
+        store.add(
+            TestReport(
+                unit="arrsum",
+                frame_key=("more", "positive", "small"),
+                verdict=verdict,
+            )
+        )
+    store.flush()
+    return BatchAnswerService(
+        store, specs=[arrsum_spec()], selectors={"arrsum": arrsum_frame_selector}
+    )
+
+
+class TestAnswerBatch:
+    def test_outcomes_in_submission_order(self, service):
+        queries = [
+            arrsum_query([1, 2]),  # verified
+            BatchQuery("mystery", {}),  # no spec
+            arrsum_query([-100, 2, 100]),  # failed report
+        ]
+        outcomes = service.answer_batch(queries)
+        assert [outcome.status for outcome in outcomes] == [
+            LookupStatus.VERIFIED,
+            LookupStatus.NO_SPEC,
+            LookupStatus.FAILED_REPORT,
+        ]
+
+    def test_counters_account_every_query(self, service):
+        service.answer_batch(
+            [
+                arrsum_query([1, 2]),  # hit
+                arrsum_query([100, 200, 300]),  # conflicting reports
+                BatchQuery("mystery", {}),  # miss (no spec)
+                arrsum_query([-100, 2, 100]),  # miss (failed report)
+            ]
+        )
+        stats = service.stats.as_dict()
+        assert stats == {
+            "queries": 4,
+            "hits": 1,
+            "misses": 2,
+            "conflicts": 1,
+            "batches": 1,
+        }
+        assert stats["queries"] == (
+            stats["hits"] + stats["misses"] + stats["conflicts"]
+        )
+
+    def test_counters_accumulate_across_batches(self, service):
+        service.answer_batch([arrsum_query([1, 2])])
+        service.answer_batch([arrsum_query([1, 2]), BatchQuery("mystery", {})])
+        assert service.stats.batches == 2
+        assert service.stats.queries == 3
+        assert service.stats.hits == 2
+
+    def test_obs_counters_emitted_when_enabled(self, service):
+        obs.reset()
+        obs.enable()
+        service.answer_batch([arrsum_query([1, 2]), BatchQuery("mystery", {})])
+        counters = obs.snapshot()["counters"]
+        assert counters["store.batch.queries"] == 2
+        assert counters["store.batch.hits"] == 1
+        assert counters["store.batch.misses"] == 1
+        assert counters["store.batch.batches"] == 1
+
+    def test_empty_batch_is_a_batch(self, service):
+        assert service.answer_batch([]) == []
+        assert service.stats.batches == 1
+        assert service.stats.queries == 0
+
+    def test_budget_deadline_bounds_a_batch(self, service):
+        budget = Budget.started(deadline_s=0.0)
+        with pytest.raises(BudgetExceeded):
+            service.answer_batch([arrsum_query([1, 2])], budget=budget)
+
+
+class TestSessionLookup:
+    def test_sessions_do_not_share_counters(self, service):
+        first = service.session_lookup()
+        second = service.session_lookup()
+        first.consult("arrsum", arrsum_query([1, 2]).inputs)
+        assert first.consultations == 1
+        assert second.consultations == 0
+
+    def test_later_registration_reaches_new_sessions_only(self, tmp_path):
+        store = ShardedReportStore(tmp_path / "db")
+        service = BatchAnswerService(store)
+        before = service.session_lookup()
+        service.register(arrsum_spec(), arrsum_frame_selector)
+        after = service.session_lookup()
+        inputs = arrsum_query([1, 2]).inputs
+        assert before.consult("arrsum", inputs).status is LookupStatus.NO_SPEC
+        assert after.consult("arrsum", inputs).status is LookupStatus.NO_REPORT

@@ -1,0 +1,151 @@
+"""One store, many debuggers: the sharded store is a shared resource.
+
+Writer threads add reports concurrently (interleaved threshold flushes
+included) and nothing is lost; debugger threads each run a full GADT
+session over a *shared* ``BatchAnswerService``, every one answering its
+arrsum queries from the store instead of the user."""
+
+import threading
+
+from repro.core import GadtSystem, ReferenceOracle
+from repro.pascal.semantics import analyze_source
+from repro.store import BatchAnswerService, ShardedReportStore
+from repro.tgen import CaseRunner, generate_frames, instantiate_cases
+from repro.tgen.reports import TestReport, Verdict
+from repro.workloads import FIGURE4_FIXED_SOURCE
+from repro.workloads.arrsum_spec import (
+    arrsum_frame_selector,
+    arrsum_spec,
+    make_arrsum_instantiator,
+)
+from repro.workloads.mutants import generate_mutants
+
+
+def run_threads(workers):
+    threads = [threading.Thread(target=worker) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestConcurrentWriters:
+    def test_no_reports_lost(self, tmp_path):
+        store = ShardedReportStore(tmp_path, shards=4, flush_threshold=5)
+        per_thread = 40
+        errors = []
+
+        def writer(thread_index):
+            def work():
+                try:
+                    for i in range(per_thread):
+                        store.add(
+                            TestReport(
+                                unit=f"unit{thread_index}",
+                                frame_key=("k", str(i)),
+                                verdict=Verdict.PASS,
+                            )
+                        )
+                except Exception as error:  # surfaced after join
+                    errors.append(error)
+
+            return work
+
+        run_threads([writer(i) for i in range(8)])
+        store.close()
+        assert errors == []
+        reopened = ShardedReportStore(tmp_path)
+        assert len(reopened) == 8 * per_thread
+        for thread_index in range(8):
+            for i in range(per_thread):
+                verdict = reopened.verdict_for(f"unit{thread_index}", ("k", str(i)))
+                assert verdict is Verdict.PASS
+
+    def test_interleaved_writers_and_readers(self, tmp_path):
+        store = ShardedReportStore(
+            tmp_path, shards=2, flush_threshold=3, cache_capacity=4
+        )
+        errors = []
+
+        def writer():
+            try:
+                for i in range(30):
+                    store.add(
+                        TestReport(
+                            unit="w", frame_key=("k", str(i)), verdict=Verdict.PASS
+                        )
+                    )
+            except Exception as error:
+                errors.append(error)
+
+        def reader():
+            try:
+                for i in range(60):
+                    # A concurrent lookup may see the report or not yet —
+                    # but it must never see a wrong verdict or crash.
+                    for row in store.lookup("w", ("k", str(i % 30))):
+                        assert row.verdict is Verdict.PASS
+            except Exception as error:
+                errors.append(error)
+
+        run_threads([writer, reader, reader])
+        assert errors == []
+        store.flush()
+        assert len(store) == 30
+
+
+class TestConcurrentDebugSessions:
+    def test_shared_store_serves_many_sessions(self, tmp_path):
+        # Testing phase once: arrsum reports into the shared store.
+        spec = arrsum_spec()
+        fixed = GadtSystem.from_source(FIGURE4_FIXED_SOURCE)
+        cases = instantiate_cases(
+            spec, generate_frames(spec), make_arrsum_instantiator(2)
+        )
+        store = ShardedReportStore(tmp_path / "testdb")
+        CaseRunner(fixed.analysis).run_all(cases, database=store)
+        store.flush()
+        service = BatchAnswerService(
+            store, specs=[spec], selectors={"arrsum": arrsum_frame_selector}
+        )
+
+        # Debugging phase: one thread per decrement mutant, all sharing
+        # the store through per-session lookups.
+        mutants = generate_mutants(FIGURE4_FIXED_SOURCE, units={"decrement"})
+        assert len(mutants) >= 2
+        results = {}
+        errors = []
+
+        def debugger(index, mutant):
+            def work():
+                try:
+                    system = GadtSystem.from_source(mutant.source)
+                    oracle = ReferenceOracle(analyze_source(FIGURE4_FIXED_SOURCE))
+                    result = system.debugger(
+                        oracle, test_lookup=service.session_lookup()
+                    ).debug()
+                    results[index] = result
+                except Exception as error:
+                    errors.append(error)
+
+            return work
+
+        run_threads([debugger(i, m) for i, m in enumerate(mutants)])
+        assert errors == []
+        assert len(results) == len(mutants)
+        for result in results.values():
+            assert result.bug_unit == "decrement"
+            rep = result.report()
+            # test-db answers appear in every session's accounting, and
+            # the per-source split still sums to the total.
+            assert rep["queries"]["by_source"]["test-db"] > 0
+            assert rep["queries"]["total"] == sum(
+                rep["queries"]["by_source"].values()
+            )
+            asked = {
+                event.text.split("(")[0]
+                for event in result.session.user_questions()
+            }
+            assert "arrsum" not in asked
+        # The store itself was never mutated by the sessions.
+        assert store.stats()["reports"] == len(cases)

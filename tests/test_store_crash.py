@@ -1,0 +1,146 @@
+"""Crash consistency: a flush that dies mid-write must never leave a
+shard unreadable. Injected ``store.write``/``store.read`` faults model
+the three deaths — a failed syscall, a torn write published with a bad
+checksum, and a real process exit — and in every case the store reopens
+clean: damaged segments are quarantined, not trusted, and their reports
+can be re-imported."""
+
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import FaultInjected, FaultSpec
+from repro.store import ShardedReportStore
+from repro.store.segments import quarantined_names
+from repro.tgen.reports import TestReport, Verdict
+
+
+def report(unit="u", key=("a",), verdict=Verdict.PASS):
+    return TestReport(unit=unit, frame_key=tuple(key), verdict=verdict)
+
+
+class TestWriteFaults:
+    def test_oserror_keeps_buffer_and_retry_succeeds(self, tmp_path):
+        store = ShardedReportStore(tmp_path, shards=1)
+        store.add(report())
+        with faults.injected(FaultSpec(point="store.write", mode="oserror")):
+            with pytest.raises(OSError):
+                store.flush()
+        # Nothing published, nothing lost: the buffer still answers...
+        assert store.stats()["segments"] == 0
+        assert store.verdict_for("u", ("a",)) is Verdict.PASS
+        # ...and once the disk recovers, the same flush goes through.
+        store.flush()
+        assert store.stats()["segments"] == 1
+        assert ShardedReportStore(tmp_path).verdict_for("u", ("a",)) is Verdict.PASS
+
+    def test_raise_mode_equally_harmless(self, tmp_path):
+        store = ShardedReportStore(tmp_path, shards=1)
+        store.add(report())
+        with faults.injected(FaultSpec(point="store.write", mode="raise")):
+            with pytest.raises(FaultInjected):
+                store.flush()
+        store.flush()
+        assert len(ShardedReportStore(tmp_path)) == 1
+
+    def test_torn_write_is_quarantined_and_reimportable(self, tmp_path):
+        store = ShardedReportStore(tmp_path, shards=1, flush_threshold=1)
+        with faults.injected(FaultSpec(point="store.write", mode="corrupt")):
+            store.add(report())  # threshold flush publishes damaged bytes
+        # The store itself believes the flush succeeded (as a crashed
+        # process would have); a fresh open must not be fooled.
+        reopened = ShardedReportStore(tmp_path)
+        assert reopened.lookup("u", ("a",)) == []
+        stats = reopened.stats()
+        assert stats["corrupt_segments"] == 1
+        assert stats["quarantined"] == 1
+        assert stats["segments"] == 0  # the bad segment is out of the way
+        # Re-import the lost report: the store is fully usable again.
+        reopened.import_reports([report()])
+        reopened.flush()
+        assert reopened.verdict_for("u", ("a",)) is Verdict.PASS
+        shard_dir = tmp_path / "shard-000"
+        assert len(quarantined_names(shard_dir)) == 1
+
+    def test_corrupt_flush_poisons_only_one_segment(self, tmp_path):
+        store = ShardedReportStore(tmp_path, shards=1)
+        store.add(report(unit="good"))
+        store.flush()
+        store.add(report(unit="bad"))
+        with faults.injected(FaultSpec(point="store.write", mode="corrupt")):
+            store.flush()
+        reopened = ShardedReportStore(tmp_path)
+        assert reopened.verdict_for("good", ("a",)) is Verdict.PASS
+        assert reopened.lookup("bad", ("a",)) == []
+        assert reopened.stats()["corrupt_segments"] == 1
+
+
+class TestReadFaults:
+    def test_read_oserror_is_counted_not_fatal(self, tmp_path):
+        store = ShardedReportStore(tmp_path, shards=1)
+        store.add(report())
+        store.flush()
+        reopened = ShardedReportStore(tmp_path)
+        with faults.injected(FaultSpec(point="store.read", mode="oserror")):
+            assert reopened.lookup("u", ("a",)) == []
+        assert reopened.stats()["read_errors"] == 1
+        # The segment itself is untouched; the next read succeeds.
+        assert reopened.verdict_for("u", ("a",)) is Verdict.PASS
+
+    def test_injected_read_corruption_quarantines(self, tmp_path):
+        store = ShardedReportStore(tmp_path, shards=1)
+        store.add(report())
+        store.flush()
+        reopened = ShardedReportStore(tmp_path)
+        with faults.injected(FaultSpec(point="store.read", mode="corrupt")):
+            assert reopened.lookup("u", ("a",)) == []
+        stats = reopened.stats()
+        assert stats["corrupt_segments"] == 1
+        assert stats["quarantined"] == 1
+
+
+class TestProcessDeath:
+    """The real thing: a child process killed by ``os._exit`` inside a
+    flush. Whatever it left on disk, the store must reopen readable."""
+
+    SCRIPT = textwrap.dedent(
+        """
+        import sys
+        from repro.resilience import faults
+        from repro.resilience.faults import FaultSpec
+        from repro.store import ShardedReportStore
+        from repro.tgen.reports import TestReport, Verdict
+
+        directory = sys.argv[1]
+        store = ShardedReportStore(directory, shards=2)
+        store.add(TestReport(unit="alpha", frame_key=("k",), verdict=Verdict.PASS))
+        store.flush()  # one good segment survives the crash
+        store.add(TestReport(unit="beta", frame_key=("k",), verdict=Verdict.FAIL))
+        faults.install(faults.FaultPlan([FaultSpec(point="store.write", mode="exit")]))
+        store.flush()  # dies here with os._exit(23)
+        print("unreachable")
+        """
+    )
+
+    def test_killed_flush_leaves_store_readable(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT, str(tmp_path / "db")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 23  # genuinely died inside the flush
+        assert "unreachable" not in proc.stdout
+        survivor = ShardedReportStore(tmp_path / "db")
+        assert survivor.verdict_for("alpha", ("k",)) is Verdict.PASS
+        # The buffered report died with the process — but nothing is
+        # corrupt, nothing blocks reads, and the unit is re-importable.
+        assert survivor.lookup("beta", ("k",)) == []
+        assert survivor.stats()["corrupt_segments"] == 0
+        survivor.import_reports(
+            [TestReport(unit="beta", frame_key=("k",), verdict=Verdict.FAIL)]
+        )
+        survivor.flush()
+        assert survivor.verdict_for("beta", ("k",)) is Verdict.FAIL

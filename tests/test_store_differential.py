@@ -1,0 +1,108 @@
+"""Differential fuzzing: the persistent sharded store must be
+observationally identical to the in-memory ``TestReportDatabase``.
+
+Every generated operation sequence is applied to both backends; after
+each batch — and again after closing and reopening the store from disk
+— every (unit, frame) pair in the universe must produce the same
+verdict. Tiny ``flush_threshold``/``cache_capacity`` values force
+segment churn and LRU eviction so the cached paths are exercised, not
+just the buffered ones.
+"""
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pascal.semantics import analyze_source
+from repro.store import ShardedReportStore
+from repro.tgen.reports import TestReport, TestReportDatabase, Verdict
+from tests.program_gen import programs_with_procedures
+
+UNITS = ["arrsum", "computs", "sum2", "decrement", "partial"]
+KEYS = [("zero",), ("one", "mixed"), ("more", "neg", "large"), ("two", "pos")]
+
+reports = st.builds(
+    TestReport,
+    unit=st.sampled_from(UNITS),
+    frame_key=st.sampled_from(KEYS),
+    verdict=st.sampled_from(list(Verdict)),
+)
+
+
+def assert_equivalent(store, memory):
+    for unit in UNITS:
+        for key in KEYS:
+            assert store.verdict_for(unit, key) is memory.verdict_for(unit, key)
+            assert Counter(store.lookup(unit, key)) == Counter(
+                memory.lookup(unit, key)
+            )
+    assert store.units() == memory.units()
+    assert len(store) == len(memory)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    batches=st.lists(st.lists(reports, max_size=8), min_size=1, max_size=6),
+    flush_threshold=st.integers(min_value=1, max_value=5),
+    cache_capacity=st.integers(min_value=1, max_value=3),
+    shards=st.integers(min_value=1, max_value=4),
+)
+def test_store_matches_memory_database(
+    batches, flush_threshold, cache_capacity, shards
+):
+    memory = TestReportDatabase()
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "db"
+        store = ShardedReportStore(
+            directory,
+            shards=shards,
+            flush_threshold=flush_threshold,
+            cache_capacity=cache_capacity,
+        )
+        for batch in batches:
+            for row in batch:
+                memory.add(row)
+                store.add(row)
+            assert_equivalent(store, memory)
+        store.close()
+        # Reopen from disk: everything must have survived the close flush.
+        reopened = ShardedReportStore(directory, cache_capacity=cache_capacity)
+        assert_equivalent(reopened, memory)
+        assert reopened.stats()["corrupt_segments"] == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(source=programs_with_procedures(), data=st.data())
+def test_store_agrees_on_generated_program_units(source, data):
+    """Unit names drawn from real (generated) programs, via the same
+    strategy the language property tests use."""
+    units = sorted(
+        info.name for info in analyze_source(source).user_routines()
+    )
+    rows = data.draw(
+        st.lists(
+            st.builds(
+                TestReport,
+                unit=st.sampled_from(units),
+                frame_key=st.sampled_from(KEYS),
+                verdict=st.sampled_from(list(Verdict)),
+            ),
+            max_size=12,
+        )
+    )
+    memory = TestReportDatabase()
+    with tempfile.TemporaryDirectory() as tmp:
+        with ShardedReportStore(
+            Path(tmp) / "db", shards=2, flush_threshold=2, cache_capacity=2
+        ) as store:
+            for row in rows:
+                memory.add(row)
+                store.add(row)
+            for unit in units:
+                for key in KEYS:
+                    assert store.verdict_for(unit, key) is memory.verdict_for(
+                        unit, key
+                    )

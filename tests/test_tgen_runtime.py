@@ -149,10 +149,27 @@ class TestReportDatabaseBehaviour:
         *_, database = arrsum_setup
         assert database.verdict_for("arrsum", ("nope",)) is None
 
-    def test_fail_dominates_pass(self):
+    def test_conflicting_reports_are_inconclusive(self):
+        # Regression: verdict_for used to silently resolve a PASS/FAIL
+        # conflict in favour of FAIL; a frame whose reports disagree now
+        # proves nothing either way.
         database = TestReportDatabase()
         key = ("two", "positive", "small")
         database.add(TestReport(unit="u", frame_key=key, verdict=Verdict.PASS))
+        database.add(TestReport(unit="u", frame_key=key, verdict=Verdict.FAIL))
+        assert database.verdict_for("u", key) is Verdict.INCONCLUSIVE
+
+    def test_pass_error_conflict_is_inconclusive(self):
+        database = TestReportDatabase()
+        key = ("k",)
+        database.add(TestReport(unit="u", frame_key=key, verdict=Verdict.ERROR))
+        database.add(TestReport(unit="u", frame_key=key, verdict=Verdict.PASS))
+        assert database.verdict_for("u", key) is Verdict.INCONCLUSIVE
+
+    def test_agreeing_failures_still_fail(self):
+        database = TestReportDatabase()
+        key = ("k",)
+        database.add(TestReport(unit="u", frame_key=key, verdict=Verdict.FAIL))
         database.add(TestReport(unit="u", frame_key=key, verdict=Verdict.FAIL))
         assert database.verdict_for("u", key) is Verdict.FAIL
 
@@ -246,6 +263,33 @@ class TestLookup:
         )
         assert outcome.status is LookupStatus.FAILED_REPORT
         assert not outcome.answers_yes
+
+    def test_conflicting_reports_block_yes(self):
+        # Regression companion to test_conflicting_reports_are_inconclusive:
+        # the lookup surfaces the conflict instead of answering either way.
+        database = TestReportDatabase()
+        for verdict in (Verdict.PASS, Verdict.FAIL):
+            database.add(
+                TestReport(
+                    unit="arrsum",
+                    frame_key=("two", "positive", "small"),
+                    verdict=verdict,
+                )
+            )
+        lookup = TestCaseLookup(database=database)
+        lookup.register(arrsum_spec(), arrsum_frame_selector)
+        outcome = lookup.consult(
+            "arrsum", {"a": ArrayValue.from_values([1, 2]), "n": 2}
+        )
+        assert outcome.status is LookupStatus.CONFLICTING_REPORTS
+        assert not outcome.answers_yes
+        assert lookup.conflicts == 1
+        assert "conflicting" in outcome.detail
+
+    def test_builtin_selector_registered(self):
+        from repro.tgen import FRAME_SELECTORS
+
+        assert FRAME_SELECTORS["arrsum"] is arrsum_frame_selector
 
     def test_menu_fallback_counts_interaction(self, arrsum_setup):
         *_, database = arrsum_setup
