@@ -22,8 +22,18 @@ Stages, per call-tree depth (2**depth leaves):
 
 plus one mutation sweep (``mutants``) over the paper's Figure 4 program,
 the machine cost of the MUT1 accuracy experiment.
+
+Since the ``bench_perf/3`` schema the stage series is recorded once per
+execution backend (``interp``/``compiled``, see ``docs/COMPILER.md``);
+each row carries its ``backend``, the report carries ``speedup_trace``
+(interp ``trace_s`` over compiled ``trace_s`` per depth — the tentpole
+number) and ``python``/``platform`` metadata, and tree/occurrence/edge
+counts are asserted identical across backends before the report is
+written.
 """
 
+import platform as platform_mod
+import sys
 import time
 
 from benchmarks.helpers import debug_with
@@ -55,19 +65,28 @@ def _best_of(repeats, fn):
     return best, value
 
 
-def measure_series(depths=DEPTHS, repeats=1):
-    """Per-depth, per-stage wall times over the call-tree family."""
+def measure_series(depths=DEPTHS, repeats=1, backend=None):
+    """Per-depth, per-stage wall times over the call-tree family.
+
+    ``backend`` picks the execution engine for the run and trace stages
+    (``None`` defers to ``REPRO_BACKEND``); slicing and debugging
+    consume the trace and are backend-independent.
+    """
     rows = []
     for depth in depths:
         generated = generate_call_tree_program(CallTreeSpec(depth=depth))
 
         # warm the content caches so stage timings measure the stage,
-        # not one-off lex/parse/analyze (run_perf reports cold separately)
-        run_source(generated.source)
+        # not one-off lex/parse/analyze/compile (run_perf reports cold
+        # separately)
+        run_source(generated.source, backend=backend)
+        trace_source(generated.source, backend=backend)
 
-        run_seconds, _ = _best_of(repeats, lambda: run_source(generated.source))
+        run_seconds, _ = _best_of(
+            repeats, lambda: run_source(generated.source, backend=backend)
+        )
         trace_seconds, trace = _best_of(
-            repeats, lambda: trace_source(generated.source)
+            repeats, lambda: trace_source(generated.source, backend=backend)
         )
 
         criterion = DynamicCriterion.output_position(trace.root, 1)
@@ -85,6 +104,7 @@ def measure_series(depths=DEPTHS, repeats=1):
 
         rows.append(
             {
+                "backend": backend or "interp",
                 "depth": depth,
                 "leaves": 2**depth,
                 "tree_nodes": trace.tree.size(),
@@ -164,14 +184,51 @@ def measure_obs(depth=6):
         obs.reset()
 
 
-def collect_perf_report(depths=DEPTHS, repeats=1, workers=None):
+def _series_conformance(by_backend):
+    """Assert backend-independent trace shape, then the speedup table."""
+    counts = ("tree_nodes", "occurrences", "dep_edges", "questions")
+    reference = by_backend[0]
+    for series in by_backend[1:]:
+        for expected, row in zip(reference, series):
+            for key in counts:
+                assert row[key] == expected[key], (
+                    f"backend divergence at depth {row['depth']}: "
+                    f"{key} {row[key]} != {expected[key]} "
+                    f"({row['backend']} vs {expected['backend']})"
+                )
+    trace_by = {
+        series[0]["backend"]: {row["depth"]: row["trace_s"] for row in series}
+        for series in by_backend
+    }
+    if "interp" not in trace_by or "compiled" not in trace_by:
+        return {}
+    return {
+        str(depth): round(trace_by["interp"][depth] / trace_by["compiled"][depth], 2)
+        for depth in trace_by["interp"]
+        if trace_by["compiled"].get(depth)
+    }
+
+
+def collect_perf_report(
+    depths=DEPTHS, repeats=1, workers=None, backends=("interp", "compiled")
+):
     """The full ``BENCH_perf.json`` payload (see benchmarks/run_perf.py)."""
     clear_caches()
+    by_backend = [
+        measure_series(depths=depths, repeats=repeats, backend=backend)
+        for backend in backends
+    ]
+    speedup = _series_conformance(by_backend)
+    series = [row for backend_rows in by_backend for row in backend_rows]
     report = {
-        "schema": "bench_perf/2",
+        "schema": "bench_perf/3",
+        "python": platform_mod.python_version(),
+        "platform": platform_mod.platform(),
         "depths": list(depths),
         "repeats": repeats,
-        "series": measure_series(depths=depths, repeats=repeats),
+        "backends": list(backends),
+        "series": series,
+        "speedup_trace": speedup,
         "mutants": measure_mutants(workers=workers, repeats=repeats),
         "fast_path": measure_fast_path(),
         "obs": measure_obs(depth=min(6, max(depths))),

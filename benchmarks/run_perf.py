@@ -3,13 +3,18 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/run_perf.py [--depths 2,4,6,8]
-        [--repeats 3] [--workers N] [--output BENCH_perf.json]
+        [--repeats 3] [--workers N] [--backend both]
+        [--output BENCH_perf.json]
 
 Runs the PERF1 stage series (un-traced run, trace, dynamic slice,
 debug, mutation sweep) from :mod:`benchmarks.bench_perf_scale` and
 writes one JSON document so the performance trajectory is tracked in a
 stable, diffable artifact from PR to PR. Smoke mode (``--depths 2``) is
 what CI runs; the full series is for local measurement.
+
+``--backend both`` (the default) records the stage series once per
+execution backend and a per-depth ``speedup_trace`` table — the
+``bench_perf/3`` dual-backend artifact.
 """
 
 from __future__ import annotations
@@ -45,6 +50,12 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the mutation sweep (default: sequential)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["interp", "compiled", "both"],
+        default="both",
+        help="execution backend(s) for the stage series (default: %(default)s)",
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_perf.json",
         help="output path (default: %(default)s)",
@@ -52,22 +63,33 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     depths = [int(part) for part in args.depths.split(",") if part.strip()]
+    backends = (
+        ("interp", "compiled") if args.backend == "both" else (args.backend,)
+    )
     report = collect_perf_report(
-        depths=depths, repeats=args.repeats, workers=args.workers
+        depths=depths, repeats=args.repeats, workers=args.workers,
+        backends=backends,
     )
 
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n")
 
     print(f"wrote {output}")
-    print(f"  {'leaves':>7} {'run(s)':>9} {'trace(s)':>9} "
+    print(f"  {'backend':>9} {'leaves':>7} {'run(s)':>9} {'trace(s)':>9} "
           f"{'slice(s)':>9} {'debug(s)':>9} {'questions':>10}")
     for row in report["series"]:
         print(
-            f"  {row['leaves']:>7} {row['run_s']:>9.4f} {row['trace_s']:>9.4f} "
+            f"  {row['backend']:>9} {row['leaves']:>7} "
+            f"{row['run_s']:>9.4f} {row['trace_s']:>9.4f} "
             f"{row['slice_s']:>9.4f} {row['debug_s']:>9.4f} "
             f"{row['questions']:>10}"
         )
+    if report.get("speedup_trace"):
+        pairs = ", ".join(
+            f"depth {depth}: {ratio:.1f}x"
+            for depth, ratio in report["speedup_trace"].items()
+        )
+        print(f"  compiled trace speedup: {pairs}")
     mutants = report["mutants"]
     by_status = ", ".join(
         f"{status} {count}" for status, count in mutants["by_status"].items()

@@ -81,7 +81,7 @@ class ContentCache:
 
     __slots__ = (
         "name", "max_entries", "hits", "misses", "disk_hits",
-        "corrupt_entries", "persist", "_store",
+        "corrupt_entries", "persist", "persistable", "_store",
     )
 
     def __init__(
@@ -89,8 +89,10 @@ class ContentCache:
         name: str,
         max_entries: int = 256,
         persist: "DiskCacheBackend | None" = None,
+        persistable: bool = True,
     ):
         self.name = name
+        self.persistable = persistable
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
@@ -286,12 +288,19 @@ class DiskCacheBackend:
 _CACHES: dict[str, ContentCache] = {}
 
 
-def register(name: str, max_entries: int = 256) -> ContentCache:
-    """Create (or fetch) the named cache. Module-level singletons."""
+def register(
+    name: str, max_entries: int = 256, persistable: bool = True
+) -> ContentCache:
+    """Create (or fetch) the named cache. Module-level singletons.
+
+    ``persistable=False`` marks caches whose values are process-local
+    (e.g. compiled closures keyed by object identity) — they never get a
+    disk layer, even when persistence is enabled globally.
+    """
     cache = _CACHES.get(name)
     if cache is None:
-        cache = ContentCache(name, max_entries=max_entries)
-        if _PERSIST_DIR is not None:
+        cache = ContentCache(name, max_entries=max_entries, persistable=persistable)
+        if persistable and _PERSIST_DIR is not None:
             cache.persist = DiskCacheBackend(_PERSIST_DIR, name)
         _CACHES[name] = cache
     return cache
@@ -310,7 +319,8 @@ def enable_persistence(directory: str | os.PathLike) -> None:
     global _PERSIST_DIR
     _PERSIST_DIR = Path(directory)
     for cache in _CACHES.values():
-        cache.persist = DiskCacheBackend(_PERSIST_DIR, cache.name)
+        if cache.persistable:
+            cache.persist = DiskCacheBackend(_PERSIST_DIR, cache.name)
 
 
 def disable_persistence() -> None:

@@ -24,7 +24,10 @@ maintain such a store.
 The ``run``, ``trace``, ``debug``, ``mutate``, and ``stats`` subcommands
 take ``--profile`` (print a phase/metric summary on stderr after the
 command) and ``--events PATH`` (stream observability events as JSONL);
-see ``docs/OBSERVABILITY.md``.
+see ``docs/OBSERVABILITY.md``. The same subcommands take ``--backend
+{interp,compiled}`` to pick the execution engine (default: the
+``REPRO_BACKEND`` environment variable, else the interpreter); see
+``docs/COMPILER.md``.
 
 ``run``, ``trace``, ``debug``, and ``mutate`` take ``--deadline S`` (a
 wall-clock budget for program execution; a blown budget exits 2 — or,
@@ -41,6 +44,7 @@ unparsable files, unknown criteria).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -283,6 +287,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         source, program_inputs=_parse_inputs(args.input)
     )
     print(f"program: {system.analysis.program.name}")
+    print(f"backend: {system.trace.backend}")
     print(f"tree: {system.trace.tree.size()} activation(s)")
     print(
         f"dependences: {len(system.trace.dependence_graph)} occurrence(s), "
@@ -295,7 +300,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
         result = system.debugger(oracle, strategy=args.strategy).debug()
         print(f"localized: {result.bug_unit or 'no'}")
         print(obs.report.render_answer_sources(result.report()))
-    print(obs.report.render_summary(obs.snapshot()))
+    snapshot = obs.snapshot()
+    compile_counters = {
+        name: value
+        for name, value in sorted(snapshot.get("counters", {}).items())
+        if name.startswith("compile.")
+    }
+    if compile_counters:
+        print(
+            "compile: "
+            + ", ".join(f"{n.removeprefix('compile.')} {v}" for n, v in compile_counters.items())
+        )
+    print(obs.report.render_summary(snapshot))
     return 0
 
 
@@ -398,9 +414,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="on a blown budget, salvage a partial trace instead of failing",
     )
 
+    # execution-backend flag shared by the executing subcommands
+    backend_parent = argparse.ArgumentParser(add_help=False)
+    backend_parent.add_argument(
+        "--backend",
+        choices=["interp", "compiled"],
+        default=None,
+        help="execution engine (default: $REPRO_BACKEND, else interp)",
+    )
+
     run_parser = sub.add_parser(
         "run",
-        parents=[obs_parent, budget_parent],
+        parents=[obs_parent, budget_parent, backend_parent],
         help="execute a Mini-Pascal program",
     )
     run_parser.add_argument("program")
@@ -409,7 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_parser = sub.add_parser(
         "trace",
-        parents=[obs_parent, budget_parent, degrade_parent],
+        parents=[obs_parent, budget_parent, degrade_parent, backend_parent],
         help="print the execution tree",
     )
     trace_parser.add_argument("program")
@@ -447,7 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     debug_parser = sub.add_parser(
         "debug",
-        parents=[obs_parent, budget_parent, degrade_parent],
+        parents=[obs_parent, budget_parent, degrade_parent, backend_parent],
         help="run a debugging session",
     )
     debug_parser.add_argument("program")
@@ -490,7 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     mutate_parser = sub.add_parser(
         "mutate",
-        parents=[obs_parent, budget_parent, degrade_parent],
+        parents=[obs_parent, budget_parent, degrade_parent, backend_parent],
         help="fault-injection sweep: list or evaluate mutants",
     )
     mutate_parser.add_argument("program")
@@ -518,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats_parser = sub.add_parser(
         "stats",
-        parents=[obs_parent],
+        parents=[obs_parent, backend_parent],
         help="run the pipeline with observability on and print its metrics",
     )
     stats_parser.add_argument("program")
@@ -583,6 +608,10 @@ def main(argv: list[str] | None = None) -> int:
         # return instead so every caller sees one consistent code path.
         code = exc.code
         return code if isinstance(code, int) else 2
+
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        os.environ["REPRO_BACKEND"] = backend
 
     profiling = getattr(args, "profile", False)
     events_path = getattr(args, "events", None)

@@ -101,6 +101,7 @@ class GadtSystem:
         tolerate_errors: bool = False,
         budget=None,
         degrade: bool = False,
+        backend: str | None = None,
     ) -> "GadtSystem":
         """Transform, then trace, a Mini-Pascal program (phases I and II).
 
@@ -110,6 +111,9 @@ class GadtSystem:
         (transparent debugging, paper §6.1). ``tolerate_errors`` lets a
         crashing program yield its partial execution tree so the crash
         itself can be debugged.
+
+        ``backend`` selects the trace execution engine (``"interp"`` |
+        ``"compiled"``; ``None`` defers to ``REPRO_BACKEND``).
 
         ``budget`` (a :class:`repro.resilience.Budget`) bounds the trace;
         with ``degrade``, blowing it salvages a depth-capped partial tree
@@ -131,6 +135,7 @@ class GadtSystem:
             tolerate_errors=tolerate_errors,
             budget=budget,
             degrade=degrade,
+            backend=backend,
         )
         if present_original_view:
             from repro.core.presentation import present_tree

@@ -142,8 +142,12 @@ def broadcast(kind: str, fields: dict) -> None:
     """Stamp ``seq``/``ts``/``kind`` onto ``fields`` and fan out to sinks.
 
     Unconditional: enabled-gating happens at the instrumentation sites
-    (:func:`repro.obs.emit` and live spans), not here.
+    (:func:`repro.obs.emit` and live spans), not here. With no sinks
+    registered the event dict is never built — callers on hot paths can
+    rely on a sink-less broadcast being one list test.
     """
+    if not SINKS:
+        return
     global _seq
     _seq += 1
     event = {"seq": _seq, "ts": time.time(), "kind": kind}

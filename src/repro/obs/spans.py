@@ -50,8 +50,10 @@ class Span:
         self.elapsed_s = time.perf_counter() - self.started
         if _STACK and _STACK[-1] is self:
             _STACK.pop()
-        parent = _STACK[-1].name if _STACK else None
         _metrics.REGISTRY.histogram(self.name, unit="s").observe(self.elapsed_s)
+        if not _events.SINKS:
+            return
+        parent = _STACK[-1].name if _STACK else None
         fields: dict = {
             "name": self.name,
             "duration_s": self.elapsed_s,

@@ -533,16 +533,21 @@ class Interpreter:
         raise GotoSignal(label, stmt.location)
 
     def _exec_stmt_list(self, statements: list[ast.Stmt], frame: Frame) -> None:
-        labels = {
-            stmt.label: position
-            for position, stmt in enumerate(statements)
-            if stmt.label is not None
-        }
+        # The label map is only consulted when a goto actually unwinds to
+        # this list, so build it lazily inside the handler — the common
+        # path pays nothing per list execution.
+        labels = None
         position = 0
         while position < len(statements):
             try:
                 self._exec_stmt(statements[position], frame)
             except GotoSignal as signal:
+                if labels is None:
+                    labels = {
+                        stmt.label: index
+                        for index, stmt in enumerate(statements)
+                        if stmt.label is not None
+                    }
                 frame_owner = None if frame.routine.is_main else frame.routine.symbol
                 if signal.label.owner is frame_owner and signal.label.name in labels:
                     position = labels[signal.label.name]
@@ -832,7 +837,13 @@ class Interpreter:
         if op in ("<", "<=", ">", ">="):
             a = self._expect_int(left, expr.left)
             b = self._expect_int(right, expr.right)
-            return {"<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b}[op]
+            if op == "<":
+                return a < b
+            if op == "<=":
+                return a <= b
+            if op == ">":
+                return a > b
+            return a >= b
         raise PascalRuntimeError(f"unknown operator {op}", expr.location)
 
     # ------------------------------------------------------------------
@@ -930,6 +941,7 @@ def run_source(
     hooks: ExecutionHooks | None = None,
     step_limit: int = 2_000_000,
     budget=None,
+    backend: str | None = None,
 ) -> ExecutionResult:
     """Parse, analyze, and run a program in one call.
 
@@ -937,10 +949,25 @@ def run_source(
     source text), so repeated runs of the same program only pay for
     execution. ``budget`` (a :class:`repro.resilience.Budget`) adds a
     wall-clock deadline and tightens the step/depth limits; exhaustion
-    raises :class:`repro.resilience.BudgetExceeded`."""
+    raises :class:`repro.resilience.BudgetExceeded`.
+
+    ``backend`` picks the execution engine (``"interp"`` |
+    ``"compiled"``; ``None`` defers to ``REPRO_BACKEND``). Custom
+    ``hooks`` force the interpreter — the hook protocol is exactly the
+    indirection the compiled backend removes."""
     from repro.pascal.semantics import analyze_source
 
     analysis = analyze_source(source)
+    if hooks is None:
+        from repro.compile import resolve_backend
+
+        if resolve_backend(backend) == "compiled":
+            from repro.compile import run_compiled
+
+            return run_compiled(
+                analysis, io=PascalIO(inputs), step_limit=step_limit,
+                budget=budget,
+            )
     interpreter = Interpreter(
         analysis, io=PascalIO(inputs), hooks=hooks, step_limit=step_limit,
         budget=budget,

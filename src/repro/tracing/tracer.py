@@ -68,6 +68,8 @@ class TraceResult:
     degraded_reason: str | None = None
     #: activations dropped when capping the salvaged tree's depth
     truncated_nodes: int = 0
+    #: which execution backend produced this trace ("interp" | "compiled")
+    backend: str = "interp"
 
     @property
     def root(self) -> ExecNode:
@@ -496,6 +498,7 @@ def trace_program(
     tolerate_errors: bool = False,
     budget=None,
     degrade: bool = False,
+    backend: str | None = None,
 ) -> TraceResult:
     """Run an analyzed program under the tracer (the paper's tracing phase).
 
@@ -504,6 +507,12 @@ def trace_program(
     execution tree: every activation open at the moment of the crash is
     closed with its values as of that moment, so the debugger can chase
     the crash the same way it chases a wrong value.
+
+    ``backend`` selects the execution engine: ``"interp"`` (the
+    tree-walking interpreter driving a :class:`Tracer` through hooks) or
+    ``"compiled"`` (closures from :mod:`repro.compile` with inline
+    event emission). ``None`` defers to ``REPRO_BACKEND``. Both produce
+    the same :class:`TraceResult`, bit-for-bit.
 
     ``budget`` (a :class:`repro.resilience.Budget`) bounds the trace:
     deadline and step/depth limits in the interpreter, plus a tree-node
@@ -520,28 +529,42 @@ def trace_program(
     )
     from repro.resilience import faults
     from repro.resilience.budget import DEFAULT_SALVAGE_DEPTH
+    from repro.compile import compiled_trace_session, resolve_backend
     from repro.resilience.errors import BudgetExceeded, TraceAborted
 
+    backend = resolve_backend(backend)
     max_tree_nodes = budget.max_tree_nodes if budget is not None else None
-    tracer = Tracer(
-        analysis,
-        side_effects=side_effects,
-        loop_units=loop_units,
-        max_tree_nodes=max_tree_nodes,
-    )
-    interpreter = Interpreter(
-        analysis, io=PascalIO(inputs), hooks=tracer, step_limit=step_limit,
-        budget=budget,
-    )
-    tracer.attach(interpreter)
+    if backend == "compiled":
+        # One object is both the runner and the event collector.
+        collector = runner = compiled_trace_session(
+            analysis,
+            inputs=inputs,
+            side_effects=side_effects,
+            loop_units=loop_units,
+            step_limit=step_limit,
+            budget=budget,
+            max_tree_nodes=max_tree_nodes,
+        )
+    else:
+        collector = tracer = Tracer(
+            analysis,
+            side_effects=side_effects,
+            loop_units=loop_units,
+            max_tree_nodes=max_tree_nodes,
+        )
+        runner = Interpreter(
+            analysis, io=PascalIO(inputs), hooks=tracer, step_limit=step_limit,
+            budget=budget,
+        )
+        tracer.attach(runner)
     error: Exception | None = None
     degraded_reason: str | None = None
-    with obs.span("trace.execute", program=analysis.program.name):
+    with obs.span("trace.execute", program=analysis.program.name, backend=backend):
         spec = faults.fire("trace", key=analysis.program.name)
         if spec is not None:
             raise PascalRuntimeError(f"{spec.message} [trace]")
         try:
-            execution = interpreter.run()
+            execution = runner.run()
         except PascalError as raised:
             budget_blown = isinstance(
                 raised, (BudgetExceeded, TraceAborted, StepLimitExceeded)
@@ -551,15 +574,16 @@ def trace_program(
             elif not tolerate_errors:
                 raise
             error = raised
-            frame = interpreter.globals_frame
+            frame = runner.globals_frame
             assert frame is not None  # run() builds it before executing
             execution = ExecutionResult(
-                io=interpreter.io, globals_frame=frame, steps=interpreter.steps
+                io=runner.io, globals_frame=frame, steps=runner.steps
             )
-    result = tracer.result(execution)
+    result = collector.result(execution)
+    result.backend = backend
     result.error = error
     if error is not None:
-        crash_node = tracer._tree_index.get(tracer.last_active_node_id)
+        crash_node = collector._tree_index.get(collector.last_active_node_id)
         result.crash_unit = crash_node.unit_name if crash_node is not None else None
     if degraded_reason is not None:
         from repro.resilience.degrade import cap_depth
@@ -597,6 +621,7 @@ def trace_program(
         obs.add("trace.occurrences", occurrences)
         obs.add("trace.dep_edges", edges)
         obs.add("trace.steps", execution.steps)
+        obs.add("backend.steps", execution.steps)
         obs.set_max_gauge("trace.peak_nodes", nodes)
         obs.set_max_gauge("trace.peak_occurrences", occurrences)
         obs.set_max_gauge("trace.peak_dep_edges", edges)
@@ -610,6 +635,7 @@ def trace_source(
     tolerate_errors: bool = False,
     budget=None,
     degrade: bool = False,
+    backend: str | None = None,
 ) -> TraceResult:
     """Parse, analyze, and trace a program in one call."""
     from repro.pascal.semantics import analyze_source
@@ -622,4 +648,5 @@ def trace_source(
         tolerate_errors=tolerate_errors,
         budget=budget,
         degrade=degrade,
+        backend=backend,
     )

@@ -36,8 +36,9 @@ end.
 """
 
 #: a sweep-visible step limit high enough that only the deadline can
-#: stop the infinite-loop mutant
-BIG_STEPS = 10_000_000
+#: stop the infinite-loop mutant (the compiled backend clears well over
+#: 10M steps inside the deadline, so this must be generously large)
+BIG_STEPS = 100_000_000_000
 
 DEADLINE = 5.0
 
