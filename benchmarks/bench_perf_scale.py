@@ -30,6 +30,12 @@ each row carries its ``backend``, the report carries ``speedup_trace``
 number) and ``python``/``platform`` metadata, and tree/occurrence/edge
 counts are asserted identical across backends before the report is
 written.
+
+``bench_perf/4`` adds a ``profile`` section: one hot-spot-profiled
+trace per backend (``hotspots/1`` reports, see
+:mod:`repro.obs.profiler`), so per-unit self-time and step attribution
+travel with the timings. ``benchmarks/check_regress.py`` gates CI on
+this report.
 """
 
 import platform as platform_mod
@@ -184,6 +190,25 @@ def measure_obs(depth=6):
         obs.reset()
 
 
+def measure_profile(depth=6, top=5):
+    """One hot-spot-profiled trace per backend (``hotspots/1``): where
+    the generated call-tree program spends its steps and self-time."""
+    from repro.obs.profiler import HotspotProfiler, hotspot_report
+    from repro.core import GadtSystem
+
+    generated = generate_call_tree_program(CallTreeSpec(depth=depth))
+    reports = {}
+    for backend in ("interp", "compiled"):
+        profiler = HotspotProfiler()
+        system = GadtSystem.from_source(
+            generated.source, backend=backend, profiler=profiler
+        )
+        reports[backend] = hotspot_report(
+            system.trace, profiler=profiler, top=top
+        )
+    return {"depth": depth, "reports": reports}
+
+
 def _series_conformance(by_backend):
     """Assert backend-independent trace shape, then the speedup table."""
     counts = ("tree_nodes", "occurrences", "dep_edges", "questions")
@@ -221,7 +246,7 @@ def collect_perf_report(
     speedup = _series_conformance(by_backend)
     series = [row for backend_rows in by_backend for row in backend_rows]
     report = {
-        "schema": "bench_perf/3",
+        "schema": "bench_perf/4",
         "python": platform_mod.python_version(),
         "platform": platform_mod.platform(),
         "depths": list(depths),
@@ -232,6 +257,7 @@ def collect_perf_report(
         "mutants": measure_mutants(workers=workers, repeats=repeats),
         "fast_path": measure_fast_path(),
         "obs": measure_obs(depth=min(6, max(depths))),
+        "profile": measure_profile(depth=min(6, max(depths))),
         "cache": cache_stats(),
     }
     return report

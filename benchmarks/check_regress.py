@@ -1,0 +1,164 @@
+"""CI perf-regression gate: compare a fresh ``BENCH_perf.json`` against
+the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regress.py BENCH_perf.json \
+        BENCH_perf_fresh.json [--tolerance 0.5] [--min-seconds 0.005]
+
+Exit 0 when every compared stage timing is within the tolerance band,
+1 on a regression, 2 on unusable inputs.
+
+Raw wall times are not comparable across machines (the committed
+baseline comes from a developer box; CI runners differ widely), so the
+gate first computes a **machine factor** — the median ratio of fresh to
+baseline ``run_s`` across all series rows (plain un-traced execution is
+the stage least affected by this repo's changes) — and then requires,
+for every ``(backend, depth)`` pair present in both reports::
+
+    fresh_stage_s <= baseline_stage_s * machine_factor * (1 + tolerance)
+
+for the ``trace_s`` and ``debug_s`` stages (the two the pipeline's own
+code dominates). Timings below ``--min-seconds`` in the baseline are
+skipped — at sub-5ms scale the noise floor drowns any signal.
+
+The default tolerance is deliberately loose (50%): the gate exists to
+catch order-of-magnitude instrumentation accidents (an always-on hook
+on the hot path, an O(n^2) slip), not 10% jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: stages the gate compares (dominated by this repo's code)
+GATED_STAGES = ("trace_s", "debug_s")
+
+#: schemas the gate understands (series rows are compatible across them)
+KNOWN_SCHEMAS = ("bench_perf/3", "bench_perf/4")
+
+
+def _load(path: str) -> dict:
+    try:
+        report = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: {path}: {error}")
+    schema = report.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        raise SystemExit(
+            f"error: {path}: unknown schema {schema!r} "
+            f"(expected one of {', '.join(KNOWN_SCHEMAS)})"
+        )
+    return report
+
+
+def _series_index(report: dict) -> dict:
+    return {
+        (row.get("backend", "interp"), row["depth"]): row
+        for row in report.get("series", [])
+    }
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def machine_factor(baseline: dict, fresh: dict) -> float:
+    """Median fresh/baseline ratio of plain-execution times: how much
+    faster or slower this machine is, independent of repo changes."""
+    base_rows = _series_index(baseline)
+    ratios = [
+        row["run_s"] / base_rows[key]["run_s"]
+        for key, row in _series_index(fresh).items()
+        if key in base_rows and base_rows[key]["run_s"] > 0 and row["run_s"] > 0
+    ]
+    if not ratios:
+        return 1.0
+    return _median(ratios)
+
+
+def check(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float = 0.5,
+    min_seconds: float = 0.005,
+) -> list[str]:
+    """Regression messages (empty means the gate passes)."""
+    factor = machine_factor(baseline, fresh)
+    base_rows = _series_index(baseline)
+    fresh_rows = _series_index(fresh)
+    compared = 0
+    problems = []
+    for key in sorted(set(base_rows) & set(fresh_rows)):
+        backend, depth = key
+        for stage in GATED_STAGES:
+            base_s = base_rows[key].get(stage)
+            fresh_s = fresh_rows[key].get(stage)
+            if base_s is None or fresh_s is None or base_s < min_seconds:
+                continue
+            compared += 1
+            allowed = base_s * factor * (1 + tolerance)
+            if fresh_s > allowed:
+                problems.append(
+                    f"{backend}/depth {depth} {stage}: {fresh_s:.4f}s exceeds "
+                    f"{allowed:.4f}s (baseline {base_s:.4f}s x machine factor "
+                    f"{factor:.2f} x {1 + tolerance:.2f})"
+                )
+    if not compared:
+        # An empty comparison must not silently pass: it means the fresh
+        # run used depths/backends disjoint from the baseline, or every
+        # baseline timing sits under the noise floor.
+        problems.append(
+            "no stage timings were comparable "
+            "(disjoint series or all below --min-seconds)"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_perf.json")
+    parser.add_argument("fresh", help="freshly measured BENCH_perf.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional slowdown after machine normalization "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.005,
+        help="skip baseline timings below this (noise floor; "
+        "default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    factor = machine_factor(baseline, fresh)
+    problems = check(
+        baseline, fresh, tolerance=args.tolerance, min_seconds=args.min_seconds
+    )
+    print(
+        f"perf gate: machine factor {factor:.2f}, "
+        f"tolerance {args.tolerance:.0%}"
+    )
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print("perf gate: no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,8 +13,10 @@ stable, diffable artifact from PR to PR. Smoke mode (``--depths 2``) is
 what CI runs; the full series is for local measurement.
 
 ``--backend both`` (the default) records the stage series once per
-execution backend and a per-depth ``speedup_trace`` table — the
-``bench_perf/3`` dual-backend artifact.
+execution backend and a per-depth ``speedup_trace`` table; since
+``bench_perf/4`` the artifact also embeds one ``hotspots/1`` per-unit
+self-time report per backend. ``benchmarks/check_regress.py`` compares
+a fresh artifact against the committed one and fails CI on regression.
 """
 
 from __future__ import annotations
@@ -114,6 +116,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{session['queries']['total']} queries ({sources}), "
         f"{session['interactions_saved']} interactions saved"
     )
+    for backend, hotspots in report["profile"]["reports"].items():
+        hottest = hotspots["units"][0] if hotspots["units"] else None
+        if hottest is not None:
+            print(
+                f"  hotspots ({backend}, depth {report['profile']['depth']}): "
+                f"{hottest['unit']} leads with {hottest['steps']} steps, "
+                f"{hottest['self_s']:.4f}s self time"
+            )
     return 0
 
 

@@ -63,6 +63,14 @@ def _count_corrupt_metric(amount: int = 1) -> None:
         obs.add("cache.corrupt_entries", amount)
 
 
+def _journal_lookup(cache_name: str, outcome: str) -> None:
+    """Journal one cache lookup (``hit`` / ``disk-hit`` / ``miss``) —
+    phase-granular, so the flight recorder shows what each stage paid."""
+    obs = sys.modules.get("repro.obs")
+    if obs is not None:
+        obs.emit("cache", cache=cache_name, outcome=outcome)
+
+
 def set_enabled(enabled: bool) -> None:
     """Turn all content caches on or off (off → every lookup rebuilds)."""
     global _ENABLED
@@ -122,6 +130,7 @@ class ContentCache:
             else:
                 self.hits += 1
                 store.move_to_end(key)
+                _journal_lookup(self.name, "hit")
                 return value
         if self.persist is not None:
             value = self.persist.load(key, force_corrupt=corrupt_injected)
@@ -130,6 +139,7 @@ class ContentCache:
             elif value is not _MISSING:
                 self.disk_hits += 1
                 self._put(key, value)
+                _journal_lookup(self.name, "disk-hit")
                 return value
         if corrupted or (corrupt_injected and value is _MISSING):
             # One logical corrupted read, however many layers it hit
@@ -137,6 +147,7 @@ class ContentCache:
             # the injection simulates the entry having been damaged).
             self._note_corrupt()
         self.misses += 1
+        _journal_lookup(self.name, "miss")
         value = build()
         self._put(key, value)
         if self.persist is not None:

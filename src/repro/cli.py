@@ -8,9 +8,12 @@
                                   [--no-slicing] [--input V ...]
     python -m repro frames SPECFILE
     python -m repro mutate PROGRAM [--evaluate]
-    python -m repro stats PROGRAM [--reference FIXED]
+    python -m repro stats PROGRAM [--reference FIXED] [--json]
+    python -m repro profile PROGRAM [--hotspots N] [--json]
+    python -m repro replay JOURNAL [--backend B]
+    python -m repro export JOURNAL [--format perfetto] [-o OUT]
     python -m repro testdb import DB_DIR REPORTS.jsonl [--shards N]
-    python -m repro testdb stats DB_DIR [--per-shard]
+    python -m repro testdb stats DB_DIR [--per-shard] [--json]
     python -m repro testdb compact DB_DIR
 
 `debug` without ``--reference`` runs an interactive session: you answer
@@ -23,8 +26,10 @@ maintain such a store.
 
 The ``run``, ``trace``, ``debug``, ``mutate``, and ``stats`` subcommands
 take ``--profile`` (print a phase/metric summary on stderr after the
-command) and ``--events PATH`` (stream observability events as JSONL);
-see ``docs/OBSERVABILITY.md``. The same subcommands take ``--backend
+command), ``--events PATH`` (stream observability events as JSONL), and
+``--journal PATH`` (record a schema-versioned session journal that
+``repro replay`` re-runs deterministically and ``repro export`` turns
+into a Perfetto/Chrome trace); see ``docs/OBSERVABILITY.md``. The same subcommands take ``--backend
 {interp,compiled}`` to pick the execution engine (default: the
 ``REPRO_BACKEND`` environment variable, else the interpreter); see
 ``docs/COMPILER.md``.
@@ -286,6 +291,27 @@ def cmd_stats(args: argparse.Namespace) -> int:
     system = GadtSystem.from_source(
         source, program_inputs=_parse_inputs(args.input)
     )
+    result = None
+    if args.reference:
+        oracle = ReferenceOracle.from_source(
+            _read(args.reference), program_inputs=_parse_inputs(args.input)
+        )
+        result = system.debugger(oracle, strategy=args.strategy).debug()
+    if getattr(args, "json", False):
+        import json
+
+        payload = {
+            "program": system.analysis.program.name,
+            "backend": system.trace.backend,
+            "tree_nodes": system.trace.tree.size(),
+            "occurrences": len(system.trace.dependence_graph),
+            "dep_edges": system.trace.dependence_graph.edge_count(),
+            "metrics": obs.snapshot(),
+        }
+        if result is not None:
+            payload["session"] = result.report()
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
     print(f"program: {system.analysis.program.name}")
     print(f"backend: {system.trace.backend}")
     print(f"tree: {system.trace.tree.size()} activation(s)")
@@ -293,11 +319,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         f"dependences: {len(system.trace.dependence_graph)} occurrence(s), "
         f"{system.trace.dependence_graph.edge_count()} edge(s)"
     )
-    if args.reference:
-        oracle = ReferenceOracle.from_source(
-            _read(args.reference), program_inputs=_parse_inputs(args.input)
-        )
-        result = system.debugger(oracle, strategy=args.strategy).debug()
+    if result is not None:
         print(f"localized: {result.bug_unit or 'no'}")
         print(obs.report.render_answer_sources(result.report()))
     snapshot = obs.snapshot()
@@ -312,6 +334,59 @@ def cmd_stats(args: argparse.Namespace) -> int:
             + ", ".join(f"{n.removeprefix('compile.')} {v}" for n, v in compile_counters.items())
         )
     print(obs.report.render_summary(snapshot))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Trace with the hot-spot profiler attached; print where the
+    execution spent its steps and self-time (per transformed unit)."""
+    from repro.obs.profiler import HotspotProfiler, hotspot_report, render_hotspots
+
+    profiler = HotspotProfiler()
+    system = GadtSystem.from_source(
+        _read(args.program),
+        program_inputs=_parse_inputs(args.input),
+        backend=getattr(args, "backend", None),
+        profiler=profiler,
+    )
+    report = hotspot_report(system.trace, profiler=profiler, top=args.hotspots)
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"program: {system.analysis.program.name}")
+        print(render_hotspots(report))
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-run a recorded session from its journal; exit 1 on divergence."""
+    from repro.core.replay import replay_file
+    from repro.obs.journal import JournalError
+
+    try:
+        report = replay_file(args.journal, backend=getattr(args, "backend", None))
+    except JournalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Convert a session journal to a Perfetto/Chrome trace file."""
+    from repro.obs.export import export_journal
+    from repro.obs.journal import JournalError
+
+    try:
+        output = export_journal(
+            args.journal, output_path=args.output, fmt=args.format
+        )
+    except (JournalError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"wrote {output}")
     return 0
 
 
@@ -346,6 +421,17 @@ def cmd_testdb_stats(args: argparse.Namespace) -> int:
     from repro.store import ShardedReportStore
 
     store = ShardedReportStore(args.database)
+    if getattr(args, "json", False):
+        import json
+
+        payload = dict(store.stats())
+        if args.per_shard:
+            payload["per_shard"] = [
+                {"shard": index, **row}
+                for index, row in store.iter_shard_stats()
+            ]
+        print(json.dumps(payload, indent=2))
+        return 0
     print(obs.report.render_store_stats(store.stats()))
     if args.per_shard:
         for index, row in store.iter_shard_stats():
@@ -395,6 +481,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--events",
         metavar="PATH",
         help="stream observability events to PATH as JSON lines",
+    )
+    obs_parent.add_argument(
+        "--journal",
+        dest="journal_out",
+        metavar="PATH",
+        help="record a session flight-recorder journal to PATH "
+        "(replayable with `repro replay`, exportable with `repro export`)",
     )
 
     # resource-budget flags shared by the executing subcommands
@@ -556,7 +649,61 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["top-down", "bottom-up", "divide-and-query"],
     )
     stats_parser.add_argument("--input", action="append", metavar="V")
+    stats_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats as machine-readable JSON instead of text",
+    )
     stats_parser.set_defaults(func=cmd_stats, needs_obs=True)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        parents=[backend_parent],
+        help="trace with the hot-spot profiler; print per-unit self time",
+    )
+    profile_parser.add_argument("program")
+    profile_parser.add_argument("--input", action="append", metavar="V")
+    profile_parser.add_argument(
+        "--hotspots",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N hottest units (default: all)",
+    )
+    profile_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the hotspots/1 report as JSON instead of a table",
+    )
+    profile_parser.set_defaults(func=cmd_profile)
+
+    replay_parser = sub.add_parser(
+        "replay",
+        parents=[backend_parent],
+        help="re-run a recorded session journal; exit 1 on any divergence",
+    )
+    replay_parser.add_argument("journal", help="journal recorded with --journal")
+    replay_parser.set_defaults(func=cmd_replay)
+
+    export_parser = sub.add_parser(
+        "export",
+        help="convert a session journal to a Perfetto/Chrome trace",
+    )
+    export_parser.add_argument("journal", help="journal recorded with --journal")
+    export_parser.add_argument(
+        "--format",
+        default="perfetto",
+        choices=["perfetto", "chrome"],
+        help="output flavour (both emit Chrome trace-event JSON)",
+    )
+    export_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="OUT",
+        help="output path (default: JOURNAL.perfetto.json)",
+    )
+    export_parser.set_defaults(func=cmd_export)
 
     testdb_parser = sub.add_parser(
         "testdb",
@@ -586,6 +733,11 @@ def build_parser() -> argparse.ArgumentParser:
     testdb_stats.add_argument(
         "--per-shard", action="store_true", help="also print one row per shard"
     )
+    testdb_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats as machine-readable JSON instead of text",
+    )
     testdb_stats.set_defaults(func=cmd_testdb_stats)
 
     testdb_compact = testdb_sub.add_parser(
@@ -597,6 +749,39 @@ def build_parser() -> argparse.ArgumentParser:
     testdb_compact.set_defaults(func=cmd_testdb_compact)
 
     return parser
+
+
+def _journal_meta(args: argparse.Namespace, argv: list[str] | None) -> dict:
+    """The journal header metadata: everything ``repro replay`` needs to
+    rebuild the session from scratch (source text, inputs, backend,
+    strategy, slicing) plus provenance (command line)."""
+    meta: dict[str, object] = {
+        "command": getattr(args, "command", None),
+        "argv": list(argv) if argv is not None else sys.argv[1:],
+        "backend": getattr(args, "backend", None)
+        or os.environ.get("REPRO_BACKEND"),
+    }
+    program = getattr(args, "program", None)
+    if program:
+        meta["program"] = program
+        try:
+            meta["source"] = _read(program)
+        except OSError:
+            pass  # the command itself will report the missing file
+    if getattr(args, "input", None) is not None:
+        try:
+            meta["inputs"] = _parse_inputs(args.input)
+        except ValueError:
+            pass  # the command itself will report the bad input
+    if hasattr(args, "strategy"):
+        meta["strategy"] = args.strategy
+    if hasattr(args, "no_slicing"):
+        meta["enable_slicing"] = not args.no_slicing
+    if hasattr(args, "query_symptom"):
+        meta["assume_symptom"] = not args.query_symptom
+    if getattr(args, "reference", None):
+        meta["reference"] = args.reference
+    return meta
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -615,13 +800,26 @@ def main(argv: list[str] | None = None) -> int:
 
     profiling = getattr(args, "profile", False)
     events_path = getattr(args, "events", None)
-    observing = profiling or events_path or getattr(args, "needs_obs", False)
+    journal_path = getattr(args, "journal_out", None)
+    observing = (
+        profiling
+        or events_path
+        or journal_path
+        or getattr(args, "needs_obs", False)
+    )
     event_sink: obs.JsonlFileSink | None = None
+    journal_sink = None
     if observing:
         obs.reset()
         obs.enable()
         if events_path:
             event_sink = obs.add_sink(obs.JsonlFileSink(events_path))
+        if journal_path:
+            from repro.obs.journal import JournalWriter
+
+            journal_sink = obs.add_sink(
+                JournalWriter(journal_path, meta=_journal_meta(args, argv))
+            )
     try:
         return args.func(args)
     except (PascalError, SpecError) as error:
@@ -643,6 +841,9 @@ def main(argv: list[str] | None = None) -> int:
             if event_sink is not None:
                 obs.remove_sink(event_sink)
                 event_sink.close()
+            if journal_sink is not None:
+                obs.remove_sink(journal_sink)
+                journal_sink.close()
             obs.disable()
 
 

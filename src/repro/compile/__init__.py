@@ -113,6 +113,7 @@ def compiled_trace_session(
     step_limit: int = 2_000_000,
     budget=None,
     max_tree_nodes: int | None = None,
+    profiler=None,
 ):
     """A ready-to-run :class:`~repro.compile.emit.TraceSession` — the
     compiled counterpart of a ``(Tracer, Interpreter)`` pair."""
@@ -128,4 +129,5 @@ def compiled_trace_session(
         step_limit=step_limit,
         budget=budget,
         max_tree_nodes=max_tree_nodes,
+        profiler=profiler,
     )

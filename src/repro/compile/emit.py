@@ -122,6 +122,7 @@ class TraceSession(Runtime):
         "node_count",
         "max_tree_nodes",
         "last_active_node_id",
+        "prof",
         "_root",
         "_tree_index",
         "_output_writers",
@@ -134,6 +135,7 @@ class TraceSession(Runtime):
         step_limit: int = 2_000_000,
         budget=None,
         max_tree_nodes: int | None = None,
+        profiler=None,
     ):
         super().__init__(program, io=io, step_limit=step_limit, budget=budget)
         ddg = DynamicDependenceGraph()
@@ -148,6 +150,10 @@ class TraceSession(Runtime):
         self.node_count = 0
         self.max_tree_nodes = max_tree_nodes
         self.last_active_node_id = 0
+        #: optional hot-spot profiler; one None-test per activation, the
+        #: per-statement closures never see it (cheap slot counters —
+        #: steps per unit/line — are derived post hoc from occurrences)
+        self.prof = profiler
         self._root: ExecNode | None = None
         self._tree_index: dict[int, ExecNode] = {}
         self._output_writers: dict[tuple[int, str], set[int]] = {}
@@ -209,8 +215,12 @@ class TraceSession(Runtime):
         self._root = node
         self._tree_index[node.node_id] = node
         self.cur_node = node
+        if self.prof is not None:
+            self.prof.enter_unit(info.name)
 
     def _exit_main(self) -> None:
+        if self.prof is not None:
+            self.prof.exit_unit()
         node = self.cur_node
         text = self.io.text
         if text:
@@ -237,12 +247,16 @@ class TraceSession(Runtime):
             inputs.append(Binding(name, BindingMode.IN, value, is_global))
         node.inputs = inputs
         self.cur_node = node
+        if self.prof is not None:
+            self.prof.enter_unit(plan.unit_name)
         return parent
 
     def exit_call(self, plan: RoutinePlan, frame, prev: ExecNode, via_goto) -> None:
         """Close the current CALL activation: snapshot outputs, record
         their writer sets, restore the caller's node, and attribute the
         function-result read to the caller's occurrence."""
+        if self.prof is not None:
+            self.prof.exit_unit()
         node = self.cur_node
         node.via_goto = via_goto.name if via_goto is not None else None
         node_id = node.node_id
@@ -294,6 +308,8 @@ class TraceSession(Runtime):
         parent.add_child(node)
         self._tree_index[node.node_id] = node
         self.cur_node = node
+        if self.prof is not None:
+            self.prof.enter_unit(plan.name)
         return node
 
     def loop_iteration(
@@ -317,6 +333,8 @@ class TraceSession(Runtime):
     def loop_exit(
         self, plan: LoopPlan, frame, loop_node: ExecNode, last_iter, prev: ExecNode
     ) -> None:
+        if self.prof is not None:
+            self.prof.exit_unit()
         if last_iter is not None:
             self._close_iteration(plan, last_iter, frame, loop_node)
         loop_node.outputs = self._loop_bindings(

@@ -15,7 +15,9 @@
 * :mod:`repro.core.algorithmic` — the pure algorithmic debugger;
 * :mod:`repro.core.gadt` — the integrated debugger: assertions → test
   lookup → user, with dynamic slicing on error indications;
-* :mod:`repro.core.session` — interaction transcripts.
+* :mod:`repro.core.session` — interaction transcripts;
+* :mod:`repro.core.replay` — deterministic re-runs of recorded session
+  journals (the flight-recorder's verification half).
 """
 
 from repro.core.queries import Answer, AnswerKind, AnswerSource, Query
@@ -31,6 +33,13 @@ from repro.core.strategies import Strategy, make_strategy
 from repro.core.algorithmic import AlgorithmicDebugger, DebugResult
 from repro.core.gadt import GadtDebugger, GadtSystem
 from repro.core.postmortem import ContributingStatement, contributing_statements
+from repro.core.replay import (
+    ReplayDebugger,
+    ReplayDivergence,
+    ReplayReport,
+    replay_file,
+    replay_journal,
+)
 from repro.core.session import Interaction, Session
 from repro.core.transparency import TransparencyMap, UnitSource
 
@@ -52,7 +61,12 @@ __all__ = [
     "Oracle",
     "Query",
     "ReferenceOracle",
+    "ReplayDebugger",
+    "ReplayDivergence",
+    "ReplayReport",
     "ScriptedOracle",
+    "replay_file",
+    "replay_journal",
     "Session",
     "Strategy",
     "TransparencyMap",

@@ -199,6 +199,7 @@ class AlgorithmicDebugger:
                 session.note(
                     f"{current.unit_name} behaves as intended; nothing to localize"
                 )
+                self._verdict(current, "no-symptom")
                 return result
             error_variable = answer.resolve_error_variable(current)
             if self.enable_slicing and error_variable is not None:
@@ -213,6 +214,7 @@ class AlgorithmicDebugger:
             if candidate is None:
                 result.bug_node = current
                 session.localized(current.unit_name)
+                self._verdict(current, "bug-localized")
                 return result
 
             answer = self._answer_query(Query(candidate), session, result)
@@ -220,14 +222,17 @@ class AlgorithmicDebugger:
             if answer.kind is AnswerKind.DONT_KNOW:
                 judgements[candidate.node_id] = True  # cannot refute: move on
                 result.uncertain_nodes.append(candidate)
+                self._verdict(candidate, "uncertain")
                 continue
             if answer.is_correct:
                 judgements[candidate.node_id] = True
                 result.correct_nodes.append(candidate)
+                self._verdict(candidate, "correct")
                 continue
 
             # Incorrect: the search descends into this activation.
             judgements[candidate.node_id] = False
+            self._verdict(candidate, "incorrect")
             current = candidate
             error_variable = answer.resolve_error_variable(candidate)
             if (
@@ -351,17 +356,38 @@ class AlgorithmicDebugger:
         return answer
 
     @staticmethod
+    def _verdict(node: ExecNode, verdict: str) -> None:
+        """Journal one judgement transition of the tree search."""
+        if obs.enabled():
+            obs.emit(
+                "verdict",
+                unit=node.unit_name,
+                node=node.node_id,
+                verdict=verdict,
+            )
+
+    @staticmethod
     def _account(result: DebugResult, query: Query, answer: Answer) -> None:
-        """Tag one resolved query with its answer source (obs accounting)."""
+        """Tag one resolved query with its answer source (obs accounting).
+
+        The emitted event is the journal's replay unit: it carries the
+        node id, the answer source *and* the answer itself (including
+        error indications), so a recorded session can be re-answered
+        without the original oracle (:mod:`repro.core.replay`).
+        """
         label = SOURCE_LABELS.get(answer.source, answer.source.value)
         result.queries_by_source[label] = (
             result.queries_by_source.get(label, 0) + 1
         )
         if obs.enabled():
-            obs.emit(
-                "query",
-                unit=query.unit_name,
-                node=query.node.node_id,
-                source=label,
-                answer=answer.kind.value,
-            )
+            fields: dict = {
+                "unit": query.unit_name,
+                "node": query.node.node_id,
+                "source": label,
+                "answer": answer.kind.value,
+            }
+            if answer.error_variable is not None:
+                fields["error_variable"] = answer.error_variable
+            if answer.error_position is not None:
+                fields["error_position"] = answer.error_position
+            obs.emit("query", **fields)

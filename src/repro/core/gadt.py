@@ -102,6 +102,7 @@ class GadtSystem:
         budget=None,
         degrade: bool = False,
         backend: str | None = None,
+        profiler=None,
     ) -> "GadtSystem":
         """Transform, then trace, a Mini-Pascal program (phases I and II).
 
@@ -136,6 +137,7 @@ class GadtSystem:
             budget=budget,
             degrade=degrade,
             backend=backend,
+            profiler=profiler,
         )
         if present_original_view:
             from repro.core.presentation import present_tree

@@ -41,9 +41,10 @@ from __future__ import annotations
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import report
+from repro.obs import spans as _spans
 from repro.obs.events import EventSink, JsonlFileSink, RingBufferSink
 from repro.obs.metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.spans import NULL_SPAN, NullSpan, Span
+from repro.obs.spans import NULL_SPAN, NullSpan, Span, current_span_id
 
 __all__ = [
     "Counter",
@@ -58,6 +59,7 @@ __all__ = [
     "Span",
     "add",
     "add_sink",
+    "current_span_id",
     "disable",
     "emit",
     "enable",
@@ -104,7 +106,6 @@ def reset() -> None:
     """Clear all metrics, events, sinks, and open spans (test isolation;
     the CLI calls this before each profiled invocation)."""
     global _RING
-    from repro.obs import spans as _spans
 
     _metrics.REGISTRY.reset()
     for sink in _events.SINKS:
@@ -171,8 +172,16 @@ def observe(name: str, value: float, unit: str = "") -> None:
 
 
 def emit(kind: str, **fields: object) -> None:
-    """Send one structured event to every sink."""
+    """Send one structured event to every sink.
+
+    Events emitted while a span is open are stamped with that span's
+    ``span_id``, linking them into the causal chain the journal records
+    (a ``query`` event points at its ``debug.session`` span, a ``cache``
+    event at the phase that hit the cache, ...).
+    """
     if _ENABLED:
+        if _spans._STACK and "span_id" not in fields:
+            fields["span_id"] = _spans._STACK[-1].span_id
         _events.broadcast(kind, fields)
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import threading
 import time
 from collections import deque
 from typing import IO
@@ -93,6 +94,10 @@ class JsonlFileSink(EventSink):
         self.errors = 0
         self._write_path = f"{path}.part" if atomic else path
         self._handle: IO[str] | None = open(self._write_path, "w", encoding="utf-8")
+        # Serializes writes from concurrent emitters (worker aggregation
+        # threads, the future debug service): each event lands as one
+        # whole line, so the file is always valid JSONL.
+        self._lock = threading.Lock()
 
     @property
     def degraded(self) -> bool:
@@ -100,42 +105,45 @@ class JsonlFileSink(EventSink):
         return self._handle is None and self.errors >= self.max_errors
 
     def write(self, event: dict) -> None:
-        if self._handle is None:
-            return
-        try:
-            spec = _fire_write_fault(self.path)
-            if spec is not None:
-                raise OSError(f"{spec.message} [sink.write]")
-            self._handle.write(json.dumps(event, default=str) + "\n")
-            self._handle.flush()
-        except OSError:
-            self.errors += 1
-            _count_sink_error()
-            if self.errors >= self.max_errors:
+        with self._lock:
+            if self._handle is None:
+                return
+            try:
+                spec = _fire_write_fault(self.path)
+                if spec is not None:
+                    raise OSError(f"{spec.message} [sink.write]")
+                self._handle.write(json.dumps(event, default=str) + "\n")
+                self._handle.flush()
+            except OSError:
+                self.errors += 1
+                _count_sink_error()
+                if self.errors >= self.max_errors:
+                    try:
+                        self._handle.close()
+                    except OSError:
+                        pass
+                    self._handle = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
                 try:
                     self._handle.close()
                 except OSError:
                     pass
                 self._handle = None
-
-    def close(self) -> None:
-        if self._handle is not None:
-            try:
-                self._handle.close()
-            except OSError:
-                pass
-            self._handle = None
-            if self.atomic:
-                try:
-                    os.replace(self._write_path, self.path)
-                except OSError:
-                    pass
+                if self.atomic:
+                    try:
+                        os.replace(self._write_path, self.path)
+                    except OSError:
+                        pass
 
 
 #: currently attached sinks (managed via repro.obs.add_sink/remove_sink)
 SINKS: list[EventSink] = []
 
 _seq = 0
+_SEQ_LOCK = threading.Lock()
 
 
 def broadcast(kind: str, fields: dict) -> None:
@@ -144,18 +152,22 @@ def broadcast(kind: str, fields: dict) -> None:
     Unconditional: enabled-gating happens at the instrumentation sites
     (:func:`repro.obs.emit` and live spans), not here. With no sinks
     registered the event dict is never built — callers on hot paths can
-    rely on a sink-less broadcast being one list test.
+    rely on a sink-less broadcast being one list test. The seq stamp and
+    the fan-out happen under one lock, so concurrent emitters produce a
+    strictly ordered, gap-free sequence in every sink.
     """
     if not SINKS:
         return
     global _seq
-    _seq += 1
-    event = {"seq": _seq, "ts": time.time(), "kind": kind}
-    event.update(fields)
-    for sink in SINKS:
-        sink.write(event)
+    with _SEQ_LOCK:
+        _seq += 1
+        event = {"seq": _seq, "ts": time.time(), "kind": kind}
+        event.update(fields)
+        for sink in list(SINKS):
+            sink.write(event)
 
 
 def reset_seq() -> None:
     global _seq
-    _seq = 0
+    with _SEQ_LOCK:
+        _seq = 0

@@ -1,0 +1,181 @@
+"""The session flight recorder: a schema-versioned JSONL journal.
+
+A journal is the durable record of one pipeline invocation — trace
+construction, budget draws, cache hits and misses, slice prunes, every
+debugger question with its node id and answer source, every verdict
+transition — written as JSON lines so it can be replayed
+(:mod:`repro.core.replay`), exported to Perfetto
+(:mod:`repro.obs.export`), or grepped.
+
+File format (``gadt_journal/1``): the first line is a header record ::
+
+    {"kind": "journal", "schema": "gadt_journal/1", "ts": ..., "meta": {...}}
+
+where ``meta`` carries everything a deterministic re-run needs —
+``command``, ``program`` (path), ``source`` (the full program text),
+``inputs``, ``backend``, ``strategy``, ``enable_slicing``, ``argv``.
+Every following line is one ordinary observability event exactly as
+:func:`repro.obs.emit` broadcast it (``seq``/``ts``/``kind`` plus
+kind-specific fields; span events carry ``span_id``/``parent_id``, and
+events emitted inside a span carry the owning ``span_id``), so the
+journal is a superset of a plain ``--events`` capture: the causal chain
+is reconstructible offline.
+
+:class:`JournalWriter` is a :class:`~repro.obs.events.JsonlFileSink`
+subclass, inheriting its fault tolerance (failed writes degrade, never
+crash the pipeline) and atomic-publication mode.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.events import JsonlFileSink
+
+JOURNAL_SCHEMA = "gadt_journal/1"
+
+
+class JournalError(Exception):
+    """The journal file is missing, torn, or not a journal at all."""
+
+
+class JournalWriter(JsonlFileSink):
+    """A JSONL sink that prefixes the stream with the journal header."""
+
+    def __init__(
+        self,
+        path: str,
+        meta: dict | None = None,
+        atomic: bool = False,
+        max_errors: int = 8,
+    ):
+        super().__init__(path, atomic=atomic, max_errors=max_errors)
+        self.meta = dict(meta or {})
+        header = {
+            "kind": "journal",
+            "schema": JOURNAL_SCHEMA,
+            "ts": time.time(),
+            "meta": self.meta,
+        }
+        super().write(header)
+
+
+@dataclass
+class Journal:
+    """A parsed journal: the header metadata plus the event records."""
+
+    schema: str | None
+    meta: dict
+    records: list[dict] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> list[dict]:
+        return [record for record in self.records if record.get("kind") == kind]
+
+    def queries(self) -> list[dict]:
+        """Every debugger question, in the order it was asked."""
+        return self.of_kind("query")
+
+    def verdicts(self) -> list[dict]:
+        """Judgement transitions of the tree search, in order."""
+        return self.of_kind("verdict")
+
+    def spans(self) -> list[dict]:
+        return self.of_kind("span")
+
+    def traces(self) -> list[dict]:
+        """Trace-construction records (carry the ``root`` node id the
+        replayer uses to normalize recorded node ids)."""
+        return self.of_kind("trace")
+
+    def session(self) -> dict | None:
+        """The final per-session accounting record, if the journal
+        covers a debug session."""
+        sessions = self.of_kind("session")
+        return sessions[-1] if sessions else None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def read_journal(path: str, require_header: bool = True) -> Journal:
+    """Parse a journal (or a headerless ``--events`` capture).
+
+    With ``require_header`` (the default), the first line must be a
+    ``gadt_journal/1`` header; the exporter passes ``False`` so plain
+    event streams stay exportable.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise JournalError(f"cannot read journal {path!r}: {error}") from error
+    schema: str | None = None
+    meta: dict = {}
+    records: list[dict] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise JournalError(f"{path}:{line_no}: invalid JSON: {error}") from error
+        if not isinstance(record, dict):
+            raise JournalError(f"{path}:{line_no}: expected a JSON object")
+        if record.get("kind") == "journal":
+            if schema is not None:
+                raise JournalError(f"{path}:{line_no}: duplicate journal header")
+            schema = record.get("schema")
+            if schema != JOURNAL_SCHEMA:
+                raise JournalError(
+                    f"{path}: unsupported journal schema {schema!r} "
+                    f"(expected {JOURNAL_SCHEMA})"
+                )
+            meta = record.get("meta") or {}
+            continue
+        records.append(record)
+    if schema is None and require_header:
+        raise JournalError(
+            f"{path}: not a journal (no {JOURNAL_SCHEMA} header line); "
+            "record one with --journal PATH"
+        )
+    return Journal(schema=schema, meta=meta, records=records)
+
+
+class recording:
+    """Context manager for library use: record everything :mod:`repro.obs`
+    emits inside the block into a journal file ::
+
+        with journal.recording("session.journal", meta={"source": src}):
+            system = GadtSystem.from_source(src)
+            system.debugger(oracle).debug()
+
+    Observability is enabled for the duration (and restored after); the
+    writer is detached and closed on exit.
+    """
+
+    def __init__(self, path: str, meta: dict | None = None, atomic: bool = False):
+        self.path = path
+        self.meta = meta
+        self.atomic = atomic
+        self.writer: JournalWriter | None = None
+        self._was_enabled = False
+
+    def __enter__(self) -> JournalWriter:
+        from repro import obs
+
+        self._was_enabled = obs.enabled()
+        obs.enable()
+        self.writer = JournalWriter(self.path, meta=self.meta, atomic=self.atomic)
+        obs.add_sink(self.writer)
+        return self.writer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        from repro import obs
+
+        if self.writer is not None:
+            obs.remove_sink(self.writer)
+            self.writer.close()
+        if not self._was_enabled:
+            obs.disable()

@@ -7,54 +7,87 @@ module-level singleton, mirroring :mod:`repro.cache`: one process, one
 registry, so benchmarks and the CLI read the same numbers the
 instrumented pipeline wrote.
 
-All three instrument types are deliberately tiny — a counter is one
-integer, a histogram keeps count/total/min/max rather than buckets —
-because the registry must cost nothing measurable even when
-observability is on, and nothing at all when it is off (callers gate on
-:func:`repro.obs.enabled` before touching it).
+All three instrument types are deliberately small — a counter is one
+integer behind a lock, a histogram keeps count/total/min/max plus a
+bounded sample reservoir for percentiles — because the registry must
+cost little even when observability is on, and nothing at all when it
+is off (callers gate on :func:`repro.obs.enabled` before touching it).
+
+**Thread safety**: every mutation takes the metric's own lock, and
+metric creation takes the registry lock, so parallel mutant sweeps (and
+the future multi-session debug service) can write concurrently without
+losing increments or corrupting reservoirs.
 """
 
 from __future__ import annotations
+
+import threading
+
+#: reservoir size bound; beyond it samples are decimated (see Histogram)
+RESERVOIR_CAP = 1024
+
+
+def _nearest_rank(samples: list[float], p: float) -> float | None:
+    """Nearest-rank percentile over pre-sorted ``samples`` (None if empty)."""
+    if not samples:
+        return None
+    rank = -(-len(samples) * p // 100)  # ceil(n * p / 100)
+    return samples[max(0, min(len(samples) - 1, int(rank) - 1))]
 
 
 class Counter:
     """A monotonically increasing integer."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def add(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A point-in-time value (last set wins; :meth:`set_max` keeps peaks)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def set_max(self, value: float) -> None:
-        if value > self.value:
-            self.value = value
+        with self._lock:
+            if value > self.value:
+                self.value = value
 
 
 class Histogram:
-    """Summary statistics over observed values (count/total/min/max).
+    """Summary statistics over observed values, with percentiles.
+
+    Keeps count/total/min/max exactly, plus a bounded deterministic
+    reservoir for :meth:`percentile`: every ``stride``-th observation is
+    retained; when the reservoir fills, it is decimated (every other
+    sample dropped) and the stride doubles, so memory is bounded by
+    :data:`RESERVOIR_CAP` while the sample stays spread over the whole
+    observation stream — no randomness, so repeated runs agree.
 
     ``unit`` is a display hint: span durations use ``"s"`` so renderers
     format them as seconds; size histograms leave it empty.
     """
 
-    __slots__ = ("name", "unit", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "unit", "count", "total", "min", "max",
+        "_samples", "_stride", "_lock",
+    )
 
     def __init__(self, name: str, unit: str = ""):
         self.name = name
@@ -63,52 +96,93 @@ class Histogram:
         self.total: float = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._samples: list[float] = []
+        self._stride = 1
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if self.count % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) >= RESERVOIR_CAP:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile over the reservoir (None when empty)."""
+        with self._lock:
+            samples = sorted(self._samples)
+        return _nearest_rank(samples, p)
+
+    def summary(self) -> dict:
+        """JSON-ready dump including p50/p95/p99."""
+        with self._lock:
+            samples = sorted(self._samples)
+            data = {
+                "unit": self.unit,
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+            }
+        for label, p in (("p50", 50), ("p95", 95), ("p99", 99)):
+            data[label] = _nearest_rank(samples, p)
+        return data
+
 
 class MetricsRegistry:
-    """Named metrics, created on first use."""
+    """Named metrics, created on first use (creation is lock-protected)."""
 
-    __slots__ = ("counters", "gauges", "histograms")
+    __slots__ = ("counters", "gauges", "histograms", "_lock")
 
     def __init__(self):
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         metric = self.counters.get(name)
         if metric is None:
-            metric = self.counters[name] = Counter(name)
+            with self._lock:
+                metric = self.counters.get(name)
+                if metric is None:
+                    metric = self.counters[name] = Counter(name)
         return metric
 
     def gauge(self, name: str) -> Gauge:
         metric = self.gauges.get(name)
         if metric is None:
-            metric = self.gauges[name] = Gauge(name)
+            with self._lock:
+                metric = self.gauges.get(name)
+                if metric is None:
+                    metric = self.gauges[name] = Gauge(name)
         return metric
 
     def histogram(self, name: str, unit: str = "") -> Histogram:
         metric = self.histograms.get(name)
         if metric is None:
-            metric = self.histograms[name] = Histogram(name, unit=unit)
+            with self._lock:
+                metric = self.histograms.get(name)
+                if metric is None:
+                    metric = self.histograms[name] = Histogram(name, unit=unit)
         return metric
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
 
     def snapshot(self) -> dict:
         """A JSON-ready dump of every metric, sorted by name."""
@@ -121,13 +195,7 @@ class MetricsRegistry:
                 name: metric.value for name, metric in sorted(self.gauges.items())
             },
             "histograms": {
-                name: {
-                    "unit": metric.unit,
-                    "count": metric.count,
-                    "total": metric.total,
-                    "min": metric.min,
-                    "max": metric.max,
-                }
+                name: metric.summary()
                 for name, metric in sorted(self.histograms.items())
             },
         }

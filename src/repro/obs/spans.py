@@ -7,8 +7,14 @@ A span measures one phase of the pipeline::
 
 On exit the duration lands in the histogram named after the span
 (``trace.execute`` with unit ``"s"``) and a ``span`` event goes to the
-sinks, carrying the nesting depth and parent span name so per-pass
-transform timings can be re-assembled into a tree offline.
+sinks, carrying a process-unique ``span_id``, the ``parent_id`` of the
+enclosing span, the nesting depth, and the parent span name, so
+per-pass transform timings can be re-assembled into a tree offline (the
+Perfetto exporter in :mod:`repro.obs.export` does exactly that).
+
+A span that exits through an exception records it instead of closing
+silently: the event carries ``error: true`` plus the exception type
+under ``error_type``.
 
 When observability is disabled, :func:`repro.obs.span` hands back the
 shared :data:`NULL_SPAN` instead — entering and exiting it does nothing,
@@ -19,6 +25,7 @@ one flag test and no allocation.
 
 from __future__ import annotations
 
+import itertools
 import time
 
 from repro.obs import events as _events
@@ -27,11 +34,17 @@ from repro.obs import metrics as _metrics
 #: the stack of currently open spans (process-local, like the registry)
 _STACK: list["Span"] = []
 
+#: process-wide span-id allocator (reset with the event seq counter)
+_SPAN_IDS = itertools.count(1)
+
 
 class Span:
     """One timed, possibly nested, region. Use as a context manager."""
 
-    __slots__ = ("name", "attrs", "started", "elapsed_s", "depth")
+    __slots__ = (
+        "name", "attrs", "started", "elapsed_s", "depth",
+        "span_id", "parent_id",
+    )
 
     def __init__(self, name: str, attrs: dict | None = None):
         self.name = name
@@ -39,9 +52,13 @@ class Span:
         self.started: float = 0.0
         self.elapsed_s: float = 0.0
         self.depth = 0
+        self.span_id = 0
+        self.parent_id: int | None = None
 
     def __enter__(self) -> "Span":
+        self.span_id = next(_SPAN_IDS)
         self.depth = len(_STACK)
+        self.parent_id = _STACK[-1].span_id if _STACK else None
         _STACK.append(self)
         self.started = time.perf_counter()
         return self
@@ -59,11 +76,14 @@ class Span:
             "duration_s": self.elapsed_s,
             "depth": self.depth,
             "parent": parent,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
         if self.attrs:
             fields.update(self.attrs)
         if exc_type is not None:
-            fields["error"] = exc_type.__name__
+            fields["error"] = True
+            fields["error_type"] = exc_type.__name__
         _events.broadcast("span", fields)
 
 
@@ -84,8 +104,15 @@ NULL_SPAN = NullSpan()
 
 
 def reset_stack() -> None:
+    global _SPAN_IDS
     _STACK.clear()
+    _SPAN_IDS = itertools.count(1)
 
 
 def current_depth() -> int:
     return len(_STACK)
+
+
+def current_span_id() -> int | None:
+    """The innermost open span's id, or None outside any span."""
+    return _STACK[-1].span_id if _STACK else None

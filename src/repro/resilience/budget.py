@@ -20,10 +20,20 @@ that instant. A budget that was never started has no deadline.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass
 
 from repro.resilience.errors import BudgetExceeded
+
+
+def _journal(action: str, **fields: object) -> None:
+    """Emit a ``budget`` event if observability is loaded and enabled
+    (``sys.modules`` probe: the resilience substrate never imports
+    upward, mirroring the cache's metric counting)."""
+    obs = sys.modules.get("repro.obs")
+    if obs is not None:
+        obs.emit("budget", action=action, **fields)
 
 #: the interpreter tests the wall clock when ``steps & MASK == 0``
 DEADLINE_CHECK_MASK = 0x3FF
@@ -52,6 +62,12 @@ class Budget:
         """Arm the wall-clock deadline now; returns self for chaining."""
         if self.deadline_s is not None:
             self.deadline_at = time.monotonic() + self.deadline_s
+            _journal(
+                "armed",
+                deadline_s=self.deadline_s,
+                step_limit=self.step_limit,
+                max_tree_nodes=self.max_tree_nodes,
+            )
         return self
 
     @classmethod
@@ -71,6 +87,7 @@ class Budget:
     def check(self, location=None) -> None:
         """Raise :class:`BudgetExceeded` if the deadline has passed."""
         if self.expired():
+            _journal("exhausted", resource="deadline", deadline_s=self.deadline_s)
             raise BudgetExceeded(
                 f"wall-clock budget of {self.deadline_s}s exhausted",
                 location,

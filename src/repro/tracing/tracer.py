@@ -87,6 +87,7 @@ class Tracer(ExecutionHooks):
         side_effects: SideEffects | None = None,
         loop_units: dict[int, LoopUnitInfo] | None = None,
         max_tree_nodes: int | None = None,
+        profiler=None,
     ):
         self.analysis = analysis
         self.side_effects = (
@@ -97,6 +98,9 @@ class Tracer(ExecutionHooks):
         #: memory guard: abort the trace when the tree outgrows this
         self.max_tree_nodes = max_tree_nodes
         self._node_count = 0
+        #: optional hot-spot profiler observing activation boundaries
+        #: (:class:`repro.obs.profiler.HotspotProfiler`)
+        self.profiler = profiler
 
         self.ddg = DynamicDependenceGraph()
         self._occ_counter = 0
@@ -236,6 +240,8 @@ class Tracer(ExecutionHooks):
         self._tree_index[node.node_id] = node
         node.inputs = self._input_bindings(info, frame)
         self._node_stack.append(node)
+        if self.profiler is not None:
+            self.profiler.enter_unit(info.name)
 
         # Attribute incoming parameter values to the call-site occurrence.
         if self._occ_stack:
@@ -255,6 +261,8 @@ class Tracer(ExecutionHooks):
     def exit_routine(
         self, info: RoutineInfo, frame: Frame, via_goto: Symbol | None
     ) -> None:
+        if self.profiler is not None:
+            self.profiler.exit_unit()
         node = self._node_stack.pop()
         node.via_goto = via_goto.name if via_goto is not None else None
         node.outputs = self._output_bindings(info, frame)
@@ -284,6 +292,8 @@ class Tracer(ExecutionHooks):
         self._tree_index[node.node_id] = node
         self._node_stack.append(node)
         self._open_loops.append((node, None))
+        if self.profiler is not None:
+            self.profiler.enter_unit(unit.name)
 
     def loop_iteration(self, stmt: ast.Stmt, frame: Frame, iteration: int) -> None:
         unit = self.loop_units.get(stmt.node_id)
@@ -309,6 +319,8 @@ class Tracer(ExecutionHooks):
         unit = self.loop_units.get(stmt.node_id)
         if unit is None:
             return
+        if self.profiler is not None:
+            self.profiler.exit_unit()
         loop_node, iter_node = self._open_loops.pop()
         if iter_node is not None:
             self._close_iteration(unit, iter_node, frame)
@@ -499,6 +511,7 @@ def trace_program(
     budget=None,
     degrade: bool = False,
     backend: str | None = None,
+    profiler=None,
 ) -> TraceResult:
     """Run an analyzed program under the tracer (the paper's tracing phase).
 
@@ -520,6 +533,10 @@ def trace_program(
     raise — the partial execution tree built so far is salvaged, capped
     at ``budget.salvage_depth``, and returned with ``degraded`` set, so
     the debugger can still localize on partial information.
+
+    ``profiler`` (a :class:`repro.obs.profiler.HotspotProfiler`)
+    observes activation enter/exit boundaries on either backend for
+    self-time hot-spot attribution; ``None`` costs nothing.
     """
     from repro import obs
     from repro.pascal.errors import (
@@ -544,6 +561,7 @@ def trace_program(
             step_limit=step_limit,
             budget=budget,
             max_tree_nodes=max_tree_nodes,
+            profiler=profiler,
         )
     else:
         collector = tracer = Tracer(
@@ -551,6 +569,7 @@ def trace_program(
             side_effects=side_effects,
             loop_units=loop_units,
             max_tree_nodes=max_tree_nodes,
+            profiler=profiler,
         )
         runner = Interpreter(
             analysis, io=PascalIO(inputs), hooks=tracer, step_limit=step_limit,
@@ -625,6 +644,21 @@ def trace_program(
         obs.set_max_gauge("trace.peak_nodes", nodes)
         obs.set_max_gauge("trace.peak_occurrences", occurrences)
         obs.set_max_gauge("trace.peak_dep_edges", edges)
+        # The journal's trace record. ``root`` anchors replay: node ids
+        # are process-global, so a replayer normalizes recorded ids by
+        # the difference between its own root id and this one.
+        obs.emit(
+            "trace",
+            program=analysis.program.name,
+            backend=backend,
+            root=result.tree.root.node_id,
+            nodes=nodes,
+            occurrences=occurrences,
+            dep_edges=edges,
+            steps=execution.steps,
+            degraded=result.degraded,
+            degraded_reason=result.degraded_reason,
+        )
     return result
 
 
@@ -636,6 +670,7 @@ def trace_source(
     budget=None,
     degrade: bool = False,
     backend: str | None = None,
+    profiler=None,
 ) -> TraceResult:
     """Parse, analyze, and trace a program in one call."""
     from repro.pascal.semantics import analyze_source
@@ -649,4 +684,5 @@ def trace_source(
         budget=budget,
         degrade=degrade,
         backend=backend,
+        profiler=profiler,
     )

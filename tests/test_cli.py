@@ -349,3 +349,18 @@ class TestStats:
 
     def test_stats_missing_file(self, capsys):
         assert main(["stats", "/nonexistent.pas"]) == 2
+
+    def test_stats_json(self, fig4, capsys):
+        assert main(["stats", fig4, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "main"
+        assert payload["backend"] in ("interp", "compiled")
+        assert payload["tree_nodes"] > 0
+        assert "counters" in payload["metrics"]
+        assert "session" not in payload
+
+    def test_stats_json_with_reference(self, fig4, fig4_fixed, capsys):
+        assert main(["stats", fig4, "--reference", fig4_fixed, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["session"]["bug_unit"] == "decrement"
+        assert payload["session"]["schema"] == "gadt_session/1"

@@ -1,0 +1,218 @@
+"""Tests for the session flight recorder (repro.obs.journal)."""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import GadtSystem, ReferenceOracle
+from repro.obs.journal import (
+    JOURNAL_SCHEMA,
+    Journal,
+    JournalError,
+    JournalWriter,
+    read_journal,
+    recording,
+)
+from repro.pascal import analyze_source
+from repro.workloads import FIGURE4_FIXED_SOURCE, FIGURE4_SOURCE
+
+
+@pytest.fixture(autouse=True)
+def _always_clean():
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestJournalWriter:
+    def test_header_is_first_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        writer = JournalWriter(str(path), meta={"command": "debug"})
+        writer.close()
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "journal"
+        assert first["schema"] == JOURNAL_SCHEMA
+        assert first["meta"] == {"command": "debug"}
+        assert first["ts"] > 0
+
+    def test_events_follow_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        obs.reset()
+        obs.enable()
+        writer = obs.add_sink(JournalWriter(str(path)))
+        obs.emit("query", unit="p", answer="yes")
+        obs.remove_sink(writer)
+        writer.close()
+        journal = read_journal(str(path))
+        assert len(journal) == 1
+        assert journal.queries()[0]["unit"] == "p"
+
+
+class TestReadJournal:
+    def test_round_trip_with_accessors(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [
+            {"kind": "journal", "schema": JOURNAL_SCHEMA, "ts": 1.0,
+             "meta": {"source": "x"}},
+            {"kind": "trace", "seq": 1, "ts": 2.0, "root": 5},
+            {"kind": "query", "seq": 2, "ts": 3.0, "unit": "u"},
+            {"kind": "verdict", "seq": 3, "ts": 4.0, "unit": "u",
+             "verdict": "incorrect"},
+            {"kind": "span", "seq": 4, "ts": 5.0, "name": "s",
+             "duration_s": 0.5},
+            {"kind": "session", "seq": 5, "ts": 6.0, "report": {}},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        journal = read_journal(str(path))
+        assert journal.schema == JOURNAL_SCHEMA
+        assert journal.meta == {"source": "x"}
+        assert len(journal) == 5
+        assert journal.traces()[0]["root"] == 5
+        assert journal.queries()[0]["unit"] == "u"
+        assert journal.verdicts()[0]["verdict"] == "incorrect"
+        assert journal.spans()[0]["name"] == "s"
+        assert journal.session()["seq"] == 5
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(JournalError, match="cannot read"):
+            read_journal(str(tmp_path / "absent.jsonl"))
+
+    def test_not_a_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "query"}\n')
+        with pytest.raises(JournalError, match="not a journal"):
+            read_journal(str(path))
+
+    def test_headerless_allowed_for_exporter(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "query", "ts": 1.0}\n')
+        journal = read_journal(str(path), require_header=False)
+        assert journal.schema is None
+        assert len(journal) == 1
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("{torn")
+        with pytest.raises(JournalError, match="invalid JSON"):
+            read_journal(str(path))
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "journal", "schema": "gadt_journal/999"}\n')
+        with pytest.raises(JournalError, match="unsupported journal schema"):
+            read_journal(str(path))
+
+    def test_duplicate_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        header = json.dumps({"kind": "journal", "schema": JOURNAL_SCHEMA})
+        path.write_text(header + "\n" + header + "\n")
+        with pytest.raises(JournalError, match="duplicate journal header"):
+            read_journal(str(path))
+
+    def test_non_object_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(JournalError, match="expected a JSON object"):
+            read_journal(str(path))
+
+
+class TestRecording:
+    def test_records_full_causal_chain(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        with recording(str(path), meta={"source": FIGURE4_SOURCE}):
+            system = GadtSystem.from_source(FIGURE4_SOURCE)
+            oracle = ReferenceOracle(analyze_source(FIGURE4_FIXED_SOURCE))
+            result = system.debugger(oracle).debug()
+        assert result.bug_unit == "decrement"
+        assert not obs.enabled()  # restored
+        journal = read_journal(str(path))
+        kinds = {record["kind"] for record in journal.records}
+        # the flight recorder captures every layer of the causal chain
+        assert {"trace", "span", "query", "verdict", "session"} <= kinds
+        assert journal.meta["source"] == FIGURE4_SOURCE
+        # every query carries its node id and answer provenance
+        for query in journal.queries():
+            assert query["node"] > 0
+            assert query["source"] in ("user", "assertion", "test-db", "cache")
+        # verdicts end at the localization
+        assert journal.verdicts()[-1]["verdict"] == "bug-localized"
+        assert journal.session()["report"]["bug_unit"] == "decrement"
+
+    def test_restores_prior_enabled_state(self, tmp_path):
+        obs.reset()
+        obs.enable()
+        with recording(str(tmp_path / "j.jsonl")):
+            pass
+        assert obs.enabled()
+
+    def test_events_link_to_owning_span(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with recording(str(path)):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    obs.emit("query", unit="u")
+        journal = read_journal(str(path))
+        spans = {record["name"]: record for record in journal.spans()}
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+        (query,) = journal.queries()
+        assert query["span_id"] == spans["inner"]["span_id"]
+
+
+class TestJournalOverhead:
+    def test_depth8_compiled_trace_overhead_under_10_percent(self, tmp_path):
+        """Acceptance: flight recording a depth-8 compiled trace costs
+        <10% over the bare trace (the journal hangs off activation
+        boundaries and phase seams, never the per-statement hot path).
+        Cross-checked against the committed ``BENCH_perf.json``: the
+        artifact this budget is tracked in must carry the same shape."""
+        from pathlib import Path
+
+        from repro.tracing import trace_source
+        from repro.workloads import CallTreeSpec, generate_call_tree_program
+
+        bench = json.loads(Path("BENCH_perf.json").read_text())
+        assert bench["schema"] == "bench_perf/4"
+        assert any(
+            row["backend"] == "compiled" and row["depth"] == 8
+            for row in bench["series"]
+        ), "BENCH_perf.json lost its depth-8 compiled row"
+
+        generated = generate_call_tree_program(CallTreeSpec(depth=8))
+        trace_source(generated.source, backend="compiled")  # warm caches
+
+        def best_of(repeats, fn):
+            best = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                fn()
+                elapsed = time.perf_counter() - started
+                best = elapsed if best is None or elapsed < best else best
+            return best
+
+        def bare():
+            return best_of(
+                5, lambda: trace_source(generated.source, backend="compiled")
+            )
+
+        def journaled(path):
+            with recording(path):
+                return best_of(
+                    5,
+                    lambda: trace_source(generated.source, backend="compiled"),
+                )
+
+        # Timing ratios are noisy; take the best ratio over a few
+        # attempts before declaring the budget blown.
+        ratios = []
+        for attempt in range(3):
+            base_s = bare()
+            with_journal_s = journaled(str(tmp_path / f"j{attempt}.jsonl"))
+            ratios.append(with_journal_s / base_s)
+            if ratios[-1] < 1.10:
+                break
+        assert min(ratios) < 1.10, (
+            f"journal overhead {min(ratios):.3f}x exceeds the 10% budget "
+            f"(attempts: {[f'{r:.3f}' for r in ratios]})"
+        )

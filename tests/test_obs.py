@@ -84,6 +84,9 @@ class TestMetrics:
             "total": 15.0,
             "min": 2.0,
             "max": 8.0,
+            "p50": 5.0,
+            "p95": 8.0,
+            "p99": 8.0,
         }
 
     def test_snapshot_includes_cache_stats(self, observing):
@@ -129,7 +132,8 @@ class TestSpans:
                 raise ValueError("boom")
         (event,) = obs.events()
         assert event["program"] == "p"
-        assert event["error"] == "ValueError"
+        assert event["error"] is True
+        assert event["error_type"] == "ValueError"
 
     def test_span_elapsed_accessible(self, observing):
         with obs.span("timed") as span:

@@ -1,0 +1,139 @@
+"""Tests for hot-spot profiling (repro.obs.profiler)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import GadtSystem
+from repro.obs.profiler import (
+    HOTSPOTS_SCHEMA,
+    HotspotProfiler,
+    hotspot_report,
+    render_hotspots,
+)
+from repro.workloads import FIGURE4_SOURCE
+
+
+@pytest.fixture(autouse=True)
+def _always_clean():
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestHotspotProfiler:
+    def test_self_time_attribution(self):
+        profiler = HotspotProfiler()
+        profiler.enter_unit("outer")
+        profiler.enter_unit("inner")
+        profiler.exit_unit()
+        profiler.exit_unit()
+        assert profiler.activations == {"outer": 1, "inner": 1}
+        assert profiler.self_s["outer"] >= 0
+        assert profiler.self_s["inner"] >= 0
+        assert profiler.total_s == sum(profiler.self_s.values())
+
+    def test_unbalanced_exit_is_harmless(self):
+        profiler = HotspotProfiler()
+        profiler.exit_unit()  # no open unit: charged nowhere, no crash
+        assert profiler.self_s == {}
+
+
+class TestHotspotReport:
+    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    def test_profiled_trace(self, backend):
+        profiler = HotspotProfiler()
+        system = GadtSystem.from_source(
+            FIGURE4_SOURCE, backend=backend, profiler=profiler
+        )
+        report = hotspot_report(system.trace, profiler=profiler)
+        assert report["schema"] == HOTSPOTS_SCHEMA
+        assert report["backend"] == backend
+        assert report["total_steps"] == system.trace.execution.steps
+        assert report["total_self_s"] > 0
+        units = {row["unit"]: row for row in report["units"]}
+        # the main program and the paper's units are all attributed
+        assert "decrement" in units
+        assert units["decrement"]["activations"] >= 1
+        assert units["decrement"]["steps"] > 0
+        assert units["decrement"]["self_s"] >= 0
+        # per-line attribution: every line row carries positive steps
+        for row in report["units"]:
+            for line in row["lines"]:
+                assert line["line"] > 0 and line["steps"] > 0
+
+    def test_step_counts_identical_across_backends(self):
+        """Steps derive from the trace, not the clock — so they must be
+        backend-invariant even though self-times never are."""
+        reports = {}
+        for backend in ("interp", "compiled"):
+            profiler = HotspotProfiler()
+            system = GadtSystem.from_source(
+                FIGURE4_SOURCE, backend=backend, profiler=profiler
+            )
+            reports[backend] = hotspot_report(system.trace, profiler=profiler)
+        steps = {
+            backend: {
+                row["unit"]: (row["steps"], row["activations"])
+                for row in report["units"]
+            }
+            for backend, report in reports.items()
+        }
+        assert steps["interp"] == steps["compiled"]
+
+    def test_unprofiled_report_ranks_by_steps(self):
+        system = GadtSystem.from_source(FIGURE4_SOURCE)
+        report = hotspot_report(system.trace)
+        assert report["total_self_s"] is None
+        ranked = [row["steps"] for row in report["units"]]
+        assert ranked == sorted(ranked, reverse=True)
+
+    def test_top_truncates(self):
+        system = GadtSystem.from_source(FIGURE4_SOURCE)
+        report = hotspot_report(system.trace, top=2)
+        assert len(report["units"]) == 2
+
+    def test_render_table(self):
+        profiler = HotspotProfiler()
+        system = GadtSystem.from_source(FIGURE4_SOURCE, profiler=profiler)
+        text = render_hotspots(hotspot_report(system.trace, profiler=profiler))
+        assert "hot spots" in text
+        assert "self(s)" in text
+        assert "decrement" in text
+        assert "L" in text  # hottest-line markers
+
+    def test_profiler_does_not_perturb_the_trace(self):
+        plain = GadtSystem.from_source(FIGURE4_SOURCE)
+        profiled = GadtSystem.from_source(
+            FIGURE4_SOURCE, profiler=HotspotProfiler()
+        )
+        assert plain.trace.tree.size() == profiled.trace.tree.size()
+        assert plain.trace.execution.steps == profiled.trace.execution.steps
+
+
+class TestProfileCli:
+    def test_table_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program = tmp_path / "fig4.pas"
+        program.write_text(FIGURE4_SOURCE)
+        assert main(["profile", str(program), "--hotspots", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hot spots" in out
+        # --hotspots 3: header line, column line, exactly 3 unit rows
+        assert len([l for l in out.splitlines() if l.startswith("  ")]) == 4
+
+    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    def test_json_output(self, tmp_path, capsys, backend):
+        from repro.cli import main
+
+        program = tmp_path / "fig4.pas"
+        program.write_text(FIGURE4_SOURCE)
+        assert main([
+            "profile", str(program), "--json", "--backend", backend,
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == HOTSPOTS_SCHEMA
+        assert report["backend"] == backend
+        assert report["units"]

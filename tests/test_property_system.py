@@ -54,6 +54,9 @@ def test_transformation_removes_all_side_effects(source):
 @settings(max_examples=40, deadline=None)
 @given(source=straightline_programs(), variable_index=st.integers(0, 4))
 def test_static_slice_preserves_criterion_value(source, variable_index):
+    from hypothesis import assume
+    from repro.pascal.errors import PascalRuntimeError
+
     analysis = analyze_source(source)
     variables = [decl.name for decl in analysis.program.block.variables]
     variable = variables[variable_index % len(variables)]
@@ -62,7 +65,11 @@ def test_static_slice_preserves_criterion_value(source, variable_index):
         StaticCriterion.at_routine_exit(analysis.program.name, variable),
     )
     sliced_text = print_program(computed.extract_program())
-    full = run_source(source, step_limit=500_000)
+    try:
+        full = run_source(source, step_limit=500_000)
+    except PascalRuntimeError:
+        assume(False)  # generated arithmetic overflowed; not a slicing case
+        return
     sliced = run_source(sliced_text, step_limit=500_000)
     assert sliced.global_value(variable) == full.global_value(variable)
 

@@ -99,6 +99,28 @@ class TestStats:
         assert "shard 000:" in out
         assert "shard 001:" in out
 
+    def test_stats_json(self, db, jsonl, capsys):
+        import json
+
+        main(["testdb", "import", db, jsonl])
+        capsys.readouterr()
+        assert main(["testdb", "stats", db, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "gadt-testdb/1"
+        assert payload["shards"] == 8
+        assert payload["reports"] == 4
+        assert "per_shard" not in payload
+
+    def test_stats_json_per_shard(self, db, jsonl, capsys):
+        import json
+
+        main(["testdb", "import", db, jsonl, "--shards", "2"])
+        capsys.readouterr()
+        assert main(["testdb", "stats", db, "--per-shard", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["shard"] for row in payload["per_shard"]] == [0, 1]
+        assert all("reports" in row for row in payload["per_shard"])
+
     def test_stats_on_mismatched_format(self, tmp_path, capsys):
         store_dir = tmp_path / "notastore"
         store_dir.mkdir()
