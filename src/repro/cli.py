@@ -15,6 +15,8 @@
     python -m repro testdb import DB_DIR REPORTS.jsonl [--shards N]
     python -m repro testdb stats DB_DIR [--per-shard] [--json]
     python -m repro testdb compact DB_DIR
+    python -m repro serve --socket PATH | --stdio [--workers N] [--rate R]
+    python -m repro serve --drain --socket PATH
 
 `debug` without ``--reference`` runs an interactive session: you answer
 the questions (yes / no / no <k> / no <name> / assert <expr> / ?); with
@@ -39,6 +41,15 @@ wall-clock budget for program execution; a blown budget exits 2 — or,
 with ``--degrade`` on the tracing commands, salvages a partial trace
 and keeps going). ``mutate`` additionally takes ``--retries N`` for
 crash-isolated parallel sweeps; see ``docs/ROBUSTNESS.md``.
+
+``serve`` runs the fault-tolerant multi-session debug service: many
+concurrent run/trace/debug/answer jobs as newline-delimited JSON over
+a Unix socket (``--socket``) or stdio (``--stdio``), multiplexed over
+one shared test-report store and a fixed pool of crash-isolated
+workers, with admission control, per-tenant rate limits and circuit
+breakers, deadlines, retries with jittered backoff, and graceful
+degradation under load. ``serve --drain --socket PATH`` asks a running
+server to finish in-flight jobs and shut down; see ``docs/SERVE.md``.
 
 Exit codes are uniform across subcommands: **0** success, **1** the
 command ran but the outcome is negative (bug not localized, mutation
@@ -333,6 +344,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
             "compile: "
             + ", ".join(f"{n.removeprefix('compile.')} {v}" for n, v in compile_counters.items())
         )
+    serve_counters = {
+        name: value
+        for name, value in sorted(snapshot.get("counters", {}).items())
+        if name.startswith("serve.")
+    }
+    if serve_counters:
+        print(
+            "serve: "
+            + ", ".join(f"{n.removeprefix('serve.')} {v}" for n, v in serve_counters.items())
+        )
     print(obs.report.render_summary(snapshot))
     return 0
 
@@ -387,6 +408,89 @@ def cmd_export(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(f"wrote {output}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run (or drain / inspect) the multi-session debug service."""
+    import asyncio
+
+    from repro.serve import (
+        DebugService,
+        ServeClient,
+        ServeConfig,
+        ServeServer,
+        serve_stdio,
+    )
+
+    if args.drain or args.serve_stats:
+        if not args.socket:
+            print("error: --drain/--stats need --socket PATH", file=sys.stderr)
+            return 2
+        try:
+            with ServeClient(args.socket) as client:
+                if args.drain:
+                    summary = client.drain()
+                    stats = summary.get("stats", {})
+                    print(
+                        "drained: "
+                        + ", ".join(
+                            f"{key} {stats.get(key, 0)}"
+                            for key in (
+                                "submitted", "completed", "degraded",
+                                "shed", "timed_out", "failed",
+                            )
+                        )
+                    )
+                else:
+                    import json
+
+                    print(json.dumps(client.stats(), indent=2, default=str))
+        except (OSError, Exception) as error:  # noqa: BLE001 - surface cleanly
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+
+    if not args.socket and not args.stdio:
+        print("error: serve needs --socket PATH or --stdio", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        workers=args.workers,
+        executor=args.executor,
+        max_queue=args.max_queue,
+        queue_timeout_s=args.queue_timeout,
+        default_deadline_s=args.job_deadline,
+        rate=args.rate,
+        burst=args.burst,
+        retries=args.retries,
+        testdb=args.testdb,
+        spec_texts=tuple(_read(path) for path in args.spec or []),
+    )
+    service = DebugService(config)
+    if args.stdio:
+        summary = asyncio.run(serve_stdio(service))
+        stats = summary.get("stats", {})
+        print(
+            f"served {stats.get('submitted', 0)} job(s), "
+            f"{stats.get('shed', 0)} shed, {stats.get('failed', 0)} failed",
+            file=sys.stderr,
+        )
+        return 0
+    socket_path = Path(args.socket)
+    if socket_path.exists():
+        socket_path.unlink()  # stale socket from a dead server
+
+    async def _serve() -> None:
+        server = ServeServer(service, socket_path=args.socket)
+        await server.start()
+        print(f"serving on {args.socket}", file=sys.stderr)
+        await server.run_until_drained()
+
+    try:
+        asyncio.run(_serve())
+    finally:
+        if socket_path.exists():
+            socket_path.unlink()
     return 0
 
 
@@ -748,6 +852,93 @@ def build_parser() -> argparse.ArgumentParser:
     testdb_compact.add_argument("database", help="store directory")
     testdb_compact.set_defaults(func=cmd_testdb_compact)
 
+    serve_parser = sub.add_parser(
+        "serve",
+        parents=[obs_parent],
+        help="multi-session debug service over a Unix socket or stdio",
+    )
+    serve_parser.add_argument(
+        "--socket", metavar="PATH", help="Unix socket path to listen on"
+    )
+    serve_parser.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve newline-delimited JSON over stdin/stdout until EOF",
+    )
+    serve_parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="client mode: ask the server at --socket to drain and exit",
+    )
+    serve_parser.add_argument(
+        "--stats",
+        dest="serve_stats",
+        action="store_true",
+        help="client mode: print the server's stats op as JSON",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="worker slots (default 2)"
+    )
+    serve_parser.add_argument(
+        "--executor",
+        default="process",
+        choices=["process", "thread"],
+        help="worker isolation: crash-isolated processes or fast threads",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admission queue bound; beyond it jobs shed as overloaded",
+    )
+    serve_parser.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="max seconds a job may wait for a worker before timed_out",
+    )
+    serve_parser.add_argument(
+        "--job-deadline",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="default per-job deadline (queue wait + execution)",
+    )
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="per-tenant token-bucket refill rate, jobs/s (default off)",
+    )
+    serve_parser.add_argument(
+        "--burst",
+        type=float,
+        default=10.0,
+        metavar="B",
+        help="per-tenant token-bucket burst size",
+    )
+    serve_parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="infra-failure retries per job before failed/infra_error",
+    )
+    serve_parser.add_argument(
+        "--testdb",
+        metavar="DIR",
+        help="sharded test-report store shared by every worker",
+    )
+    serve_parser.add_argument(
+        "--spec",
+        action="append",
+        metavar="FILE",
+        help="T-GEN spec file(s) registered for answer-op selectors",
+    )
+    serve_parser.set_defaults(func=cmd_serve, needs_obs=True)
+
     return parser
 
 
@@ -794,7 +985,11 @@ def main(argv: list[str] | None = None) -> int:
         code = exc.code
         return code if isinstance(code, int) else 2
 
+    # export --backend to the environment so worker processes spawned
+    # during the command inherit it; restored on exit so embedded calls
+    # (tests, library use) do not leak the choice process-wide
     backend = getattr(args, "backend", None)
+    prior_backend = os.environ.get("REPRO_BACKEND")
     if backend is not None:
         os.environ["REPRO_BACKEND"] = backend
 
@@ -835,6 +1030,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     finally:
+        if backend is not None:
+            if prior_backend is None:
+                os.environ.pop("REPRO_BACKEND", None)
+            else:
+                os.environ["REPRO_BACKEND"] = prior_backend
         if observing:
             if profiling:
                 print(obs.report.render_summary(obs.snapshot()), file=sys.stderr)

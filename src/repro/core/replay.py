@@ -305,4 +305,14 @@ def replay_file(path: str, backend: str | None = None) -> ReplayReport:
     """Read a journal file and replay it (the ``repro replay`` body)."""
     from repro.obs.journal import read_journal
 
-    return replay_journal(read_journal(path), backend=backend)
+    journal = read_journal(path)
+    if journal.truncated:
+        # A torn tail means the recorded session is incomplete; a replay
+        # would always "diverge" at the cut, which reads as a debugger
+        # regression when the real problem is a crashed writer.
+        raise JournalError(
+            f"{path}: journal truncated at line {journal.truncated_line} "
+            "(writer crashed mid-record?) — an incomplete session cannot "
+            "be replayed"
+        )
+    return replay_journal(journal, backend=backend)

@@ -70,6 +70,11 @@ class Journal:
     schema: str | None
     meta: dict
     records: list[dict] = field(default_factory=list)
+    #: the final line was torn mid-record (crashed writer); the readable
+    #: prefix is still served, the torn tail is dropped
+    truncated: bool = False
+    #: 1-based line number of the torn tail (None when not truncated)
+    truncated_line: int | None = None
 
     def of_kind(self, kind: str) -> list[dict]:
         return [record for record in self.records if record.get("kind") == kind]
@@ -106,7 +111,15 @@ def read_journal(path: str, require_header: bool = True) -> Journal:
     With ``require_header`` (the default), the first line must be a
     ``gadt_journal/1`` header; the exporter passes ``False`` so plain
     event streams stay exportable.
+
+    A torn *final* line — the signature a crashed writer leaves, since
+    every complete event is flushed as one whole line — is tolerated:
+    the readable prefix is returned with ``truncated`` set and the
+    ``journal.truncated`` counter bumped. Invalid JSON anywhere else is
+    real corruption and still raises :class:`JournalError`.
     """
+    import sys
+
     try:
         text = Path(path).read_text(encoding="utf-8")
     except OSError as error:
@@ -114,12 +127,34 @@ def read_journal(path: str, require_header: bool = True) -> Journal:
     schema: str | None = None
     meta: dict = {}
     records: list[dict] = []
-    for line_no, line in enumerate(text.splitlines(), start=1):
+    truncated = False
+    truncated_line: int | None = None
+    lines = text.splitlines()
+    payload_lines = [
+        number for number, line in enumerate(lines, start=1) if line.strip()
+    ]
+    first_payload_line = payload_lines[0] if payload_lines else 0
+    last_payload_line = payload_lines[-1] if payload_lines else 0
+    for line_no, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as error:
+            # only a torn line with a readable prefix before it is a
+            # crashed writer's tail; a torn first line is corruption
+            if line_no == last_payload_line and line_no > first_payload_line:
+                truncated = True
+                truncated_line = line_no
+                obs = sys.modules.get("repro.obs")
+                if obs is not None:
+                    obs.add("journal.truncated")
+                break
+            if line_no == first_payload_line == last_payload_line and require_header:
+                raise JournalError(
+                    f"{path}: not a journal (no {JOURNAL_SCHEMA} header "
+                    "line); record one with --journal PATH"
+                ) from error
             raise JournalError(f"{path}:{line_no}: invalid JSON: {error}") from error
         if not isinstance(record, dict):
             raise JournalError(f"{path}:{line_no}: expected a JSON object")
@@ -140,7 +175,13 @@ def read_journal(path: str, require_header: bool = True) -> Journal:
             f"{path}: not a journal (no {JOURNAL_SCHEMA} header line); "
             "record one with --journal PATH"
         )
-    return Journal(schema=schema, meta=meta, records=records)
+    return Journal(
+        schema=schema,
+        meta=meta,
+        records=records,
+        truncated=truncated,
+        truncated_line=truncated_line,
+    )
 
 
 class recording:

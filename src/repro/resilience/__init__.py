@@ -13,7 +13,7 @@ instead of failing wholesale:
   propagation, so sweeps attribute each failure to one task;
 * **crash isolation** (:func:`run_isolated`) — per-task process-pool
   submission with timeouts, worker-death attribution, and bounded
-  retries;
+  retries paced by jittered exponential backoff (:class:`Backoff`);
 * **degradation** (:func:`cap_depth`) — salvaging depth-capped partial
   execution trees when tracing blows its budget, so the debugger can
   still localize on partial information;
@@ -28,6 +28,7 @@ semantics.
 from __future__ import annotations
 
 from repro.resilience import faults
+from repro.resilience.backoff import Backoff, RetrySchedule
 from repro.resilience.budget import DEFAULT_SALVAGE_DEPTH, Budget
 from repro.resilience.degrade import cap_depth
 from repro.resilience.errors import (
@@ -40,11 +41,13 @@ from repro.resilience.errors import (
 from repro.resilience.pool import TaskResult, run_isolated
 
 __all__ = [
+    "Backoff",
     "Budget",
     "BudgetExceeded",
     "DEFAULT_SALVAGE_DEPTH",
     "FaultInjected",
     "ResilienceError",
+    "RetrySchedule",
     "TaskResult",
     "TraceAborted",
     "WorkerCrashed",

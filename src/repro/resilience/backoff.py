@@ -1,0 +1,107 @@
+"""Jittered exponential backoff for infrastructure retries.
+
+Retrying an infra failure immediately is the worst possible schedule:
+whatever broke (a dying worker, a briefly unwritable disk, an
+overloaded pool) is usually still broken microseconds later, and a
+thundering herd of simultaneous retries is exactly how one failure
+becomes a correlated many. Both :func:`repro.resilience.pool.run_isolated`
+and the :mod:`repro.serve` service therefore space attempt *n* by
+
+    ``base_s * multiplier**n``  (capped at ``max_s``)
+
+with *equal jitter*: the delay is drawn uniformly from
+``[d/2, d]`` so concurrent retriers decorrelate while the floor keeps
+the exponential shape testable. Randomness comes from a private,
+seedable :class:`random.Random`, so tests (and replayed fault plans)
+see deterministic schedules.
+
+:class:`RetrySchedule` layers per-task bookkeeping on top: it records
+failure times against an injectable clock and answers "which of these
+tasks may be resubmitted *now*?" — the shape the pool's submission loop
+and a fake-clock test both need.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable
+
+
+class Backoff:
+    """Computes the jittered delay before retry attempt ``n`` (0-based)."""
+
+    def __init__(
+        self,
+        base_s: float = 0.05,
+        max_s: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: bool = True,
+        seed: int | None = None,
+    ):
+        if base_s < 0 or max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        self.base_s = base_s
+        self.max_s = max_s
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after the ``attempt``-th failure (0-based)."""
+        raw = min(self.max_s, self.base_s * (self.multiplier ** max(0, attempt)))
+        if not self.jitter or raw <= 0:
+            return raw
+        return raw / 2 + self._rng.random() * (raw / 2)
+
+    def bounds(self, attempt: int) -> tuple[float, float]:
+        """The [min, max] envelope :meth:`delay` draws from (tests)."""
+        raw = min(self.max_s, self.base_s * (self.multiplier ** max(0, attempt)))
+        if not self.jitter or raw <= 0:
+            return raw, raw
+        return raw / 2, raw
+
+
+class RetrySchedule:
+    """Earliest-resubmission times for a set of retryable tasks.
+
+    ``clock`` is injectable so the schedule is testable without real
+    sleeping: :meth:`note_failure` stamps ``clock() + backoff.delay(n)``
+    as the task's ready time, :meth:`ready` filters a backlog down to
+    the tasks whose time has come, and :meth:`next_ready_in` says how
+    long the caller may sleep when nothing is ready.
+    """
+
+    def __init__(
+        self,
+        backoff: Backoff | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        import time
+
+        self.backoff = backoff if backoff is not None else Backoff()
+        self.clock = clock if clock is not None else time.monotonic
+        self._ready_at: dict[int, float] = {}
+
+    def note_failure(self, key: int, attempt: int) -> float:
+        """Record a failure; returns the delay before ``key`` is ready."""
+        delay = self.backoff.delay(attempt)
+        self._ready_at[key] = self.clock() + delay
+        return delay
+
+    def ready(self, keys: Iterable[int]) -> list[int]:
+        """The subset of ``keys`` whose backoff delay has elapsed."""
+        now = self.clock()
+        return [k for k in keys if self._ready_at.get(k, 0.0) <= now]
+
+    def blocked(self, keys: Iterable[int]) -> list[int]:
+        """The complement of :meth:`ready` over ``keys``."""
+        now = self.clock()
+        return [k for k in keys if self._ready_at.get(k, 0.0) > now]
+
+    def next_ready_in(self, keys: Iterable[int]) -> float:
+        """Seconds until the earliest key becomes ready (0 if any is)."""
+        now = self.clock()
+        waits = [self._ready_at.get(k, 0.0) - now for k in keys]
+        if not waits:
+            return 0.0
+        return max(0.0, min(waits))

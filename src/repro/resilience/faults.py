@@ -12,7 +12,11 @@ plant failures at exactly six boundaries —
 * ``store.read`` — a test-report segment reads back corrupted or
   unreadable (:mod:`repro.store`),
 * ``store.write`` — a test-report segment flush fails, hard-exits
-  mid-flush, or publishes damaged bytes.
+  mid-flush, or publishes damaged bytes,
+* ``serve.accept`` — the debug service's admission path fails while
+  accepting a job (:mod:`repro.serve`),
+* ``serve.worker`` — a debug-service job execution raises (or
+  hard-exits, simulating a serve worker crash).
 
 A :class:`FaultPlan` is a list of :class:`FaultSpec` rules. Each site
 calls :func:`fire` with its point name and a site *key* (e.g. the
@@ -43,6 +47,8 @@ FAULT_POINTS = (
     "worker",
     "store.read",
     "store.write",
+    "serve.accept",
+    "serve.worker",
 )
 
 #: what a fired spec does at its site

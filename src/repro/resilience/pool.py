@@ -16,8 +16,13 @@ module replaces it with per-task submission on a
   workers on a break, so the culprit is ambiguous) they are charged
   nothing and quarantined to a solo phase where each re-runs on its own
   single-worker executor and any death is unambiguous;
-* **bounded retries** — a failed task (worker exception or death) is
-  retried up to ``retries`` times, then marked ``infra_error``.
+* **bounded retries with jittered exponential backoff** — a failed
+  task (worker exception or death) is retried up to ``retries`` times,
+  then marked ``infra_error``; each retry waits out a
+  :class:`~repro.resilience.backoff.Backoff` delay first (attempt *n*
+  sleeps ~``base * 2**n``, jittered, capped), so a sick pool is not
+  hammered with immediate resubmissions while healthy tasks keep
+  flowing around the waiting ones.
 
 Results come back as :class:`TaskResult` records, one per payload, in
 payload order — an ``ok`` result for every task whose function
@@ -33,6 +38,8 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
+
+from repro.resilience.backoff import Backoff, RetrySchedule
 
 #: how long the result loop sleeps between completions (also bounds
 #: timeout-detection latency)
@@ -88,6 +95,9 @@ def run_isolated(
     initargs: tuple = (),
     timeout_s: float | None = None,
     retries: int = 1,
+    backoff: Backoff | None = None,
+    clock: Callable[[], float] | None = None,
+    sleep: Callable[[float], None] | None = None,
 ) -> list[TaskResult]:
     """Run ``fn(payload, attempt)`` for every payload on ``workers``
     processes with crash isolation, timeouts, and bounded retries.
@@ -95,6 +105,11 @@ def run_isolated(
     ``fn``, ``initializer``, and the payloads must be picklable.
     ``attempt`` is 0 on the first try and counts prior failures — fault
     plans key on it to inject "fail once, then succeed" scenarios.
+
+    Retries are paced by ``backoff`` (default: a jittered exponential
+    :class:`~repro.resilience.backoff.Backoff`); a retryable task only
+    re-enters the pool once its delay has elapsed. ``clock`` and
+    ``sleep`` are injectable for fake-clock tests.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -102,6 +117,10 @@ def run_isolated(
         return []
 
     import multiprocessing
+
+    _clock = clock if clock is not None else time.monotonic
+    _sleep = sleep if sleep is not None else time.sleep
+    schedule = RetrySchedule(backoff=backoff, clock=_clock)
 
     manager = multiprocessing.Manager()
     start_queue = manager.Queue()
@@ -154,7 +173,11 @@ def run_isolated(
         return True
 
     def record_failure(index: int, error: str) -> bool:
-        """Charge one failed attempt; True if the task may be retried."""
+        """Charge one failed attempt; True if the task may be retried.
+
+        A retryable task is stamped with its backoff-ready time: the
+        submission loop leaves it in the backlog until the jittered
+        exponential delay has elapsed."""
         failures[index] += 1
         if failures[index] > retries:
             results[index] = TaskResult(
@@ -164,6 +187,7 @@ def run_isolated(
                 retries=failures[index] - 1,
             )
             return False
+        schedule.note_failure(index, failures[index] - 1)
         return True
 
     #: tasks quarantined after a pool break, re-run one-per-executor
@@ -177,11 +201,17 @@ def run_isolated(
             pool_broken = False
             broken: list[int] = []  # indices whose futures died with the pool
 
-            while backlog and not pool_broken:
-                if submit(backlog[-1]):
-                    backlog.pop()
+            for index in schedule.ready(backlog):
+                if submit(index):
+                    backlog.remove(index)
                 else:
                     pool_broken = True  # recover below, then retry the backlog
+                    break
+
+            if not pool_broken and not pending:
+                # Everything left is waiting out a backoff delay.
+                _sleep(min(_POLL_S, max(schedule.next_ready_in(backlog), 0.001)))
+                continue
 
             if not pool_broken:
                 done, _ = wait(
@@ -280,6 +310,9 @@ def run_isolated(
         # doubt and cannot take anyone else down with it.
         for index in solo_queue:
             while index not in results:
+                remaining = schedule.next_ready_in([index])
+                if remaining > 0:  # wait out this attempt's backoff
+                    _sleep(remaining)
                 submit_ids[index] += 1
                 solo = ProcessPoolExecutor(
                     max_workers=1,

@@ -1,0 +1,59 @@
+"""``repro.serve`` — the fault-tolerant multi-session debug service.
+
+The ROADMAP's "heavy traffic" front door: an asyncio service that
+accepts many concurrent debug/trace/run/answer jobs over newline-
+delimited JSON (Unix socket or stdio) and multiplexes them over one
+shared test-report store and a fixed worker pool, with
+
+* bounded admission and explicit load shedding (``shed`` responses,
+  never an unbounded queue),
+* per-tenant token-bucket rate limits and circuit breakers,
+* per-job deadlines covering queue wait *and* execution,
+* crash-isolated worker slots with retry + jittered backoff,
+* graceful degradation under pressure (partial traces, surfaced as
+  ``degraded``), and
+* ``drain`` shutdown that finishes in-flight jobs and sheds new ones.
+
+Start here: :class:`DebugService` (the engine), :class:`ServeServer` /
+:func:`serve_stdio` (the front doors), :class:`ServeClient` (the
+caller). Protocol and semantics: ``docs/SERVE.md``.
+"""
+
+from repro.serve.admission import AdmissionController, CircuitBreaker, TokenBucket
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.protocol import (
+    CONTROL_OPS,
+    JOB_OPS,
+    JobRequest,
+    JobResponse,
+    ProtocolError,
+    SHED_REASONS,
+    TERMINAL_STATUSES,
+    parse_request,
+    parse_response,
+)
+from repro.serve.server import ServeServer, serve_metrics_snapshot, serve_stdio
+from repro.serve.service import DebugService, ServeConfig, ServeStats
+
+__all__ = [
+    "AdmissionController",
+    "AsyncServeClient",
+    "CONTROL_OPS",
+    "CircuitBreaker",
+    "DebugService",
+    "JOB_OPS",
+    "JobRequest",
+    "JobResponse",
+    "ProtocolError",
+    "SHED_REASONS",
+    "ServeClient",
+    "ServeConfig",
+    "ServeServer",
+    "ServeStats",
+    "TERMINAL_STATUSES",
+    "TokenBucket",
+    "parse_request",
+    "parse_response",
+    "serve_metrics_snapshot",
+    "serve_stdio",
+]

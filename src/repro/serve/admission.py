@@ -1,0 +1,193 @@
+"""Admission control: token buckets and per-tenant circuit breakers.
+
+Admission is the cheapest place to be robust: a job refused at the
+front door costs a dictionary lookup; the same job admitted and then
+failed costs a queue slot, a worker, and — under overload — everyone
+else's latency. Three mechanisms, all clock-injectable so tests never
+sleep:
+
+* :class:`TokenBucket` — per-tenant rate limiting. Tokens accrue at
+  ``rate`` per second up to ``burst``; a job that finds no token is
+  shed as ``rate_limited``. Buckets are lazy — time refills them on
+  the next ``try_take``, so an idle service costs nothing.
+* :class:`CircuitBreaker` — per-tenant crash quarantine. A tenant
+  whose jobs repeatedly kill workers (``threshold`` consecutive
+  attributed crashes) has its circuit *opened*: jobs are shed as
+  ``circuit_open`` for ``cooldown_s``, then exactly one probe job is
+  let through (*half-open*); a clean probe closes the circuit, another
+  crash re-opens it. One abusive tenant thus costs the pool a bounded
+  number of worker deaths, not a death per submission.
+* :class:`AdmissionController` — the per-tenant registry of both.
+
+Thread-safety: the controller is used from one asyncio loop, but all
+mutation is lock-guarded anyway so sync tests and future multi-loop
+fronts stay correct.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """A standard leaky/token bucket with an injectable clock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] | None = None,
+    ):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be > 0")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock if clock is not None else time.monotonic
+        self.tokens = burst
+        self._updated = self.clock()
+        self._lock = threading.Lock()
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; False (and no debit) otherwise."""
+        with self._lock:
+            now = self.clock()
+            self.tokens = min(
+                self.burst, self.tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+            if self.tokens >= tokens:
+                self.tokens -= tokens
+                return True
+            return False
+
+
+class CircuitBreaker:
+    """closed → open (``threshold`` consecutive crashes) → half-open
+    (after ``cooldown_s``) → closed on a clean probe / open on a dirty
+    one."""
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] | None = None,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock if clock is not None else time.monotonic
+        self.state = self.CLOSED
+        self.consecutive_crashes = 0
+        self.opened_count = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        """May a job from this tenant enter the pool right now?"""
+        with self._lock:
+            if self.state == self.CLOSED:
+                return True
+            if self.state == self.OPEN:
+                if self.clock() - self._opened_at >= self.cooldown_s:
+                    self.state = self.HALF_OPEN
+                    self._probing = False
+                else:
+                    return False
+            # half-open: admit exactly one probe at a time
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_crash(self) -> bool:
+        """Charge one attributed worker crash; True if this opened (or
+        re-opened) the circuit."""
+        with self._lock:
+            self.consecutive_crashes += 1
+            if self.state == self.HALF_OPEN or (
+                self.state == self.CLOSED
+                and self.consecutive_crashes >= self.threshold
+            ):
+                self.state = self.OPEN
+                self._opened_at = self.clock()
+                self._probing = False
+                self.opened_count += 1
+                return True
+            return False
+
+    def record_ok(self) -> None:
+        """A job from this tenant finished without crashing a worker."""
+        with self._lock:
+            self.consecutive_crashes = 0
+            if self.state in (self.HALF_OPEN, self.OPEN):
+                self.state = self.CLOSED
+            self._probing = False
+
+    def release_probe(self) -> None:
+        """Give up a half-open probe slot without a verdict (the probe
+        job timed out or failed for reasons unrelated to crashes), so
+        the next job may probe instead of the circuit wedging."""
+        with self._lock:
+            self._probing = False
+
+
+class AdmissionController:
+    """Per-tenant buckets and breakers, created on first use."""
+
+    def __init__(
+        self,
+        rate: float | None = None,
+        burst: float = 10.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 30.0,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.rate = rate
+        self.burst = burst
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.clock = clock if clock is not None else time.monotonic
+        self._buckets: dict[str, TokenBucket] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket | None:
+        if self.rate is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.burst, clock=self.clock
+                )
+            return bucket
+
+    def breaker(self, tenant: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(tenant)
+            if breaker is None:
+                breaker = self._breakers[tenant] = CircuitBreaker(
+                    threshold=self.breaker_threshold,
+                    cooldown_s=self.breaker_cooldown_s,
+                    clock=self.clock,
+                )
+            return breaker
+
+    def check(self, tenant: str) -> str | None:
+        """The shed reason for this tenant right now, or None to admit.
+        A rate-limit refusal does *not* consume breaker probes, and a
+        breaker refusal does not consume tokens — the order is
+        rate → breaker so an open breaker still drains the bucket of
+        the tenant hammering it."""
+        bucket = self.bucket(tenant)
+        if bucket is not None and not bucket.try_take():
+            return "rate_limited"
+        if not self.breaker(tenant).allow():
+            return "circuit_open"
+        return None

@@ -1,0 +1,141 @@
+"""Clients for the debug service's newline-delimited JSON protocol.
+
+:class:`ServeClient` is the small synchronous client (CLI ``repro
+serve --drain``, scripts, tests): one socket, pipelined requests,
+responses correlated by ``id``. :class:`AsyncServeClient` is its
+asyncio twin used by the load-generator benchmark to hold hundreds of
+concurrent sessions over one connection pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import uuid
+
+from repro.serve.protocol import JobResponse, ProtocolError, parse_response
+
+
+class ServeClient:
+    """Synchronous Unix-socket client."""
+
+    def __init__(self, socket_path: str, timeout_s: float | None = 60.0):
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout_s)
+        self._sock.connect(socket_path)
+        self._file = self._sock.makefile("rwb")
+        #: responses read while waiting for a different id
+        self._stash: dict[str, JobResponse] = {}
+
+    def send(self, request: dict) -> str:
+        """Fire one request line; returns its id (auto-assigned if absent)."""
+        request = dict(request)
+        request.setdefault("id", uuid.uuid4().hex[:12])
+        self._file.write((json.dumps(request) + "\n").encode())
+        self._file.flush()
+        return str(request["id"])
+
+    def recv(self, request_id: str) -> JobResponse:
+        """Block until the response for ``request_id`` arrives."""
+        if request_id in self._stash:
+            return self._stash.pop(request_id)
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ProtocolError(
+                    f"connection closed awaiting response {request_id!r}"
+                )
+            response = parse_response(line)
+            if response.id == request_id:
+                return response
+            self._stash[response.id] = response
+
+    def request(self, request: dict) -> JobResponse:
+        """Send one request and wait for its terminal response."""
+        return self.recv(self.send(request))
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"}).status == "completed"
+
+    def stats(self) -> dict:
+        response = self.request({"op": "stats"})
+        return response.result or {}
+
+    def drain(self) -> dict:
+        """Ask the server to drain and shut down; returns its summary."""
+        response = self.request({"op": "drain"})
+        if response.status != "completed":
+            raise ProtocolError(f"drain refused: {response.status}")
+        return response.result or {}
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """Asyncio Unix-socket client; safe for many concurrent callers."""
+
+    def __init__(self, socket_path: str):
+        self.socket_path = socket_path
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._waiters: dict[str, asyncio.Future] = {}
+        self._reader_task: asyncio.Task | None = None
+        self._write_lock: asyncio.Lock | None = None
+
+    async def connect(self) -> "AsyncServeClient":
+        self._reader, self._writer = await asyncio.open_unix_connection(
+            self.socket_path
+        )
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._pump())
+        return self
+
+    async def _pump(self) -> None:
+        assert self._reader is not None
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                break
+            try:
+                response = parse_response(line)
+            except ProtocolError:
+                continue
+            waiter = self._waiters.pop(response.id, None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(response)
+        for waiter in self._waiters.values():  # connection died
+            if not waiter.done():
+                waiter.set_exception(
+                    ProtocolError("connection closed with requests in flight")
+                )
+        self._waiters.clear()
+
+    async def request(self, request: dict) -> JobResponse:
+        assert self._writer is not None and self._write_lock is not None
+        request = dict(request)
+        request.setdefault("id", uuid.uuid4().hex[:12])
+        request_id = str(request["id"])
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = waiter
+        async with self._write_lock:
+            self._writer.write((json.dumps(request) + "\n").encode())
+            await self._writer.drain()
+        return await waiter
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+        if self._reader_task is not None:
+            self._reader_task.cancel()

@@ -1,0 +1,175 @@
+"""The debug service's wire protocol: newline-delimited JSON jobs.
+
+One request per line, one response per line, correlated by a
+client-chosen ``id``. The protocol is deliberately tiny — it must stay
+debuggable with ``nc`` and greppable in a journal — and it makes one
+hard promise: **every accepted line produces exactly one terminal
+response**, whose ``status`` is one of :data:`TERMINAL_STATUSES`:
+
+``completed``
+    the job ran to completion; ``result`` carries its payload;
+``degraded``
+    the job ran, but under pressure or a blown budget the service
+    salvaged a partial result (``result.degraded_reason`` says why);
+``shed``
+    admission control refused the job *before* it burned a worker —
+    ``reason`` is one of :data:`SHED_REASONS` (queue full, tenant rate
+    limit, tenant circuit breaker, or the service is draining);
+``timed_out``
+    the job's deadline expired in the queue or mid-execution;
+``failed``
+    the job is unservable: malformed request, program error, or infra
+    failure that survived every retry (``reason`` distinguishes them).
+
+Requests carry the job operation (``op``): ``run`` / ``trace`` /
+``debug`` execute Mini-Pascal source; ``answer`` resolves correctness
+queries against the shared test-report store; ``ping`` / ``stats`` /
+``drain`` are control operations handled by the front door itself.
+See ``docs/SERVE.md`` for the full field tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+PROTOCOL_SCHEMA = "gadt_serve/1"
+
+#: every job ends in exactly one of these
+TERMINAL_STATUSES = ("completed", "degraded", "shed", "timed_out", "failed")
+
+#: why admission control refused a job
+SHED_REASONS = ("overloaded", "rate_limited", "circuit_open", "draining")
+
+#: operations executed on a worker
+JOB_OPS = ("run", "trace", "debug", "answer")
+
+#: operations answered by the front door without queueing
+CONTROL_OPS = ("ping", "stats", "drain")
+
+
+class ProtocolError(Exception):
+    """The request line is not a servable job."""
+
+
+@dataclass
+class JobRequest:
+    """One parsed job. ``deadline_s`` bounds queue wait *plus*
+    execution; ``degrade`` is tri-state — ``True``/``False`` pin the
+    behaviour, ``None`` lets the service degrade under pressure."""
+
+    id: str
+    op: str
+    tenant: str = "default"
+    source: str | None = None
+    inputs: list[Any] = field(default_factory=list)
+    reference: str | None = None
+    strategy: str = "top-down"
+    deadline_s: float | None = None
+    degrade: bool | None = None
+    use_testdb: bool = False
+    queries: list[dict] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if self.op not in JOB_OPS and self.op not in CONTROL_OPS:
+            raise ProtocolError(f"unknown op {self.op!r}")
+        if self.op in ("run", "trace", "debug") and not self.source:
+            raise ProtocolError(f"op {self.op!r} requires 'source'")
+        if self.op == "debug" and not self.reference and not self.use_testdb:
+            raise ProtocolError(
+                "op 'debug' requires 'reference' (simulated oracle) or "
+                "'use_testdb' (store-answered session)"
+            )
+        if self.op == "answer" and not self.queries:
+            raise ProtocolError("op 'answer' requires a non-empty 'queries'")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ProtocolError(f"deadline_s must be > 0, got {self.deadline_s}")
+
+
+def parse_request(data: str | bytes | Mapping[str, Any]) -> JobRequest:
+    """Decode one request line (or an already-parsed mapping)."""
+    if isinstance(data, (str, bytes)):
+        try:
+            payload = json.loads(data)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"invalid JSON: {error}") from error
+    else:
+        payload = dict(data)
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    if "op" not in payload:
+        raise ProtocolError("request is missing 'op'")
+    known = {f for f in JobRequest.__dataclass_fields__}
+    unknown = set(payload) - known
+    if unknown:
+        raise ProtocolError(f"unknown field(s): {', '.join(sorted(unknown))}")
+    payload.setdefault("id", "")
+    request = JobRequest(**{k: payload[k] for k in payload})
+    request.id = str(request.id)
+    request.validate()
+    return request
+
+
+@dataclass
+class JobResponse:
+    """One terminal response. ``reason`` qualifies non-completed
+    statuses (shed reason, timeout site, failure class)."""
+
+    id: str
+    status: str
+    reason: str | None = None
+    result: dict | None = None
+    error: str | None = None
+    tenant: str = "default"
+    wait_s: float = 0.0
+    serve_s: float = 0.0
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        assert self.status in TERMINAL_STATUSES, self.status
+
+    @property
+    def terminal(self) -> bool:
+        return True  # every constructed response is terminal by design
+
+    def to_dict(self) -> dict:
+        data: dict[str, Any] = {"id": self.id, "status": self.status}
+        if self.reason is not None:
+            data["reason"] = self.reason
+        if self.result is not None:
+            data["result"] = self.result
+        if self.error is not None:
+            data["error"] = self.error
+        data["tenant"] = self.tenant
+        data["wait_s"] = round(self.wait_s, 6)
+        data["serve_s"] = round(self.serve_s, 6)
+        if self.retries:
+            data["retries"] = self.retries
+        return data
+
+    def encode(self) -> str:
+        return json.dumps(self.to_dict(), default=str)
+
+
+def parse_response(line: str | bytes) -> JobResponse:
+    """Decode one response line (client side)."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON response: {error}") from error
+    if not isinstance(payload, dict) or "status" not in payload:
+        raise ProtocolError("response must be a JSON object with 'status'")
+    if payload["status"] not in TERMINAL_STATUSES:
+        raise ProtocolError(f"non-terminal status {payload['status']!r}")
+    return JobResponse(
+        id=str(payload.get("id", "")),
+        status=payload["status"],
+        reason=payload.get("reason"),
+        result=payload.get("result"),
+        error=payload.get("error"),
+        tenant=payload.get("tenant", "default"),
+        wait_s=payload.get("wait_s", 0.0),
+        serve_s=payload.get("serve_s", 0.0),
+        retries=payload.get("retries", 0),
+    )

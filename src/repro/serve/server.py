@@ -1,0 +1,197 @@
+"""The service's front doors: a Unix-socket server and a stdio loop.
+
+Both speak the newline-delimited JSON protocol of
+:mod:`repro.serve.protocol` and share one :class:`~repro.serve.service.
+DebugService`. Each request line becomes its own asyncio task, so one
+slow debug job never blocks the next line of the same connection —
+responses are written as jobs finish, correlated by ``id``, serialized
+per connection so concurrent completions interleave as whole lines.
+
+Control operations are answered by the front door itself:
+
+* ``ping`` — liveness (delegated to the service, skips the queue);
+* ``stats`` — the service's terminal-response accounting plus the
+  ``serve.*`` slice of the metrics registry;
+* ``drain`` — stop admitting (new jobs shed as ``draining``), finish
+  every in-flight job, answer once idle, then shut the server down.
+  ``SIGTERM``/``SIGINT`` trigger the same path, so a supervisor stop
+  is a clean drain, not an abandonment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import IO
+
+from repro import obs
+from repro.serve.protocol import ProtocolError, parse_request
+from repro.serve.service import DebugService
+
+
+def serve_metrics_snapshot() -> dict:
+    """The ``serve.*`` slice of the metrics registry (counters, gauges,
+    histogram summaries) — the ``stats`` op's machine-readable payload."""
+    snapshot = obs.snapshot(include_cache=False)
+    return {
+        section: {
+            name: value
+            for name, value in snapshot.get(section, {}).items()
+            if name.startswith("serve.")
+        }
+        for section in ("counters", "gauges", "histograms")
+    }
+
+
+class ServeServer:
+    """One service behind one Unix socket (or an stdio pipe pair)."""
+
+    def __init__(self, service: DebugService, socket_path: str | None = None):
+        self.service = service
+        self.socket_path = socket_path
+        self._server: asyncio.AbstractServer | None = None
+        self._stop = asyncio.Event()
+        self._tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # shared request routing
+
+    async def handle_request(self, line: str | bytes) -> dict:
+        """Route one request line to its terminal response dict."""
+        try:
+            request = parse_request(line)
+        except ProtocolError as error:
+            response = await self.service.submit(line)  # counts + classifies
+            data = response.to_dict()
+            data.setdefault("error", str(error))
+            return data
+        if request.op == "stats":
+            return {
+                "id": request.id,
+                "status": "completed",
+                "result": {
+                    "serve": self.service.stats.as_dict(),
+                    "queue_depth": self.service.queue_depth,
+                    "in_flight": self.service.in_flight,
+                    "draining": self.service.draining,
+                    "metrics": serve_metrics_snapshot(),
+                },
+            }
+        if request.op == "drain":
+            summary = await self.service.drain()
+            self._stop.set()
+            return {"id": request.id, "status": "completed", "result": summary}
+        return (await self.service.submit(request)).to_dict()
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    # ------------------------------------------------------------------
+    # unix socket
+
+    async def start(self) -> "ServeServer":
+        assert self.socket_path, "socket server needs a socket path"
+        await self.service.start()
+        self._server = await asyncio.start_unix_server(
+            self._on_connection, path=self.socket_path
+        )
+        return self
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        pending: list[asyncio.Task] = []
+
+        async def answer(line: bytes) -> None:
+            data = await self.handle_request(line)
+            async with write_lock:
+                writer.write((json.dumps(data, default=str) + "\n").encode())
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    pass  # client left; the job still ran to its terminal state
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                pending.append(self._spawn(answer(line)))
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        except (asyncio.CancelledError, ConnectionError):
+            pass  # server shutting down mid-read; jobs already spawned finish
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def run_until_drained(self, install_signals: bool = True) -> None:
+        """Serve until a ``drain`` request (or SIGTERM/SIGINT) completes."""
+        if self._server is None:
+            await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(
+                        signum, lambda: self._spawn(self._drain_and_stop())
+                    )
+                except (NotImplementedError, RuntimeError):
+                    pass  # platform without signal support in loops
+        await self._stop.wait()
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        await self.service.close()
+
+    async def _drain_and_stop(self) -> None:
+        await self.service.drain()
+        self._stop.set()
+
+
+async def serve_stdio(
+    service: DebugService,
+    stdin: IO[str] | None = None,
+    stdout: IO[str] | None = None,
+) -> dict:
+    """Serve newline-delimited JSON over stdio until EOF, then drain.
+
+    Returns the drain summary. This is the zero-setup mode — pipe jobs
+    in, read responses out — used by tests and one-shot batch clients.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    await service.start()
+    server = ServeServer(service)
+    loop = asyncio.get_running_loop()
+    write_lock = asyncio.Lock()
+    pending: list[asyncio.Task] = []
+
+    async def answer(line: str) -> None:
+        data = await server.handle_request(line)
+        async with write_lock:
+            stdout.write(json.dumps(data, default=str) + "\n")
+            stdout.flush()
+
+    while True:
+        line = await loop.run_in_executor(None, stdin.readline)
+        if not line:
+            break
+        if not line.strip():
+            continue
+        pending.append(asyncio.ensure_future(answer(line)))
+    if pending:
+        await asyncio.gather(*pending)
+    summary = await service.drain()
+    await service.close()
+    return summary

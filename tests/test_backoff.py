@@ -1,0 +1,142 @@
+"""Jittered exponential backoff (repro.resilience.backoff) and its
+integration with the crash-isolated pool — all on fake clocks, so no
+test actually sleeps through a delay."""
+
+import pytest
+
+from repro.resilience import Backoff, RetrySchedule
+from repro.resilience.backoff import Backoff as BackoffDirect
+from repro.resilience.pool import run_isolated
+
+
+class FakeTime:
+    """A clock + sleep pair: sleeping advances the clock."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestBackoff:
+    def test_exported_from_resilience_package(self):
+        assert Backoff is BackoffDirect
+
+    def test_exponential_shape_without_jitter(self):
+        backoff = Backoff(base_s=0.1, max_s=10.0, jitter=False)
+        assert [backoff.delay(n) for n in range(4)] == [
+            pytest.approx(0.1), pytest.approx(0.2),
+            pytest.approx(0.4), pytest.approx(0.8),
+        ]
+
+    def test_delay_caps_at_max(self):
+        backoff = Backoff(base_s=1.0, max_s=3.0, jitter=False)
+        assert backoff.delay(10) == 3.0
+
+    def test_jitter_stays_in_the_equal_jitter_envelope(self):
+        backoff = Backoff(base_s=0.1, max_s=10.0, seed=7)
+        for attempt in range(6):
+            low, high = backoff.bounds(attempt)
+            assert low == pytest.approx(high / 2)
+            for _ in range(50):
+                delay = backoff.delay(attempt)
+                assert low <= delay <= high
+
+    def test_seed_makes_the_schedule_deterministic(self):
+        a = [Backoff(seed=42).delay(n) for n in range(5)]
+        b = [Backoff(seed=42).delay(n) for n in range(5)]
+        c = [Backoff(seed=43).delay(n) for n in range(5)]
+        assert a == b
+        assert a != c
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ValueError):
+            Backoff(base_s=-1.0)
+
+
+class TestRetrySchedule:
+    def test_unfailed_tasks_are_always_ready(self):
+        schedule = RetrySchedule(clock=FakeTime().clock)
+        assert schedule.ready([1, 2, 3]) == [1, 2, 3]
+        assert schedule.next_ready_in([1, 2, 3]) == 0.0
+
+    def test_failure_blocks_until_the_delay_elapses(self):
+        fake = FakeTime()
+        backoff = Backoff(base_s=1.0, jitter=False)
+        schedule = RetrySchedule(backoff=backoff, clock=fake.clock)
+        delay = schedule.note_failure(7, attempt=0)
+        assert delay == 1.0
+        assert schedule.ready([7]) == []
+        assert schedule.blocked([7]) == [7]
+        assert schedule.next_ready_in([7]) == pytest.approx(1.0)
+        fake.now += 0.5
+        assert schedule.ready([7]) == []
+        fake.now += 0.5
+        assert schedule.ready([7]) == [7]
+
+    def test_later_attempts_wait_exponentially_longer(self):
+        fake = FakeTime()
+        backoff = Backoff(base_s=1.0, max_s=100.0, jitter=False)
+        schedule = RetrySchedule(backoff=backoff, clock=fake.clock)
+        schedule.note_failure(1, attempt=0)
+        schedule.note_failure(2, attempt=3)
+        assert schedule.next_ready_in([1, 2]) == pytest.approx(1.0)
+        fake.now += 1.0
+        assert schedule.ready([1, 2]) == [1]
+        assert schedule.next_ready_in([2]) == pytest.approx(7.0)
+
+    def test_empty_backlog_never_waits(self):
+        schedule = RetrySchedule(clock=FakeTime().clock)
+        assert schedule.next_ready_in([]) == 0.0
+
+
+# ----------------------------------------------------------------------
+# pool integration — fn must be importable for pickling
+
+
+def flaky_task(payload, attempt):
+    if payload == "flaky" and attempt == 0:
+        raise ValueError("first attempt always fails")
+    return f"{payload}:{attempt}"
+
+
+class TestPoolBackoffIntegration:
+    def test_retry_waits_out_the_backoff_on_a_fake_clock(self):
+        fake = FakeTime()
+        results = run_isolated(
+            flaky_task,
+            ["steady", "flaky"],
+            workers=2,
+            retries=2,
+            backoff=Backoff(base_s=10.0, max_s=60.0, jitter=False),
+            clock=fake.clock,
+            sleep=fake.sleep,
+        )
+        assert [r.status for r in results] == ["ok", "ok"]
+        assert results[0].value == "steady:0"
+        assert results[1].value == "flaky:1"
+        assert results[1].retries == 1
+        # the retry was not resubmitted until 10 fake seconds had passed:
+        # every wait went through the injected sleep, not a real one
+        assert fake.now >= 10.0
+        assert sum(fake.sleeps) == fake.now
+
+    def test_zero_base_keeps_the_old_immediate_retry_behaviour(self):
+        fake = FakeTime()
+        results = run_isolated(
+            flaky_task,
+            ["flaky"],
+            workers=1,
+            retries=1,
+            backoff=Backoff(base_s=0.0, jitter=False),
+            clock=fake.clock,
+            sleep=fake.sleep,
+        )
+        assert results[0].status == "ok"
+        assert fake.now == 0.0  # no backoff waiting happened

@@ -93,8 +93,10 @@ class TestReadJournal:
         assert len(journal) == 1
 
     def test_invalid_json(self, tmp_path):
+        # a torn line anywhere but the end is corruption, not a crashed
+        # writer (see TestTruncatedJournal for the tolerated case)
         path = tmp_path / "j.jsonl"
-        path.write_text("{torn")
+        path.write_text('{torn\n{"kind": "query", "seq": 1}\n')
         with pytest.raises(JournalError, match="invalid JSON"):
             read_journal(str(path))
 
@@ -216,3 +218,65 @@ class TestJournalOverhead:
             f"journal overhead {min(ratios):.3f}x exceeds the 10% budget "
             f"(attempts: {[f'{r:.3f}' for r in ratios]})"
         )
+
+
+class TestTruncatedJournal:
+    """A crashed writer leaves a torn final line; the readable prefix
+    must still be served (and counted), while corruption anywhere else
+    stays a hard error."""
+
+    def write_journal(self, path, events=2, tail=None):
+        lines = [json.dumps({
+            "kind": "journal", "schema": JOURNAL_SCHEMA, "ts": 1.0,
+            "meta": {"source": "x"},
+        })]
+        for seq in range(1, events + 1):
+            lines.append(json.dumps(
+                {"kind": "query", "seq": seq, "ts": 1.0 + seq, "unit": "u"}
+            ))
+        text = "\n".join(lines) + "\n"
+        if tail is not None:
+            text += tail  # the torn record: no trailing newline
+        path.write_text(text)
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        self.write_journal(path, events=2, tail='{"kind": "query", "se')
+        journal = read_journal(str(path))
+        assert journal.truncated is True
+        assert journal.truncated_line == 4
+        assert len(journal) == 2  # the readable prefix survives
+        assert journal.queries()[0]["unit"] == "u"
+
+    def test_intact_journal_is_not_marked_truncated(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        self.write_journal(path, events=2)
+        journal = read_journal(str(path))
+        assert journal.truncated is False
+        assert journal.truncated_line is None
+
+    def test_truncation_bumps_the_counter_when_observing(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        self.write_journal(path, tail='{"torn"')
+        obs.reset()
+        obs.enable()
+        read_journal(str(path))
+        assert obs.snapshot(include_cache=False)["counters"][
+            "journal.truncated"
+        ] == 1
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        self.write_journal(path, events=1)
+        text = path.read_text()
+        lines = text.splitlines()
+        lines.insert(1, '{"kind": "query", "se')  # torn line, NOT last
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="invalid JSON"):
+            read_journal(str(path))
+
+    def test_torn_header_is_still_not_a_journal(self, tmp_path):
+        path = tmp_path / "torn_header.jsonl"
+        path.write_text('{"kind": "journal", "schema": ')
+        with pytest.raises(JournalError, match="not a journal"):
+            read_journal(str(path))

@@ -198,3 +198,41 @@ class TestReplayCli:
         path.write_text("{}\n")
         assert main(["replay", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTruncatedJournalReplay:
+    """An incomplete session (crashed writer) must not replay: the
+    reader salvages the prefix, but ``repro replay`` refuses with a
+    clear message and exit code 2."""
+
+    def truncate_last_line(self, path):
+        text = path.read_text()
+        assert text.endswith("\n")
+        path.write_text(text[: len(text) - 20])  # tear the final record
+
+    def test_replay_file_raises_journal_error(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        record_fig4_session(path)
+        self.truncate_last_line(path)
+        journal = read_journal(str(path))
+        assert journal.truncated  # the reader tolerates it...
+        with pytest.raises(JournalError, match="truncated"):
+            replay_file(str(path))  # ...but the replayer refuses
+
+    def test_cli_exits_2_with_a_clear_message(self, tmp_path, capsys):
+        from repro.cli import main
+
+        buggy = tmp_path / "fig4.pas"
+        fixed = tmp_path / "fig4_fixed.pas"
+        buggy.write_text(FIGURE4_SOURCE)
+        fixed.write_text(FIGURE4_FIXED_SOURCE)
+        journal = tmp_path / "session.jsonl"
+        assert main([
+            "debug", str(buggy), "--reference", str(fixed),
+            "--quiet", "--journal", str(journal),
+        ]) == 0
+        self.truncate_last_line(journal)
+        assert main(["replay", str(journal)]) == 2
+        err = capsys.readouterr().err
+        assert "truncated" in err
+        assert "line" in err

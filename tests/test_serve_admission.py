@@ -1,0 +1,150 @@
+"""Admission control for the debug service (repro.serve.admission).
+
+Everything here runs against fake clocks — no test sleeps.
+"""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, CircuitBreaker, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [True, True, True, False]
+
+    def test_refill_over_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_take() and bucket.try_take()
+        assert not bucket.try_take()
+        clock.advance(0.5)  # 1 token back at 2/s
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.try_take() and bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refused_take_is_not_debited(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.try_take()
+        for _ in range(5):
+            assert not bucket.try_take()
+        clock.advance(1.0)  # one refusal spree must not deepen the debt
+        assert bucket.try_take()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_crashes(self):
+        breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+        assert not breaker.record_crash()
+        assert not breaker.record_crash()
+        assert breaker.record_crash()  # third one trips it
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_crash_streak(self):
+        breaker = CircuitBreaker(threshold=2, clock=FakeClock())
+        breaker.record_crash()
+        breaker.record_ok()
+        assert not breaker.record_crash()  # streak restarted
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+        breaker.record_crash()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # second caller waits for the verdict
+
+    def test_clean_probe_closes_dirty_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_crash()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_ok()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+        breaker.record_crash()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.record_crash()  # dirty probe re-opens immediately
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_release_probe_unwedges_a_verdictless_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_crash()
+        clock.advance(1.0)
+        assert breaker.allow()
+        # the probe job timed out: neither ok nor crash was recorded
+        breaker.release_probe()
+        assert breaker.allow()  # the next job may probe instead
+
+    def test_opened_count_tracks_reopenings(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_crash()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_crash()
+        assert breaker.opened_count == 2
+
+
+class TestAdmissionController:
+    def test_no_rate_means_no_bucket(self):
+        controller = AdmissionController(rate=None, clock=FakeClock())
+        assert controller.bucket("t") is None
+        assert controller.check("t") is None
+
+    def test_rate_limit_shed_reason(self):
+        controller = AdmissionController(rate=1.0, burst=1.0, clock=FakeClock())
+        assert controller.check("t") is None
+        assert controller.check("t") == "rate_limited"
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=1.0, burst=1.0, clock=clock)
+        assert controller.check("a") is None
+        assert controller.check("a") == "rate_limited"
+        assert controller.check("b") is None  # b has its own bucket
+
+        controller.breaker("a").record_crash()
+        controller.breaker("a").record_crash()
+        controller.breaker("a").record_crash()
+        clock.advance(1.0)  # refill a's bucket; breaker still cooling down
+        assert controller.check("a") == "circuit_open"
+        assert controller.check("b") is None
+
+    def test_breaker_instances_are_stable(self):
+        controller = AdmissionController(clock=FakeClock())
+        assert controller.breaker("t") is controller.breaker("t")

@@ -1,0 +1,98 @@
+"""Process-mode crash isolation for the debug service.
+
+These spawn real worker processes and kill them with ``exit``-mode
+``serve.worker`` faults, so they are slower than the thread-mode tests
+— kept few and sharp: a worker death must cost one slot rebuild and
+one retry, never the service; a tenant that keeps killing workers must
+be circuit-broken.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.serve import DebugService, ServeConfig
+from repro.workloads import FIGURE4_SOURCE
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    yield
+    faults.clear()
+    obs.disable()
+    obs.reset()
+
+
+def process_service(**overrides) -> DebugService:
+    config = ServeConfig(
+        workers=overrides.pop("workers", 2),
+        executor="process",
+        backoff_base_s=0.01,
+        backoff_max_s=0.05,
+        **overrides,
+    )
+    return DebugService(config)
+
+
+def test_worker_death_is_retried_on_a_rebuilt_slot():
+    # the plan ships to workers via the pool initializer; attempt 0 of
+    # job "a" hard-exits its process, the retry runs clean
+    faults.install(FaultPlan([
+        FaultSpec(point="serve.worker", match="a@0", mode="exit"),
+    ]))
+
+    async def main():
+        service = process_service(retries=2)
+        await service.start()
+        response = await service.submit(
+            {"id": "a", "op": "run", "source": FIGURE4_SOURCE}
+        )
+        await service.close()
+        return service, response
+
+    service, response = asyncio.run(main())
+    assert response.status == "completed"
+    assert response.result["output"] == "false\n"
+    assert response.retries == 1
+    assert service.stats.retries == 1
+    assert service.stats.terminal() == 1
+
+
+def test_persistent_crasher_is_circuit_broken():
+    faults.install(FaultPlan([
+        FaultSpec(point="serve.worker", match="kill", mode="exit", times=-1),
+    ]))
+
+    async def main():
+        service = process_service(
+            workers=1, retries=0, breaker_threshold=1,
+            breaker_cooldown_s=60.0,
+        )
+        await service.start()
+        first = await service.submit(
+            {"id": "kill-1", "op": "run", "source": FIGURE4_SOURCE,
+             "tenant": "crashy"}
+        )
+        # the crash opened crashy's breaker: next job is shed unserved
+        second = await service.submit(
+            {"id": "kill-2", "op": "run", "source": FIGURE4_SOURCE,
+             "tenant": "crashy"}
+        )
+        # an innocent tenant still gets a (rebuilt) worker
+        third = await service.submit(
+            {"id": "ok", "op": "run", "source": FIGURE4_SOURCE}
+        )
+        await service.close()
+        return service, first, second, third
+
+    service, first, second, third = asyncio.run(main())
+    assert first.status == "failed"
+    assert first.reason == "infra_error"
+    assert second.status == "shed"
+    assert second.reason == "circuit_open"
+    assert third.status == "completed"
+    assert service.stats.breaker_opens == 1
+    assert service.stats.terminal() == 3

@@ -1,0 +1,117 @@
+"""The debug service's wire protocol (repro.serve.protocol)."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    CONTROL_OPS,
+    JOB_OPS,
+    JobRequest,
+    JobResponse,
+    ProtocolError,
+    SHED_REASONS,
+    TERMINAL_STATUSES,
+    parse_request,
+    parse_response,
+)
+
+
+class TestParseRequest:
+    def test_minimal_run_job(self):
+        request = parse_request('{"id": "j1", "op": "run", "source": "x"}')
+        assert request.id == "j1"
+        assert request.op == "run"
+        assert request.tenant == "default"
+        assert request.degrade is None
+
+    def test_accepts_bytes_and_mappings(self):
+        assert parse_request(b'{"op": "ping"}').op == "ping"
+        assert parse_request({"op": "ping"}).op == "ping"
+
+    def test_id_is_coerced_to_string(self):
+        assert parse_request({"op": "ping", "id": 7}).id == "7"
+
+    def test_invalid_json_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            parse_request('{"op": "run"')
+
+    def test_non_object_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_request("[1, 2]")
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError, match="missing 'op'"):
+            parse_request('{"id": "x"}')
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            parse_request('{"op": "explode"}')
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown field"):
+            parse_request('{"op": "ping", "bogus": 1}')
+
+    def test_execution_ops_require_source(self):
+        for op in ("run", "trace", "debug"):
+            with pytest.raises(ProtocolError, match="requires 'source'"):
+                parse_request({"op": op})
+
+    def test_debug_requires_reference_or_testdb(self):
+        with pytest.raises(ProtocolError, match="reference"):
+            parse_request({"op": "debug", "source": "x"})
+        parse_request({"op": "debug", "source": "x", "reference": "y"})
+        parse_request({"op": "debug", "source": "x", "use_testdb": True})
+
+    def test_answer_requires_queries(self):
+        with pytest.raises(ProtocolError, match="queries"):
+            parse_request({"op": "answer"})
+        parse_request({"op": "answer", "queries": [{"unit": "u"}]})
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ProtocolError, match="deadline_s"):
+            parse_request({"op": "run", "source": "x", "deadline_s": 0})
+
+    def test_every_op_is_classified(self):
+        for op in JOB_OPS:
+            assert op not in CONTROL_OPS
+        assert set(JOB_OPS) | set(CONTROL_OPS) == set(JOB_OPS + CONTROL_OPS)
+
+
+class TestJobResponse:
+    def test_only_terminal_statuses_construct(self):
+        for status in TERMINAL_STATUSES:
+            assert JobResponse(id="x", status=status).terminal
+        with pytest.raises(AssertionError):
+            JobResponse(id="x", status="running")
+
+    def test_round_trip(self):
+        response = JobResponse(
+            id="j", status="shed", reason="overloaded", wait_s=0.25
+        )
+        parsed = parse_response(response.encode())
+        assert parsed.id == "j"
+        assert parsed.status == "shed"
+        assert parsed.reason == "overloaded"
+        assert parsed.wait_s == 0.25
+
+    def test_to_dict_omits_empty_fields(self):
+        data = JobResponse(id="j", status="completed").to_dict()
+        assert "reason" not in data
+        assert "error" not in data
+        assert "retries" not in data
+
+    def test_parse_response_rejects_non_terminal(self):
+        with pytest.raises(ProtocolError, match="non-terminal"):
+            parse_response(json.dumps({"id": "x", "status": "queued"}))
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            parse_response("not json")
+
+    def test_shed_reasons_are_the_documented_set(self):
+        assert SHED_REASONS == (
+            "overloaded", "rate_limited", "circuit_open", "draining"
+        )
+
+    def test_validate_rejects_request_built_without_parse(self):
+        with pytest.raises(ProtocolError):
+            JobRequest(id="x", op="run").validate()
