@@ -5,8 +5,9 @@ which traversal method is used" for correctness. This ablation measures
 what *does* differ: the number of questions each strategy asks on deep
 chains and balanced trees.
 
-Expected shape: divide-and-query ~ log2(n) on chains, top-down ~ n;
-every strategy localizes the same bug.
+Expected shape: divide-and-query and dq-optimal ~ log2(n) on chains,
+top-down ~ n; dq-optimal never asks more than divide-and-query; every
+strategy localizes the same bug.
 Measures: a divide-and-query session on the deepest chain.
 """
 
@@ -19,7 +20,7 @@ from repro.workloads import (
     generate_call_tree_program,
 )
 
-STRATEGIES = ("top-down", "bottom-up", "divide-and-query")
+STRATEGIES = ("top-down", "bottom-up", "divide-and-query", "dq-optimal")
 CHAIN_DEPTHS = [4, 8, 16, 32]
 
 
@@ -54,10 +55,17 @@ def test_abl_strategies(benchmark):
     curves = chain_curves()
     tree = tree_row()
 
-    # Shape: D&Q sublinear on chains, top-down linear.
+    # Shape: D&Q sublinear on chains, top-down linear; dq-optimal at
+    # least as frugal as classic D&Q at every depth.
     assert curves["divide-and-query"][-1] < curves["top-down"][-1]
     assert curves["top-down"][-1] >= CHAIN_DEPTHS[-1] - 1
     assert curves["divide-and-query"][-1] <= 2 * (CHAIN_DEPTHS[-1].bit_length())
+    assert all(
+        optimal <= classic
+        for optimal, classic in zip(
+            curves["dq-optimal"], curves["divide-and-query"]
+        )
+    )
 
     print("\n[ABL1] questions to localize a leaf bug on a call chain:")
     print("  depth:            " + "".join(f"{d:>6}" for d in CHAIN_DEPTHS))

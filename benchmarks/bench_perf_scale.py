@@ -34,8 +34,13 @@ written.
 ``bench_perf/4`` adds a ``profile`` section: one hot-spot-profiled
 trace per backend (``hotspots/1`` reports, see
 :mod:`repro.obs.profiler`), so per-unit self-time and step attribution
-travel with the timings. ``benchmarks/check_regress.py`` gates CI on
-this report.
+travel with the timings.
+
+``bench_perf/5`` adds ``questions_curve``: user questions per strategy
+over call chains of depth 2–12 (:func:`measure_questions`). Question
+counts are machine-independent, so ``benchmarks/check_regress.py``
+gates them exactly — a strategy asking even one more question than the
+committed baseline fails CI — alongside the normalized stage timings.
 """
 
 import platform as platform_mod
@@ -49,13 +54,20 @@ from repro.tracing import trace_source
 from repro.pascal import run_source
 from repro.workloads import (
     FIGURE4_FIXED_SOURCE,
+    CallChainSpec,
     CallTreeSpec,
+    generate_call_chain_program,
     generate_call_tree_program,
 )
 
 #: 4, 16, 64, 256 leaves — depth 8 is the "deep tree" tier added with
 #: the fast-path engine; keep 6 as the cross-PR comparison point.
 DEPTHS = [2, 4, 6, 8]
+
+#: chain depths for the questions-vs-depth series: top-down pays one
+#: question per level, so the chain family makes the strategy gap
+#: visible at modest sizes.
+QUESTION_DEPTHS = list(range(2, 13))
 
 
 def _best_of(repeats, fn):
@@ -125,6 +137,61 @@ def measure_series(depths=DEPTHS, repeats=1, backend=None):
             }
         )
     return rows
+
+
+def measure_questions(depths=QUESTION_DEPTHS):
+    """Questions-vs-depth, every strategy, leaf-bug call chains.
+
+    The number of oracle questions is a *property of the strategy*, not
+    of the machine, so the rows carry no timings and the asserts are
+    exact: top-down pays one question per level (O(depth)) while
+    dq-optimal keeps halving the suspect weight (~O(log n)) and must ask
+    strictly fewer questions than top-down from depth 8 up.
+    """
+    from math import ceil, log2
+
+    from repro.core.strategies import available_strategies
+
+    rows = []
+    for depth in depths:
+        generated = generate_call_chain_program(CallChainSpec(depth=depth))
+        trace = trace_source(generated.source)
+        for strategy in available_strategies():
+            result = debug_with(
+                trace, generated.fixed_source, strategy=strategy
+            )
+            assert result.bug_unit == generated.buggy_unit, (
+                f"{strategy} localized {result.bug_unit!r} at depth {depth}"
+            )
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "depth": depth,
+                    "tree_nodes": trace.tree.size(),
+                    "questions": result.user_questions,
+                }
+            )
+
+    questions = {(row["strategy"], row["depth"]): row["questions"] for row in rows}
+    for depth in depths:
+        top_down = questions[("top-down", depth)]
+        optimal = questions[("dq-optimal", depth)]
+        assert top_down == depth, (
+            f"top-down asked {top_down} questions on a depth-{depth} chain"
+        )
+        # dq-optimal never beyond ~2*log2(depth): the O(log n) claim
+        assert optimal <= 2 * ceil(log2(depth)) + 1, (
+            f"dq-optimal asked {optimal} questions at depth {depth}"
+        )
+        if depth >= 8:
+            assert optimal < top_down, (
+                f"dq-optimal must ask strictly fewer questions than "
+                f"top-down at depth {depth}: {optimal} vs {top_down}"
+            )
+        assert questions[("dq-optimal", depth)] <= questions[
+            ("divide-and-query", depth)
+        ], f"dq-optimal asked more than divide-and-query at depth {depth}"
+    return {"depths": list(depths), "series": rows}
 
 
 def measure_mutants(workers=None, repeats=1):
@@ -246,7 +313,7 @@ def collect_perf_report(
     speedup = _series_conformance(by_backend)
     series = [row for backend_rows in by_backend for row in backend_rows]
     report = {
-        "schema": "bench_perf/4",
+        "schema": "bench_perf/5",
         "python": platform_mod.python_version(),
         "platform": platform_mod.platform(),
         "depths": list(depths),
@@ -254,6 +321,7 @@ def collect_perf_report(
         "backends": list(backends),
         "series": series,
         "speedup_trace": speedup,
+        "questions_curve": measure_questions(),
         "mutants": measure_mutants(workers=workers, repeats=repeats),
         "fast_path": measure_fast_path(),
         "obs": measure_obs(depth=min(6, max(depths))),

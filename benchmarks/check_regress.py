@@ -22,6 +22,14 @@ for the ``trace_s`` and ``debug_s`` stages (the two the pipeline's own
 code dominates). Timings below ``--min-seconds`` in the baseline are
 skipped — at sub-5ms scale the noise floor drowns any signal.
 
+Question counts are a different animal: they are a pure property of
+the search strategy, identical on every machine, so the gate compares
+them **exactly** — both the per-depth ``questions`` column of the
+stage series and, under ``bench_perf/5``, every
+``(strategy, depth)`` row of the ``questions_curve`` section. A fresh
+run asking even one more question than the committed baseline is a
+strategy regression and fails CI outright.
+
 The default tolerance is deliberately loose (50%): the gate exists to
 catch order-of-magnitude instrumentation accidents (an always-on hook
 on the hot path, an O(n^2) slip), not 10% jitter.
@@ -38,7 +46,7 @@ from pathlib import Path
 GATED_STAGES = ("trace_s", "debug_s")
 
 #: schemas the gate understands (series rows are compatible across them)
-KNOWN_SCHEMAS = ("bench_perf/3", "bench_perf/4")
+KNOWN_SCHEMAS = ("bench_perf/3", "bench_perf/4", "bench_perf/5")
 
 
 def _load(path: str) -> dict:
@@ -68,6 +76,16 @@ def _median(values: list[float]) -> float:
     if len(ordered) % 2:
         return ordered[middle]
     return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def _curve_index(report: dict) -> dict:
+    """``(strategy, depth) -> questions`` from the ``questions_curve``
+    section (empty for pre-``bench_perf/5`` reports)."""
+    curve = report.get("questions_curve") or {}
+    return {
+        (row["strategy"], row["depth"]): row["questions"]
+        for row in curve.get("series", [])
+    }
 
 
 def machine_factor(baseline: dict, fresh: dict) -> float:
@@ -111,6 +129,31 @@ def check(
                     f"{allowed:.4f}s (baseline {base_s:.4f}s x machine factor "
                     f"{factor:.2f} x {1 + tolerance:.2f})"
                 )
+    for key in sorted(set(base_rows) & set(fresh_rows)):
+        backend, depth = key
+        base_q = base_rows[key].get("questions")
+        fresh_q = fresh_rows[key].get("questions")
+        if base_q is None or fresh_q is None:
+            continue
+        compared += 1
+        if fresh_q > base_q:
+            problems.append(
+                f"{backend}/depth {depth} questions: {fresh_q} exceeds "
+                f"baseline {base_q} (question counts are machine-"
+                f"independent; any increase is a strategy regression)"
+            )
+    base_curve = _curve_index(baseline)
+    fresh_curve = _curve_index(fresh)
+    for key in sorted(set(base_curve) & set(fresh_curve)):
+        strategy, depth = key
+        compared += 1
+        if fresh_curve[key] > base_curve[key]:
+            problems.append(
+                f"{strategy}/depth {depth} questions: {fresh_curve[key]} "
+                f"exceeds baseline {base_curve[key]} (question counts are "
+                f"machine-independent; any increase is a strategy "
+                f"regression)"
+            )
     if not compared:
         # An empty comparison must not silently pass: it means the fresh
         # run used depths/backends disjoint from the baseline, or every

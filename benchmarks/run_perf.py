@@ -15,8 +15,13 @@ what CI runs; the full series is for local measurement.
 ``--backend both`` (the default) records the stage series once per
 execution backend and a per-depth ``speedup_trace`` table; since
 ``bench_perf/4`` the artifact also embeds one ``hotspots/1`` per-unit
-self-time report per backend. ``benchmarks/check_regress.py`` compares
-a fresh artifact against the committed one and fails CI on regression.
+self-time report per backend, and since ``bench_perf/5`` a
+``questions_curve`` section: user questions per strategy over call
+chains of depth 2–12, demonstrating the ~O(log n) behaviour of
+``dq-optimal`` against top-down's O(depth).
+``benchmarks/check_regress.py`` compares a fresh artifact against the
+committed one and fails CI on regression — timings normalized by a
+machine factor, question counts exactly.
 """
 
 from __future__ import annotations
@@ -92,6 +97,24 @@ def main(argv: list[str] | None = None) -> int:
             for depth, ratio in report["speedup_trace"].items()
         )
         print(f"  compiled trace speedup: {pairs}")
+    curve = report.get("questions_curve")
+    if curve:
+        by_strategy: dict[str, dict[int, int]] = {}
+        for row in curve["series"]:
+            by_strategy.setdefault(row["strategy"], {})[row["depth"]] = row[
+                "questions"
+            ]
+        print("  questions to localize a leaf bug on a call chain:")
+        print(
+            f"  {'depth':>18}:"
+            + "".join(f"{d:>4}" for d in curve["depths"])
+        )
+        for strategy in sorted(by_strategy):
+            cells = "".join(
+                f"{by_strategy[strategy].get(d, '-'):>4}"
+                for d in curve["depths"]
+            )
+            print(f"  {strategy:>18}:{cells}")
     mutants = report["mutants"]
     by_status = ", ".join(
         f"{status} {count}" for status, count in mutants["by_status"].items()

@@ -1,9 +1,11 @@
 """Comparing execution-tree search strategies on growing programs.
 
-Pits top-down (the paper's choice), bottom-up single-stepping, and
-Shapiro's divide-and-query against each other on call chains and call
-trees of growing size, and shows how slicing changes the picture when
-most of the program is irrelevant.
+Pits top-down (the paper's choice), bottom-up single-stepping,
+Shapiro's divide-and-query, and the Insa–Silva optimal variant
+(``dq-optimal``) against each other on call chains and call trees of
+growing size, and shows how slicing changes the picture when most of
+the program is irrelevant. See docs/STRATEGIES.md for the selection
+rules.
 
 Run:  python examples/strategy_comparison.py
 """
@@ -19,7 +21,7 @@ from repro.workloads import (
     generate_irrelevant_siblings_program,
 )
 
-STRATEGIES = ("top-down", "bottom-up", "divide-and-query")
+STRATEGIES = ("top-down", "bottom-up", "divide-and-query", "dq-optimal")
 
 
 def questions(trace, fixed_source, strategy, enable_slicing=False):

@@ -70,6 +70,7 @@ from repro.core import (
     GadtSystem,
     InteractiveOracle,
     ReferenceOracle,
+    available_strategies,
 )
 from repro.pascal import analyze_source, print_program, run_source
 from repro.pascal.errors import PascalError
@@ -611,6 +612,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="on a blown budget, salvage a partial trace instead of failing",
     )
 
+    # search-strategy flag shared by debug and stats; the choice list
+    # comes from the strategy registry so new strategies show up in
+    # --help and error messages without touching this module
+    strategy_parent = argparse.ArgumentParser(add_help=False)
+    strategy_parent.add_argument(
+        "--strategy",
+        default="top-down",
+        choices=available_strategies(),
+        help="execution-tree search strategy (see docs/STRATEGIES.md)",
+    )
+
     # execution-backend flag shared by the executing subcommands
     backend_parent = argparse.ArgumentParser(add_help=False)
     backend_parent.add_argument(
@@ -669,17 +681,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     debug_parser = sub.add_parser(
         "debug",
-        parents=[obs_parent, budget_parent, degrade_parent, backend_parent],
+        parents=[obs_parent, budget_parent, degrade_parent, backend_parent, strategy_parent],
         help="run a debugging session",
     )
     debug_parser.add_argument("program")
     debug_parser.add_argument(
         "--reference", help="bug-free program; simulates the user's answers"
-    )
-    debug_parser.add_argument(
-        "--strategy",
-        default="top-down",
-        choices=["top-down", "bottom-up", "divide-and-query"],
     )
     debug_parser.add_argument("--no-slicing", action="store_true")
     debug_parser.add_argument(
@@ -740,17 +747,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats_parser = sub.add_parser(
         "stats",
-        parents=[obs_parent, backend_parent],
+        parents=[obs_parent, backend_parent, strategy_parent],
         help="run the pipeline with observability on and print its metrics",
     )
     stats_parser.add_argument("program")
     stats_parser.add_argument(
         "--reference", help="bug-free program; also run and account a debug session"
-    )
-    stats_parser.add_argument(
-        "--strategy",
-        default="top-down",
-        choices=["top-down", "bottom-up", "divide-and-query"],
     )
     stats_parser.add_argument("--input", action="append", metavar="V")
     stats_parser.add_argument(

@@ -10,8 +10,8 @@
 * :mod:`repro.core.assertions` — partial-specification assertions
   ([Drabent et al.]) that answer queries without user interaction;
 * :mod:`repro.core.strategies` — execution-tree search strategies
-  (top-down as in the paper, plus bottom-up and Shapiro's
-  divide-and-query as ablations);
+  (top-down as in the paper, plus bottom-up, Shapiro's divide-and-query
+  and Insa & Silva's optimal divide-and-query — see docs/STRATEGIES.md);
 * :mod:`repro.core.algorithmic` — the pure algorithmic debugger;
 * :mod:`repro.core.gadt` — the integrated debugger: assertions → test
   lookup → user, with dynamic slicing on error indications;
@@ -29,7 +29,14 @@ from repro.core.oracle import (
     ScriptedOracle,
 )
 from repro.core.assertions import Assertion, AssertionStore
-from repro.core.strategies import Strategy, make_strategy
+from repro.core.strategies import (
+    OptimalDivideAndQueryStrategy,
+    Strategy,
+    WeightIndex,
+    available_strategies,
+    make_strategy,
+    step_weight,
+)
 from repro.core.algorithmic import AlgorithmicDebugger, DebugResult
 from repro.core.gadt import GadtDebugger, GadtSystem
 from repro.core.postmortem import ContributingStatement, contributing_statements
@@ -58,6 +65,7 @@ __all__ = [
     "GadtSystem",
     "Interaction",
     "InteractiveOracle",
+    "OptimalDivideAndQueryStrategy",
     "Oracle",
     "Query",
     "ReferenceOracle",
@@ -71,5 +79,8 @@ __all__ = [
     "Strategy",
     "TransparencyMap",
     "UnitSource",
+    "WeightIndex",
+    "available_strategies",
     "make_strategy",
+    "step_weight",
 ]

@@ -75,6 +75,8 @@ class DebugResult:
     #: but the bug may live in an activation the trace never recorded
     partial: bool = False
     degraded_reason: str | None = None
+    #: search strategy that drove the session (docs/STRATEGIES.md)
+    strategy: str | None = None
 
     @property
     def bug_unit(self) -> str | None:
@@ -108,6 +110,7 @@ class DebugResult:
             "schema": "gadt_session/1",
             "localized": self.localized,
             "bug_unit": self.bug_unit,
+            "strategy": self.strategy,
             "queries": {"total": total, "by_source": by_source},
             "user_questions": self.user_questions,
             "auto_answers": self.auto_answers,
@@ -162,9 +165,11 @@ class AlgorithmicDebugger:
         no bug localized (``result.bug_node is None``).
         """
         started = time.perf_counter()
+        visits_before = getattr(self.strategy, "node_visits", None)
         with obs.span("debug.session", strategy=type(self.strategy).__name__):
             result = self._search(start, assume_symptom)
         result.elapsed_s = time.perf_counter() - started
+        result.strategy = getattr(self.strategy, "name", None)
         if self.trace.degraded:
             # Degraded tracing (blown budget, salvaged partial tree):
             # the session still localizes, but only over the traced
@@ -178,6 +183,14 @@ class AlgorithmicDebugger:
         if obs.enabled():
             obs.add("debug.sessions")
             obs.add("debug.slices", result.slices)
+            visits_after = getattr(self.strategy, "node_visits", None)
+            if visits_after is not None:
+                # weighted strategies report how many tree-node touches
+                # the search cost — the incremental-index health metric
+                obs.add(
+                    "debug.strategy_node_visits",
+                    visits_after - (visits_before or 0),
+                )
             for source, count in result.queries_by_source.items():
                 obs.add(f"debug.queries.{source}", count)
             obs.emit("session", report=result.report())

@@ -33,6 +33,7 @@ from repro.core.algorithmic import SOURCE_LABELS
 from repro.core.gadt import GadtDebugger, GadtSystem
 from repro.core.oracle import Oracle
 from repro.core.queries import Answer, AnswerKind, AnswerSource, Query
+from repro.core.strategies import available_strategies
 from repro.obs.journal import Journal, JournalError
 
 #: reverse of :data:`~repro.core.algorithmic.SOURCE_LABELS`
@@ -217,6 +218,14 @@ def replay_journal(
     recorded_verdicts = journal.verdicts()
     recorded_session = journal.session()
 
+    strategy = meta.get("strategy") or "top-down"
+    if strategy not in available_strategies():
+        raise JournalError(
+            f"journal was recorded under strategy {strategy!r}, which this "
+            f"build does not provide (available: "
+            f"{', '.join(available_strategies())})"
+        )
+
     backend_used = backend or meta.get("backend") or recorded_trace.get("backend")
 
     was_enabled = obs.enabled()
@@ -234,7 +243,7 @@ def replay_journal(
             system.trace,
             recorded_queries,
             offset,
-            strategy=meta.get("strategy") or "top-down",
+            strategy=strategy,
             enable_slicing=meta.get("enable_slicing", True),
         )
         report = ReplayReport(ok=True, backend=system.trace.backend)

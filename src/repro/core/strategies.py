@@ -2,16 +2,32 @@
 
 The paper uses top-down search ("we use top-down search in this
 example", §8) and notes that "generally it doesn't matter which
-traversal method is used". This module provides top-down plus two
-classic alternatives as ablations:
+traversal method is used" — for *correctness*. For the number of
+questions it matters a great deal, and the human answering them is the
+scarcest resource in the dialogue. This module provides top-down plus
+three alternatives:
 
 * **top-down** — ask the children of the currently suspected unit in
   execution order; descend into the first incorrect one;
 * **bottom-up** — Shapiro's single-stepping: post-order over the suspect
   subtree, so the first "no" immediately localizes the bug;
 * **divide-and-query** — Shapiro's weighted bisection: query the node
-  whose subtree is closest to half of the remaining suspect weight,
-  halving the search space per answer.
+  whose subtree weight is closest to half of the remaining suspect
+  weight, halving the search space per answer;
+* **dq-optimal** — Insa & Silva's *Optimal Divide and Query* (see
+  PAPERS.md): query the node that minimizes the worst-case suspect
+  weight remaining after either answer, ``max(w(n) - own(n), W - w(n))``
+  — a "yes" removes the subtree (``W - w(n)`` left), a "no" narrows the
+  search to the subtree minus the judged node itself (``w(n) - own(n)``
+  left).
+
+Both weighted strategies share a :class:`WeightIndex`: suspect weights
+are computed once per session and maintained incrementally across
+judgements and dynamic-slice prunes, instead of being re-derived from
+the tree on every query. Weights are pluggable — the default charges
+one unit per suspect activation; :func:`step_weight` charges the steps
+executed directly in the activation, matching the per-unit step
+attribution of :mod:`repro.obs.profiler`.
 
 A strategy never sees answers directly — only the judgement map
 (node id → correct?) maintained by the debugger.
@@ -19,7 +35,8 @@ A strategy never sees answers directly — only the judgement map
 
 from __future__ import annotations
 
-from typing import Protocol
+import heapq
+from typing import Callable, Protocol
 
 from repro.slicing.tree_pruning import TreeView
 from repro.tracing.execution_tree import ExecNode
@@ -68,6 +85,299 @@ def _suspects(
     return result
 
 
+# ----------------------------------------------------------------------
+# node weights
+
+
+def activation_weight(node: ExecNode) -> int:
+    """Default weight model: every suspect activation costs one question."""
+    return 1
+
+
+def step_weight(node: ExecNode) -> int:
+    """Execution-effort weight: statement occurrences executed directly
+    in the activation, as :mod:`repro.obs.profiler` attributes them.
+    Clamped to 1 so structural nodes still carry search weight."""
+    return max(1, len(node.occurrence_ids))
+
+
+class WeightIndex:
+    """Incremental suspect-weight index over a :class:`TreeView`.
+
+    ``w(n)`` is the summed weight of suspect activations in the subtree
+    of ``n`` restricted to the view — activations that are unjudged and
+    not underneath a judged-correct one. The index is built with one
+    walk of the view at the start of a session and then *maintained*:
+
+    * a judgement subtracts along the judged node's ancestor path (a
+      judged-correct subtree is subtracted wholesale, in one pass);
+    * a slice-prune — the debugger swapping in a smaller ``TreeView``
+      after a dynamic slice — subtracts exactly the activations the
+      slice removed, each along its ancestor path.
+
+    Subtractions stop at judged-correct subtree roots: everything below
+    one was already discounted from the live totals, so weights above
+    stay exact while stale interior values are simply never read.
+
+    Candidate selection walks the heavy path: per-node lazy max-heaps
+    over child weights make "heaviest undecided child" a pop away, so a
+    query touches O(path) nodes instead of re-weighing every suspect.
+    Weights only ever decrease, so stale heap entries are detected by
+    value mismatch and dropped on sight.
+
+    ``node_visits`` counts every node touch — build walks, path
+    updates, heap traffic — so tests can pin the complexity.
+    """
+
+    def __init__(self, weight_fn: Callable[[ExecNode], int] | None = None):
+        self._weight_fn = weight_fn or activation_weight
+        self.node_visits = 0
+        self._view: TreeView | None = None
+        self._w: dict[int, int] = {}
+        self._own: dict[int, int] = {}
+        self._nodes: dict[int, ExecNode] = {}
+        self._settled: set[int] = set()  # own weight no longer counted
+        self._blocked: set[int] = set()  # judged-correct subtree roots
+        self._processed: set[int] = set()  # judgement ids already applied
+        self._heaps: dict[int, list] = {}
+
+    # -- maintenance ----------------------------------------------------
+
+    def sync(
+        self,
+        view: TreeView,
+        current_bug: ExecNode,
+        judgements: dict[int, bool],
+    ) -> None:
+        """Bring the index up to date with the debugger's state."""
+        if (
+            self._view is None
+            or len(self._processed) > len(judgements)
+            or any(nid not in judgements for nid in self._processed)
+        ):
+            self._build(view, current_bug, judgements)
+            return
+        if len(judgements) > len(self._processed):
+            self._apply_judgements(judgements)
+        if view is not self._view:
+            if view.root.node_id not in self._w:
+                self._build(view, current_bug, judgements)
+                return
+            self._apply_view(view)
+        if current_bug.node_id not in self._w:
+            self._build(view, current_bug, judgements)
+
+    def _build(
+        self,
+        view: TreeView,
+        current_bug: ExecNode,
+        judgements: dict[int, bool],
+    ) -> None:
+        self._view = view
+        self._w.clear()
+        self._own.clear()
+        self._nodes.clear()
+        self._settled = set()
+        self._blocked = set()
+        self._heaps = {}
+        self._processed = set(judgements)
+
+        def visit(node: ExecNode) -> int:
+            self.node_visits += 1
+            nid = node.node_id
+            self._nodes[nid] = node
+            verdict = judgements.get(nid)
+            if verdict is True:
+                self._blocked.add(nid)
+                self._settled.add(nid)
+                self._own[nid] = self._own_weight(node)
+                self._w[nid] = 0
+                return 0
+            own = self._own_weight(node)
+            self._own[nid] = own
+            total = 0
+            if verdict is None:
+                total += own
+            else:
+                self._settled.add(nid)
+            for child in view.children(node):
+                total += visit(child)
+            self._w[nid] = total
+            return total
+
+        visit(view.root)
+        if current_bug.node_id not in self._w:
+            # Pathological use: the current bug sits outside the view's
+            # walk. Weigh its subtree so the session can still proceed.
+            visit(current_bug)
+
+    def _own_weight(self, node: ExecNode) -> int:
+        # Clamp to >= 1: weights must strictly decrease down the tree
+        # for the heavy-path selection to enumerate every candidate.
+        return max(1, int(self._weight_fn(node)))
+
+    def _apply_judgements(self, judgements: dict[int, bool]) -> None:
+        for nid, verdict in judgements.items():
+            if nid in self._processed:
+                continue
+            self._processed.add(nid)
+            if nid not in self._w:
+                continue
+            node = self._node_of(nid)
+            if verdict is True:
+                delta = self._w[nid]
+                self._blocked.add(nid)
+                self._settled.add(nid)
+                self._w[nid] = 0
+                if delta and node is not None:
+                    self._subtract_above(node, delta)
+            elif nid not in self._settled:
+                self._settled.add(nid)
+                if node is not None:
+                    self._w[nid] -= self._own[nid]
+                    self._push(node)
+                    self._subtract_above(node, self._own[nid])
+
+    def _apply_view(self, new_view: TreeView) -> None:
+        """Observe a slice-prune: subtract the activations the new view
+        dropped, each along its ancestor path."""
+        old_view = self._view
+        assert old_view is not None
+        reachable: set[int] = set()
+        for node in new_view.walk():
+            self.node_visits += 1
+            reachable.add(node.node_id)
+
+        def visit(node: ExecNode) -> None:
+            self.node_visits += 1
+            nid = node.node_id
+            if nid in self._blocked:
+                return  # already discounted wholesale
+            if nid not in reachable:
+                self._remove(node)
+            for child in old_view.children(node):
+                visit(child)
+
+        visit(new_view.root)
+        self._view = new_view
+
+    def _remove(self, node: ExecNode) -> None:
+        nid = node.node_id
+        if nid in self._settled:
+            return
+        self._settled.add(nid)
+        own = self._own[nid]
+        self._w[nid] -= own
+        self._subtract_above(node, own)
+
+    def _subtract_above(self, node: ExecNode, delta: int) -> None:
+        parent = node.parent
+        while parent is not None:
+            pid = parent.node_id
+            if pid not in self._w or pid in self._blocked:
+                break
+            self.node_visits += 1
+            self._w[pid] -= delta
+            self._push(parent)
+            parent = parent.parent
+
+    def _push(self, node: ExecNode) -> None:
+        parent = node.parent
+        if parent is None:
+            return
+        heap = self._heaps.get(parent.node_id)
+        if heap is not None:
+            self.node_visits += 1
+            heapq.heappush(heap, (-self._w[node.node_id], node.node_id, node))
+
+    def _node_of(self, nid: int) -> ExecNode | None:
+        return self._nodes.get(nid)
+
+    # -- selection ------------------------------------------------------
+
+    def suspect_weight(self, current_bug: ExecNode) -> int:
+        """Total weight of the suspects strictly below ``current_bug``."""
+        nid = current_bug.node_id
+        total = self._w.get(nid, 0)
+        if nid not in self._settled and nid in self._own:
+            total -= self._own[nid]
+        return total
+
+    def best_candidate(
+        self,
+        current_bug: ExecNode,
+        key_fn: Callable[[ExecNode, int, int, int], tuple],
+    ) -> ExecNode | None:
+        """The suspect minimizing ``key_fn(node, w, own, total)``.
+
+        Walks the heavy path from ``current_bug``: at every node on it,
+        the children are popped heaviest-first until one falls below
+        half the remaining weight, each popped child is scored, and the
+        walk descends into the heaviest child still at or above half.
+        For any key that is non-increasing in ``w`` below the midpoint
+        (both bisection rules are), the optimum is always among the
+        scored nodes: heavier-than-half suspects form a single chain,
+        and any unscored suspect is dominated by a scored ancestor.
+        """
+        total = self.suspect_weight(current_bug)
+        if total <= 0:
+            return None
+        target = total / 2
+        best: ExecNode | None = None
+        best_key: tuple | None = None
+        node: ExecNode | None = current_bug
+        while node is not None:
+            heap = self._heap_for(node)
+            popped = []
+            while True:
+                entry = self._pop_valid(heap)
+                if entry is None:
+                    break
+                popped.append(entry)
+                weight, child = -entry[0], entry[2]
+                key = key_fn(child, weight, self._own[child.node_id], total)
+                if best_key is None or key < best_key:
+                    best_key, best = key, child
+                if weight < target:
+                    break
+            for entry in popped:
+                heapq.heappush(heap, entry)
+            node = None
+            if popped and -popped[0][0] >= target:
+                node = popped[0][2]  # heaviest child: keep descending
+        return best
+
+    def _heap_for(self, node: ExecNode) -> list:
+        heap = self._heaps.get(node.node_id)
+        if heap is None:
+            assert self._view is not None
+            heap = []
+            for child in self._view.children(node):
+                self.node_visits += 1
+                weight = self._w.get(child.node_id)
+                if weight:
+                    heap.append((-weight, child.node_id, child))
+            heapq.heapify(heap)
+            self._heaps[node.node_id] = heap
+        return heap
+
+    def _pop_valid(self, heap: list):
+        """Pop the heaviest live entry; drop stale ones permanently."""
+        while heap:
+            self.node_visits += 1
+            neg_weight, nid, _node = heap[0]
+            if (
+                nid in self._settled
+                or nid in self._blocked
+                or self._w.get(nid) != -neg_weight
+                or neg_weight >= 0
+            ):
+                heapq.heappop(heap)
+                continue
+            return heapq.heappop(heap)
+        return None
+
+
 class TopDownStrategy:
     """The paper's strategy: children in execution order, descend on 'no'."""
 
@@ -109,10 +419,17 @@ class BottomUpStrategy:
         return visit(current_bug)
 
 
-class DivideAndQueryStrategy:
-    """Shapiro's divide-and-query: bisect the suspect weight."""
+class _WeightedBisectionStrategy:
+    """Shared machinery for the weighted strategies: one
+    :class:`WeightIndex` per session, synced on every query."""
 
-    name = "divide-and-query"
+    def __init__(self, weights: Callable[[ExecNode], int] | None = None):
+        self.index = WeightIndex(weights)
+
+    @property
+    def node_visits(self) -> int:
+        """Cumulative node touches — complexity telemetry for tests."""
+        return self.index.node_visits
 
     def next_query(
         self,
@@ -120,37 +437,50 @@ class DivideAndQueryStrategy:
         current_bug: ExecNode,
         judgements: dict[int, bool],
     ) -> ExecNode | None:
-        suspects = _suspects(view, current_bug, judgements)
-        if not suspects:
-            return None
-        suspect_ids = {node.node_id for node in suspects}
+        self.index.sync(view, current_bug, judgements)
+        return self.index.best_candidate(current_bug, self._key)
 
-        def weight(node: ExecNode) -> int:
-            total = 1 if node.node_id in suspect_ids else 0
-            for child in view.children(node):
-                if judgements.get(child.node_id) is True:
-                    continue
-                total += weight(child)
-            return total
+    @staticmethod
+    def _key(node: ExecNode, weight: int, own: int, total: int) -> tuple:
+        raise NotImplementedError
 
-        total_weight = len(suspects)
-        target = total_weight / 2
-        best = min(
-            suspects,
-            key=lambda node: (abs(weight(node) - target), node.node_id),
-        )
-        return best
+
+class DivideAndQueryStrategy(_WeightedBisectionStrategy):
+    """Shapiro's divide-and-query: ask the suspect whose subtree weight
+    is closest to half the remaining suspect weight."""
+
+    name = "divide-and-query"
+
+    @staticmethod
+    def _key(node: ExecNode, weight: int, own: int, total: int) -> tuple:
+        return (abs(weight - total / 2), node.node_id)
+
+
+class OptimalDivideAndQueryStrategy(_WeightedBisectionStrategy):
+    """Insa & Silva's optimal divide-and-query: ask the suspect that
+    minimizes the worst case over both answers — ``W - w(n)`` suspects
+    survive a "yes", ``w(n) - own(n)`` survive a "no" (the judged node
+    leaves the suspect set either way)."""
+
+    name = "dq-optimal"
+
+    @staticmethod
+    def _key(node: ExecNode, weight: int, own: int, total: int) -> tuple:
+        # Worst case first; on ties prefer the lighter subtree — a "no"
+        # then leaves the smaller suspect set to keep dividing.
+        return (max(weight - own, total - weight), weight, node.node_id)
 
 
 _STRATEGIES = {
     "top-down": TopDownStrategy,
     "bottom-up": BottomUpStrategy,
     "divide-and-query": DivideAndQueryStrategy,
+    "dq-optimal": OptimalDivideAndQueryStrategy,
 }
 
 
 def make_strategy(name: str) -> Strategy:
-    """Build a strategy by name: top-down, bottom-up, or divide-and-query."""
+    """Build a strategy by name (see :func:`available_strategies`)."""
     try:
         return _STRATEGIES[name]()
     except KeyError:

@@ -16,7 +16,13 @@ Two cost models, one report:
 
 :func:`hotspot_report` combines both into the ``hotspots/1`` schema
 consumed by ``repro profile`` / ``--hotspots N`` and embedded in
-``BENCH_perf.json`` (``bench_perf/4``).
+``BENCH_perf.json`` (``bench_perf/5``).
+
+The step model also feeds the weighted search strategies:
+:func:`step_count_weights` turns a trace's per-unit step counts into a
+weight function for ``divide-and-query`` / ``dq-optimal``
+(docs/STRATEGIES.md), so the search bisects execution *effort* instead
+of activation *count*.
 """
 
 from __future__ import annotations
@@ -85,6 +91,21 @@ def _step_counts(trace) -> tuple[dict[str, int], dict[str, dict[int, int]]]:
             line = occurrences[occ_id].location_line
             lines[line] = lines.get(line, 0) + 1
     return unit_steps, line_steps
+
+
+def step_count_weights(trace):
+    """A per-unit step-count weight function for the weighted search
+    strategies (``repro.core.strategies``): each suspect activation is
+    weighed by the statements its unit executed over the whole run, so
+    ``OptimalDivideAndQueryStrategy(weights=step_count_weights(trace))``
+    bisects execution effort rather than activation count. Weights are
+    clamped to 1 so structural units keep search weight."""
+    unit_steps, _ = _step_counts(trace)
+
+    def weight(node) -> int:
+        return max(1, unit_steps.get(node.unit_name, 0))
+
+    return weight
 
 
 def hotspot_report(

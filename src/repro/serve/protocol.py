@@ -81,6 +81,14 @@ class JobRequest:
                 "op 'debug' requires 'reference' (simulated oracle) or "
                 "'use_testdb' (store-answered session)"
             )
+        if self.op == "debug":
+            from repro.core.strategies import available_strategies
+
+            if self.strategy not in available_strategies():
+                raise ProtocolError(
+                    f"unknown strategy {self.strategy!r}; choose from "
+                    f"{available_strategies()}"
+                )
         if self.op == "answer" and not self.queries:
             raise ProtocolError("op 'answer' requires a non-empty 'queries'")
         if self.deadline_s is not None and self.deadline_s <= 0:

@@ -490,6 +490,14 @@ class DebugService:
                 request, arrival, "failed", reason="program_error",
                 wait_s=wait_s, retries=attempt, error=result["program_error"],
             )
+        if "invalid" in result:
+            # The request itself is unservable (e.g. a strategy this
+            # build does not know): permanently failed, never retried,
+            # and the breaker stays untouched — nothing crashed.
+            return self._terminal(
+                request, arrival, "failed", reason="invalid_request",
+                wait_s=wait_s, retries=attempt, error=result["invalid"],
+            )
         degraded = bool(result.get("degraded"))
         body = dict(result["ok"])
         if degraded:

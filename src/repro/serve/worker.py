@@ -159,11 +159,18 @@ def _debug(payload: Mapping[str, Any]) -> dict:
     test_lookup = None
     if payload.get("use_testdb") and _ANSWER_SERVICE is not None:
         test_lookup = _ANSWER_SERVICE.session_lookup()
-    debugger = system.debugger(
-        oracle,
-        strategy=payload.get("strategy", "top-down"),
-        test_lookup=test_lookup,
-    )
+    try:
+        debugger = system.debugger(
+            oracle,
+            strategy=payload.get("strategy", "top-down"),
+            test_lookup=test_lookup,
+        )
+    except ValueError as exc:
+        # An unknown strategy is a fault of the *request*, not of the
+        # infrastructure: report it as a permanent result so the parent
+        # never burns retries or breaker credit on it. The protocol
+        # rejects these up front; this guards direct payload callers.
+        return {"invalid": str(exc)}
     try:
         result = debugger.debug()
     except _OracleExhausted as exc:

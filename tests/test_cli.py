@@ -147,6 +147,56 @@ class TestDebug:
         out = capsys.readouterr().out
         assert "decrement" in out
 
+    def test_debug_accepts_every_registered_strategy(
+        self, fig4, fig4_fixed, capsys
+    ):
+        from repro.core import available_strategies
+
+        for strategy in available_strategies():
+            assert main(
+                [
+                    "debug",
+                    fig4,
+                    "--reference",
+                    fig4_fixed,
+                    "--quiet",
+                    "--strategy",
+                    strategy,
+                ]
+            ) == 0
+            assert "decrement" in capsys.readouterr().out
+
+    def test_unknown_strategy_exits_2_listing_choices(
+        self, fig4, fig4_fixed, capsys
+    ):
+        assert main(
+            [
+                "debug",
+                fig4,
+                "--reference",
+                fig4_fixed,
+                "--strategy",
+                "quantum-bisect",
+            ]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "quantum-bisect" in err
+        assert "dq-optimal" in err  # choices come from the registry
+
+    def test_stats_accepts_strategy(self, fig4, fig4_fixed, capsys):
+        assert main(
+            [
+                "stats",
+                fig4,
+                "--reference",
+                fig4_fixed,
+                "--strategy",
+                "dq-optimal",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "decrement" in out
+
 
 class TestFrames:
     def test_frames_from_spec(self, tmp_path, capsys):

@@ -121,7 +121,9 @@ def test_debugger_always_localizes_chain_bug(depth, bug_depth_fraction):
 @given(
     depth=st.integers(min_value=0, max_value=4),
     leaf_fraction=st.floats(min_value=0.0, max_value=1.0),
-    strategy=st.sampled_from(["top-down", "bottom-up", "divide-and-query"]),
+    strategy=st.sampled_from(
+        ["top-down", "bottom-up", "divide-and-query", "dq-optimal"]
+    ),
 )
 def test_all_strategies_localize_tree_bug(depth, leaf_fraction, strategy):
     leaves = 2**depth

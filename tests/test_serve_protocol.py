@@ -63,6 +63,21 @@ class TestParseRequest:
         parse_request({"op": "debug", "source": "x", "reference": "y"})
         parse_request({"op": "debug", "source": "x", "use_testdb": True})
 
+    def test_debug_strategy_must_be_known(self):
+        from repro.core.strategies import available_strategies
+
+        with pytest.raises(ProtocolError, match="unknown strategy"):
+            parse_request(
+                {"op": "debug", "source": "x", "reference": "y",
+                 "strategy": "quantum-bisect"}
+            )
+        for strategy in available_strategies():
+            request = parse_request(
+                {"op": "debug", "source": "x", "reference": "y",
+                 "strategy": strategy}
+            )
+            assert request.strategy == strategy
+
     def test_answer_requires_queries(self):
         with pytest.raises(ProtocolError, match="queries"):
             parse_request({"op": "answer"})

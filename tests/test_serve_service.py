@@ -172,6 +172,88 @@ class TestFailures:
         assert service.stats.terminal() == service.stats.submitted
 
 
+class TestInvalidStrategy:
+    """An unknown search strategy is a fault of the request, never of
+    the infrastructure: terminal ``failed``, zero retries, and the
+    tenant's breaker stays closed."""
+
+    def test_protocol_rejects_it_as_bad_request(self):
+        service = thread_service(retries=2)
+        response = run(serve_one(
+            service,
+            {
+                "id": "s", "op": "debug", "source": FIGURE4_SOURCE,
+                "reference": FIGURE4_FIXED_SOURCE,
+                "strategy": "quantum-bisect",
+            },
+        ))
+        assert response.status == "failed"
+        assert response.reason == "bad_request"
+        assert "quantum-bisect" in response.error
+        assert response.retries == 0
+        assert service.stats.retries == 0
+        assert service.stats.breaker_opens == 0
+
+    def test_worker_reports_invalid_not_a_crash(self):
+        from repro.serve.worker import execute_job
+
+        result = execute_job(
+            {
+                "id": "w", "op": "debug", "source": FIGURE4_SOURCE,
+                "reference": FIGURE4_FIXED_SOURCE,
+                "strategy": "quantum-bisect",
+            }
+        )
+        assert "invalid" in result
+        assert "quantum-bisect" in result["invalid"]
+
+    def test_skewed_client_gets_terminal_invalid_request(self, monkeypatch):
+        """A client whose protocol knows a strategy this worker doesn't
+        (version skew) still gets one permanent answer: the worker's
+        'invalid' result maps to failed/invalid_request, is never
+        retried, and charges no breaker credit."""
+        from repro.serve import protocol
+
+        original = protocol.JobRequest.validate
+
+        def lax(self):
+            try:
+                original(self)
+            except protocol.ProtocolError as error:
+                if "strategy" not in str(error):
+                    raise
+
+        monkeypatch.setattr(protocol.JobRequest, "validate", lax)
+        service = thread_service(retries=2)
+        response = run(serve_one(
+            service,
+            {
+                "id": "s", "op": "debug", "source": FIGURE4_SOURCE,
+                "reference": FIGURE4_FIXED_SOURCE,
+                "strategy": "quantum-bisect",
+            },
+        ))
+        assert response.status == "failed"
+        assert response.reason == "invalid_request"
+        assert "quantum-bisect" in response.error
+        assert response.retries == 0
+        assert service.stats.retries == 0
+        assert service.stats.breaker_opens == 0
+
+    def test_dq_optimal_debug_job_completes(self):
+        response = run(serve_one(
+            thread_service(),
+            {
+                "id": "d", "op": "debug", "source": FIGURE4_SOURCE,
+                "reference": FIGURE4_FIXED_SOURCE,
+                "strategy": "dq-optimal",
+            },
+        ))
+        assert response.status == "completed"
+        assert response.result["localized"] is True
+        assert response.result["bug_unit"] == "decrement"
+
+
 class TestRetries:
     def test_transient_worker_fault_is_retried_to_success(self):
         faults.install(FaultPlan([

@@ -1,8 +1,16 @@
 """Unit tests for the search strategies."""
 
+import random
+
 import pytest
 
-from repro.core.strategies import available_strategies, make_strategy
+from repro.core.strategies import (
+    WeightIndex,
+    _suspects,
+    available_strategies,
+    make_strategy,
+    step_weight,
+)
 from repro.slicing.tree_pruning import TreeView
 from repro.tracing.execution_tree import ExecNode, NodeKind
 
@@ -154,3 +162,302 @@ class TestDivideAndQuery:
                 judgements[candidate.node_id] = True
         assert current is buggy
         assert queries <= 10  # far fewer than the 31 a linear scan needs
+
+
+def random_tree(rng: random.Random, size: int):
+    """A random tree of ``size`` call nodes under a main root."""
+    root = ExecNode(kind=NodeKind.MAIN, unit_name="main")
+    nodes = [root]
+    for index in range(size):
+        parent = rng.choice(nodes)
+        child = ExecNode(kind=NodeKind.CALL, unit_name=f"n{index}")
+        parent.add_child(child)
+        nodes.append(child)
+    return root, nodes
+
+
+def run_session(strategy, root, buggy, view=None):
+    """Drive a full debugging dialogue; the oracle knows ``buggy``.
+
+    Returns ``(queries, localized_node)``.
+    """
+    view = view or TreeView.full(root)
+    judgements = {}
+    current = root
+    queries = 0
+    while True:
+        candidate = strategy.next_query(view, current, judgements)
+        if candidate is None:
+            return queries, current
+        queries += 1
+        if buggy in list(candidate.walk()):
+            judgements[candidate.node_id] = False
+            current = candidate
+        else:
+            judgements[candidate.node_id] = True
+
+
+class TestOptimalDivideAndQuery:
+    def test_picks_worst_case_minimizer_on_chain(self):
+        # 7 suspects in a chain: w(c4)=4 gives max(4-1, 7-4)=3, the
+        # unique minimum of the worst case.
+        root, nodes = chain_tree(7)
+        view = TreeView.full(root)
+        strategy = make_strategy("dq-optimal")
+        candidate = strategy.next_query(view, root, {})
+        assert candidate.unit_name == "c4"
+
+    def test_none_when_no_suspects(self):
+        root, nodes = chain_tree(1)
+        view = TreeView.full(root)
+        strategy = make_strategy("dq-optimal")
+        judgements = {nodes[1].node_id: False}
+        assert strategy.next_query(view, nodes[1], judgements) is None
+
+    def test_logarithmic_on_chain(self):
+        root, nodes = chain_tree(31)
+        queries, localized = run_session(
+            make_strategy("dq-optimal"), root, nodes[-1]
+        )
+        assert localized is nodes[-1]
+        assert queries <= 6  # ~log2(31), not 31
+
+    def test_never_more_questions_than_classic_dq_on_chains(self):
+        for depth in range(1, 33):
+            root, nodes = chain_tree(depth)
+            for buggy in nodes[1:]:
+                classic, loc_a = run_session(
+                    make_strategy("divide-and-query"), root, buggy
+                )
+                optimal, loc_b = run_session(
+                    make_strategy("dq-optimal"), root, buggy
+                )
+                assert loc_a is buggy and loc_b is buggy
+                assert optimal <= classic, (depth, buggy.unit_name)
+
+    def test_never_more_questions_than_classic_dq_on_balanced_trees(self):
+        def balanced(depth):
+            root = ExecNode(kind=NodeKind.MAIN, unit_name="main")
+
+            def grow(parent, level):
+                if level == 0:
+                    return
+                for index in range(2):
+                    child = ExecNode(
+                        kind=NodeKind.CALL,
+                        unit_name=f"b{level}_{index}_{child_counter[0]}",
+                    )
+                    child_counter[0] += 1
+                    parent.add_child(child)
+                    grow(child, level - 1)
+
+            child_counter = [0]
+            grow(root, depth)
+            return root
+
+        for depth in range(1, 6):
+            root = balanced(depth)
+            leaves = [n for n in root.walk() if not n.children]
+            for buggy in leaves:
+                classic, loc_a = run_session(
+                    make_strategy("divide-and-query"), root, buggy
+                )
+                optimal, loc_b = run_session(
+                    make_strategy("dq-optimal"), root, buggy
+                )
+                assert loc_a is buggy and loc_b is buggy
+                assert optimal <= classic, (depth, buggy.unit_name)
+
+    def test_pluggable_step_weights(self):
+        # With step weights, the heavy unit dominates the suspect weight
+        # and the bisection asks about it first.
+        root, children = wide_tree(3)
+        children[1].occurrence_ids.extend(range(100))
+        view = TreeView.full(root)
+        from repro.core.strategies import OptimalDivideAndQueryStrategy
+
+        strategy = OptimalDivideAndQueryStrategy(weights=step_weight)
+        candidate = strategy.next_query(view, root, {})
+        assert candidate is children[1]
+
+
+def naive_divide_and_query(view, current_bug, judgements):
+    """The pre-index implementation: re-derive every suspect's subtree
+    weight from scratch on every query (O(n^2) per session). Kept here
+    as the differential-testing reference for the incremental index."""
+    suspects = _suspects(view, current_bug, judgements)
+    if not suspects:
+        return None
+    suspect_ids = {node.node_id for node in suspects}
+
+    def weight(node):
+        return sum(
+            1
+            for descendant in node.walk()
+            if descendant.node_id in suspect_ids
+        )
+
+    total = len(suspects)
+    return min(
+        suspects,
+        key=lambda node: (abs(weight(node) - total / 2), node.node_id),
+    )
+
+
+class TestWeightIndexDifferential:
+    def test_matches_naive_dq_on_random_sessions(self):
+        """The incremental index must reproduce the naive recomputation's
+        query sequence exactly, session after session."""
+        rng = random.Random(0xD0)
+        for _ in range(40):
+            size = rng.randrange(1, 40)
+            root, nodes = random_tree(rng, size)
+            buggy = rng.choice(nodes[1:]) if size else nodes[0]
+            view = TreeView.full(root)
+            strategy = make_strategy("divide-and-query")
+            judgements = {}
+            naive_judgements = {}
+            current = root
+            naive_current = root
+            while True:
+                fast = strategy.next_query(view, current, judgements)
+                slow = naive_divide_and_query(
+                    view, naive_current, naive_judgements
+                )
+                assert (fast is None) == (slow is None)
+                if fast is None:
+                    break
+                assert fast.node_id == slow.node_id
+                if buggy in list(fast.walk()):
+                    judgements[fast.node_id] = False
+                    naive_judgements[slow.node_id] = False
+                    current = fast
+                    naive_current = slow
+                else:
+                    judgements[fast.node_id] = True
+                    naive_judgements[slow.node_id] = True
+            assert current is naive_current
+
+
+class TestWeightIndexIncremental:
+    def test_incremental_equals_rebuild_across_judgements(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            root, nodes = random_tree(rng, 25)
+            view = TreeView.full(root)
+            incremental = WeightIndex()
+            judgements = {}
+            order = nodes[1:]
+            rng.shuffle(order)
+            for node in order:
+                judgements[node.node_id] = rng.random() < 0.5
+                incremental.sync(view, root, judgements)
+                fresh = WeightIndex()
+                fresh.sync(view, root, judgements)
+                assert incremental.suspect_weight(root) == (
+                    fresh.suspect_weight(root)
+                )
+                key = make_strategy("dq-optimal")._key
+                a = incremental.best_candidate(root, key)
+                b = fresh.best_candidate(root, key)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.node_id == b.node_id
+
+    def test_observes_slice_pruned_view_swap(self):
+        """After the debugger swaps in a slice-pruned TreeView, the
+        incremental diff must agree with a from-scratch rebuild."""
+        rng = random.Random(11)
+        for _ in range(20):
+            root, nodes = random_tree(rng, 30)
+            full = TreeView.full(root)
+            incremental = WeightIndex()
+            incremental.sync(full, root, {})
+
+            # Judge an incorrect child like a session would, then prune:
+            # keep the judged subtree root and a random subset below it.
+            target = rng.choice(nodes[1:])
+            judgements = {}
+            node = target
+            path = []
+            while node is not None:
+                path.append(node)
+                node = node.parent
+            for ancestor in reversed(path[:-1]):
+                judgements[ancestor.node_id] = False
+            incremental.sync(full, root, judgements)
+
+            kept = {target.node_id}
+            for descendant in target.walk():
+                if rng.random() < 0.6:
+                    kept.add(descendant.node_id)
+            pruned = TreeView(root=target, kept_ids=kept)
+            incremental.sync(pruned, target, judgements)
+
+            fresh = WeightIndex()
+            fresh.sync(pruned, target, judgements)
+            assert incremental.suspect_weight(target) == (
+                fresh.suspect_weight(target)
+            )
+            key = make_strategy("divide-and-query")._key
+            a = incremental.best_candidate(target, key)
+            b = fresh.best_candidate(target, key)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.node_id == b.node_id
+
+    def test_reuse_with_fresh_judgement_dict_rebuilds(self):
+        # A strategy object reused across sessions must notice that the
+        # judgement map restarted and rebuild instead of going stale.
+        root, nodes = chain_tree(5)
+        view = TreeView.full(root)
+        strategy = make_strategy("divide-and-query")
+        queries, localized = run_session(strategy, root, nodes[-1])
+        assert localized is nodes[-1]
+        queries2, localized2 = run_session(strategy, root, nodes[2])
+        assert localized2 is nodes[2]
+
+
+class TestWideTreeRegression:
+    """The O(n^2) regression guard (per-query work must stay bounded).
+
+    The old DivideAndQueryStrategy re-derived every suspect's subtree
+    weight on every query: a width-n flat tree cost ~n^2/2 node visits
+    per session. The index pays one O(n) build and then O(1) amortized
+    per query.
+    """
+
+    WIDTH = 400
+
+    def _session_visits(self):
+        root, children = wide_tree(self.WIDTH)
+        view = TreeView.full(root)
+        strategy = make_strategy("divide-and-query")
+        judgements = {}
+        per_query = []
+        while True:
+            before = strategy.node_visits
+            candidate = strategy.next_query(view, root, judgements)
+            per_query.append(strategy.node_visits - before)
+            if candidate is None:
+                break
+            judgements[candidate.node_id] = True
+        return per_query
+
+    def test_first_query_builds_once(self):
+        per_query = self._session_visits()
+        # Build walk + first selection: linear, not quadratic.
+        assert per_query[0] <= 4 * self.WIDTH
+
+    def test_later_queries_touch_constant_nodes(self):
+        per_query = self._session_visits()
+        # Every subsequent query: a path update plus bounded heap
+        # traffic — nowhere near the ~WIDTH visits a re-walk would cost.
+        assert per_query, "no queries issued"
+        assert max(per_query[1:]) <= 25
+
+    def test_whole_session_is_linear(self):
+        per_query = self._session_visits()
+        total = sum(per_query)
+        # The naive implementation costs ~WIDTH^2/2 (80k at width 400).
+        assert total <= 8 * self.WIDTH

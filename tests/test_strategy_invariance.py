@@ -1,0 +1,187 @@
+"""Cross-strategy invariants, property-tested (derandomized).
+
+Every search strategy must localize the same planted bug on the
+workload generators' program families; ``dq-optimal`` must never ask
+more questions than classic divide-and-query on them; and a session
+journal recorded under any strategy must replay cleanly — while a
+journal naming a strategy this build does not provide must be refused
+with a clear message (exit 2), not a confusing divergence.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.cli import main
+from repro.core import AlgorithmicDebugger, ReferenceOracle
+from repro.core.strategies import available_strategies
+from repro.pascal import analyze_source
+from repro.tracing import trace_source
+from repro.workloads import (
+    FIGURE4_FIXED_SOURCE,
+    FIGURE4_SOURCE,
+    CallChainSpec,
+    CallTreeSpec,
+    generate_call_chain_program,
+    generate_call_tree_program,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def localize(generated, strategy, enable_slicing=False):
+    trace = trace_source(generated.source)
+    oracle = ReferenceOracle(analyze_source(generated.fixed_source))
+    debugger = AlgorithmicDebugger(
+        trace, oracle, strategy=strategy, enable_slicing=enable_slicing
+    )
+    return debugger.debug()
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(
+    depth=st.integers(min_value=1, max_value=12),
+    bug_depth_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_all_strategies_agree_on_chain_bugs(depth, bug_depth_fraction):
+    bug_depth = max(1, min(depth, round(bug_depth_fraction * depth)))
+    generated = generate_call_chain_program(
+        CallChainSpec(depth=depth, bug_depth=bug_depth)
+    )
+    localized = {
+        strategy: localize(generated, strategy).bug_unit
+        for strategy in available_strategies()
+    }
+    assert set(localized.values()) == {generated.buggy_unit}, localized
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(
+    depth=st.integers(min_value=0, max_value=4),
+    leaf_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_all_strategies_agree_on_tree_bugs(depth, leaf_fraction):
+    leaves = 2**depth
+    leaf = min(leaves - 1, int(leaf_fraction * leaves))
+    generated = generate_call_tree_program(
+        CallTreeSpec(depth=depth, buggy_leaf=leaf)
+    )
+    localized = {
+        strategy: localize(generated, strategy).bug_unit
+        for strategy in available_strategies()
+    }
+    assert set(localized.values()) == {generated.buggy_unit}, localized
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(
+    depth=st.integers(min_value=1, max_value=16),
+    bug_depth_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_dq_optimal_never_worse_than_classic_on_chains(
+    depth, bug_depth_fraction
+):
+    bug_depth = max(1, min(depth, round(bug_depth_fraction * depth)))
+    generated = generate_call_chain_program(
+        CallChainSpec(depth=depth, bug_depth=bug_depth)
+    )
+    classic = localize(generated, "divide-and-query")
+    optimal = localize(generated, "dq-optimal")
+    assert classic.bug_unit == optimal.bug_unit == generated.buggy_unit
+    assert optimal.user_questions <= classic.user_questions
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(
+    depth=st.integers(min_value=0, max_value=4),
+    leaf_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_dq_optimal_never_worse_than_classic_on_trees(depth, leaf_fraction):
+    leaves = 2**depth
+    leaf = min(leaves - 1, int(leaf_fraction * leaves))
+    generated = generate_call_tree_program(
+        CallTreeSpec(depth=depth, buggy_leaf=leaf)
+    )
+    classic = localize(generated, "divide-and-query")
+    optimal = localize(generated, "dq-optimal")
+    assert classic.bug_unit == optimal.bug_unit == generated.buggy_unit
+    assert optimal.user_questions <= classic.user_questions
+
+
+class TestJournalCrossStrategy:
+    """A journal recorded under any strategy replays; an unknown one is
+    refused up front."""
+
+    @pytest.fixture()
+    def fig4(self, tmp_path):
+        path = tmp_path / "fig4.pas"
+        path.write_text(FIGURE4_SOURCE)
+        return str(path)
+
+    @pytest.fixture()
+    def fig4_fixed(self, tmp_path):
+        path = tmp_path / "fig4_fixed.pas"
+        path.write_text(FIGURE4_FIXED_SOURCE)
+        return str(path)
+
+    @pytest.mark.parametrize("strategy", available_strategies())
+    def test_record_and_replay_each_strategy(
+        self, tmp_path, fig4, fig4_fixed, strategy, capsys
+    ):
+        journal = tmp_path / f"{strategy}.jsonl"
+        assert main(
+            [
+                "debug",
+                fig4,
+                "--reference",
+                fig4_fixed,
+                "--quiet",
+                "--strategy",
+                strategy,
+                "--journal",
+                str(journal),
+            ]
+        ) == 0
+        obs.disable()
+        obs.reset()
+        assert main(["replay", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+        meta = json.loads(journal.read_text().splitlines()[0])["meta"]
+        assert meta["strategy"] == strategy
+
+    def test_unknown_strategy_in_journal_exits_2(
+        self, tmp_path, fig4, fig4_fixed, capsys
+    ):
+        journal = tmp_path / "session.jsonl"
+        assert main(
+            [
+                "debug",
+                fig4,
+                "--reference",
+                fig4_fixed,
+                "--quiet",
+                "--journal",
+                str(journal),
+            ]
+        ) == 0
+        obs.disable()
+        obs.reset()
+        lines = journal.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["meta"]["strategy"] = "quantum-bisect"
+        lines[0] = json.dumps(header)
+        journal.write_text("\n".join(lines) + "\n")
+
+        assert main(["replay", str(journal)]) == 2
+        err = capsys.readouterr().err
+        assert "quantum-bisect" in err
+        assert "does not provide" in err
