@@ -335,6 +335,32 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(f"localized: {result.bug_unit or 'no'}")
         print(obs.report.render_answer_sources(result.report()))
     snapshot = obs.snapshot()
+    goto_case_counters = {
+        name: value
+        for name, value in sorted(snapshot.get("counters", {}).items())
+        if name.startswith("transform.goto.case.")
+    }
+    if goto_case_counters:
+        print(
+            "goto cases: "
+            + ", ".join(
+                f"{n.removeprefix('transform.goto.case.')} {v}"
+                for n, v in goto_case_counters.items()
+            )
+        )
+    goto_elim_counters = {
+        name: value
+        for name, value in sorted(snapshot.get("counters", {}).items())
+        if name.startswith("transform.goto.eliminated.")
+    }
+    if goto_elim_counters:
+        print(
+            "goto eliminated: "
+            + ", ".join(
+                f"{n.removeprefix('transform.goto.eliminated.')} {v}"
+                for n, v in goto_elim_counters.items()
+            )
+        )
     compile_counters = {
         name: value
         for name, value in sorted(snapshot.get("counters", {}).items())

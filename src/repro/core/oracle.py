@@ -318,6 +318,16 @@ class ReferenceOracle:
                 value = outcome.out_values.get(binding.name, UNDEFINED)
             else:
                 value = outcome.globals_after.get(binding.name, UNDEFINED)
+            if value is UNDEFINED and binding.name not in inputs:
+                # The replay never assigned this cell and the trace did
+                # not capture its incoming value (an unread var param or
+                # global, typically on a goto-escape path). The observed
+                # output is then the passthrough of an unknown input:
+                # any value is consistent, so the binding is no evidence
+                # either way. Without this, an unmutated routine that
+                # escapes before assigning its out parameter is blamed
+                # for "changing" a value it never touched.
+                value = binding.value
             expected.append(
                 Binding(
                     binding.name,

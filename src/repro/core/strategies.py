@@ -453,7 +453,14 @@ class DivideAndQueryStrategy(_WeightedBisectionStrategy):
 
     @staticmethod
     def _key(node: ExecNode, weight: int, own: int, total: int) -> tuple:
-        return (abs(weight - total / 2), node.node_id)
+        # On equidistant candidates prefer the heavier subtree: it is
+        # the one containing the mid-weight point of the suspect set.
+        # The corpus sweep (benchmarks/run_corpus.py) caught the old
+        # node-id tie-break letting classic D&Q beat dq-optimal by luck
+        # on small trees, which broke the documented dominance
+        # invariant; with this tie-break, classic's choice coincides
+        # with dq-optimal's whenever every activation weighs 1.
+        return (abs(weight - total / 2), -weight, node.node_id)
 
 
 class OptimalDivideAndQueryStrategy(_WeightedBisectionStrategy):

@@ -12,7 +12,10 @@ cases, and test reports.
 * :mod:`repro.tgen.cases` — executable test cases and the case runner;
 * :mod:`repro.tgen.reports` — the test-report database;
 * :mod:`repro.tgen.lookup` — the debugger-facing test-case lookup
-  component (paper §5.3.2).
+  component (paper §5.3.2);
+* :mod:`repro.tgen.corpus` — the adversarial Mini-Pascal program
+  corpus feeding the goto-elimination differential harness
+  (``benchmarks/run_corpus.py``, docs/CORPUS.md).
 """
 
 from repro.tgen.spec_ast import (
@@ -41,9 +44,19 @@ from repro.tgen.lookup import (
     register_frame_selector,
 )
 from repro.tgen.menu import TerminalMenu
+from repro.tgen.corpus import (
+    CASE_PROGRAMS,
+    CorpusConfig,
+    case_program,
+    generate_program,
+    iter_corpus,
+    minimize_program,
+)
 
 __all__ = [
+    "CASE_PROGRAMS",
     "CaseRunner",
+    "CorpusConfig",
     "Category",
     "Choice",
     "FRAME_SELECTORS",
@@ -61,11 +74,15 @@ __all__ = [
     "TestSpec",
     "Verdict",
     "assign_scripts",
+    "case_program",
     "combine_verdicts",
     "frame_for_choices",
     "frames_by_script",
     "generate_frames",
+    "generate_program",
     "instantiate_cases",
+    "iter_corpus",
+    "minimize_program",
     "parse_spec",
     "register_frame_selector",
 ]

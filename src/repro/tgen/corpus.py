@@ -1,0 +1,692 @@
+"""Adversarial Mini-Pascal corpus generation.
+
+The generator emits goto-dense, globals-heavy, deeply nested programs
+for differential testing of the transformation pipeline (see
+``docs/CORPUS.md``). It is deliberately stdlib-only (seeded
+:class:`random.Random`, no hypothesis) so the corpus is importable from
+benchmarks and reproducible from a single integer seed.
+
+Every generated program is safe by construction:
+
+* **terminating** — loops are bounded ``for`` loops or counter-guarded
+  ``while`` loops, backward gotos are guarded by dedicated countdown
+  counters, and global gotos only jump forward to landing labels in the
+  program tail;
+* **defined** — every variable is assigned before any use on every
+  path (forward jumps can only skip code that is not needed by the
+  target's continuation reads... concretely: everything is initialized
+  up front);
+* **total** — division and modulo only ever see nonzero literal
+  divisors.
+
+:data:`CASE_PROGRAMS` holds one hand-written canonical program per
+taxonomy case; the files under ``tests/corpus/`` are generated from it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from random import Random
+
+__all__ = [
+    "CASE_PROGRAMS",
+    "CorpusConfig",
+    "case_program",
+    "generate_program",
+    "iter_corpus",
+    "minimize_program",
+]
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Knobs for :func:`generate_program` (documented in docs/CORPUS.md)."""
+
+    #: global integer variables shared between main and the procedures
+    globals_count: int = 4
+    #: procedures declared at the top level (each may nest one inner)
+    routines: int = 2
+    #: top-level pattern slots in the main body
+    statements: int = 8
+    #: probability that a slot emits a goto pattern rather than plain code
+    goto_density: float = 0.5
+    #: maximum structured nesting depth for plain-code slots
+    max_depth: int = 3
+    #: iteration bound for generated loops and backward-goto counters
+    max_span: int = 4
+    #: emit guarded never-taken jumps into/between blocks (the
+    #: irreducible taxonomy cases)
+    include_irreducible: bool = True
+    #: let procedures jump to landing labels in enclosing routines
+    include_global_gotos: bool = True
+
+
+def generate_program(seed: int, config: CorpusConfig | None = None) -> str:
+    """A random adversarial program, reproducible from ``seed``."""
+    return _Gen(Random(seed), config or CorpusConfig()).program(seed)
+
+
+def iter_corpus(
+    count: int, start: int = 0, config: CorpusConfig | None = None
+) -> Iterator[tuple[int, str]]:
+    """``count`` programs with seeds ``start .. start+count-1``."""
+    for seed in range(start, start + count):
+        yield seed, generate_program(seed, config)
+
+
+# ----------------------------------------------------------------------
+# the generator
+
+
+class _Gen:
+    def __init__(self, rng: Random, config: CorpusConfig):
+        self.rng = rng
+        self.config = config
+        self.globals = [f"gv{i}" for i in range(config.globals_count)]
+        self._var_counter = 0
+        self._label_counter = 9  # labels 10, 11, ... program-wide unique
+        self.extra_vars: list[str] = []
+        #: main labels reserved as global-goto landing sites
+        self.landing_labels: list[str] = []
+
+    # -- small pieces
+
+    def _fresh_var(self, prefix: str) -> str:
+        self._var_counter += 1
+        name = f"{prefix}{self._var_counter}"
+        self.extra_vars.append(name)
+        return name
+
+    def _fresh_label(self, labels: list[str]) -> str:
+        """A program-wide unique label, registered in the declaring
+        routine's ``labels`` list. Uniqueness matters: labels are
+        per-routine scoped, so a procedure reusing main's label number
+        would capture gotos meant to be global."""
+        self._label_counter += 1
+        label = str(self._label_counter)
+        labels.append(label)
+        return label
+
+    def _operand(self, names: list[str]) -> str:
+        if names and self.rng.random() < 0.7:
+            return self.rng.choice(names)
+        return str(self.rng.randint(-9, 9))
+
+    def _expr(self, names: list[str], depth: int = 2) -> str:
+        if depth == 0:
+            return self._operand(names)
+        kind = self.rng.choice(["binary", "binary", "divmod", "abs", "leaf"])
+        if kind == "leaf":
+            return self._operand(names)
+        if kind == "abs":
+            return f"abs({self._expr(names, depth - 1)})"
+        if kind == "divmod":
+            op = self.rng.choice(["div", "mod"])
+            return f"({self._expr(names, depth - 1)}) {op} {self.rng.randint(2, 7)}"
+        op = self.rng.choice(["+", "-", "*"])
+        return f"({self._expr(names, depth - 1)}) {op} ({self._expr(names, depth - 1)})"
+
+    def _cond(self, names: list[str]) -> str:
+        op = self.rng.choice(["<", "<=", ">", ">=", "=", "<>"])
+        return f"({self._expr(names, 1)}) {op} ({self._expr(names, 1)})"
+
+    def _assign(self, names: list[str]) -> str:
+        # Damped so iterated assignments in loops stay far from the
+        # interpreter's checked 64-bit range: every variable remains in
+        # (-9973, 9973), so even depth-2 products of variables fit.
+        target = self.rng.choice(names)
+        return f"{target} := ({self._expr(names)}) mod 9973"
+
+    # -- plain structured code (no gotos)
+
+    def _plain(self, names: list[str], depth: int) -> str:
+        kinds = ["assign", "assign", "assign"]
+        if depth > 0:
+            kinds += ["if", "ifelse", "for", "while"]
+        kind = self.rng.choice(kinds)
+        if kind == "assign":
+            return self._assign(names)
+        if kind == "if":
+            return (
+                f"if {self._cond(names)} then begin "
+                f"{self._plain(names, depth - 1)} end"
+            )
+        if kind == "ifelse":
+            return (
+                f"if {self._cond(names)} then begin "
+                f"{self._plain(names, depth - 1)} end else begin "
+                f"{self._plain(names, depth - 1)} end"
+            )
+        if kind == "for":
+            loop_var = self._fresh_var("ix")
+            low = self.rng.randint(0, 2)
+            high = low + self.rng.randint(0, self.config.max_span)
+            return (
+                f"for {loop_var} := {low} to {high} do begin "
+                f"{self._plain(names, depth - 1)} end"
+            )
+        counter = self._fresh_var("wc")
+        bound = self.rng.randint(1, self.config.max_span)
+        return (
+            f"begin {counter} := {bound}; while {counter} > 0 do begin "
+            f"{counter} := {counter} - 1; {self._plain(names, depth - 1)} end end"
+        )
+
+    # -- goto patterns; each returns statements for one slot and may
+    #    register labels via the `labels` list it receives
+
+    def _pat_forward(self, names: list[str], labels: list[str]) -> list[str]:
+        """forward_same_block: conditional or bare jump over plain code."""
+        label = self._fresh_label(labels)
+        out: list[str] = []
+        if self.rng.random() < 0.8:
+            out.append(f"if {self._cond(names)} then goto {label}")
+        else:
+            out.append(f"goto {label}")
+        for _ in range(self.rng.randint(1, 3)):
+            out.append(self._plain(names, 1))
+        out.append(f"{label}: {self._assign(names)}")
+        return out
+
+    def _pat_backward(self, names: list[str], labels: list[str]) -> list[str]:
+        """backward_same_block: a countdown-guarded backward jump."""
+        label = self._fresh_label(labels)
+        counter = self._fresh_var("bk")
+        return [
+            f"{counter} := {self.rng.randint(1, self.config.max_span)}",
+            f"{label}: {self._assign(names)}",
+            self._plain(names, 1),
+            f"{counter} := {counter} - 1",
+            f"if {counter} > 0 then goto {label}",
+        ]
+
+    def _pat_out_of_loop(self, names: list[str], labels: list[str]) -> list[str]:
+        """forward_out_of_loop: escape from a while loop, possibly from
+        inside a conditional nested in the loop body."""
+        label = self._fresh_label(labels)
+        counter = self._fresh_var("lc")
+        escape = f"if {self._cond(names)} then goto {label}"
+        if self.rng.random() < 0.5:
+            escape = (
+                f"if {self._cond(names)} then begin "
+                f"{self._plain(names, 0)}; {escape} end"
+            )
+        return [
+            f"{counter} := {self.rng.randint(2, self.config.max_span + 1)}",
+            f"while {counter} > 0 do begin {counter} := {counter} - 1; "
+            f"{self._plain(names, 1)}; {escape} end",
+            self._plain(names, 1),
+            f"{label}: {self._assign(names)}",
+        ]
+
+    def _pat_backward_out_of_loop(
+        self, names: list[str], labels: list[str]
+    ) -> list[str]:
+        """backward_out_of_loop: jump from a loop body back before it,
+        guarded by a countdown so the cycle is bounded."""
+        label = self._fresh_label(labels)
+        guard = self._fresh_var("bg")
+        counter = self._fresh_var("lc")
+        return [
+            f"{guard} := {self.rng.randint(1, 3)}",
+            f"{label}: {guard} := {guard} - 1",
+            f"{counter} := {self.rng.randint(1, self.config.max_span)}",
+            f"while {counter} > 0 do begin {counter} := {counter} - 1; "
+            f"{self._plain(names, 1)}; "
+            f"if {guard} > 0 then goto {label} end",
+        ]
+
+    def _pat_out_of_cond(self, names: list[str], labels: list[str]) -> list[str]:
+        """forward_out_of_cond: jump from inside nested conditionals."""
+        label = self._fresh_label(labels)
+        inner = f"if {self._cond(names)} then goto {label}"
+        body = f"begin {self._plain(names, 0)}; {inner} end"
+        if self.rng.random() < 0.4:
+            body = f"begin if {self._cond(names)} then {body} end"
+        return [
+            f"if {self._cond(names)} then {body}",
+            self._plain(names, 1),
+            f"{label}: {self._assign(names)}",
+        ]
+
+    def _pat_multi_goto(self, names: list[str], labels: list[str]) -> list[str]:
+        """multi_goto_label: several jumps converging on one label."""
+        label = self._fresh_label(labels)
+        out: list[str] = []
+        for _ in range(self.rng.randint(2, 3)):
+            out.append(f"if {self._cond(names)} then goto {label}")
+            out.append(self._plain(names, 1))
+        out.append(f"{label}: {self._assign(names)}")
+        return out
+
+    def _pat_irreducible(self, names: list[str], labels: list[str]) -> list[str]:
+        """Guarded never-taken jumps into / between blocks. The guard
+        variable is pinned to 0 right before the jump, so the goto is
+        dynamically dead but statically a full into-block/sibling case."""
+        label = self._fresh_label(labels)
+        guard = self._fresh_var("nv")
+        shape = self.rng.choice(["into", "sibling", "backward_into"])
+        pin = f"{guard} := 0"
+        jump = f"if {guard} = 1 then goto {label}"
+        target_block = (
+            f"begin {self._plain(names, 0)}; "
+            f"{label}: {self._plain(names, 0)} end"
+        )
+        if shape == "into":
+            return [pin, jump, self._plain(names, 1), target_block]
+        if shape == "sibling":
+            return [
+                pin,
+                f"begin {self._plain(names, 0)}; {jump} end",
+                target_block,
+            ]
+        return [pin, target_block, self._plain(names, 1), jump]
+
+    # -- routines
+
+    def _procedure(
+        self, index: int, callables: list[str], nested: bool
+    ) -> str:
+        """One procedure; reads/writes globals, may carry local gotos, a
+        nested inner procedure, and global gotos to landing labels."""
+        config = self.config
+        name = f"proc{index}"
+        labels: list[str] = []
+        local = f"loc{index}"
+        names = self.globals + [local, "r"]
+        body: list[str] = [
+            f"{local} := (a + {self.rng.choice(self.globals)}) mod 9973"
+        ]
+        saved_vars = self.extra_vars
+        self.extra_vars = []
+
+        inner_text = ""
+        if nested:
+            # the inner procedure jumps to the outer's landing label
+            # (one global level) or straight to main (two levels).
+            outer_landing = self._fresh_label(labels)
+            inner_targets = [outer_landing]
+            if config.include_global_gotos and self.landing_labels:
+                inner_targets.append(self.rng.choice(self.landing_labels))
+            target = self.rng.choice(inner_targets)
+            inner_text = (
+                f"procedure inner{index}(k: integer);\n"
+                "begin\n"
+                f"  {local} := {local} + k;\n"
+                f"  if {local} > {self.rng.randint(6, 12)} then goto {target}\n"
+                "end;\n"
+            )
+            body.append(f"inner{index}({self.rng.randint(1, 3)})")
+            body.append(self._plain(names, 1))
+            body.append(f"{outer_landing}: {local} := {local} + 1")
+
+        body.append(self._assign(names))
+        if config.include_global_gotos and self.landing_labels:
+            target = self.rng.choice(self.landing_labels)
+            escape = f"if {self._cond(names)} then goto {target}"
+            if self.rng.random() < 0.5:
+                # global_out_of_loop: the global escape fires inside a loop
+                counter = self._fresh_var("pc")
+                body.append(
+                    f"{counter} := {self.rng.randint(1, config.max_span)}"
+                )
+                body.append(
+                    f"while {counter} > 0 do begin {counter} := {counter} - 1; "
+                    f"{self._plain(names, 0)}; {escape} end"
+                )
+            else:
+                body.append(escape)
+        if callables and self.rng.random() < 0.6:
+            body.append(f"{self.rng.choice(callables)}({self._expr(names, 1)}, r)")
+        if self.rng.random() < 0.5:
+            body.extend(self._pat_forward(names, labels))
+        writable = self.rng.choice(self.globals)
+        body.append(f"{writable} := ({writable} + {local}) mod 9973")
+        body.append(f"r := ({self._expr(names, 1)}) mod 9973")
+
+        local_vars = [local] + self.extra_vars
+        self.extra_vars = saved_vars
+        label_decl = f"label {', '.join(labels)};\n" if labels else ""
+        return (
+            f"procedure {name}(a: integer; var r: integer);\n"
+            f"{label_decl}"
+            f"var {', '.join(local_vars)}: integer;\n"
+            f"{inner_text}"
+            "begin\n  "
+            + ";\n  ".join(body)
+            + "\nend;\n"
+        )
+
+    def program(self, seed: int) -> str:
+        config = self.config
+        rng = self.rng
+        main_labels: list[str] = []
+        # landing labels live in the program tail; reserve them first so
+        # procedures can target them.
+        if config.include_global_gotos:
+            for _ in range(max(1, config.routines // 2)):
+                self.landing_labels.append(self._fresh_label(main_labels))
+
+        procedures: list[str] = []
+        callables: list[str] = []
+        for index in range(config.routines):
+            # the inner->outer jump is itself a global goto, so nesting
+            # is only available when global gotos are enabled
+            nested = (
+                index == 0
+                and config.routines > 0
+                and config.include_global_gotos
+                and rng.random() < 0.6
+            )
+            procedures.append(self._procedure(index, list(callables), nested))
+            callables.append(f"proc{index}")
+
+        names = list(self.globals)
+        body: list[str] = [
+            f"{name} := {rng.randint(-5, 5)}" for name in self.globals
+        ]
+        patterns: list[Callable[[list[str], list[str]], list[str]]] = [
+            self._pat_forward,
+            self._pat_backward,
+            self._pat_out_of_loop,
+            self._pat_backward_out_of_loop,
+            self._pat_out_of_cond,
+            self._pat_multi_goto,
+        ]
+        if config.include_irreducible:
+            patterns.append(self._pat_irreducible)
+        body.append("res := 0")
+        for _ in range(config.statements):
+            if rng.random() < config.goto_density:
+                body.extend(rng.choice(patterns)(names, main_labels))
+            elif callables and rng.random() < 0.4:
+                body.append(f"{rng.choice(callables)}({self._expr(names, 1)}, res)")
+                body.append(f"{rng.choice(self.globals)} := res")
+            else:
+                body.append(self._plain(names, config.max_depth))
+        # the tail: landing labels, then observable output
+        for label in self.landing_labels:
+            body.append(f"{label}: res := res + 1")
+        for name in self.globals + ["res"]:
+            body.append(f"writeln({name})")
+
+        label_decl = (
+            f"label {', '.join(main_labels)};\n" if main_labels else ""
+        )
+        var_names = self.globals + ["res"] + self.extra_vars
+        return (
+            f"program corpus{seed};\n"
+            f"{label_decl}"
+            f"var {', '.join(var_names)}: integer;\n"
+            + "\n".join(procedures)
+            + "\nbegin\n  "
+            + ";\n  ".join(body)
+            + "\nend.\n"
+        )
+
+
+# ----------------------------------------------------------------------
+# canonical per-case programs (committed under tests/corpus/)
+
+CASE_PROGRAMS: dict[str, str] = {
+    "forward_same_block": """\
+program fwdsame;
+label 10;
+var x, y: integer;
+begin
+  x := 3;
+  y := 0;
+  if x > 2 then goto 10;
+  y := 99;
+10: y := y + x;
+  writeln(x);
+  writeln(y)
+end.
+""",
+    "backward_same_block": """\
+program bwdsame;
+label 10;
+var i, s: integer;
+begin
+  i := 0;
+  s := 0;
+10: i := i + 1;
+  s := s + i;
+  if i < 5 then goto 10;
+  writeln(s)
+end.
+""",
+    "forward_out_of_cond": """\
+program fwdcond;
+label 10;
+var x, y: integer;
+begin
+  x := 4;
+  y := 1;
+  if x > 0 then begin
+    y := y + 1;
+    if x > 3 then goto 10;
+    y := y + 10
+  end;
+  y := y + 100;
+10: writeln(y)
+end.
+""",
+    "backward_out_of_cond": """\
+program bwdcond;
+label 10;
+var n, s: integer;
+begin
+  n := 3;
+  s := 0;
+10: s := s + n;
+  n := n - 1;
+  if s < 50 then begin
+    s := s + 1;
+    if n > 0 then goto 10
+  end;
+  writeln(s)
+end.
+""",
+    "forward_out_of_loop": """\
+program fwdloop;
+label 10;
+var i, s: integer;
+begin
+  s := 0;
+  i := 6;
+  while i > 0 do begin
+    i := i - 1;
+    s := s + i;
+    if s > 7 then goto 10;
+    s := s + 1
+  end;
+  s := -s;
+10: writeln(i);
+  writeln(s)
+end.
+""",
+    "backward_out_of_loop": """\
+program bwdloop;
+label 10;
+var g, c, s: integer;
+begin
+  g := 2;
+  s := 0;
+10: g := g - 1;
+  c := 3;
+  while c > 0 do begin
+    c := c - 1;
+    s := s + 1;
+    if g > 0 then goto 10
+  end;
+  writeln(s)
+end.
+""",
+    "forward_into_block": """\
+program fwdinto;
+label 10;
+var v, w: integer;
+begin
+  v := 0;
+  if v = 1 then goto 10;
+  w := 5;
+  begin
+    w := w + 1;
+10: w := w + 2
+  end;
+  writeln(w)
+end.
+""",
+    "backward_into_block": """\
+program bwdinto;
+label 10;
+var v, w: integer;
+begin
+  v := 0;
+  begin
+    w := 1;
+10: w := w + 3
+  end;
+  w := w * 2;
+  if v = 1 then goto 10;
+  writeln(w)
+end.
+""",
+    "sibling_blocks": """\
+program sibling;
+label 10;
+var v, w: integer;
+begin
+  v := 0;
+  begin
+    w := 2;
+    if v = 1 then goto 10
+  end;
+  begin
+    w := w + 5;
+10: w := w + 7
+  end;
+  writeln(w)
+end.
+""",
+    "global_out_of_routine": """\
+program glbroutine;
+label 90;
+var g: integer;
+
+procedure escape(k: integer);
+begin
+  g := g + k;
+  if g > 4 then goto 90
+end;
+
+begin
+  g := 0;
+  escape(2);
+  escape(3);
+  escape(5);
+  g := -100;
+90: writeln(g)
+end.
+""",
+    "global_out_of_loop": """\
+program glbloop;
+label 90;
+var g: integer;
+
+procedure drain(k: integer);
+var c: integer;
+begin
+  c := k;
+  while c > 0 do begin
+    c := c - 1;
+    g := g + 2;
+    if g > 6 then goto 90
+  end
+end;
+
+begin
+  g := 1;
+  drain(5);
+  g := -100;
+90: writeln(g)
+end.
+""",
+    "multi_goto_label": """\
+program multigoto;
+label 10;
+var x, y: integer;
+begin
+  x := 2;
+  y := 0;
+  if x > 5 then goto 10;
+  y := y + 1;
+  if x > 1 then goto 10;
+  y := y + 10;
+10: y := y + 100;
+  writeln(y)
+end.
+""",
+}
+
+
+def case_program(case: object) -> str:
+    """The canonical program for a taxonomy case (enum member or name)."""
+    key = getattr(case, "value", case)
+    return CASE_PROGRAMS[str(key)]
+
+
+# ----------------------------------------------------------------------
+# minimization
+
+
+def minimize_program(
+    source: str, still_fails: Callable[[str], bool], max_rounds: int = 20
+) -> str:
+    """Shrink a failing program by line deletion (ddmin-style).
+
+    Repeatedly deletes contiguous line chunks (halving the chunk size
+    down to single lines); a candidate is accepted when it still parses
+    and analyzes cleanly AND ``still_fails`` returns True for it. The
+    predicate should capture the complete failure condition (e.g. "the
+    transformed output differs from the original output").
+    """
+    from repro.pascal import analyze, parse_program
+
+    def valid(candidate: str) -> bool:
+        try:
+            analyze(parse_program(candidate))
+        except Exception:
+            return False
+        return True
+
+    lines = source.splitlines()
+    for _ in range(max_rounds):
+        shrunk = False
+        chunk = max(len(lines) // 2, 1)
+        while chunk >= 1:
+            start = 0
+            while start < len(lines):
+                candidate_lines = lines[:start] + lines[start + chunk :]
+                candidate = _rejoin(candidate_lines)
+                if valid(candidate) and still_fails(candidate):
+                    lines = candidate_lines
+                    shrunk = True
+                else:
+                    start += chunk
+            chunk //= 2
+        if not shrunk:
+            break
+    return _rejoin(lines)
+
+
+def _rejoin(lines: list[str]) -> str:
+    """Glue candidate lines back into parseable text, tolerating the
+    dangling separators line deletion leaves behind."""
+    text = "\n".join(lines)
+    # `x := 1;\n<deleted>\ny := 2` leaves `;` before `end` etc. — the
+    # parser tolerates empty statements, so no fixup is needed here;
+    # callers rely on the validity check instead.
+    return text + ("\n" if not text.endswith("\n") else "")

@@ -1,6 +1,14 @@
-"""Goto restructuring (paper §6).
+"""Goto restructuring (paper §6), organized as classify-then-reduce.
 
-Two transformations:
+Every goto-label pair is first classified by
+:mod:`repro.transform.goto_taxonomy`; three reduction passes then handle
+the reducible cases, each counting what it eliminated per case:
+
+* :func:`reduce_structured_gotos` — same-block gotos become structured
+  control flow: a forward conditional goto (``if c then goto L``) whose
+  skipped statements define no labels becomes an inverted conditional
+  over those statements, and a backward conditional goto that is its
+  label's only source becomes a ``repeat ... until not c`` loop.
 
 * :func:`eliminate_loop_gotos` — a goto jumping from inside a while/repeat
   /for loop to a label outside the loop becomes a flag-guarded exit: the
@@ -19,7 +27,8 @@ Two transformations:
 Function routines with exit side effects cannot be rewritten this way
 (statements cannot be inserted after a call embedded in an expression);
 they are reported in ``warnings`` and left untouched, as is any remaining
-construct the paper's method excludes.
+construct the paper's method excludes (``*_into_block`` and
+``sibling_blocks`` jumps — see ``docs/CORPUS.md`` for the taxonomy).
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from dataclasses import dataclass, field
 from repro.pascal import ast_nodes as ast
 from repro.pascal.semantics import AnalyzedProgram, RoutineInfo
 from repro.pascal.symbols import Symbol, SymbolKind
+from repro.transform.goto_taxonomy import GotoCase, carried_gotos, classify_routine
 from repro.transform.mapping import SourceMap
 from repro.transform.rewriter import Rewriter
 
@@ -41,6 +51,17 @@ class GotoEliminationResult:
     warnings: list[str] = field(default_factory=list)
     #: routine name -> exitcond parameter name (global-goto rounds)
     exit_params: dict[str, str] = field(default_factory=dict)
+    #: taxonomy case name -> gotos this pass eliminated
+    eliminated: dict[str, int] = field(default_factory=dict)
+
+
+def _classification_map(analysis: AnalyzedProgram) -> dict[int, GotoCase]:
+    """goto node id -> taxonomy case, for every goto in the program."""
+    cases: dict[int, GotoCase] = {}
+    for info in analysis.all_routines():
+        for pair in classify_routine(analysis, info):
+            cases[pair.goto_id] = pair.case
+    return cases
 
 
 # ----------------------------------------------------------------------
@@ -98,6 +119,8 @@ class _LoopGotoRewriter(Rewriter):
         super().__init__(analysis)
         self.changed = False
         self.warnings: list[str] = []
+        self.eliminated: dict[str, int] = {}
+        self._cases = _classification_map(analysis)
         self._reserved_labels: set[str] = set()
         self._counter = _highest_gadt_counter(analysis.program)
         #: declarations to add per original block node id
@@ -176,6 +199,12 @@ class _LoopGotoRewriter(Rewriter):
     ) -> list[ast.Stmt]:
         """The paper's flag-guarded rewrite, generalized to several targets."""
         self.changed = True
+        for goto in escaping:
+            # Synthesized cascade jumps from an enclosing loop's rewrite
+            # are not in the map; the original goto was already counted.
+            case = self._cases.get(goto.node_id)
+            if case is not None:
+                self.eliminated[case.value] = self.eliminated.get(case.value, 0) + 1
         self._counter += 1
         leave = f"gadt_leave_{self._counter}"
         exit_label = _fresh_label(self.analysis, self._reserved_labels)
@@ -384,6 +413,7 @@ def eliminate_loop_gotos(analysis: AnalyzedProgram) -> GotoEliminationResult:
         source_map=rewriter.source_map,
         changed=rewriter.changed,
         warnings=rewriter.warnings,
+        eliminated=rewriter.eliminated,
     )
 
 
@@ -399,6 +429,8 @@ class _GlobalGotoRewriter(Rewriter):
         self.changed = False
         self.warnings: list[str] = []
         self.exit_params: dict[str, str] = {}
+        self.eliminated: dict[str, int] = {}
+        self._cases = _classification_map(analysis)
         self._reserved_labels: set[str] = set()
         #: affected routine symbol -> (param name, exit label, {label name -> code})
         self._plans: dict[Symbol, tuple[str, str, dict[str, int]]] = {}
@@ -511,6 +543,8 @@ class _GlobalGotoRewriter(Rewriter):
             plan is not None
             and self.analysis.goto_is_global.get(stmt.node_id, False)
         ):
+            case = self._cases.get(stmt.node_id, GotoCase.GLOBAL_OUT_OF_ROUTINE)
+            self.eliminated[case.value] = self.eliminated.get(case.value, 0) + 1
             param_name, exit_label, codes = plan
             assign = ast.Assign(
                 target=ast.VarRef(name=param_name),
@@ -595,4 +629,285 @@ def break_global_gotos(analysis: AnalyzedProgram) -> GotoEliminationResult:
         changed=rewriter.changed,
         warnings=rewriter.warnings,
         exit_params=rewriter.exit_params,
+        eliminated=rewriter.eliminated,
+    )
+
+
+# ----------------------------------------------------------------------
+# same-block (structured) gotos
+
+
+def _defines_labels(stmts: list[ast.Stmt]) -> bool:
+    """True if any statement in ``stmts`` defines a label at any depth."""
+    return any(
+        child.label is not None
+        for stmt in stmts
+        for child in ast.iter_statements(stmt)
+    )
+
+
+def _expr_is_pure_total(expr: ast.Expr) -> bool:
+    """True when evaluating ``expr`` cannot have effects or fail: no
+    function calls, no array indexing, and division only by nonzero
+    literals. Such an expression may be dropped outright."""
+    for node in expr.walk():
+        if isinstance(node, (ast.FuncCall, ast.IndexedRef)):
+            return False
+        if isinstance(node, ast.BinaryOp) and node.op in ("div", "mod"):
+            divisor = node.right
+            if not (isinstance(divisor, ast.IntLiteral) and divisor.value != 0):
+                return False
+    return True
+
+
+class _StructuredGotoRewriter(Rewriter):
+    """Reduces same-block gotos to structured control flow.
+
+    Two reductions, both driven by statement-list scanning:
+
+    * *forward*: ``if c then goto L; mid...; L: s`` — when ``mid``
+      defines no labels, the skipped statements move into an inverted
+      conditional: ``if not c then begin mid... end; L: s``. A bare
+      forward ``goto L`` instead deletes the unreachable ``mid``.
+    * *backward*: ``L: s...; if c then goto L`` — when the goto is the
+      label's only source anywhere in the program and the region defines
+      no other top-level labels, the region becomes
+      ``L: repeat s... until not c``.
+    """
+
+    def __init__(self, analysis: AnalyzedProgram):
+        super().__init__(analysis)
+        self.changed = False
+        self.warnings: list[str] = []
+        self.eliminated: dict[str, int] = {}
+        self._cases = _classification_map(analysis)
+        #: label symbol id -> total gotos targeting it, program-wide
+        self._target_counts: dict[int, int] = {}
+        for goto_id, symbol in analysis.goto_target.items():
+            self._target_counts[id(symbol)] = (
+                self._target_counts.get(id(symbol), 0) + 1
+            )
+        self._routine_stack: list[RoutineInfo] = []
+
+    # -- context tracking
+
+    def rewrite_routine(self, decl: ast.RoutineDecl) -> ast.RoutineDecl:
+        info = next(
+            info for info in self.analysis.user_routines() if info.decl is decl
+        )
+        self._routine_stack.append(info)
+        try:
+            return super().rewrite_routine(decl)
+        finally:
+            self._routine_stack.pop()
+
+    def _current_info(self) -> RoutineInfo:
+        return self._routine_stack[-1] if self._routine_stack else self.analysis.main
+
+    def _count(self, case: GotoCase) -> None:
+        self.changed = True
+        self.eliminated[case.value] = self.eliminated.get(case.value, 0) + 1
+
+    # -- pattern scanning
+
+    def rewrite_stmt_list(self, statements: list[ast.Stmt]) -> list[ast.Stmt]:
+        result: list[ast.Stmt] = []
+        index = 0
+        while index < len(statements):
+            replacement = self._try_reduce(statements, index)
+            if replacement is not None:
+                new_stmts, resume = replacement
+                result.extend(new_stmts)
+                index = resume
+                continue
+            rewritten = self.rewrite_stmt(statements[index])
+            if isinstance(rewritten, list):
+                result.extend(rewritten)
+            else:
+                result.append(rewritten)
+            index += 1
+        return result
+
+    def _try_reduce(
+        self, statements: list[ast.Stmt], index: int
+    ) -> tuple[list[ast.Stmt], int] | None:
+        stmt = statements[index]
+        reduced = self._try_forward_conditional(statements, index, stmt)
+        if reduced is not None:
+            return reduced
+        reduced = self._try_forward_bare(statements, index, stmt)
+        if reduced is not None:
+            return reduced
+        if stmt.label is not None:
+            return self._try_backward_repeat(statements, index, stmt)
+        return None
+
+    def _label_index(
+        self, statements: list[ast.Stmt], target: str, start: int
+    ) -> int | None:
+        for position in range(start, len(statements)):
+            if statements[position].label == target:
+                return position
+        return None
+
+    # -- forward conditional: if c then goto L  /  if c then s else goto L
+
+    def _try_forward_conditional(
+        self, statements: list[ast.Stmt], index: int, stmt: ast.Stmt
+    ) -> tuple[list[ast.Stmt], int] | None:
+        carried = carried_gotos(stmt)
+        if len(carried) != 1 or not isinstance(stmt, ast.If):
+            return None
+        goto = carried[0]
+        if self.analysis.goto_is_global.get(goto.node_id, False):
+            return None
+        target_at = self._label_index(statements, goto.target, index + 1)
+        if target_at is None:
+            return None
+        intermediates = statements[index + 1 : target_at]
+        if _defines_labels(intermediates):
+            return None
+        in_then = self._branch_is_goto(stmt.then_branch, goto)
+        other_branch = stmt.else_branch if in_then else stmt.then_branch
+        if other_branch is not None and not in_then and stmt.else_branch is None:
+            return None  # defensive; cannot happen
+        if not intermediates and other_branch is None:
+            # `if c then goto L; L: s` — the jump is a no-op; drop the
+            # conditional when evaluating c cannot have effects.
+            if not _expr_is_pure_total(stmt.condition):
+                return None
+            if stmt.label is not None:
+                keep: ast.Stmt = ast.EmptyStmt(
+                    label=stmt.label, location=stmt.location
+                )
+                self.source_map.record(keep, stmt)
+                self._count(GotoCase.FORWARD_SAME_BLOCK)
+                return [keep], target_at
+            self._count(GotoCase.FORWARD_SAME_BLOCK)
+            return [], target_at
+        condition = self.rewrite_expr(stmt.condition)
+        if in_then:
+            condition = ast.UnaryOp(op="not", operand=condition)
+            self.source_map.record_synthesized(condition)
+        body: list[ast.Stmt] = []
+        if other_branch is not None:
+            rewritten_other = self.rewrite_stmt(other_branch)
+            body.extend(
+                rewritten_other
+                if isinstance(rewritten_other, list)
+                else [rewritten_other]
+            )
+        body.extend(self.rewrite_stmt_list(intermediates))
+        guarded_body: ast.Stmt
+        if len(body) == 1 and isinstance(body[0], ast.Compound):
+            guarded_body = body[0]
+        else:
+            guarded_body = ast.Compound(statements=body)
+            self.source_map.record_synthesized(guarded_body)
+        replacement = ast.If(
+            condition=condition,
+            then_branch=guarded_body,
+            location=stmt.location,
+            label=stmt.label,
+        )
+        self.source_map.record(replacement, stmt)
+        self._count(GotoCase.FORWARD_SAME_BLOCK)
+        return [replacement], target_at
+
+    def _branch_is_goto(self, branch: ast.Stmt | None, goto: ast.Goto) -> bool:
+        if branch is None:
+            return False
+        if branch is goto:
+            return True
+        return (
+            isinstance(branch, ast.Compound)
+            and len(branch.statements) == 1
+            and branch.statements[0] is goto
+        )
+
+    # -- forward bare goto: unreachable straight-line code
+
+    def _try_forward_bare(
+        self, statements: list[ast.Stmt], index: int, stmt: ast.Stmt
+    ) -> tuple[list[ast.Stmt], int] | None:
+        if not isinstance(stmt, ast.Goto):
+            return None
+        if self.analysis.goto_is_global.get(stmt.node_id, False):
+            return None
+        target_at = self._label_index(statements, stmt.target, index + 1)
+        if target_at is None:
+            return None
+        intermediates = statements[index + 1 : target_at]
+        if _defines_labels(intermediates):
+            return None
+        self._count(GotoCase.FORWARD_SAME_BLOCK)
+        if stmt.label is not None:
+            # `M: goto L` — keep M as an empty landing site.
+            keep = ast.EmptyStmt(label=stmt.label, location=stmt.location)
+            self.source_map.record(keep, stmt)
+            return [keep], target_at
+        return [], target_at
+
+    # -- backward conditional goto: region becomes repeat..until
+
+    def _try_backward_repeat(
+        self, statements: list[ast.Stmt], index: int, labeled: ast.Stmt
+    ) -> tuple[list[ast.Stmt], int] | None:
+        label = labeled.label
+        info = self._current_info()
+        symbol = info.labels.get(label)
+        if symbol is None or self._target_counts.get(id(symbol), 0) != 1:
+            return None  # label shared, global-targeted, or unused
+        for position in range(index + 1, len(statements)):
+            candidate = statements[position]
+            if candidate.label is not None:
+                return None  # another top-level label inside the region
+            if (
+                isinstance(candidate, ast.If)
+                and candidate.else_branch is None
+            ):
+                carried = carried_gotos(candidate)
+                if len(carried) == 1 and carried[0].target == label:
+                    if self.analysis.goto_is_global.get(
+                        carried[0].node_id, False
+                    ):
+                        return None
+                    return self._build_repeat(
+                        statements, index, position, candidate
+                    )
+        return None
+
+    def _build_repeat(
+        self,
+        statements: list[ast.Stmt],
+        label_at: int,
+        goto_at: int,
+        carrier: ast.If,
+    ) -> tuple[list[ast.Stmt], int]:
+        body = self.rewrite_stmt_list(statements[label_at:goto_at])
+        label = statements[label_at].label
+        body[0].label = None
+        condition = ast.UnaryOp(op="not", operand=self.rewrite_expr(carrier.condition))
+        self.source_map.record_synthesized(condition)
+        loop = ast.Repeat(
+            body=body,
+            condition=condition,
+            location=statements[label_at].location,
+            label=label,
+        )
+        self.source_map.record(loop, carrier)
+        self._count(GotoCase.BACKWARD_SAME_BLOCK)
+        return [loop], goto_at + 1
+
+
+def reduce_structured_gotos(analysis: AnalyzedProgram) -> GotoEliminationResult:
+    """Rewrite same-block gotos into structured conditionals and loops."""
+    rewriter = _StructuredGotoRewriter(analysis)
+    program = rewriter.rewrite_program()
+    return GotoEliminationResult(
+        program=program,
+        source_map=rewriter.source_map,
+        changed=rewriter.changed,
+        warnings=rewriter.warnings,
+        eliminated=rewriter.eliminated,
     )

@@ -1,0 +1,371 @@
+"""Classify-then-reduce goto taxonomy (paper §6, bastors-style).
+
+The paper's transformation front-end only works if every goto the
+debugger will ever meet falls into a case some reduction pass knows how
+to handle. This module makes the case analysis *explicit*: every
+goto-label pair in a program is classified along three axes —
+
+* **direction** — the goto occurs before (*forward*) or after
+  (*backward*) its target label in document order;
+* **block relation** — goto and label share a statement list (*same
+  block*), the label's list is an ancestor of the goto's (*ancestor
+  block*: the goto jumps outward, possibly crossing loops and
+  conditionals), the goto's list is an ancestor of the label's (*into
+  block*: the jump would enter a nested construct), or neither encloses
+  the other (*sibling blocks*);
+* **routine relation** — local, or *global* (the label lives in a
+  lexically enclosing routine, so the jump unwinds call frames).
+
+The classification drives the reduction passes in
+:mod:`repro.transform.goto_elimination` and produces the per-case
+counters surfaced by ``repro stats`` and
+:class:`repro.transform.TransformedProgram`. Cases whose jumps would
+*enter* a block (``*_into_block``, ``sibling_blocks``) are irreducible
+and dynamically illegal in this dialect — executing one unwinds past the
+target and escapes — but they are statically legal, so the classifier
+names them and the corpus pins them (guarded so they never fire).
+
+See ``docs/CORPUS.md`` for the full taxonomy table with one example
+program per case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.pascal import ast_nodes as ast
+from repro.pascal.semantics import AnalyzedProgram, RoutineInfo
+
+
+class GotoCase(str, Enum):
+    """One taxonomy case for a goto-label pair."""
+
+    FORWARD_SAME_BLOCK = "forward_same_block"
+    BACKWARD_SAME_BLOCK = "backward_same_block"
+    FORWARD_OUT_OF_COND = "forward_out_of_cond"
+    BACKWARD_OUT_OF_COND = "backward_out_of_cond"
+    FORWARD_OUT_OF_LOOP = "forward_out_of_loop"
+    BACKWARD_OUT_OF_LOOP = "backward_out_of_loop"
+    FORWARD_INTO_BLOCK = "forward_into_block"
+    BACKWARD_INTO_BLOCK = "backward_into_block"
+    SIBLING_BLOCKS = "sibling_blocks"
+    GLOBAL_OUT_OF_ROUTINE = "global_out_of_routine"
+    GLOBAL_OUT_OF_LOOP = "global_out_of_loop"
+
+    def __str__(self) -> str:  # counters print as bare case names
+        return self.value
+
+
+#: cases the reduction passes rewrite (everything else is either already
+#: structured — the interpreter executes it directly — or irreducible)
+REDUCIBLE_CASES = frozenset(
+    {
+        GotoCase.FORWARD_SAME_BLOCK,
+        GotoCase.BACKWARD_SAME_BLOCK,
+        GotoCase.FORWARD_OUT_OF_LOOP,
+        GotoCase.BACKWARD_OUT_OF_LOOP,
+        GotoCase.GLOBAL_OUT_OF_ROUTINE,
+        GotoCase.GLOBAL_OUT_OF_LOOP,
+    }
+)
+
+#: cases that are statically classifiable but dynamically illegal here:
+#: a goto can only unwind outward to a statement list on the execution
+#: stack, never *enter* a nested block
+IRREDUCIBLE_CASES = frozenset(
+    {
+        GotoCase.FORWARD_INTO_BLOCK,
+        GotoCase.BACKWARD_INTO_BLOCK,
+        GotoCase.SIBLING_BLOCKS,
+    }
+)
+
+
+@dataclass(frozen=True)
+class GotoClassification:
+    """The classified shape of one goto-label pair."""
+
+    routine: str
+    target: str
+    case: GotoCase
+    #: loops (while/repeat/for) the jump exits within its routine
+    loops_exited: int = 0
+    #: conditionals (if-branches) the jump exits within its routine
+    conds_exited: int = 0
+    #: routine frames the jump unwinds (0 for local gotos)
+    routines_exited: int = 0
+    #: the target label is shared with at least one other goto
+    shared_label: bool = False
+    goto_id: int = field(default=-1, compare=False)
+
+
+@dataclass
+class TaxonomyReport:
+    """Classification of every goto-label pair in a program."""
+
+    pairs: list[GotoClassification] = field(default_factory=list)
+    #: labels targeted by two or more gotos, per routine
+    multi_goto_labels: int = 0
+
+    def counts(self) -> dict[str, int]:
+        """Per-case pair counts plus the multi-goto-label count."""
+        result: dict[str, int] = {}
+        for pair in self.pairs:
+            result[pair.case.value] = result.get(pair.case.value, 0) + 1
+        if self.multi_goto_labels:
+            result["multi_goto_label"] = self.multi_goto_labels
+        return result
+
+    def total(self) -> int:
+        return len(self.pairs)
+
+
+# ----------------------------------------------------------------------
+# statement-list chains
+
+
+def _chains_of(body: ast.Compound) -> dict[int, tuple]:
+    """Map every statement's node id to its *chain*: the sequence of
+    (container statement-list id, enclosing construct) hops from the
+    routine body down to the list directly containing the statement.
+
+    Two statements are in the *same block* when their chains are equal;
+    one chain being a strict prefix of the other means enclosure.
+    """
+    chains: dict[int, tuple] = {}
+    fresh = iter(range(1 << 30))  # one stable id per statement list
+
+    def visit(statements: list[ast.Stmt], chain: tuple, list_id: int) -> None:
+        here = chain + ((list_id, None),)
+        for stmt in statements:
+            chains[stmt.node_id] = here
+            if isinstance(stmt, ast.Compound):
+                visit(stmt.statements, _mark(here, stmt, "block"), next(fresh))
+            elif isinstance(stmt, ast.If):
+                marked = _mark(here, stmt, "cond")
+                visit(_as_list(stmt.then_branch), marked, next(fresh))
+                if stmt.else_branch is not None:
+                    visit(_as_list(stmt.else_branch), marked, next(fresh))
+            elif isinstance(stmt, ast.While):
+                visit(_as_list(stmt.body), _mark(here, stmt, "loop"), next(fresh))
+            elif isinstance(stmt, ast.Repeat):
+                visit(stmt.body, _mark(here, stmt, "loop"), next(fresh))
+            elif isinstance(stmt, ast.For):
+                visit(_as_list(stmt.body), _mark(here, stmt, "loop"), next(fresh))
+
+    def _mark(chain: tuple, stmt: ast.Stmt, kind: str) -> tuple:
+        # Replace the terminal hop with one naming the construct the
+        # nested list hangs off, so exits can be counted by kind. Each
+        # nested path gets its own copy, so a shared hop names the
+        # construct leading toward *that* path's next hop.
+        return chain[:-1] + ((chain[-1][0], (stmt.node_id, kind)),)
+
+    def _as_list(stmt: ast.Stmt) -> list[ast.Stmt]:
+        return stmt.statements if isinstance(stmt, ast.Compound) else [stmt]
+
+    visit(body.statements, (), next(fresh))
+    return chains
+
+
+def _document_order(body: ast.Compound) -> dict[int, int]:
+    return {
+        stmt.node_id: index
+        for index, stmt in enumerate(ast.iter_statements(body))
+    }
+
+
+def _label_definitions(body: ast.Compound) -> dict[str, ast.Stmt]:
+    return {
+        stmt.label: stmt
+        for stmt in ast.iter_statements(body)
+        if stmt.label is not None
+    }
+
+
+def _count_kinds(hops: tuple) -> tuple[int, int]:
+    loops = conds = 0
+    for _list_id, construct in hops:
+        if construct is None:
+            continue
+        _stmt_id, kind = construct
+        if kind == "loop":
+            loops += 1
+        elif kind == "cond":
+            conds += 1
+    return loops, conds
+
+
+def _exits_between(chain: tuple, prefix_len: int) -> tuple[int, int]:
+    """(loops, conds) crossed leaving ``chain``'s list for the list at
+    hop ``prefix_len - 1``. The construct marker lives on the hop
+    *above* each nested list, so the divergence hop itself is included
+    and the terminal hop (construct always None) is not."""
+    return _count_kinds(chain[max(prefix_len - 1, 0) : -1])
+
+
+def _nesting(chain: tuple) -> tuple[int, int]:
+    """(loops, conds) the chain's statement is nested inside."""
+    return _count_kinds(chain[:-1])
+
+
+def _common_prefix_len(left: tuple, right: tuple) -> int:
+    length = 0
+    for a, b in zip(left, right):
+        if a[0] != b[0]:
+            break
+        length += 1
+    return length
+
+
+def carried_gotos(stmt: ast.Stmt) -> list[ast.Goto]:
+    """The gotos carried by a *single-statement conditional goto* — an
+    ``if`` either of whose branches is exactly ``goto L`` or
+    ``begin goto L end``. bastors' algorithm first normalizes every goto
+    to this shape; classification treats the carrier's position as the
+    goto's position, so ``if c then goto L`` next to ``L:`` is a
+    same-block pair, not a jump out of a conditional."""
+    if not isinstance(stmt, ast.If):
+        return []
+    carried: list[ast.Goto] = []
+    for branch in (stmt.then_branch, stmt.else_branch):
+        candidate = branch
+        if isinstance(candidate, ast.Compound) and len(candidate.statements) == 1:
+            candidate = candidate.statements[0]
+        if isinstance(candidate, ast.Goto):
+            carried.append(candidate)
+    return carried
+
+
+def _carrier_map(body: ast.Compound) -> dict[int, ast.Stmt]:
+    """goto node id -> the statement whose position classifies it."""
+    carriers: dict[int, ast.Stmt] = {}
+    for stmt in ast.iter_statements(body):
+        for goto in carried_gotos(stmt):
+            carriers[goto.node_id] = stmt
+    return carriers
+
+
+# ----------------------------------------------------------------------
+# classification
+
+
+def classify_routine(
+    analysis: AnalyzedProgram, info: RoutineInfo
+) -> list[GotoClassification]:
+    """Classify every goto declared in ``info``'s body."""
+    body = info.block.body
+    chains = _chains_of(body)
+    order = _document_order(body)
+    labels = _label_definitions(body)
+    carriers = _carrier_map(body)
+
+    target_counts: dict[str, int] = {}
+    gotos = [
+        stmt for stmt in ast.iter_statements(body) if isinstance(stmt, ast.Goto)
+    ]
+    for goto in gotos:
+        target_counts[goto.target] = target_counts.get(goto.target, 0) + 1
+
+    results: list[GotoClassification] = []
+    for goto in gotos:
+        is_global = analysis.goto_is_global.get(goto.node_id, False)
+        anchor = carriers.get(goto.node_id, goto)
+        goto_chain = chains[anchor.node_id]
+        shared = target_counts[goto.target] > 1
+        if is_global:
+            # Loops exited within *this* routine decide whether the
+            # loop-goto pass must fire before the global-goto pass.
+            loops, conds = _nesting(goto_chain)
+            case = (
+                GotoCase.GLOBAL_OUT_OF_LOOP
+                if loops
+                else GotoCase.GLOBAL_OUT_OF_ROUTINE
+            )
+            results.append(
+                GotoClassification(
+                    routine=info.name,
+                    target=goto.target,
+                    case=case,
+                    loops_exited=loops,
+                    conds_exited=conds,
+                    routines_exited=1,
+                    shared_label=shared,
+                    goto_id=goto.node_id,
+                )
+            )
+            continue
+        labeled = labels.get(goto.target)
+        if labeled is None:  # label declared but never defined: semantics
+            continue  # already rejected this, defensive only
+        label_chain = chains[labeled.node_id]
+        forward = order[anchor.node_id] < order[labeled.node_id]
+        prefix = _common_prefix_len(goto_chain, label_chain)
+        if prefix == len(goto_chain) == len(label_chain):
+            case = (
+                GotoCase.FORWARD_SAME_BLOCK
+                if forward
+                else GotoCase.BACKWARD_SAME_BLOCK
+            )
+            loops = conds = 0
+        elif prefix == len(label_chain):
+            # label's list encloses the goto's: jump outward
+            loops, conds = _exits_between(goto_chain, prefix)
+            if loops:
+                case = (
+                    GotoCase.FORWARD_OUT_OF_LOOP
+                    if forward
+                    else GotoCase.BACKWARD_OUT_OF_LOOP
+                )
+            else:
+                case = (
+                    GotoCase.FORWARD_OUT_OF_COND
+                    if forward
+                    else GotoCase.BACKWARD_OUT_OF_COND
+                )
+        elif prefix == len(goto_chain):
+            case = (
+                GotoCase.FORWARD_INTO_BLOCK
+                if forward
+                else GotoCase.BACKWARD_INTO_BLOCK
+            )
+            loops, conds = _exits_between(label_chain, prefix)
+        else:
+            case = GotoCase.SIBLING_BLOCKS
+            loops, conds = _exits_between(goto_chain, prefix)
+        results.append(
+            GotoClassification(
+                routine=info.name,
+                target=goto.target,
+                case=case,
+                loops_exited=loops,
+                conds_exited=conds,
+                routines_exited=0,
+                shared_label=shared,
+                goto_id=goto.node_id,
+            )
+        )
+    return results
+
+
+def classify_program(analysis: AnalyzedProgram) -> TaxonomyReport:
+    """Classify every goto-label pair in the program."""
+    report = TaxonomyReport()
+    for info in analysis.all_routines():
+        pairs = classify_routine(analysis, info)
+        report.pairs.extend(pairs)
+        shared_targets = {
+            pair.target for pair in pairs if pair.shared_label
+        }
+        report.multi_goto_labels += len(shared_targets)
+    return report
+
+
+def classification_for(
+    analysis: AnalyzedProgram, info: RoutineInfo, goto: ast.Goto
+) -> GotoClassification | None:
+    """The classification of one specific goto (by node identity)."""
+    for pair in classify_routine(analysis, info):
+        if pair.goto_id == goto.node_id:
+            return pair
+    return None

@@ -2,12 +2,14 @@
 
 Order of passes:
 
-1. flag-guard gotos that jump out of loops (prerequisite for loop units),
-2. break global gotos into exit parameters — repeated until no global
+1. reduce same-block gotos to structured conditionals and loops (the
+   easy taxonomy cases, handled before anything synthesizes new gotos),
+2. flag-guard gotos that jump out of loops (prerequisite for loop units),
+3. break global gotos into exit parameters — repeated until no global
    goto remains (each round peels one nesting level),
-3. convert global-variable accesses to ``in``/``out``/``var`` parameters,
-4. compute the loop-unit registry on the final program,
-5. insert trace-generating actions (producing the *instrumented* program,
+4. convert global-variable accesses to ``in``/``out``/``var`` parameters,
+5. compute the loop-unit registry on the final program,
+6. insert trace-generating actions (producing the *instrumented* program,
    a display/debug artifact — the tracer itself attaches to interpreter
    hooks and traces the transformed program directly).
 
@@ -30,7 +32,12 @@ from repro.pascal.pretty import print_program, print_routine
 from repro.pascal.semantics import AnalyzedProgram, analyze
 from repro.tracing.tracer import LoopUnitInfo
 from repro.transform.globals_to_params import convert_globals_to_params
-from repro.transform.goto_elimination import break_global_gotos, eliminate_loop_gotos
+from repro.transform.goto_elimination import (
+    break_global_gotos,
+    eliminate_loop_gotos,
+    reduce_structured_gotos,
+)
+from repro.transform.goto_taxonomy import classify_program
 from repro.transform.instrument import instrument_program
 from repro.transform.loop_units import compute_loop_units
 from repro.transform.mapping import SourceMap
@@ -50,6 +57,10 @@ class TransformedProgram:
     added_params: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
     exit_params: dict[str, str] = field(default_factory=dict)
     warnings: list[str] = field(default_factory=list)
+    #: taxonomy case name -> gotos classified in the *original* program
+    goto_cases: dict[str, int] = field(default_factory=dict)
+    #: taxonomy case name -> gotos the reduction passes eliminated
+    goto_eliminated: dict[str, int] = field(default_factory=dict)
 
     @property
     def program(self) -> ast.Program:
@@ -127,15 +138,32 @@ def _transform_program(
     original = analysis
     warnings: list[str] = []
     accumulated = SourceMap.identity(analysis.program)
+    goto_cases = classify_program(analysis).counts()
+    goto_eliminated: dict[str, int] = {}
 
-    # 1. gotos out of loops
+    def _tally(eliminated: dict[str, int]) -> None:
+        for case, count in eliminated.items():
+            goto_eliminated[case] = goto_eliminated.get(case, 0) + count
+
+    # 1. same-block gotos become structured control flow. Runs before the
+    #    loop pass: a backward goto reduced to repeat..until may contain
+    #    escaping gotos the loop pass then flag-guards.
+    with obs.span("transform.pass.structured_gotos"):
+        structured = reduce_structured_gotos(analysis)
+        warnings.extend(structured.warnings)
+        _tally(structured.eliminated)
+        accumulated = structured.source_map.compose(accumulated)
+        analysis = analyze(structured.program)
+
+    # 2. gotos out of loops
     with obs.span("transform.pass.loop_gotos"):
         loop_goto = eliminate_loop_gotos(analysis)
         warnings.extend(loop_goto.warnings)
+        _tally(loop_goto.eliminated)
         accumulated = loop_goto.source_map.compose(accumulated)
         analysis = analyze(loop_goto.program)
 
-    # 2. global gotos, to a fixpoint. Each round may synthesize dispatch
+    # 3. global gotos, to a fixpoint. Each round may synthesize dispatch
     #    gotos inside loop bodies (a call in a loop whose callee exits
     #    globally), so the loop-goto pass is interleaved.
     exit_params: dict[str, str] = {}
@@ -146,11 +174,13 @@ def _transform_program(
             if not round_result.changed:
                 break
             exit_params.update(round_result.exit_params)
+            _tally(round_result.eliminated)
             accumulated = round_result.source_map.compose(accumulated)
             analysis = analyze(round_result.program)
             loop_round = eliminate_loop_gotos(analysis)
             if loop_round.changed:
                 warnings.extend(loop_round.warnings)
+                _tally(loop_round.eliminated)
                 accumulated = loop_round.source_map.compose(accumulated)
                 analysis = analyze(loop_round.program)
         else:
@@ -158,7 +188,7 @@ def _transform_program(
                 f"global gotos remained after {max_goto_rounds} rounds"
             )
 
-    # 3. globals to parameters
+    # 4. globals to parameters
     with obs.span("transform.pass.globals_to_params"):
         side_effects = analyze_side_effects(analysis)
         globals_result = convert_globals_to_params(analysis, side_effects)
@@ -167,13 +197,13 @@ def _transform_program(
         analysis = analyze(globals_result.program)
         side_effects = analyze_side_effects(analysis)
 
-    # 4. loop units on the final program
+    # 5. loop units on the final program
     with obs.span("transform.pass.loop_units"):
         loop_units = (
             compute_loop_units(analysis, side_effects) if with_loop_units else {}
         )
 
-    # 5. trace instrumentation (display artifact; see module docstring)
+    # 6. trace instrumentation (display artifact; see module docstring)
     instrumented_program: ast.Program | None = None
     instrumented_map: SourceMap | None = None
     if instrument:
@@ -186,6 +216,10 @@ def _transform_program(
         obs.add("transform.programs")
         obs.add("transform.loop_units", len(loop_units))
         obs.add("transform.warnings", len(warnings))
+        for case, count in goto_cases.items():
+            obs.add(f"transform.goto.case.{case}", count)
+        for case, count in goto_eliminated.items():
+            obs.add(f"transform.goto.eliminated.{case}", count)
 
     return TransformedProgram(
         original_analysis=original,
@@ -198,6 +232,8 @@ def _transform_program(
         added_params=globals_result.added_params,
         exit_params=exit_params,
         warnings=warnings,
+        goto_cases={case: count for case, count in goto_cases.items() if count},
+        goto_eliminated=goto_eliminated,
     )
 
 

@@ -1,0 +1,13 @@
+program bwdinto;
+label 10;
+var v, w: integer;
+begin
+  v := 0;
+  begin
+    w := 1;
+10: w := w + 3
+  end;
+  w := w * 2;
+  if v = 1 then goto 10;
+  writeln(w)
+end.

@@ -1,0 +1,14 @@
+program bwdcond;
+label 10;
+var n, s: integer;
+begin
+  n := 3;
+  s := 0;
+10: s := s + n;
+  n := n - 1;
+  if s < 50 then begin
+    s := s + 1;
+    if n > 0 then goto 10
+  end;
+  writeln(s)
+end.

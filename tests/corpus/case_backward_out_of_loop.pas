@@ -1,0 +1,15 @@
+program bwdloop;
+label 10;
+var g, c, s: integer;
+begin
+  g := 2;
+  s := 0;
+10: g := g - 1;
+  c := 3;
+  while c > 0 do begin
+    c := c - 1;
+    s := s + 1;
+    if g > 0 then goto 10
+  end;
+  writeln(s)
+end.

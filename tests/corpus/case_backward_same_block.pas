@@ -1,0 +1,11 @@
+program bwdsame;
+label 10;
+var i, s: integer;
+begin
+  i := 0;
+  s := 0;
+10: i := i + 1;
+  s := s + i;
+  if i < 5 then goto 10;
+  writeln(s)
+end.

@@ -1,0 +1,13 @@
+program fwdinto;
+label 10;
+var v, w: integer;
+begin
+  v := 0;
+  if v = 1 then goto 10;
+  w := 5;
+  begin
+    w := w + 1;
+10: w := w + 2
+  end;
+  writeln(w)
+end.

@@ -1,0 +1,14 @@
+program fwdcond;
+label 10;
+var x, y: integer;
+begin
+  x := 4;
+  y := 1;
+  if x > 0 then begin
+    y := y + 1;
+    if x > 3 then goto 10;
+    y := y + 10
+  end;
+  y := y + 100;
+10: writeln(y)
+end.

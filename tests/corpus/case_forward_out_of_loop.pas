@@ -1,0 +1,16 @@
+program fwdloop;
+label 10;
+var i, s: integer;
+begin
+  s := 0;
+  i := 6;
+  while i > 0 do begin
+    i := i - 1;
+    s := s + i;
+    if s > 7 then goto 10;
+    s := s + 1
+  end;
+  s := -s;
+10: writeln(i);
+  writeln(s)
+end.

@@ -1,0 +1,12 @@
+program fwdsame;
+label 10;
+var x, y: integer;
+begin
+  x := 3;
+  y := 0;
+  if x > 2 then goto 10;
+  y := 99;
+10: y := y + x;
+  writeln(x);
+  writeln(y)
+end.

@@ -1,0 +1,21 @@
+program glbloop;
+label 90;
+var g: integer;
+
+procedure drain(k: integer);
+var c: integer;
+begin
+  c := k;
+  while c > 0 do begin
+    c := c - 1;
+    g := g + 2;
+    if g > 6 then goto 90
+  end
+end;
+
+begin
+  g := 1;
+  drain(5);
+  g := -100;
+90: writeln(g)
+end.

@@ -1,0 +1,18 @@
+program glbroutine;
+label 90;
+var g: integer;
+
+procedure escape(k: integer);
+begin
+  g := g + k;
+  if g > 4 then goto 90
+end;
+
+begin
+  g := 0;
+  escape(2);
+  escape(3);
+  escape(5);
+  g := -100;
+90: writeln(g)
+end.

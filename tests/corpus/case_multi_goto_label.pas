@@ -1,0 +1,13 @@
+program multigoto;
+label 10;
+var x, y: integer;
+begin
+  x := 2;
+  y := 0;
+  if x > 5 then goto 10;
+  y := y + 1;
+  if x > 1 then goto 10;
+  y := y + 10;
+10: y := y + 100;
+  writeln(y)
+end.

@@ -1,0 +1,15 @@
+program sibling;
+label 10;
+var v, w: integer;
+begin
+  v := 0;
+  begin
+    w := 2;
+    if v = 1 then goto 10
+  end;
+  begin
+    w := w + 5;
+10: w := w + 7
+  end;
+  writeln(w)
+end.

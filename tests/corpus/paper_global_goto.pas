@@ -1,0 +1,20 @@
+program nestedglobal;
+label 9;
+var trace: integer;
+procedure inner(n: integer);
+begin
+  trace := trace + 1;
+  if n = 0 then goto 9
+end;
+procedure outer(n: integer);
+begin
+  inner(n);
+  trace := trace + 10
+end;
+begin
+  trace := 0;
+  outer(1);
+  outer(0);
+  outer(1);
+  9: writeln(trace)
+end.

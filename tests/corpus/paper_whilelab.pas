@@ -1,0 +1,12 @@
+program whilelab;
+label 9;
+var i, acc: integer;
+begin
+  acc := 0; i := 0;
+  while i < 10 do begin
+    i := i + 1;
+    acc := acc + i;
+    if acc > 7 then goto 9
+  end;
+  9: writeln(i); writeln(acc)
+end.

@@ -1,0 +1,27 @@
+{ Regression: reference-oracle replay of a goto-escaping routine.
+  `escape` leaves via the global goto 9 before assigning its var
+  parameter r, so r passes through the caller's value untouched. The
+  oracle's isolated replay seeds uncaptured var params as UNDEFINED;
+  before the fix it compared the observed passthrough value against
+  UNDEFINED and wrongly blamed the unmutated routine (corpus sweep
+  seeds 592/849). See tests/test_oracle.py::TestGotoEscapeOutParam. }
+program regressescape;
+label 9;
+var g, res: integer;
+procedure bump(n: integer);
+begin
+  g := g + n
+end;
+procedure escape(var r: integer);
+begin
+  if g > 1 then goto 9;
+  r := g
+end;
+begin
+  g := 0;
+  res := 0;
+  bump(1);
+  escape(res);
+  9: writeln(g);
+  writeln(res)
+end.

@@ -1,0 +1,29 @@
+{ Regression: label scoping. Both main and procedure p declare label
+  10; the goto inside p must bind to p's own label (the innermost
+  declaring scope), never to main's landing label. A corpus-generator
+  bug once emitted per-routine label numbers that collided exactly like
+  this, turning an intended forward jump to main's tail into a local
+  backward loop. Transform + both backends must keep binding the goto
+  locally. }
+program labelcapture;
+label 10;
+var res, x: integer;
+procedure p;
+label 10;
+var n: integer;
+begin
+  n := 0;
+  10: n := n + 1;
+  if n < 3 then goto 10;
+  x := x + n
+end;
+begin
+  res := 0; x := 0;
+  p;
+  p;
+  if x > 100 then goto 10;
+  res := res + 5;
+  10: res := res + 1;
+  writeln(x);
+  writeln(res)
+end.

@@ -188,3 +188,27 @@ def programs_with_procedures(draw) -> str:
         "  writeln(gone);\n  writeln(gtwo);\n  writeln(gthree)\n"
         "end.\n"
     )
+
+
+@st.composite
+def goto_programs(draw, max_seed: int = 10_000) -> str:
+    """A goto-dense, globals-heavy corpus program (always terminating).
+
+    Thin Hypothesis wrapper over :func:`repro.tgen.corpus.generate_program`:
+    the seed and the generator knobs are drawn, so shrinking walks toward
+    small seeds and tame configurations while staying inside the corpus
+    generator's validity envelope (unique labels, damped arithmetic,
+    guarded irreducible jumps).
+    """
+    from repro.tgen.corpus import CorpusConfig, generate_program
+
+    seed = draw(st.integers(min_value=0, max_value=max_seed))
+    config = CorpusConfig(
+        globals_count=draw(st.integers(min_value=2, max_value=5)),
+        routines=draw(st.integers(min_value=0, max_value=3)),
+        statements=draw(st.integers(min_value=4, max_value=10)),
+        goto_density=draw(st.sampled_from([0.25, 0.5, 0.75])),
+        include_irreducible=draw(st.booleans()),
+        include_global_gotos=draw(st.booleans()),
+    )
+    return generate_program(seed, config)

@@ -1,0 +1,158 @@
+"""In-suite smoke slice of the corpus differential sweep.
+
+``benchmarks/run_corpus.py`` runs the full 1000-seed parallel sweep;
+this module replays a fixed band of seeds through the same
+:func:`check_seed` so tier-1 catches regressions without the sweep's
+wall-clock cost.  Also covers the corpus generator's config knobs and
+the ddmin-style :func:`repro.tgen.corpus.minimize_program` reducer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.run_corpus import CorpusCheckFailure, check_seed, sweep
+from repro.pascal import analyze_source, run_source
+from repro.tgen.corpus import (
+    CASE_PROGRAMS,
+    CorpusConfig,
+    case_program,
+    generate_program,
+    iter_corpus,
+    minimize_program,
+)
+from repro.transform import GotoCase
+
+# Small fixed band: every tier-1 run replays the same seeds, so a
+# divergence here is reproducible by seed number alone.
+SMOKE_SEEDS = list(range(0, 20))
+
+
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_seed_differential(seed):
+    stats = check_seed(seed, with_strategies=seed % 5 == 0)
+    assert stats["seed"] == seed
+    assert stats["goto_cases"], "corpus program should contain gotos"
+
+
+class TestGeneratorKnobs:
+    def test_deterministic(self):
+        assert generate_program(7) == generate_program(7)
+        assert generate_program(7) != generate_program(8)
+
+    def test_iter_corpus_counts_and_offsets(self):
+        pairs = list(iter_corpus(3, start=5))
+        assert [seed for seed, _ in pairs] == [5, 6, 7]
+        assert pairs[0][1] == generate_program(5)
+        assert pairs[2][1] == generate_program(7)
+
+    def test_routines_knob(self):
+        flat = generate_program(3, CorpusConfig(routines=0))
+        assert "procedure" not in flat
+        deep = generate_program(3, CorpusConfig(routines=3))
+        assert deep.count("procedure") >= 3
+
+    def test_global_gotos_can_be_disabled(self):
+        config = CorpusConfig(
+            routines=2, include_global_gotos=False, include_irreducible=False
+        )
+        for seed in range(10):
+            analysis = analyze_source(generate_program(seed, config))
+            for info in analysis.user_routines():
+                assert not info.global_gotos
+
+    def test_goto_density_zero_yields_goto_free_main(self):
+        config = CorpusConfig(
+            goto_density=0.0,
+            routines=0,
+            include_irreducible=False,
+            include_global_gotos=False,
+        )
+        analysis = analyze_source(generate_program(11, config))
+        assert not analysis.main.local_gotos
+
+    def test_generated_programs_terminate(self):
+        for seed in range(30, 40):
+            run_source(generate_program(seed), step_limit=500_000)
+
+
+class TestCaseProgramLookup:
+    def test_accepts_enum_and_string(self):
+        by_enum = case_program(GotoCase.FORWARD_SAME_BLOCK)
+        by_name = case_program("forward_same_block")
+        assert by_enum == by_name == CASE_PROGRAMS["forward_same_block"]
+
+    def test_unknown_case_raises(self):
+        with pytest.raises(KeyError):
+            case_program("no_such_case")
+
+
+class TestMinimize:
+    def test_shrinks_while_preserving_failure(self):
+        source = CASE_PROGRAMS["forward_same_block"]
+        # Synthetic failure predicate: "program mentions goto".
+        def still_fails(text):
+            return "goto" in text
+
+        reduced = minimize_program(source, still_fails)
+        assert still_fails(reduced)
+        assert len(reduced) <= len(source)
+        analyze_source(reduced)  # stays well-formed
+
+    def test_returns_original_when_nothing_removable(self):
+        source = "program t;\nbegin\n  writeln(1)\nend.\n"
+        reduced = minimize_program(source, lambda text: "writeln" in text)
+        assert "writeln" in reduced
+
+
+class TestSweepPlumbing:
+    def test_sweep_aggregates_and_reports(self, tmp_path):
+        report = sweep(count=3, start=0, workers=1, strategy_every=3)
+        assert report["count"] == 3
+        assert not report["failures"]
+        assert report["goto_cases"]
+
+    def test_failure_artifacts_written(self, tmp_path, monkeypatch):
+        import benchmarks.run_corpus as rc
+
+        def boom(payload, attempt):
+            seed, _ = payload
+            return {
+                "seed": seed,
+                "failed": "transform",
+                "detail": "synthetic",
+                "source": "program t; begin end.",
+            }
+
+        monkeypatch.setattr(rc, "_check_payload", boom)
+        fail_dir = tmp_path / "artifacts"
+        report = rc.sweep(count=2, workers=1, fail_dir=fail_dir)
+        assert len(report["failures"]) == 2
+        assert (fail_dir / "seed_0.pas").exists()
+        assert "synthetic" in (fail_dir / "seed_1.txt").read_text()
+
+
+def test_check_seed_raises_typed_failure(monkeypatch):
+    import benchmarks.run_corpus as rc
+
+    monkeypatch.setattr(
+        rc,
+        "generate_program",
+        lambda seed, config=None: (
+            "program t;\nvar x: integer;\nbegin\n  x := 1;\n  writeln(x)\nend.\n"
+        ),
+    )
+    monkeypatch.setattr(rc, "transform_source", _broken_transform)
+    with pytest.raises(CorpusCheckFailure) as exc:
+        rc.check_seed(0, with_strategies=False)
+    assert exc.value.stage == "transform"
+    assert exc.value.seed == 0
+
+
+def _broken_transform(source, cached=False):
+    from repro.transform import transform_source
+
+    return transform_source(
+        "program t;\nvar x: integer;\nbegin\n  x := 2;\n  writeln(x)\nend.\n",
+        cached=False,
+    )

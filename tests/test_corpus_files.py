@@ -1,0 +1,80 @@
+"""Replay every committed corpus program through the full pipeline.
+
+``tests/corpus/`` is the seed regression corpus: one program per goto
+taxonomy case (``case_<name>.pas``, mirrored from
+``repro.tgen.corpus.CASE_PROGRAMS``), the paper's goto examples
+(``paper_*.pas``), and minimized programs from fixed divergences
+(``regress_*.pas``).  Each file must
+
+* analyze cleanly,
+* classify into its intended taxonomy case (for ``case_*`` files),
+* survive goto elimination with identical output and final globals,
+* run identically on every registered execution backend.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.compile import BACKENDS
+from repro.pascal import analyze_source, print_program, run_source
+from repro.tgen.corpus import CASE_PROGRAMS
+from repro.transform import classify_program, transform_source
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.pas"))
+
+STEP_LIMIT = 500_000
+
+
+def _final_globals(result, names):
+    return {name: result.global_value(name) for name in names}
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+class TestCorpusFile:
+    def test_transform_equivalent(self, path):
+        source = path.read_text()
+        original = run_source(source, step_limit=STEP_LIMIT)
+        transformed = transform_source(source, cached=False)
+        text = print_program(transformed.program)
+        after = run_source(text, step_limit=STEP_LIMIT)
+        assert after.output == original.output
+        names = [
+            decl.name
+            for decl in analyze_source(source).program.block.variables
+        ]
+        assert _final_globals(after, names) == _final_globals(
+            original, names
+        )
+
+    def test_backends_agree(self, path):
+        source = path.read_text()
+        text = print_program(transform_source(source, cached=False).program)
+        baseline = run_source(text, step_limit=STEP_LIMIT)
+        for backend in sorted(BACKENDS):
+            run = run_source(text, step_limit=STEP_LIMIT, backend=backend)
+            assert run.output == baseline.output, backend
+            assert run.steps == baseline.steps, backend
+
+
+def test_every_taxonomy_case_has_a_corpus_file():
+    committed = {p.stem for p in CORPUS_FILES if p.stem.startswith("case_")}
+    expected = {f"case_{case}" for case in CASE_PROGRAMS}
+    assert committed == expected
+
+
+@pytest.mark.parametrize("case", sorted(CASE_PROGRAMS))
+def test_case_file_classifies_as_named(case):
+    path = CORPUS_DIR / f"case_{case}.pas"
+    source = path.read_text()
+    assert source == CASE_PROGRAMS[case], (
+        "corpus file drifted from CASE_PROGRAMS; regenerate with "
+        "python -c 'from repro.tgen import corpus; ...'"
+    )
+    report = classify_program(analyze_source(source))
+    assert case in report.counts()

@@ -1,0 +1,253 @@
+"""Unit tests for the goto taxonomy classifier (bastors-style).
+
+The per-case canonical programs live in ``repro.tgen.corpus`` and are
+replayed end-to-end by ``tests/test_corpus_files.py``; here we pin the
+*classifier details* — direction, exit counts, shared labels — on small
+inline programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pascal import analyze_source
+from repro.transform import GotoCase, classify_program
+from repro.transform.goto_taxonomy import classification_for
+
+
+def classify(source: str):
+    return classify_program(analyze_source(source))
+
+
+def only_pair(source: str):
+    report = classify(source)
+    assert len(report.pairs) == 1, report.pairs
+    return report.pairs[0]
+
+
+class TestSameBlock:
+    def test_forward(self):
+        pair = only_pair(
+            """
+            program t; label 5; var x: integer;
+            begin
+              x := 1;
+              if x = 1 then goto 5;
+              x := 99;
+              5: writeln(x)
+            end.
+            """
+        )
+        assert pair.case is GotoCase.FORWARD_SAME_BLOCK
+        assert pair.loops_exited == 0
+        assert pair.conds_exited == 0
+        assert pair.routines_exited == 0
+        assert not pair.shared_label
+
+    def test_backward(self):
+        pair = only_pair(
+            """
+            program t; label 5; var x: integer;
+            begin
+              x := 0;
+              5: x := x + 1;
+              if x < 3 then goto 5;
+              writeln(x)
+            end.
+            """
+        )
+        assert pair.case is GotoCase.BACKWARD_SAME_BLOCK
+
+
+class TestOutOfStructures:
+    def test_forward_out_of_cond(self):
+        pair = only_pair(
+            """
+            program t; label 5; var x: integer;
+            begin
+              x := 1;
+              if x > 0 then begin
+                x := 2;
+                if x > 1 then begin x := 3; goto 5 end
+              end;
+              x := 99;
+              5: writeln(x)
+            end.
+            """
+        )
+        assert pair.case is GotoCase.FORWARD_OUT_OF_COND
+        assert pair.conds_exited >= 1
+        assert pair.loops_exited == 0
+
+    def test_forward_out_of_loop(self):
+        pair = only_pair(
+            """
+            program t; label 5; var i: integer;
+            begin
+              i := 0;
+              while i < 10 do begin
+                i := i + 1;
+                if i > 3 then goto 5
+              end;
+              5: writeln(i)
+            end.
+            """
+        )
+        assert pair.case is GotoCase.FORWARD_OUT_OF_LOOP
+        assert pair.loops_exited == 1
+
+    def test_backward_out_of_loop(self):
+        pair = only_pair(
+            """
+            program t; label 5; var i, r: integer;
+            begin
+              i := 0; r := 0;
+              5: r := r + 1;
+              for i := 1 to 3 do begin
+                if (r < 3) and (i = 2) then goto 5
+              end;
+              writeln(r)
+            end.
+            """
+        )
+        assert pair.case is GotoCase.BACKWARD_OUT_OF_LOOP
+
+    def test_carrier_hoisting(self):
+        # ``if c then goto L`` anchors at the If itself (the carrier),
+        # so the conditional the goto sits in is not counted as exited;
+        # the loop around the carrier is.
+        pair = only_pair(
+            """
+            program t; label 5; var i: integer;
+            begin
+              i := 0;
+              while i < 10 do begin
+                i := i + 1;
+                if i > 3 then begin goto 5 end
+              end;
+              5: writeln(i)
+            end.
+            """
+        )
+        assert pair.case is GotoCase.FORWARD_OUT_OF_LOOP
+        assert pair.loops_exited == 1
+        assert pair.conds_exited == 0
+
+
+class TestIntoAndSibling:
+    INTO = """
+    program t; label 5; var g, x: integer;
+    begin
+      g := 0; x := 0;
+      if g = 1 then goto 5;
+      if x = 0 then begin
+        x := 1;
+        5: x := x + 10
+      end;
+      writeln(x)
+    end.
+    """
+
+    def test_forward_into_block(self):
+        pair = only_pair(self.INTO)
+        assert pair.case is GotoCase.FORWARD_INTO_BLOCK
+
+    def test_sibling_blocks(self):
+        pair = only_pair(
+            """
+            program t; label 5; var g, x: integer;
+            begin
+              g := 0; x := 0;
+              if g = 1 then begin x := 1; goto 5 end;
+              if x = 0 then begin
+                5: x := x + 10
+              end;
+              writeln(x)
+            end.
+            """
+        )
+        assert pair.case is GotoCase.SIBLING_BLOCKS
+
+
+class TestGlobal:
+    SOURCE = """
+    program t; label 9; var x: integer;
+    procedure q(n: integer);
+    begin
+      if n > 3 then goto 9;
+      x := n
+    end;
+    begin
+      x := 0; q(2); q(5);
+      9: writeln(x)
+    end.
+    """
+
+    def test_global_out_of_routine(self):
+        pair = only_pair(self.SOURCE)
+        assert pair.case is GotoCase.GLOBAL_OUT_OF_ROUTINE
+        assert pair.routines_exited == 1
+        assert pair.routine == "q"
+        assert pair.target == "9"
+
+    def test_global_out_of_loop(self):
+        pair = only_pair(
+            """
+            program t; label 9; var x: integer;
+            procedure q(n: integer);
+            var i: integer;
+            begin
+              for i := 1 to 5 do
+                if i = n then goto 9;
+              x := n
+            end;
+            begin
+              x := 0; q(3);
+              9: writeln(x)
+            end.
+            """
+        )
+        assert pair.case is GotoCase.GLOBAL_OUT_OF_LOOP
+        assert pair.routines_exited == 1
+        assert pair.loops_exited == 1
+
+
+class TestReport:
+    SHARED = """
+    program t; label 5; var x: integer;
+    begin
+      x := 1;
+      if x = 1 then goto 5;
+      x := 2;
+      if x = 2 then goto 5;
+      x := 99;
+      5: writeln(x)
+    end.
+    """
+
+    def test_shared_label_counted_once(self):
+        report = classify(self.SHARED)
+        assert len(report.pairs) == 2
+        assert all(pair.shared_label for pair in report.pairs)
+        assert report.multi_goto_labels == 1
+        assert report.counts() == {
+            "forward_same_block": 2,
+            "multi_goto_label": 1,
+        }
+
+    def test_counts_drops_zero_cases(self):
+        report = classify(
+            "program t; begin writeln(1) end."
+        )
+        assert report.counts() == {}
+        assert report.total() == 0
+
+    def test_classification_for_finds_by_identity(self):
+        analysis = analyze_source(self.SHARED)
+        goto = analysis.main.local_gotos[0]
+        pair = classification_for(analysis, analysis.main, goto)
+        assert pair is not None
+        assert pair.goto_id == goto.node_id
+
+    def test_case_str_is_bare_value(self):
+        assert str(GotoCase.FORWARD_SAME_BLOCK) == "forward_same_block"

@@ -164,3 +164,63 @@ class TestInteractiveOracle:
         oracle = self.answers("?")
         answer = oracle.answer(Query(buggy_trace.tree.find("arrsum")))
         assert answer.kind is AnswerKind.DONT_KNOW
+
+
+class TestGotoEscapeOutParam:
+    """Corpus regression (sweep seeds 592/849, minimized in
+    tests/corpus/regress_goto_escape_outparam.pas): a routine that
+    leaves via a global goto before assigning its var parameter must
+    not be blamed for the passthrough value of that parameter."""
+
+    REFERENCE = (
+        "tests/corpus/regress_goto_escape_outparam.pas"  # doc pointer
+    )
+
+    FIXED = """
+    program t;
+    label 9;
+    var g, res: integer;
+    procedure bump(n: integer);
+    begin
+      g := g + n
+    end;
+    procedure escape(var r: integer);
+    begin
+      if g > 1 then goto 9;
+      r := g
+    end;
+    begin
+      g := 0;
+      res := 0;
+      bump(1);
+      escape(res);
+      9: writeln(g);
+      writeln(res)
+    end.
+    """
+    # the planted bug: main calls bump(2), pushing g over the escape
+    # threshold so `escape` jumps out with res untouched
+    BUGGY = FIXED.replace("bump(1)", "bump(2)")
+
+    def test_escape_judged_correct_despite_unassigned_out_param(self):
+        oracle = ReferenceOracle(analyze_source(self.FIXED))
+        trace = trace_source(self.BUGGY)
+        node = trace.tree.find("escape")
+        assert node.via_goto == "9"
+        # r was never captured as an input and never assigned: its
+        # observed value is an unknowable passthrough, not a mismatch
+        assert oracle.answer(Query(node)).kind is AnswerKind.YES
+
+    def test_all_strategies_blame_main(self):
+        from repro.core import AlgorithmicDebugger
+        from repro.core.strategies import available_strategies
+
+        oracle = ReferenceOracle(analyze_source(self.FIXED))
+        trace = trace_source(self.BUGGY)
+        blamed = {
+            strategy: AlgorithmicDebugger(
+                trace, oracle, strategy=strategy
+            ).debug().bug_unit
+            for strategy in available_strategies()
+        }
+        assert set(blamed.values()) == {"t"}, blamed  # the main program

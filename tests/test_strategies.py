@@ -140,6 +140,28 @@ class TestDivideAndQuery:
         judgements = {nodes[1].node_id: False}
         assert strategy.next_query(view, nodes[1], judgements) is None
 
+    def test_equidistant_tie_prefers_heavier_subtree(self):
+        # Regression from the corpus sweep (benchmarks/run_corpus.py,
+        # seed 143): suspects {a, b, c} with b the parent of c are all
+        # equidistant from total/2 = 1.5. The old node-id tie-break
+        # could land on a light leaf and "win" by luck, letting classic
+        # D&Q beat dq-optimal and breaking the documented dominance
+        # invariant. Preferring the heavier subtree (b, weight 2) makes
+        # classic's choice coincide with dq-optimal's whenever every
+        # activation weighs 1.
+        root = ExecNode(kind=NodeKind.MAIN, unit_name="main")
+        a = ExecNode(kind=NodeKind.CALL, unit_name="a")
+        b = ExecNode(kind=NodeKind.CALL, unit_name="b")
+        c = ExecNode(kind=NodeKind.CALL, unit_name="c")
+        root.add_child(a)
+        root.add_child(b)
+        b.add_child(c)
+        view = TreeView.full(root)
+        classic = make_strategy("divide-and-query")
+        optimal = make_strategy("dq-optimal")
+        assert classic.next_query(view, root, {}) is b
+        assert optimal.next_query(view, root, {}) is b
+
     def test_logarithmic_behaviour_on_chain(self):
         """D&Q should need ~log2(n) queries to localize a leaf bug."""
         root, nodes = chain_tree(31)
@@ -300,7 +322,7 @@ def naive_divide_and_query(view, current_bug, judgements):
     total = len(suspects)
     return min(
         suspects,
-        key=lambda node: (abs(weight(node) - total / 2), node.node_id),
+        key=lambda node: (abs(weight(node) - total / 2), -weight(node), node.node_id),
     )
 
 

@@ -1,0 +1,271 @@
+"""Unit tests for the structured-goto reduction pass.
+
+``reduce_structured_gotos`` rewrites the same-block taxonomy cases:
+forward conditional jumps become inverted conditionals, bare forward
+jumps delete dead intermediates, and single-source backward conditional
+jumps become ``repeat`` loops.  Behaviour preservation for these shapes
+is also swept by the corpus harness; here we pin the *shape* of each
+rewrite and every refusal condition.
+"""
+
+from __future__ import annotations
+
+from repro.pascal import analyze, analyze_source, print_program, run_source
+from repro.transform.goto_elimination import reduce_structured_gotos
+
+
+def reduce(source: str):
+    result = reduce_structured_gotos(analyze_source(source))
+    return result, print_program(result.program)
+
+
+def assert_equivalent(source: str, result) -> None:
+    from repro.pascal.interpreter import Interpreter
+
+    transformed = print_program(result.program)
+    assert run_source(transformed).output == run_source(source).output
+
+
+class TestForwardConditional:
+    SOURCE = """
+    program t; label 5; var x: integer;
+    begin
+      x := 1;
+      if x = 1 then goto 5;
+      x := 99;
+      x := x + 1;
+      5: writeln(x)
+    end.
+    """
+
+    def test_inverted_conditional_replaces_jump(self):
+        result, text = reduce(self.SOURCE)
+        assert result.changed
+        assert "goto" not in text
+        assert "if not (x = 1) then" in text
+        assert result.eliminated == {"forward_same_block": 1}
+        assert_equivalent(self.SOURCE, result)
+
+    def test_else_branch_goto(self):
+        source = """
+        program t; label 5; var x: integer;
+        begin
+          x := 1;
+          if x = 2 then x := 3 else goto 5;
+          x := 99;
+          5: writeln(x)
+        end.
+        """
+        result, text = reduce(source)
+        assert result.changed
+        assert "goto" not in text
+        # the kept then-branch moves into the guarded body
+        assert "if (x = 2) then" in text or "if x = 2 then" in text
+        assert_equivalent(source, result)
+
+    def test_refuses_labeled_intermediates(self):
+        # a label between goto and target means another jump may enter
+        # the skipped region; the reduction must not touch it
+        source = """
+        program t; label 5, 6; var x: integer;
+        begin
+          x := 1;
+          if x = 1 then goto 5;
+          6: x := 99;
+          if x = 99 then goto 6;
+          5: writeln(x)
+        end.
+        """
+        result, text = reduce(source)
+        assert "goto 5" in text
+
+    def test_noop_jump_dropped_only_when_condition_pure(self):
+        # adjacent goto/label with a pure condition: drop the carrier
+        pure = """
+        program t; label 5; var x: integer;
+        begin
+          x := 1;
+          if x = 1 then goto 5;
+          5: writeln(x)
+        end.
+        """
+        result, text = reduce(pure)
+        assert result.changed
+        assert "goto" not in text
+        assert "if" not in text
+
+    def test_noop_jump_kept_when_condition_impure(self):
+        # a function call in the condition may have side effects; the
+        # carrier must survive (as a guarded empty body is fine, but
+        # the call must still happen)
+        impure = """
+        program t; label 5; var x: integer;
+        function bump(n: integer): integer;
+        begin
+          x := x + n;
+          bump := x
+        end;
+        begin
+          x := 0;
+          if bump(1) > 0 then goto 5;
+          5: writeln(x)
+        end.
+        """
+        result, text = reduce(impure)
+        assert "bump" in text
+        assert run_source(text).output == run_source(impure).output == "1\n"
+
+
+class TestForwardBare:
+    def test_dead_intermediates_deleted(self):
+        source = """
+        program t; label 5; var x: integer;
+        begin
+          x := 1;
+          goto 5;
+          x := 99;
+          5: writeln(x)
+        end.
+        """
+        result, text = reduce(source)
+        assert result.changed
+        assert "goto" not in text
+        assert "99" not in text
+        assert_equivalent(source, result)
+
+    def test_labeled_goto_leaves_landing_pad(self):
+        # `4: goto 5` — label 4 must survive as an empty statement so
+        # other jumps to 4 still land somewhere
+        source = """
+        program t; label 4, 5; var x: integer;
+        begin
+          x := 1;
+          if x = 1 then goto 4;
+          x := 50;
+          4: goto 5;
+          x := 99;
+          5: writeln(x)
+        end.
+        """
+        result, text = reduce(source)
+        analysis = analyze(result.program)
+        assert "4" in analysis.main.labels
+        assert_equivalent(source, result)
+
+
+class TestBackwardRepeat:
+    SOURCE = """
+    program t; label 5; var x: integer;
+    begin
+      x := 0;
+      5: x := x + 1;
+      if x < 3 then goto 5;
+      writeln(x)
+    end.
+    """
+
+    def test_becomes_repeat_until(self):
+        result, text = reduce(self.SOURCE)
+        assert result.changed
+        assert "goto" not in text
+        assert "repeat" in text and "until" in text
+        assert "not (x < 3)" in text
+        assert result.eliminated == {"backward_same_block": 1}
+        assert_equivalent(self.SOURCE, result)
+
+    def test_refuses_shared_label(self):
+        # two gotos target label 5; folding one into a repeat would
+        # strand the other
+        source = """
+        program t; label 5; var x: integer;
+        begin
+          x := 0;
+          if x = 9 then goto 5;
+          5: x := x + 1;
+          if x < 3 then goto 5;
+          writeln(x)
+        end.
+        """
+        _, text = reduce(source)
+        assert "repeat" not in text
+
+    def test_refuses_carrier_with_else(self):
+        source = """
+        program t; label 5; var x: integer;
+        begin
+          x := 0;
+          5: x := x + 1;
+          if x < 3 then goto 5 else x := 100;
+          writeln(x)
+        end.
+        """
+        _, text = reduce(source)
+        assert "repeat" not in text
+        assert run_source(text).output == run_source(source).output
+
+    def test_refuses_labels_inside_region(self):
+        source = """
+        program t; label 5, 6; var x: integer;
+        begin
+          x := 0;
+          5: x := x + 1;
+          6: x := x + 2;
+          if x < 3 then goto 6;
+          if x < 10 then goto 5;
+          writeln(x)
+        end.
+        """
+        _, text = reduce(source)
+        # the 5-region contains label 6: label 5's goto must survive
+        # (label 6's own region is free to fold)
+        assert "goto 5" in text
+        assert run_source(text).output == run_source(source).output
+
+
+class TestScope:
+    def test_rewrites_inside_procedures(self):
+        source = """
+        program t; var x: integer;
+        procedure p;
+        label 5;
+        var n: integer;
+        begin
+          n := 0;
+          5: n := n + 1;
+          if n < 3 then goto 5;
+          x := n
+        end;
+        begin
+          x := 0;
+          p;
+          writeln(x)
+        end.
+        """
+        result, text = reduce(source)
+        assert result.changed
+        assert "repeat" in text
+        assert_equivalent(source, result)
+
+    def test_skips_global_gotos(self):
+        # a goto unwinding out of its routine is never "same block"
+        source = """
+        program t; label 9; var x: integer;
+        procedure q(n: integer);
+        begin
+          if n > 3 then goto 9;
+          x := n
+        end;
+        begin
+          x := 0; q(2); q(5);
+          9: writeln(x)
+        end.
+        """
+        result, text = reduce(source)
+        assert not result.changed
+        assert "goto 9" in text
+
+    def test_goto_free_program_unchanged(self):
+        source = "program t; var x: integer;\nbegin x := 1; writeln(x) end.\n"
+        result, text = reduce(source)
+        assert not result.changed
+        assert result.eliminated == {}
